@@ -1,0 +1,64 @@
+// Ablation for §3.2's requirement: "for prefetching to be beneficial,
+// the architecture needs a high-bandwidth pipelined memory system,
+// including lockup-free caches [Kroft 81], to sustain several
+// outstanding requests at a time."
+//
+// The binding resource is outstanding-miss concurrency: sweep the MSHR
+// count (lockup-free depth). With a single MSHR the cache is blocking
+// and the techniques have nothing to overlap with — their benefit
+// collapses to (almost) nothing, exactly the paper's precondition.
+// Per-endpoint delivery bandwidth (mem.deliver_bw) is swept too for
+// completeness; with one probe per cache per cycle it is rarely the
+// bottleneck.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace mcsim;
+using namespace mcsim::bench;
+
+int main() {
+  std::printf("Ablation: memory-system concurrency requirement (paper §3.2)\n");
+  std::printf("producer/consumer, 4 processors, SC\n\n");
+  std::printf("%-18s %12s %12s %12s %10s\n", "lockup-free depth", "baseline", "+both",
+              "saved", "speedup");
+  for (std::uint32_t mshrs : {16u, 8u, 4u, 2u, 1u}) {
+    Workload w = make_producer_consumer(4, 12);
+    SystemConfig base_cfg = tech_config(ConsistencyModel::kSC, false, false);
+    SystemConfig both_cfg = tech_config(ConsistencyModel::kSC, true, true);
+    base_cfg.cache.mshrs = mshrs;
+    both_cfg.cache.mshrs = mshrs;
+    Cycle base = run_workload(w, base_cfg).cycles;
+    Cycle both = run_workload(w, both_cfg).cycles;
+    std::printf("%-18u %12llu %12llu %12lld %9.2fx\n", mshrs,
+                static_cast<unsigned long long>(base),
+                static_cast<unsigned long long>(both),
+                static_cast<long long>(base) - static_cast<long long>(both),
+                static_cast<double>(base) / static_cast<double>(both));
+  }
+
+  std::printf("\n%-18s %12s %12s %10s\n", "delivery bw", "baseline", "+both", "speedup");
+  for (std::uint32_t bw : {0u, 2u, 1u}) {
+    Workload w = make_producer_consumer(4, 12);
+    SystemConfig base_cfg = tech_config(ConsistencyModel::kSC, false, false);
+    SystemConfig both_cfg = tech_config(ConsistencyModel::kSC, true, true);
+    base_cfg.mem.deliver_bw = bw;
+    both_cfg.mem.deliver_bw = bw;
+    Cycle base = run_workload(w, base_cfg).cycles;
+    Cycle both = run_workload(w, both_cfg).cycles;
+    char label[16];
+    if (bw == 0)
+      std::snprintf(label, sizeof label, "unlimited");
+    else
+      std::snprintf(label, sizeof label, "%u/cycle", bw);
+    std::printf("%-18s %12llu %12llu %9.2fx\n", label,
+                static_cast<unsigned long long>(base),
+                static_cast<unsigned long long>(both),
+                static_cast<double>(base) / static_cast<double>(both));
+  }
+  std::printf(
+      "\nExpected: the techniques' speedup collapses toward 1x as the cache\n"
+      "loses the ability to sustain multiple outstanding misses; the\n"
+      "delivery-bandwidth sweep barely moves (one probe per cache per cycle).\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Ablation for §6's related-work comparison: "binding prefetching is
+// quite limited in its ability to enhance the performance of
+// consistency models ... a binding prefetch can not be issued any
+// earlier than the actual access is allowed to be issued."
+//
+// Same Figure 2 / Example 1 run with the prefetch engine in binding
+// mode: since every candidate access is consistency-delayed, the
+// binding prefetcher never gets to issue anything and the result
+// matches the no-prefetch baseline exactly.
+#include <cstdio>
+
+#include "isa/builder.hpp"
+#include "sim/machine.hpp"
+
+using namespace mcsim;
+
+namespace {
+
+constexpr Addr kLock = 0x1000, kA = 0x2000, kB = 0x3000;
+
+Cycle run(ConsistencyModel model, PrefetchMode mode) {
+  ProgramBuilder b;
+  b.tas(31, ProgramBuilder::abs(kLock), SyncKind::kAcquire);
+  b.store(0, ProgramBuilder::abs(kA));
+  b.store(0, ProgramBuilder::abs(kB));
+  b.unlock(kLock);
+  b.halt();
+  SystemConfig cfg = SystemConfig::paper_default(1, model);
+  cfg.core.prefetch = mode;
+  Machine m(cfg, {b.build()});
+  RunResult r = m.run();
+  return r.deadlocked ? 0 : r.cycles;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation: binding vs non-binding prefetch (paper §6)\n");
+  std::printf("Figure 2 / Example 1\n\n");
+  std::printf("%-6s %12s %12s %14s\n", "model", "no-prefetch", "binding", "non-binding");
+  for (ConsistencyModel model : {ConsistencyModel::kSC, ConsistencyModel::kPC,
+                                 ConsistencyModel::kWC, ConsistencyModel::kRC}) {
+    std::printf("%-6s %12llu %12llu %14llu\n", to_string(model),
+                static_cast<unsigned long long>(run(model, PrefetchMode::kOff)),
+                static_cast<unsigned long long>(run(model, PrefetchMode::kBinding)),
+                static_cast<unsigned long long>(run(model, PrefetchMode::kNonBinding)));
+  }
+  std::printf(
+      "\nExpected: binding == no-prefetch on every model (it may not move\n"
+      "early); non-binding reaches ~103 cycles.\n");
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Ablation for §3.3's claim: "prefetching fails to boost performance
+// when out-of-order consumption of prefetched values is important".
+//
+// Sweep the number of cache-hit loads whose values gate later misses
+// (the `read D; read E[D]` motif) and compare prefetch-only against
+// speculation-only: the gap widens with the number of dependent hits,
+// because a prefetch can bring E[D]'s line in only after D's value is
+// consumable, while speculation consumes D immediately.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace mcsim;
+using namespace mcsim::bench;
+
+int main() {
+  std::printf("Ablation: out-of-order consumption (paper §3.3)\n");
+  std::printf("dependent-chain workload, SC, 1 processor, depth 4\n\n");
+  std::printf("%8s %10s %12s %12s %12s %14s\n", "hits/k", "baseline", "+prefetch",
+              "+speculation", "+both", "pf speedup/spec");
+  for (std::uint32_t hits = 1; hits <= 6; ++hits) {
+    Workload w = make_dependent_chain(1, 4, hits);
+    Cycle base = run_workload(w, tech_config(ConsistencyModel::kSC, false, false)).cycles;
+    Cycle pf = run_workload(w, tech_config(ConsistencyModel::kSC, true, false)).cycles;
+    Cycle spec = run_workload(w, tech_config(ConsistencyModel::kSC, false, true)).cycles;
+    Cycle both = run_workload(w, tech_config(ConsistencyModel::kSC, true, true)).cycles;
+    std::printf("%8u %10llu %12llu %12llu %12llu %9.2f/%.2f\n", hits,
+                static_cast<unsigned long long>(base), static_cast<unsigned long long>(pf),
+                static_cast<unsigned long long>(spec),
+                static_cast<unsigned long long>(both),
+                static_cast<double>(base) / pf, static_cast<double>(base) / spec);
+  }
+  std::printf(
+      "\nExpected: prefetch speedup stays modest and flat; speculation speedup\n"
+      "grows with the number of dependent hits (it consumes them out of order).\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Ablation for §6's hardware-vs-software prefetch comparison:
+//
+//  * "The advantage of hardware-controlled prefetching is that it does
+//    not require software help" — on Example 1 both reach ~103 cycles.
+//  * "The disadvantage ... is that the prefetching window is limited
+//    to the size of the instruction lookahead buffer, while ...
+//    software-controlled non-binding prefetching has an arbitrarily
+//    large window" — demonstrated with a long dependency chain between
+//    the lock and the writes plus a small reorder buffer: the hardware
+//    never sees the delayed writes in time, the software prefetches
+//    were hoisted to the top by "the compiler".
+#include <cstdio>
+#include <string>
+
+#include "isa/assembler.hpp"
+#include "sim/machine.hpp"
+
+using namespace mcsim;
+
+namespace {
+
+const char kPrelude[] = R"(
+  .sym lock 0x1000
+  .sym A    0x2000
+  .sym B    0x3000
+)";
+
+Program example1(bool sw_prefetch) {
+  std::string src = kPrelude;
+  if (sw_prefetch) src += "  pfx [A]\n  pfx [B]\n";
+  src += R"(
+    tas    r31, [lock]
+    st     r0, [A]
+    st     r0, [B]
+    st.rel r0, [lock]
+    halt
+  )";
+  return assemble(src);
+}
+
+Program windowed(bool sw_prefetch, int chain) {
+  std::string src = kPrelude;
+  if (sw_prefetch) src += "  pfx [A]\n  pfx [B]\n";
+  src += "  tas r31, [lock]\n";
+  for (int i = 0; i < chain; ++i) src += "  addi r1, r1, 1\n";
+  src += R"(
+    st     r1, [A]
+    st     r1, [B]
+    st.rel r0, [lock]
+    halt
+  )";
+  return assemble(src);
+}
+
+Cycle run(const Program& p, bool hw_prefetch, std::uint32_t rob) {
+  SystemConfig cfg = SystemConfig::paper_default(1, ConsistencyModel::kSC);
+  cfg.core.prefetch = hw_prefetch ? PrefetchMode::kNonBinding : PrefetchMode::kOff;
+  cfg.core.rob_entries = rob;
+  // A realistically narrow front end bounds the lookahead window.
+  cfg.core.ideal_frontend = false;
+  cfg.core.fetch_width = 2;
+  cfg.core.decode_width = 2;
+  Machine m(cfg, {p});
+  RunResult r = m.run();
+  return r.deadlocked ? 0 : r.cycles;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation: hardware vs software non-binding prefetch (paper §6)\n\n");
+
+  std::printf("Example 1 (delayed writes inside the lookahead window), SC:\n");
+  std::printf("  %-28s %8llu cycles\n", "no prefetch",
+              static_cast<unsigned long long>(run(example1(false), false, 64)));
+  std::printf("  %-28s %8llu cycles\n", "hardware prefetch",
+              static_cast<unsigned long long>(run(example1(false), true, 64)));
+  std::printf("  %-28s %8llu cycles\n", "software prefetch",
+              static_cast<unsigned long long>(run(example1(true), false, 64)));
+  std::printf("  %-28s %8llu cycles\n", "both",
+              static_cast<unsigned long long>(run(example1(true), true, 64)));
+
+  std::printf(
+      "\nLookahead-window limit: 120-instruction chain between lock and writes,\n"
+      "16-entry reorder buffer (hardware cannot see the writes early):\n");
+  std::printf("  %-28s %8llu cycles\n", "no prefetch",
+              static_cast<unsigned long long>(run(windowed(false, 120), false, 16)));
+  std::printf("  %-28s %8llu cycles\n", "hardware prefetch",
+              static_cast<unsigned long long>(run(windowed(false, 120), true, 16)));
+  std::printf("  %-28s %8llu cycles\n", "software prefetch (hoisted)",
+              static_cast<unsigned long long>(run(windowed(true, 120), false, 16)));
+
+  std::printf(
+      "\nExpected: on Example 1 hardware == software; with the window exceeded\n"
+      "only the software prefetch still helps (its window is the whole program).\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Ablation for §3.1's claim: read-exclusive prefetching requires an
+// invalidation-based protocol ("in update-based schemes, it is
+// difficult to partially service a write operation without ... the
+// write being performed").
+//
+// Figure 2 / Example 1 (a write-dominated producer) under both
+// protocols: prefetching recovers the write latency only under
+// invalidation; under update the writes still pay full round trips.
+#include <cstdio>
+
+#include "isa/builder.hpp"
+#include "sim/machine.hpp"
+
+using namespace mcsim;
+
+namespace {
+
+constexpr Addr kLock = 0x1000, kA = 0x2000, kB = 0x3000;
+
+Program producer() {
+  ProgramBuilder b;
+  b.tas(31, ProgramBuilder::abs(kLock), SyncKind::kAcquire);
+  b.store(0, ProgramBuilder::abs(kA));
+  b.store(0, ProgramBuilder::abs(kB));
+  b.unlock(kLock);
+  b.halt();
+  return b.build();
+}
+
+Cycle run(CoherenceKind proto, ConsistencyModel model, bool prefetch) {
+  SystemConfig cfg = SystemConfig::paper_default(1, model);
+  cfg.mem.coherence = proto;
+  cfg.core.prefetch = prefetch ? PrefetchMode::kNonBinding : PrefetchMode::kOff;
+  Machine m(cfg, {producer()});
+  RunResult r = m.run();
+  return r.deadlocked ? 0 : r.cycles;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation: write prefetching needs invalidation coherence (paper §3.1)\n");
+  std::printf("Figure 2 / Example 1, write-dominated\n\n");
+  std::printf("%-6s %-14s %10s %12s %10s\n", "model", "protocol", "baseline", "+prefetch",
+              "speedup");
+  for (ConsistencyModel model : {ConsistencyModel::kSC, ConsistencyModel::kRC}) {
+    for (CoherenceKind proto : {CoherenceKind::kInvalidation, CoherenceKind::kUpdate}) {
+      Cycle base = run(proto, model, false);
+      Cycle pf = run(proto, model, true);
+      std::printf("%-6s %-14s %10llu %12llu %9.2fx\n", to_string(model), to_string(proto),
+                  static_cast<unsigned long long>(base),
+                  static_cast<unsigned long long>(pf),
+                  static_cast<double>(base) / static_cast<double>(pf));
+    }
+  }
+  std::printf(
+      "\nExpected: ~3x from prefetching under invalidation; ~1x under update\n"
+      "(read-exclusive prefetches are suppressed; only reads prefetch).\n");
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Simulator-throughput microbenchmarks (google-benchmark): how fast the
+// host machine simulates the guest, for the hot paths a user of the
+// library cares about when scaling experiments up.
+#include <benchmark/benchmark.h>
+
+#include "coherence/cache.hpp"
+#include "coherence/directory.hpp"
+#include "isa/builder.hpp"
+#include "isa/interp.hpp"
+#include "sim/machine.hpp"
+#include "sim/workloads.hpp"
+
+namespace mcsim {
+namespace {
+
+void BM_CacheHitProbe(benchmark::State& state) {
+  CacheConfig cfg;
+  MemConfig mem_cfg;
+  Network net(2, mem_cfg.net_latency);
+  CoherentCache cache(0, cfg, CoherenceKind::kInvalidation, net, 1);
+  std::vector<Word> line(cfg.line_bytes / kWordBytes, 42);
+  cache.preload_line(0x1000, LineState::kExclusive, line);
+  Cycle now = 0;
+  std::uint64_t token = 1;
+  for (auto _ : state) {
+    CacheRequest req;
+    req.op = CacheOp::kLoad;
+    req.addr = 0x1000;
+    req.token = token++;
+    benchmark::DoNotOptimize(cache.probe(req, now++));
+    CacheResponse resp;
+    while (cache.pop_response(now, resp)) benchmark::DoNotOptimize(resp.value);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheHitProbe);
+
+void BM_NetworkSendDeliver(benchmark::State& state) {
+  Network net(4, 10);
+  Cycle now = 0;
+  for (auto _ : state) {
+    Message m;
+    m.type = MsgType::kReadReq;
+    m.src = 0;
+    m.dst = 3;
+    net.send(std::move(m), now);
+    net.deliver(now + 10);
+    Message out;
+    while (net.recv(3, out)) benchmark::DoNotOptimize(out.line_addr);
+    now += 11;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NetworkSendDeliver);
+
+void BM_InterpreterThroughput(benchmark::State& state) {
+  ProgramBuilder b;
+  b.li(1, 0);
+  b.li(2, 1);
+  b.li(3, 10000);
+  b.label("loop");
+  b.add(1, 1, 2);
+  b.addi(2, 2, 1);
+  b.blt(2, 3, "loop");
+  b.halt();
+  Program p = b.build();
+  for (auto _ : state) {
+    FlatMemory mem(1 << 16);
+    InterpResult r = interpret(p, mem);
+    benchmark::DoNotOptimize(r.regs[1]);
+  }
+  state.SetItemsProcessed(state.iterations() * 20000);
+}
+BENCHMARK(BM_InterpreterThroughput);
+
+void BM_MachineCyclesPerSecond(benchmark::State& state) {
+  const bool spec = state.range(0) != 0;
+  std::uint64_t guest_cycles = 0;
+  for (auto _ : state) {
+    Workload w = make_critical_sections(2, 3, 2);
+    SystemConfig cfg = SystemConfig::realistic(2, ConsistencyModel::kSC);
+    cfg.core.speculative_loads = spec;
+    cfg.core.prefetch = spec ? PrefetchMode::kNonBinding : PrefetchMode::kOff;
+    Machine m(cfg, w.programs);
+    RunResult r = m.run();
+    guest_cycles += r.cycles;
+    benchmark::DoNotOptimize(r.cycles);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(guest_cycles));
+  state.SetLabel("items = simulated guest cycles");
+}
+BENCHMARK(BM_MachineCyclesPerSecond)->Arg(0)->Arg(1);
+
+void BM_SpecLoadBufferScan(benchmark::State& state) {
+  SpecLoadBuffer buf(16);
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    SpecLoadBuffer::Entry e;
+    e.seq = i;
+    e.addr = 0x100 * i;
+    e.line = 0x100 * i;
+    e.acq = true;
+    buf.insert(e);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(buf.on_line_event(LineEventKind::kInvalidate, 0x700));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpecLoadBufferScan);
+
+}  // namespace
+}  // namespace mcsim
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+// The simulation study the paper calls for in §5: four synthetic
+// workloads, four consistency models, four technique combinations.
+// Reports total cycles and the normalized slowdown of each model
+// relative to RC — the paper predicts the techniques (a) speed up
+// every model and (b) equalize the models (SC/RC ratio -> ~1.0).
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+
+using namespace mcsim;
+using namespace mcsim::bench;
+
+namespace {
+
+struct TechCombo {
+  const char* name;
+  bool prefetch;
+  bool spec;
+};
+
+const TechCombo kCombos[] = {
+    {"baseline", false, false},
+    {"+prefetch", true, false},
+    {"+speculation", false, true},
+    {"+both", true, true},
+};
+
+const ConsistencyModel kModels[] = {ConsistencyModel::kSC, ConsistencyModel::kPC,
+                                    ConsistencyModel::kWC, ConsistencyModel::kRC};
+
+void run_table(const Workload& w) {
+  std::printf("\n=== workload: %s (%zu processors) ===\n", w.name.c_str(),
+              w.programs.size());
+  std::printf("%-14s", "technique");
+  for (ConsistencyModel m : kModels) std::printf("%12s", to_string(m));
+  std::printf("%14s\n", "SC/RC ratio");
+  for (const TechCombo& t : kCombos) {
+    std::printf("%-14s", t.name);
+    Cycle sc = 0, rc = 0;
+    for (ConsistencyModel m : kModels) {
+      RunStats s = run_workload(w, tech_config(m, t.prefetch, t.spec));
+      if (m == ConsistencyModel::kSC) sc = s.cycles;
+      if (m == ConsistencyModel::kRC) rc = s.cycles;
+      std::printf("%12llu", static_cast<unsigned long long>(s.cycles));
+    }
+    std::printf("%14.3f\n", rc == 0 ? 0.0 : static_cast<double>(sc) / rc);
+  }
+  // Technique-efficacy counters under SC (the model with most to gain).
+  RunStats base = run_workload(w, tech_config(ConsistencyModel::kSC, false, false));
+  RunStats both = run_workload(w, tech_config(ConsistencyModel::kSC, true, true));
+  std::printf("  [SC +both] prefetches=%llu useful=%llu squashes=%llu reissues=%llu\n",
+              static_cast<unsigned long long>(both.prefetches),
+              static_cast<unsigned long long>(both.prefetch_useful),
+              static_cast<unsigned long long>(both.squashes),
+              static_cast<unsigned long long>(both.reissues));
+  // Note: this is occupancy (address-ready -> performed), so a load
+  // issued speculatively far ahead of its gate shows a LONGER window
+  // even though the processor stalls less; stores show latency hiding
+  // directly (they cannot issue early, only their lines can arrive early).
+  std::printf("  [SC] mean access occupancy (addr-ready -> performed), base -> +both:\n");
+  std::printf("        loads %.1f -> %.1f cycles, stores %.1f -> %.1f cycles\n",
+              base.load_latency_mean, both.load_latency_mean, base.store_latency_mean,
+              both.store_latency_mean);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Model comparison study (paper §5: \"extensive simulation experiments\")\n");
+  std::printf("cycles to completion; miss latency 100, hit 1; realistic 4-wide cores\n");
+
+  run_table(make_producer_consumer(4, 8));
+  run_table(make_critical_sections(4, 6, 2));
+  run_table(make_barrier_phases(4, 3, 4));
+  run_table(make_random_mix(4, 40, 12345));
+  run_table(make_dependent_chain(2, 4, 3));
+
+  std::printf(
+      "\nExpected shape (paper §5): baseline SC/RC ratio well above 1; with\n"
+      "both techniques every model speeds up and the ratio approaches 1.0.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Contended critical sections (paper §3.3 Example 1, under real
+// contention): N processors increment shared counters under test&set
+// locks. Demonstrates that the techniques preserve mutual exclusion
+// while changing the timing, and reports lock-related speculation
+// traffic.
+//
+//   $ ./critical_section [procs] [iterations]
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/machine.hpp"
+#include "sim/workloads.hpp"
+
+using namespace mcsim;
+
+int main(int argc, char** argv) {
+  std::uint32_t procs = argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 4;
+  std::uint32_t iters = argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 8;
+  std::printf("critical sections: %u processors x %u lock-protected increments\n\n",
+              procs, iters);
+  std::printf("%-6s %-14s %12s %14s %12s\n", "model", "technique", "cycles",
+              "counter-total", "rmw-spec");
+
+  for (ConsistencyModel model : {ConsistencyModel::kSC, ConsistencyModel::kRC}) {
+    for (auto [name, pf, spec] :
+         {std::tuple{"baseline", false, false}, {"+prefetch", true, false},
+          {"+speculation", false, true}, {"+both", true, true}}) {
+      Workload w = make_critical_sections(procs, iters, 2);
+      SystemConfig cfg = SystemConfig::realistic(procs, model);
+      cfg.core.prefetch = pf ? PrefetchMode::kNonBinding : PrefetchMode::kOff;
+      cfg.core.speculative_loads = spec;
+      Machine m(cfg, w.programs);
+      RunResult r = m.run();
+      if (r.deadlocked) {
+        std::fprintf(stderr, "deadlock!\n");
+        return 1;
+      }
+      Word total = 0;
+      for (auto& [addr, expect] : w.expected) {
+        total += m.read_word(addr);
+        if (m.read_word(addr) != expect) {
+          std::fprintf(stderr, "LOST UPDATE under %s %s\n", to_string(model), name);
+          return 1;
+        }
+      }
+      std::uint64_t rmw_spec = 0;
+      for (ProcId p = 0; p < procs; ++p)
+        rmw_spec += m.core(p).stats().get("rmw_spec_values");
+      std::printf("%-6s %-14s %12llu %14u %12llu\n", to_string(model), name,
+                  static_cast<unsigned long long>(r.cycles), total,
+                  static_cast<unsigned long long>(rmw_spec));
+    }
+  }
+  std::printf("\nEvery configuration preserved mutual exclusion (totals exact).\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Quickstart: build a two-processor program, run it under two
+// consistency models with and without the paper's techniques, and
+// compare cycle counts.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "isa/builder.hpp"
+#include "sim/machine.hpp"
+
+using namespace mcsim;
+
+namespace {
+
+constexpr Addr kLock = 0x100;
+constexpr Addr kA = 0x200;
+constexpr Addr kB = 0x300;
+
+// A producer updating two locations inside a critical section — the
+// paper's Figure 2, Example 1.
+Program producer() {
+  ProgramBuilder b;
+  b.symbol("L", kLock).symbol("A", kA).symbol("B", kB);
+  b.li(1, 11);
+  b.li(2, 22);
+  b.lock(kLock);
+  b.store(1, ProgramBuilder::abs(kA));
+  b.store(2, ProgramBuilder::abs(kB));
+  b.unlock(kLock);
+  b.halt();
+  return b.build();
+}
+
+// A consumer reading them back under the same lock.
+Program consumer() {
+  ProgramBuilder b;
+  b.lock(kLock);
+  b.load(3, ProgramBuilder::abs(kA));
+  b.load(4, ProgramBuilder::abs(kB));
+  b.unlock(kLock);
+  b.halt();
+  return b.build();
+}
+
+Cycle run(ConsistencyModel model, bool spec, bool prefetch) {
+  SystemConfig cfg = SystemConfig::realistic(2, model);
+  cfg.core.speculative_loads = spec;
+  cfg.core.prefetch = prefetch ? PrefetchMode::kNonBinding : PrefetchMode::kOff;
+  Machine m(cfg, {producer(), consumer()});
+  RunResult r = m.run();
+  if (r.deadlocked) {
+    std::fprintf(stderr, "deadlock under %s!\n", to_string(model));
+    return 0;
+  }
+  return r.cycles;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("mcsim quickstart: producer/consumer critical sections\n");
+  std::printf("(2 processors, 1-cycle hits, 100-cycle misses)\n\n");
+  std::printf("%-6s %12s %12s %16s\n", "model", "baseline", "+prefetch", "+pf+speculation");
+  for (ConsistencyModel model : {ConsistencyModel::kSC, ConsistencyModel::kPC,
+                                 ConsistencyModel::kWC, ConsistencyModel::kRC}) {
+    Cycle base = run(model, false, false);
+    Cycle pf = run(model, false, true);
+    Cycle both = run(model, true, true);
+    std::printf("%-6s %12llu %12llu %16llu\n", to_string(model),
+                static_cast<unsigned long long>(base), static_cast<unsigned long long>(pf),
+                static_cast<unsigned long long>(both));
+  }
+  std::printf("\nThe techniques cut every model's time and pull SC toward RC —\n"
+              "the paper's headline claim.\n");
+  return 0;
+}

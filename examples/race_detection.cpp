@@ -1,0 +1,76 @@
+// The §6 extension in action: run two versions of a two-processor
+// program on release-consistent hardware — one properly synchronized,
+// one with the release dropped — and let the sva analysis decide
+// whether each execution was sequentially consistent or the program
+// has a data race.
+//
+//   $ ./race_detection
+#include <cstdio>
+
+#include "isa/builder.hpp"
+#include "sim/machine.hpp"
+#include "sva/race_detector.hpp"
+
+using namespace mcsim;
+
+namespace {
+
+constexpr Addr kData = 0x100;
+constexpr Addr kData2 = 0x104;
+constexpr Addr kFlag = 0x200;
+
+void run(bool synchronized_version) {
+  ProgramBuilder p0;
+  p0.li(1, 7);
+  p0.store(1, ProgramBuilder::abs(kData));
+  p0.li(1, 8);
+  p0.store(1, ProgramBuilder::abs(kData2));
+  p0.li(2, 1);
+  if (synchronized_version)
+    p0.store_rel(2, ProgramBuilder::abs(kFlag));  // proper release
+  else
+    p0.store(2, ProgramBuilder::abs(kFlag));  // plain store: racy publish
+  p0.halt();
+
+  ProgramBuilder p1;
+  if (synchronized_version) {
+    p1.spin_until_eq(kFlag, 1);
+  } else {
+    p1.load(5, ProgramBuilder::abs(kFlag));  // unsynchronized peek
+  }
+  p1.load(3, ProgramBuilder::abs(kData));
+  p1.load(4, ProgramBuilder::abs(kData2));
+  p1.halt();
+
+  SystemConfig cfg = SystemConfig::realistic(2, ConsistencyModel::kRC);
+  cfg.record_accesses = true;
+  cfg.core.speculative_loads = true;
+  cfg.core.prefetch = PrefetchMode::kNonBinding;
+  Machine m(cfg, {p0.build(), p1.build()});
+  RunResult r = m.run();
+  if (r.deadlocked) {
+    std::fprintf(stderr, "deadlock!\n");
+    return;
+  }
+  sva::Report rep = sva::analyze(m.access_logs());
+  std::printf("%s version: P1 read data=(%u,%u); analysis: %s\n",
+              synchronized_version ? "  synchronized" : "unsynchronized",
+              m.core(1).reg(3), m.core(1).reg(4),
+              rep.sequentially_consistent()
+                  ? "execution sequentially consistent (race-free)"
+                  : "DATA RACE -> execution may violate SC");
+  for (const sva::Race& race : rep.races) std::printf("    %s\n", race.describe().c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("SC-violation / data-race detection on RC hardware (paper §6)\n\n");
+  run(true);
+  run(false);
+  std::printf(
+      "\nAs [6] puts it: every execution is either sequentially consistent,\n"
+      "or the program has a data race — undecidable statically, decidable\n"
+      "per execution.\n");
+  return 0;
+}

@@ -1,0 +1,608 @@
+#include "coherence/cache.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/log.hpp"
+
+namespace mcsim {
+
+const char* to_string(LineState s) {
+  switch (s) {
+    case LineState::kInvalid: return "I";
+    case LineState::kShared: return "S";
+    case LineState::kExclusive: return "E";
+  }
+  return "?";
+}
+
+const char* to_string(CacheOp op) {
+  switch (op) {
+    case CacheOp::kLoad: return "load";
+    case CacheOp::kLoadEx: return "loadx";
+    case CacheOp::kStore: return "store";
+    case CacheOp::kRmw: return "rmw";
+    case CacheOp::kPrefetchShared: return "pf";
+    case CacheOp::kPrefetchEx: return "pfx";
+  }
+  return "?";
+}
+
+const char* to_string(LineEventKind k) {
+  switch (k) {
+    case LineEventKind::kInvalidate: return "invalidate";
+    case LineEventKind::kUpdate: return "update";
+    case LineEventKind::kReplacement: return "replacement";
+  }
+  return "?";
+}
+
+CoherentCache::CoherentCache(ProcId id, const CacheConfig& cfg, CoherenceKind protocol,
+                             Network& net, std::uint32_t num_procs)
+    : id_(id),
+      cfg_(cfg),
+      protocol_(protocol),
+      net_(net),
+      dir_(Network::directory_endpoint(num_procs)),
+      sets_(cfg.num_sets),
+      mshrs_(cfg.mshrs),
+      stats_("cache" + std::to_string(id)) {
+  for (auto& set : sets_) {
+    set.resize(cfg.ways);
+    for (auto& way : set) way.data.resize(cfg.line_bytes / kWordBytes, 0);
+  }
+}
+
+CoherentCache::Way* CoherentCache::find_way(Addr line) {
+  for (auto& way : sets_[set_index(line)]) {
+    if (way.state != LineState::kInvalid && way.line == line) return &way;
+  }
+  return nullptr;
+}
+
+const CoherentCache::Way* CoherentCache::find_way(Addr line) const {
+  for (const auto& way : sets_[set_index(line)]) {
+    if (way.state != LineState::kInvalid && way.line == line) return &way;
+  }
+  return nullptr;
+}
+
+CoherentCache::Mshr* CoherentCache::find_mshr(Addr line) {
+  for (auto& m : mshrs_) {
+    if (m.valid && m.line == line) return &m;
+  }
+  return nullptr;
+}
+
+const CoherentCache::Mshr* CoherentCache::find_mshr(Addr line) const {
+  for (const auto& m : mshrs_) {
+    if (m.valid && m.line == line) return &m;
+  }
+  return nullptr;
+}
+
+CoherentCache::Mshr* CoherentCache::alloc_mshr(Addr line) {
+  for (auto& m : mshrs_) {
+    if (!m.valid) {
+      m = Mshr{};
+      m.valid = true;
+      m.line = line;
+      return &m;
+    }
+  }
+  return nullptr;
+}
+
+std::size_t CoherentCache::mshrs_in_use() const {
+  return static_cast<std::size_t>(
+      std::count_if(mshrs_.begin(), mshrs_.end(), [](const Mshr& m) { return m.valid; }));
+}
+
+void CoherentCache::use_port(Cycle now) {
+  port_used_valid_ = true;
+  port_used_at_ = now;
+}
+
+void CoherentCache::push_response(std::uint64_t token, Word value, Cycle ready, bool hit) {
+  if (token == 0) return;  // prefetch: nobody waits for a reply
+  responses_.push_back(CacheResponse{token, value, ready, hit});
+}
+
+void CoherentCache::notify(LineEventKind kind, Addr line, Cycle now) {
+  stats_.add(std::string("event.") + to_string(kind));
+  if (observer_ != nullptr) observer_->on_line_event(kind, line, now);
+}
+
+Word CoherentCache::read_word(const Way& way, Addr addr) const {
+  return way.data[(addr - way.line) / kWordBytes];
+}
+
+void CoherentCache::write_word(Way& way, Addr addr, Word v) {
+  way.data[(addr - way.line) / kWordBytes] = v;
+}
+
+namespace {
+Message make_request(MsgType type, ProcId src, EndpointId dst, Addr line) {
+  Message msg;
+  msg.type = type;
+  msg.src = src;
+  msg.dst = dst;
+  msg.line_addr = line;
+  return msg;
+}
+}  // namespace
+
+ProbeResult CoherentCache::probe(const CacheRequest& req, Cycle now) {
+  assert(port_free(now));
+  const Addr line = line_of(req.addr);
+  Way* way = find_way(line);
+  Mshr* mshr = find_mshr(line);
+  const bool update_proto = protocol_ == CoherenceKind::kUpdate;
+  use_port(now);
+
+  switch (req.op) {
+    case CacheOp::kLoad: {
+      if (way != nullptr) {
+        way->last_use = now;
+        if (way->prefetched) {
+          way->prefetched = false;
+          stats_.add("prefetch_useful_hit");
+        }
+        stats_.add("load_hit");
+        push_response(req.token, read_word(*way, req.addr), now + 1, true);
+        return ProbeResult::kHit;
+      }
+      if (mshr != nullptr) {
+        stats_.add("load_merged");
+        if (mshr->prefetch_initiated) stats_.add("prefetch_useful_merge");
+        mshr->waiters.push_back(Waiter{req.token, CacheOp::kLoad, req.addr, 0,
+                                       RmwOp::kTestAndSet, 0, 0});
+        return ProbeResult::kMerged;
+      }
+      Mshr* m = alloc_mshr(line);
+      if (m == nullptr) {
+        stats_.add("rejected_mshr_full");
+        return ProbeResult::kRejected;
+      }
+      stats_.add("load_miss");
+      m->waiters.push_back(
+          Waiter{req.token, CacheOp::kLoad, req.addr, 0, RmwOp::kTestAndSet, 0, 0});
+      net_.send(make_request(MsgType::kReadReq, id_, dir_, line), now);
+      return ProbeResult::kMiss;
+    }
+
+    case CacheOp::kStore: {
+      if (update_proto) {
+        stats_.add(way != nullptr ? "store_hit_update" : "store_miss_update");
+        if (way != nullptr) {
+          way->last_use = now;
+          write_word(*way, req.addr, req.store_value);
+        }
+        // The store performs only when the directory confirms every
+        // sharer saw the new value (paper §3.1: an update protocol
+        // cannot partially service a write).
+        word_ops_[req.token] =
+            WordOp{req.token, false, RmwOp::kTestAndSet, 0, 0, req.addr};
+        Message msg = make_request(MsgType::kUpdateReq, id_, dir_, line);
+        msg.word_addr = req.addr;
+        msg.word_value = req.store_value;
+        msg.txn = req.token;
+        net_.send(std::move(msg), now);
+        return ProbeResult::kMiss;
+      }
+      if (way != nullptr && way->state == LineState::kExclusive) {
+        way->last_use = now;
+        if (way->prefetched) {
+          way->prefetched = false;
+          stats_.add("prefetch_useful_hit");
+        }
+        stats_.add("store_hit");
+        write_word(*way, req.addr, req.store_value);
+        push_response(req.token, 0, now + 1, true);
+        return ProbeResult::kHit;
+      }
+      if (mshr != nullptr) {
+        stats_.add("store_merged");
+        if (mshr->prefetch_initiated) stats_.add("prefetch_useful_merge");
+        if (!mshr->want_ex) mshr->upgrade_after_fill = true;
+        mshr->waiters.push_back(Waiter{req.token, CacheOp::kStore, req.addr,
+                                       req.store_value, RmwOp::kTestAndSet, 0, 0});
+        return ProbeResult::kMerged;
+      }
+      Mshr* m = alloc_mshr(line);
+      if (m == nullptr) {
+        stats_.add("rejected_mshr_full");
+        return ProbeResult::kRejected;
+      }
+      stats_.add(way != nullptr ? "store_upgrade_miss" : "store_miss");
+      m->want_ex = true;
+      m->waiters.push_back(Waiter{req.token, CacheOp::kStore, req.addr, req.store_value,
+                                  RmwOp::kTestAndSet, 0, 0});
+      net_.send(make_request(MsgType::kReadExReq, id_, dir_, line), now);
+      return ProbeResult::kMiss;
+    }
+
+    case CacheOp::kLoadEx: {
+      // Speculative read-exclusive load for an RMW (Appendix A): binds
+      // a value AND acquires ownership. Only used under invalidation.
+      assert(!update_proto);
+      if (way != nullptr && way->state == LineState::kExclusive) {
+        way->last_use = now;
+        stats_.add("loadex_hit");
+        push_response(req.token, read_word(*way, req.addr), now + 1, true);
+        return ProbeResult::kHit;
+      }
+      if (mshr != nullptr) {
+        stats_.add("loadex_merged");
+        if (!mshr->want_ex) mshr->upgrade_after_fill = true;
+        mshr->waiters.push_back(Waiter{req.token, CacheOp::kLoadEx, req.addr, 0,
+                                       RmwOp::kTestAndSet, 0, 0});
+        return ProbeResult::kMerged;
+      }
+      Mshr* m = alloc_mshr(line);
+      if (m == nullptr) {
+        stats_.add("rejected_mshr_full");
+        return ProbeResult::kRejected;
+      }
+      stats_.add("loadex_miss");
+      m->want_ex = true;
+      m->waiters.push_back(Waiter{req.token, CacheOp::kLoadEx, req.addr, 0,
+                                  RmwOp::kTestAndSet, 0, 0});
+      net_.send(make_request(MsgType::kReadExReq, id_, dir_, line), now);
+      return ProbeResult::kMiss;
+    }
+
+    case CacheOp::kRmw: {
+      if (update_proto) {
+        stats_.add("rmw_update");
+        word_ops_[req.token] =
+            WordOp{req.token, true, req.rmw_op, req.rmw_cmp, req.rmw_src, req.addr};
+        Message msg = make_request(MsgType::kRmwReq, id_, dir_, line);
+        msg.word_addr = req.addr;
+        msg.rmw_op = static_cast<std::uint8_t>(req.rmw_op);
+        msg.rmw_cmp = req.rmw_cmp;
+        msg.rmw_src = req.rmw_src;
+        msg.txn = req.token;
+        net_.send(std::move(msg), now);
+        return ProbeResult::kMiss;
+      }
+      if (way != nullptr && way->state == LineState::kExclusive) {
+        way->last_use = now;
+        if (way->prefetched) {
+          way->prefetched = false;
+          stats_.add("prefetch_useful_hit");
+        }
+        stats_.add("rmw_hit");
+        Word old = read_word(*way, req.addr);
+        write_word(*way, req.addr, apply_rmw(req.rmw_op, old, req.rmw_cmp, req.rmw_src));
+        push_response(req.token, old, now + 1, true);
+        return ProbeResult::kHit;
+      }
+      if (mshr != nullptr) {
+        stats_.add("rmw_merged");
+        if (mshr->prefetch_initiated) stats_.add("prefetch_useful_merge");
+        if (!mshr->want_ex) mshr->upgrade_after_fill = true;
+        mshr->waiters.push_back(Waiter{req.token, CacheOp::kRmw, req.addr, 0, req.rmw_op,
+                                       req.rmw_cmp, req.rmw_src});
+        return ProbeResult::kMerged;
+      }
+      Mshr* m = alloc_mshr(line);
+      if (m == nullptr) {
+        stats_.add("rejected_mshr_full");
+        return ProbeResult::kRejected;
+      }
+      stats_.add("rmw_miss");
+      m->want_ex = true;
+      m->waiters.push_back(Waiter{req.token, CacheOp::kRmw, req.addr, 0, req.rmw_op,
+                                  req.rmw_cmp, req.rmw_src});
+      net_.send(make_request(MsgType::kReadExReq, id_, dir_, line), now);
+      return ProbeResult::kMiss;
+    }
+
+    case CacheOp::kPrefetchShared: {
+      // Paper §3.2: "a prefetch request first checks the cache"; if the
+      // line is already present (or on its way) the prefetch is discarded.
+      if (way != nullptr || mshr != nullptr) {
+        stats_.add("prefetch_dropped");
+        return ProbeResult::kDropped;
+      }
+      Mshr* m = alloc_mshr(line);
+      if (m == nullptr) {
+        stats_.add("rejected_mshr_full");
+        return ProbeResult::kRejected;
+      }
+      stats_.add("prefetch_read_issued");
+      m->prefetch_initiated = true;
+      net_.send(make_request(MsgType::kReadReq, id_, dir_, line), now);
+      return ProbeResult::kMiss;
+    }
+
+    case CacheOp::kPrefetchEx: {
+      // Read-exclusive prefetch requires an invalidation protocol
+      // (§3.1); the prefetch engine never issues these under update.
+      assert(!update_proto);
+      if (way != nullptr && way->state == LineState::kExclusive) {
+        stats_.add("prefetch_dropped");
+        return ProbeResult::kDropped;
+      }
+      if (mshr != nullptr) {
+        if (!mshr->want_ex && !mshr->upgrade_after_fill) {
+          mshr->upgrade_after_fill = true;
+          stats_.add("prefetch_ex_merged_upgrade");
+          return ProbeResult::kMerged;
+        }
+        stats_.add("prefetch_dropped");
+        return ProbeResult::kDropped;
+      }
+      Mshr* m = alloc_mshr(line);
+      if (m == nullptr) {
+        stats_.add("rejected_mshr_full");
+        return ProbeResult::kRejected;
+      }
+      stats_.add("prefetch_ex_issued");
+      m->prefetch_initiated = true;
+      m->want_ex = true;
+      net_.send(make_request(MsgType::kReadExReq, id_, dir_, line), now);
+      return ProbeResult::kMiss;
+    }
+  }
+  return ProbeResult::kRejected;
+}
+
+void CoherentCache::preload_line(Addr line, LineState st, const std::vector<Word>& data) {
+  assert(line == line_of(line));
+  assert(data.size() == cfg_.line_bytes / kWordBytes);
+  Way* way = fill_line(line, st, data, 0);
+  assert(way != nullptr && "preload found no victim");
+  (void)way;
+}
+
+bool CoherentCache::merge_into_mshr(const CacheRequest& req) {
+  Mshr* mshr = find_mshr(line_of(req.addr));
+  if (mshr == nullptr) return false;
+  Waiter w;
+  w.token = req.token;
+  w.op = req.op;
+  w.addr = req.addr;
+  w.store_value = req.store_value;
+  w.rmw_op = req.rmw_op;
+  w.rmw_cmp = req.rmw_cmp;
+  w.rmw_src = req.rmw_src;
+  if (!mshr->want_ex &&
+      (req.op == CacheOp::kStore || req.op == CacheOp::kRmw || req.op == CacheOp::kLoadEx))
+    mshr->upgrade_after_fill = true;
+  mshr->waiters.push_back(w);
+  stats_.add("mshr_direct_merge");
+  return true;
+}
+
+void CoherentCache::evict(Way& way, Cycle now) {
+  if (way.state == LineState::kExclusive) {
+    Message msg = make_request(MsgType::kWriteback, id_, dir_, way.line);
+    msg.data = way.data;
+    net_.send(std::move(msg), now);
+    stats_.add("writeback");
+  } else {
+    net_.send(make_request(MsgType::kReplaceNotify, id_, dir_, way.line), now);
+    stats_.add("replace_clean");
+  }
+  notify(LineEventKind::kReplacement, way.line, now);
+  way.state = LineState::kInvalid;
+  way.prefetched = false;
+}
+
+CoherentCache::Way* CoherentCache::fill_line(Addr line, LineState st,
+                                             const std::vector<Word>& data, Cycle now) {
+  auto& set = sets_[set_index(line)];
+  // Existing copy (upgrade path): overwrite in place.
+  for (auto& way : set) {
+    if (way.state != LineState::kInvalid && way.line == line) {
+      way.state = st;
+      way.data = data;
+      way.last_use = now;
+      return &way;
+    }
+  }
+  Way* victim = nullptr;
+  for (auto& way : set) {
+    if (way.state == LineState::kInvalid) {
+      victim = &way;
+      break;
+    }
+  }
+  if (victim == nullptr) {
+    // LRU among lines that have no in-flight transaction of their own
+    // (paper footnote 3: a replacement of a line with an outstanding
+    // access must be delayed until the access completes).
+    for (auto& way : set) {
+      if (find_mshr(way.line) != nullptr) continue;
+      if (victim == nullptr || way.last_use < victim->last_use) victim = &way;
+    }
+    if (victim == nullptr) return nullptr;  // every way busy: defer this fill
+    evict(*victim, now);
+  }
+  victim->state = st;
+  victim->line = line;
+  victim->data = data;
+  victim->last_use = now;
+  victim->prefetched = false;
+  return victim;
+}
+
+void CoherentCache::handle_message(const Message& msg, Cycle now) {
+  switch (msg.type) {
+    case MsgType::kReadReply: {
+      Mshr* m = find_mshr(msg.line_addr);
+      assert(m != nullptr && "read fill without MSHR");
+      Way* way = fill_line(msg.line_addr, LineState::kShared, msg.data, now);
+      if (way == nullptr) {
+        retry_fills_.push_back(msg);
+        return;
+      }
+      // Loads complete off the shared copy; store/RMW waiters forced an
+      // upgrade and keep waiting for the exclusive reply.
+      std::vector<Waiter> remaining;
+      for (const Waiter& w : m->waiters) {
+        if (w.op == CacheOp::kLoad) {
+          push_response(w.token, read_word(*way, w.addr), now, false);
+        } else {
+          remaining.push_back(w);
+        }
+      }
+      m->waiters = std::move(remaining);
+      if (m->upgrade_after_fill || !m->waiters.empty()) {
+        m->upgrade_after_fill = false;
+        m->want_ex = true;
+        net_.send(make_request(MsgType::kReadExReq, id_, dir_, msg.line_addr), now);
+      } else {
+        if (m->prefetch_initiated) way->prefetched = true;
+        m->valid = false;
+      }
+      break;
+    }
+
+    case MsgType::kReadExReply: {
+      Mshr* m = find_mshr(msg.line_addr);
+      assert(m != nullptr && "exclusive fill without MSHR");
+      Way* way = fill_line(msg.line_addr, LineState::kExclusive, msg.data, now);
+      if (way == nullptr) {
+        retry_fills_.push_back(msg);
+        return;
+      }
+      // All invalidations were acknowledged before the directory sent
+      // this reply, so stores applied here are performed at `now`.
+      for (const Waiter& w : m->waiters) {
+        switch (w.op) {
+          case CacheOp::kLoad:
+          case CacheOp::kLoadEx:
+            push_response(w.token, read_word(*way, w.addr), now, false);
+            break;
+          case CacheOp::kStore:
+            write_word(*way, w.addr, w.store_value);
+            push_response(w.token, 0, now, false);
+            break;
+          case CacheOp::kRmw: {
+            Word old = read_word(*way, w.addr);
+            write_word(*way, w.addr, apply_rmw(w.rmw_op, old, w.rmw_cmp, w.rmw_src));
+            push_response(w.token, old, now, false);
+            break;
+          }
+          default:
+            break;
+        }
+      }
+      if (m->prefetch_initiated && m->waiters.empty()) way->prefetched = true;
+      m->waiters.clear();
+      m->valid = false;
+      break;
+    }
+
+    case MsgType::kInvalidate: {
+      Way* way = find_way(msg.line_addr);
+      if (way != nullptr) {
+        way->state = LineState::kInvalid;
+        way->prefetched = false;
+      }
+      // Notify even when the line is already gone: a speculative-load
+      // entry may still reference this address (conservative, §4.2).
+      notify(LineEventKind::kInvalidate, msg.line_addr, now);
+      net_.send(make_request(MsgType::kInvAck, id_, dir_, msg.line_addr), now);
+      break;
+    }
+
+    case MsgType::kRecall: {
+      Way* way = find_way(msg.line_addr);
+      if (way == nullptr || way->state != LineState::kExclusive) {
+        // Our writeback crossed this recall; the directory treats the
+        // in-flight writeback as the recall acknowledgment.
+        break;
+      }
+      Message ack = make_request(MsgType::kRecallAck, id_, dir_, msg.line_addr);
+      ack.data = way->data;
+      net_.send(std::move(ack), now);
+      if (msg.recall_exclusive) {
+        way->state = LineState::kInvalid;
+        way->prefetched = false;
+        notify(LineEventKind::kInvalidate, msg.line_addr, now);
+      } else {
+        way->state = LineState::kShared;
+      }
+      break;
+    }
+
+    case MsgType::kUpdate: {
+      Way* way = find_way(msg.line_addr);
+      if (way != nullptr) write_word(*way, msg.word_addr, msg.word_value);
+      notify(LineEventKind::kUpdate, msg.line_addr, now);
+      net_.send(make_request(MsgType::kUpdateAck, id_, dir_, msg.line_addr), now);
+      break;
+    }
+
+    case MsgType::kUpdateDone: {
+      auto it = word_ops_.find(msg.txn);
+      assert(it != word_ops_.end() && "UpdateDone without pending store");
+      push_response(it->second.token, 0, now, false);
+      word_ops_.erase(it);
+      break;
+    }
+
+    case MsgType::kRmwReply: {
+      auto it = word_ops_.find(msg.txn);
+      assert(it != word_ops_.end() && "RmwReply without pending RMW");
+      const WordOp& op = it->second;
+      Way* way = find_way(msg.line_addr);
+      if (way != nullptr) {
+        Word newval = apply_rmw(op.rmw_op, msg.word_value, op.rmw_cmp, op.rmw_src);
+        write_word(*way, op.word_addr, newval);
+      }
+      push_response(op.token, msg.word_value, now, false);
+      word_ops_.erase(it);
+      break;
+    }
+
+    default:
+      assert(false && "unexpected message at cache");
+      break;
+  }
+}
+
+void CoherentCache::tick(Cycle now) {
+  if (!retry_fills_.empty()) {
+    std::deque<Message> retry;
+    retry.swap(retry_fills_);
+    for (const Message& m : retry) handle_message(m, now);
+  }
+  Message msg;
+  while (net_.recv(id_, msg)) handle_message(msg, now);
+}
+
+bool CoherentCache::pop_response(Cycle now, CacheResponse& out) {
+  // Responses are not ready in FIFO order (a later hit is ready before
+  // an earlier miss); return any ready entry, oldest first.
+  for (auto it = responses_.begin(); it != responses_.end(); ++it) {
+    if (it->ready_at <= now) {
+      out = *it;
+      responses_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+LineState CoherentCache::line_state(Addr a) const {
+  const Way* way = find_way(line_of(a));
+  return way == nullptr ? LineState::kInvalid : way->state;
+}
+
+std::optional<Word> CoherentCache::peek_word(Addr a) const {
+  const Way* way = find_way(line_of(a));
+  if (way == nullptr) return std::nullopt;
+  return read_word(*way, a);
+}
+
+bool CoherentCache::idle() const {
+  if (!responses_.empty() || !retry_fills_.empty() || !word_ops_.empty()) return false;
+  return mshrs_in_use() == 0;
+}
+
+}  // namespace mcsim

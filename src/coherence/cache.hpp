@@ -1,0 +1,172 @@
+// Lockup-free private data cache with directory coherence.
+//
+// The cache sustains multiple outstanding misses through MSHRs
+// [Kroft 81], merges demand references into outstanding (possibly
+// prefetch-initiated) requests — the paper's §3.2 requirement — and
+// reports invalidations, updates, and replacements to a processor-side
+// observer, which is how the speculative-load buffer's detection
+// mechanism (§4.2) sees coherence transactions.
+//
+// Timing: a probe at cycle T completes at T+1 on a hit; on a miss the
+// completion is the arrival cycle of the directory's reply. One probe
+// (demand or prefetch) per cycle — the port model behind the paper's
+// "the cache will be more busy ... accesses the cache twice" remark.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "coherence/types.hpp"
+#include "interconnect/network.hpp"
+
+namespace mcsim {
+
+class CoherentCache {
+ public:
+  CoherentCache(ProcId id, const CacheConfig& cfg, CoherenceKind protocol,
+                Network& net, std::uint32_t num_procs);
+
+  ProcId id() const { return id_; }
+  CoherenceKind protocol() const { return protocol_; }
+
+  /// Processor-side listener for coherence transactions (spec-load buffer).
+  void set_observer(LineEventObserver* obs) { observer_ = obs; }
+
+  Addr line_of(Addr a) const { return a & ~static_cast<Addr>(cfg_.line_bytes - 1); }
+
+  /// One probe per cycle; callers must check before probing.
+  bool port_free(Cycle now) const { return port_used_at_ != now || !port_used_valid_; }
+
+  /// Present a demand access or prefetch. Consumes the port (the tag
+  /// array was probed) whatever the outcome.
+  ProbeResult probe(const CacheRequest& req, Cycle now);
+
+  /// Combine a request with an already-outstanding transaction on its
+  /// line without a tag-array access (the §3.2 "combined with the
+  /// prefetch request" path — used by an RMW joining its own
+  /// speculative read-exclusive). Returns false when there is no MSHR
+  /// for the line; the caller must then probe normally.
+  bool merge_into_mshr(const CacheRequest& req);
+
+  /// Drain network messages that arrived this cycle (fills,
+  /// invalidations, recalls, updates). Call before the core ticks.
+  void tick(Cycle now);
+
+  /// Pop the next completion whose ready_at <= now.
+  bool pop_response(Cycle now, CacheResponse& out);
+
+  /// Install a line directly (no messages, no timing): experiment
+  /// setup for "assume the location is initially cached" scenarios like
+  /// the paper's `read D (hit)`. The directory must be preloaded to
+  /// match (Machine::preload_* keeps the pair consistent).
+  void preload_line(Addr line, LineState st, const std::vector<Word>& data);
+
+  // --- introspection (tests, trace, end-of-run state collection) -----
+  LineState line_state(Addr a) const;
+  /// Word value of a resident line; nullopt when not resident.
+  std::optional<Word> peek_word(Addr a) const;
+  bool mshr_active(Addr a) const { return find_mshr(line_of(a)) != nullptr; }
+  std::size_t mshrs_in_use() const;
+  bool idle() const;
+
+  /// Visit every resident line (used to flush final state into memory
+  /// when a run ends).
+  template <typename Fn>
+  void for_each_resident_line(Fn&& fn) const {
+    for (const auto& set : sets_) {
+      for (const auto& way : set) {
+        if (way.state != LineState::kInvalid) fn(way.line, way.state, way.data);
+      }
+    }
+  }
+
+  const StatSet& stats() const { return stats_; }
+  StatSet& stats() { return stats_; }
+
+ private:
+  struct Way {
+    LineState state = LineState::kInvalid;
+    Addr line = 0;
+    std::vector<Word> data;
+    Cycle last_use = 0;
+    bool prefetched = false;  ///< filled by a prefetch, no demand use yet
+  };
+
+  struct Waiter {
+    std::uint64_t token = 0;
+    CacheOp op = CacheOp::kLoad;
+    Addr addr = 0;  ///< full word address of the merged access
+    Word store_value = 0;
+    RmwOp rmw_op = RmwOp::kTestAndSet;
+    Word rmw_cmp = 0;
+    Word rmw_src = 0;
+  };
+
+  struct Mshr {
+    bool valid = false;
+    Addr line = 0;
+    bool want_ex = false;           ///< outstanding request is read-exclusive
+    bool upgrade_after_fill = false;///< issue ReadExReq once the read fill lands
+    bool prefetch_initiated = false;
+    std::vector<Waiter> waiters;
+  };
+
+  /// Update-protocol word-granular operations in flight (stores, RMWs).
+  struct WordOp {
+    std::uint64_t token = 0;
+    bool is_rmw = false;
+    RmwOp rmw_op = RmwOp::kTestAndSet;
+    Word rmw_cmp = 0;
+    Word rmw_src = 0;
+    Addr word_addr = 0;
+  };
+
+  std::size_t set_index(Addr line) const {
+    return static_cast<std::size_t>((line / cfg_.line_bytes) & (cfg_.num_sets - 1));
+  }
+  Way* find_way(Addr line);
+  const Way* find_way(Addr line) const;
+  Mshr* find_mshr(Addr line);
+  const Mshr* find_mshr(Addr line) const;
+  Mshr* alloc_mshr(Addr line);
+
+  void use_port(Cycle now);
+  void push_response(std::uint64_t token, Word value, Cycle ready, bool hit);
+  void notify(LineEventKind kind, Addr line, Cycle now);
+
+  /// Install `data` for `line` with state `st`; may evict. Returns the
+  /// way, or nullptr when no victim is available this cycle (fill is
+  /// retried from retry_fills_).
+  Way* fill_line(Addr line, LineState st, const std::vector<Word>& data, Cycle now);
+  void evict(Way& way, Cycle now);
+  void handle_message(const Message& msg, Cycle now);
+
+  Word read_word(const Way& way, Addr addr) const;
+  void write_word(Way& way, Addr addr, Word v);
+
+  ProcId id_;
+  CacheConfig cfg_;
+  CoherenceKind protocol_;
+  Network& net_;
+  EndpointId dir_;
+  LineEventObserver* observer_ = nullptr;
+
+  std::vector<std::vector<Way>> sets_;
+  std::vector<Mshr> mshrs_;
+  std::map<std::uint64_t, WordOp> word_ops_;  ///< update protocol, keyed by txn
+  std::deque<CacheResponse> responses_;
+  std::deque<Message> retry_fills_;
+
+  bool port_used_valid_ = false;
+  Cycle port_used_at_ = 0;
+
+  StatSet stats_;
+};
+
+}  // namespace mcsim

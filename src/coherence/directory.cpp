@@ -1,0 +1,381 @@
+#include "coherence/directory.hpp"
+
+#include <cassert>
+
+#include "isa/instruction.hpp"  // apply_rmw
+
+namespace mcsim {
+
+Directory::Directory(std::uint32_t num_procs, const CacheConfig& cache_cfg,
+                     const MemConfig& mem_cfg, Network& net)
+    : num_procs_(num_procs),
+      line_bytes_(cache_cfg.line_bytes),
+      service_delay_(mem_cfg.dir_latency),
+      self_(Network::directory_endpoint(num_procs)),
+      net_(net),
+      mem_(mem_cfg.mem_bytes),
+      stats_("dir") {
+  assert(num_procs <= 64 && "full-bit-vector directory holds 64 sharers");
+}
+
+std::vector<Word> Directory::read_line(Addr line) const {
+  std::vector<Word> data(line_bytes_ / kWordBytes);
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = mem_.read(line + i * kWordBytes);
+  return data;
+}
+
+void Directory::write_line(Addr line, const std::vector<Word>& data) {
+  for (std::size_t i = 0; i < data.size(); ++i) mem_.write(line + i * kWordBytes, data[i]);
+}
+
+void Directory::preload(Addr line, State st, ProcId proc) {
+  Entry& e = entry(align(line));
+  e.state = st;
+  if (st == State::kShared) {
+    e.sharers |= (1ull << proc);
+    e.owner = kNoProc;
+  } else if (st == State::kDirty) {
+    e.sharers = 0;
+    e.owner = proc;
+  } else {
+    e.sharers = 0;
+    e.owner = kNoProc;
+  }
+}
+
+Directory::State Directory::line_state(Addr line) const {
+  auto it = entries_.find(align(line));
+  return it == entries_.end() ? State::kUncached : it->second.state;
+}
+
+std::uint64_t Directory::sharers(Addr line) const {
+  auto it = entries_.find(align(line));
+  return it == entries_.end() ? 0 : it->second.sharers;
+}
+
+ProcId Directory::owner(Addr line) const {
+  auto it = entries_.find(align(line));
+  return it == entries_.end() ? kNoProc : it->second.owner;
+}
+
+void Directory::tick(Cycle now) {
+  Message msg;
+  while (net_.recv(self_, msg)) handle(msg, now);
+}
+
+void Directory::reply_read(const Message& req, Cycle now) {
+  Entry& e = entry(req.line_addr);
+  Message reply;
+  reply.type = MsgType::kReadReply;
+  reply.src = self_;
+  reply.dst = req.src;
+  reply.line_addr = req.line_addr;
+  reply.data = read_line(req.line_addr);
+  send(std::move(reply), now);
+  e.state = State::kShared;
+  e.sharers |= (1ull << req.src);
+  e.owner = kNoProc;
+}
+
+void Directory::reply_read_ex(const Message& req, Cycle now) {
+  Entry& e = entry(req.line_addr);
+  Message reply;
+  reply.type = MsgType::kReadExReply;
+  reply.src = self_;
+  reply.dst = req.src;
+  reply.line_addr = req.line_addr;
+  reply.data = read_line(req.line_addr);
+  send(std::move(reply), now);
+  e.state = State::kDirty;
+  e.sharers = 0;
+  e.owner = req.src;
+}
+
+void Directory::handle(const Message& msg, Cycle now) {
+  stats_.add(std::string("recv.") + to_string(msg.type));
+  const Addr line = msg.line_addr;
+  auto busy_it = busy_.find(line);
+
+  if (busy_it != busy_.end()) {
+    Txn& txn = busy_it->second;
+    switch (msg.type) {
+      case MsgType::kInvAck:
+        assert(txn.kind == Txn::Kind::kGatherInvAcks);
+        assert(txn.acks_left > 0);
+        if (--txn.acks_left == 0) finish_txn(line, now);
+        return;
+      case MsgType::kUpdateAck:
+        assert(txn.kind == Txn::Kind::kGatherUpdateAcks);
+        assert(txn.acks_left > 0);
+        if (--txn.acks_left == 0) finish_txn(line, now);
+        return;
+      case MsgType::kRecallAck:
+        assert(txn.kind == Txn::Kind::kRecallForRead ||
+               txn.kind == Txn::Kind::kRecallForEx);
+        write_line(line, msg.data);
+        finish_txn(line, now);
+        return;
+      case MsgType::kWriteback:
+        // The owner's eviction crossed our recall: treat the writeback
+        // as the recall acknowledgment.
+        if ((txn.kind == Txn::Kind::kRecallForRead || txn.kind == Txn::Kind::kRecallForEx) &&
+            msg.src == entry(line).owner) {
+          write_line(line, msg.data);
+          finish_txn(line, now);
+        }
+        return;
+      case MsgType::kReplaceNotify:
+        entry(line).sharers &= ~(1ull << msg.src);
+        return;
+      default:
+        // New request for a busy line: defer in arrival order.
+        txn.deferred.push_back(msg);
+        stats_.add("deferred");
+        return;
+    }
+  }
+  handle_request(msg, now);
+}
+
+void Directory::handle_request(const Message& msg, Cycle now) {
+  const Addr line = msg.line_addr;
+  Entry& e = entry(line);
+
+  switch (msg.type) {
+    case MsgType::kReadReq: {
+      switch (e.state) {
+        case State::kUncached:
+        case State::kShared:
+          reply_read(msg, now);
+          break;
+        case State::kDirty: {
+          Txn txn;
+          txn.kind = Txn::Kind::kRecallForRead;
+          txn.request = msg;
+          busy_.emplace(line, std::move(txn));
+          Message recall;
+          recall.type = MsgType::kRecall;
+          recall.src = self_;
+          recall.dst = e.owner;
+          recall.line_addr = line;
+          recall.recall_exclusive = false;
+          send(std::move(recall), now);
+          break;
+        }
+      }
+      break;
+    }
+
+    case MsgType::kReadExReq: {
+      switch (e.state) {
+        case State::kUncached:
+          reply_read_ex(msg, now);
+          break;
+        case State::kShared: {
+          std::uint64_t others = e.sharers & ~(1ull << msg.src);
+          if (others == 0) {
+            reply_read_ex(msg, now);
+            break;
+          }
+          Txn txn;
+          txn.kind = Txn::Kind::kGatherInvAcks;
+          txn.request = msg;
+          for (ProcId p = 0; p < num_procs_; ++p) {
+            if ((others >> p) & 1ull) {
+              ++txn.acks_left;
+              Message inv;
+              inv.type = MsgType::kInvalidate;
+              inv.src = self_;
+              inv.dst = p;
+              inv.line_addr = line;
+              send(std::move(inv), now);
+            }
+          }
+          busy_.emplace(line, std::move(txn));
+          break;
+        }
+        case State::kDirty: {
+          if (e.owner == msg.src) {
+            // Stale corner (owner re-requesting after a crossing
+            // writeback was processed): just grant again.
+            reply_read_ex(msg, now);
+            break;
+          }
+          Txn txn;
+          txn.kind = Txn::Kind::kRecallForEx;
+          txn.request = msg;
+          busy_.emplace(line, std::move(txn));
+          Message recall;
+          recall.type = MsgType::kRecall;
+          recall.src = self_;
+          recall.dst = e.owner;
+          recall.line_addr = line;
+          recall.recall_exclusive = true;
+          send(std::move(recall), now);
+          break;
+        }
+      }
+      break;
+    }
+
+    case MsgType::kWriteback: {
+      if (e.state == State::kDirty && e.owner == msg.src) {
+        write_line(line, msg.data);
+        e.state = State::kUncached;
+        e.owner = kNoProc;
+        e.sharers = 0;
+      }
+      // Otherwise stale (already recalled); data is older than memory.
+      break;
+    }
+
+    case MsgType::kReplaceNotify: {
+      if (e.state == State::kShared) {
+        e.sharers &= ~(1ull << msg.src);
+        if (e.sharers == 0) e.state = State::kUncached;
+      }
+      break;
+    }
+
+    case MsgType::kInvAck:
+    case MsgType::kUpdateAck:
+    case MsgType::kRecallAck:
+      assert(false && "ack with no transaction in progress");
+      break;
+
+    case MsgType::kUpdateReq: {
+      // Update protocol: write memory, push the word to all other
+      // sharers, confirm to the writer once every ack is back.
+      mem_.write(msg.word_addr, msg.word_value);
+      std::uint64_t others =
+          (e.state == State::kShared ? e.sharers : 0) & ~(1ull << msg.src);
+      if (others == 0) {
+        Message done;
+        done.type = MsgType::kUpdateDone;
+        done.src = self_;
+        done.dst = msg.src;
+        done.line_addr = line;
+        done.txn = msg.txn;
+        send(std::move(done), now);
+        break;
+      }
+      Txn txn;
+      txn.kind = Txn::Kind::kGatherUpdateAcks;
+      txn.request = msg;
+      for (ProcId p = 0; p < num_procs_; ++p) {
+        if ((others >> p) & 1ull) {
+          ++txn.acks_left;
+          Message upd;
+          upd.type = MsgType::kUpdate;
+          upd.src = self_;
+          upd.dst = p;
+          upd.line_addr = line;
+          upd.word_addr = msg.word_addr;
+          upd.word_value = msg.word_value;
+          send(std::move(upd), now);
+        }
+      }
+      busy_.emplace(line, std::move(txn));
+      break;
+    }
+
+    case MsgType::kRmwReq: {
+      // Update protocol: the atomic happens at the memory module.
+      Word old = mem_.read(msg.word_addr);
+      Word newval = apply_rmw(static_cast<RmwOp>(msg.rmw_op), old, msg.rmw_cmp, msg.rmw_src);
+      mem_.write(msg.word_addr, newval);
+      std::uint64_t others =
+          (e.state == State::kShared ? e.sharers : 0) & ~(1ull << msg.src);
+      Message reply;
+      reply.type = MsgType::kRmwReply;
+      reply.src = self_;
+      reply.dst = msg.src;
+      reply.line_addr = line;
+      reply.word_addr = msg.word_addr;
+      reply.word_value = old;
+      reply.txn = msg.txn;
+      if (others == 0) {
+        send(std::move(reply), now);
+        break;
+      }
+      Txn txn;
+      txn.kind = Txn::Kind::kGatherUpdateAcks;
+      txn.request = msg;
+      txn.request.word_value = old;  // remembered for the final reply
+      for (ProcId p = 0; p < num_procs_; ++p) {
+        if ((others >> p) & 1ull) {
+          ++txn.acks_left;
+          Message upd;
+          upd.type = MsgType::kUpdate;
+          upd.src = self_;
+          upd.dst = p;
+          upd.line_addr = line;
+          upd.word_addr = msg.word_addr;
+          upd.word_value = newval;
+          send(std::move(upd), now);
+        }
+      }
+      busy_.emplace(line, std::move(txn));
+      break;
+    }
+
+    default:
+      assert(false && "unexpected message at directory");
+      break;
+  }
+}
+
+void Directory::finish_txn(Addr line, Cycle now) {
+  auto it = busy_.find(line);
+  assert(it != busy_.end());
+  Txn txn = std::move(it->second);
+  busy_.erase(it);
+
+  Entry& e = entry(line);
+  switch (txn.kind) {
+    case Txn::Kind::kGatherInvAcks:
+      e.sharers = 0;
+      reply_read_ex(txn.request, now);
+      break;
+    case Txn::Kind::kRecallForRead:
+      e.state = State::kShared;
+      e.sharers = (1ull << e.owner);
+      e.owner = kNoProc;
+      reply_read(txn.request, now);
+      break;
+    case Txn::Kind::kRecallForEx:
+      e.state = State::kUncached;
+      e.sharers = 0;
+      e.owner = kNoProc;
+      reply_read_ex(txn.request, now);
+      break;
+    case Txn::Kind::kGatherUpdateAcks: {
+      Message done;
+      done.src = self_;
+      done.dst = txn.request.src;
+      done.line_addr = line;
+      done.txn = txn.request.txn;
+      if (txn.request.type == MsgType::kRmwReq) {
+        done.type = MsgType::kRmwReply;
+        done.word_addr = txn.request.word_addr;
+        done.word_value = txn.request.word_value;  // old value
+      } else {
+        done.type = MsgType::kUpdateDone;
+      }
+      send(std::move(done), now);
+      break;
+    }
+  }
+
+  // Replay deferred requests in arrival order. A replay may re-busy the
+  // line; remaining deferred messages must then be re-deferred.
+  for (std::size_t i = 0; i < txn.deferred.size(); ++i) {
+    if (busy_.count(line)) {
+      busy_[line].deferred.push_back(txn.deferred[i]);
+    } else {
+      handle_request(txn.deferred[i], now);
+    }
+  }
+}
+
+}  // namespace mcsim

@@ -1,0 +1,103 @@
+// Directory controller + memory module (one centralized module, as in
+// the paper's DASH-style substrate).
+//
+// Full-bit-vector directory; stable states Uncached / Shared(sharers) /
+// Dirty(owner). Multi-step transactions (recalls, invalidation
+// gathers, update fan-outs) hold a per-line transient entry; requests
+// that arrive for a busy line are deferred in FIFO order and replayed
+// when the transaction completes, so the protocol is free of NACK
+// retries and deterministic.
+//
+// For writes the directory collects every invalidation acknowledgment
+// BEFORE answering the requester, which makes a store "performed with
+// respect to all processors" exactly when its reply arrives — the
+// definition of performed the paper uses (§2).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/flat_memory.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "interconnect/network.hpp"
+
+namespace mcsim {
+
+class Directory {
+ public:
+  Directory(std::uint32_t num_procs, const CacheConfig& cache_cfg, const MemConfig& mem_cfg,
+            Network& net);
+
+  /// Service every message that arrived this cycle.
+  void tick(Cycle now);
+
+  FlatMemory& memory() { return mem_; }
+  const FlatMemory& memory() const { return mem_; }
+
+  bool idle() const { return busy_.empty(); }
+
+  const StatSet& stats() const { return stats_; }
+  StatSet& stats() { return stats_; }
+
+  enum class State : std::uint8_t { kUncached, kShared, kDirty };
+
+  /// Experiment setup: register `proc` as sharer/owner of a line that
+  /// was preloaded into its cache (see CoherentCache::preload_line).
+  void preload(Addr line, State st, ProcId proc);
+
+  // --- introspection for protocol tests ------------------------------
+  State line_state(Addr line) const;
+  std::uint64_t sharers(Addr line) const;
+  ProcId owner(Addr line) const;
+  bool line_busy(Addr line) const { return busy_.count(align(line)) != 0; }
+
+ private:
+  struct Entry {
+    State state = State::kUncached;
+    std::uint64_t sharers = 0;  ///< bit per processor
+    ProcId owner = kNoProc;
+  };
+
+  /// One in-progress multi-step transaction.
+  struct Txn {
+    enum class Kind : std::uint8_t {
+      kGatherInvAcks,     ///< invalidating sharers for a ReadExReq
+      kRecallForRead,     ///< recalling dirty data to answer a ReadReq
+      kRecallForEx,       ///< recalling + invalidating owner for a ReadExReq
+      kGatherUpdateAcks,  ///< update protocol: fanning out a new value
+    };
+    Kind kind = Kind::kGatherInvAcks;
+    Message request;           ///< the original requester message
+    std::uint32_t acks_left = 0;
+    std::deque<Message> deferred;  ///< requests that arrived while busy
+  };
+
+  Addr align(Addr a) const { return a & ~static_cast<Addr>(line_bytes_ - 1); }
+  Entry& entry(Addr line) { return entries_[line]; }
+
+  std::vector<Word> read_line(Addr line) const;
+  void write_line(Addr line, const std::vector<Word>& data);
+
+  void handle(const Message& msg, Cycle now);
+  void handle_request(const Message& msg, Cycle now);
+  void finish_txn(Addr line, Cycle now);
+  void reply_read(const Message& req, Cycle now);
+  void reply_read_ex(const Message& req, Cycle now);
+  void send(Message msg, Cycle now) { net_.send(std::move(msg), now, service_delay_); }
+
+  std::uint32_t num_procs_;
+  std::uint32_t line_bytes_;
+  std::uint32_t service_delay_;
+  EndpointId self_;
+  Network& net_;
+  FlatMemory mem_;
+  std::map<Addr, Entry> entries_;
+  std::map<Addr, Txn> busy_;
+  StatSet stats_;
+};
+
+}  // namespace mcsim

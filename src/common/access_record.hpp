@@ -1,0 +1,25 @@
+// Architectural memory-access record, emitted (optionally) by each
+// processor as accesses perform. Consumed by the sva module (the §6
+// extension: deciding whether an execution on relaxed hardware was
+// sequentially consistent or the program has a data race) and by tests.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace mcsim {
+
+enum class AccessKind : std::uint8_t { kLoad, kStore, kRmw };
+
+struct AccessRecord {
+  std::uint64_t seq = 0;   ///< per-processor dynamic instruction id
+  std::uint64_t pc = 0;    ///< static instruction index
+  Addr addr = 0;           ///< word address
+  AccessKind kind = AccessKind::kLoad;
+  SyncKind sync = SyncKind::kNone;
+  Word value = 0;          ///< load result / RMW old value / store value
+  Cycle performed_at = 0;  ///< global cycle the access performed
+};
+
+}  // namespace mcsim

@@ -1,0 +1,85 @@
+// Bounded FIFO over a circular buffer with stable indices for iteration.
+//
+// Hardware structures in the simulator (reorder buffer, store buffer,
+// speculative-load buffer, MSHR files...) are fixed-capacity FIFOs that
+// are also scanned associatively; this container supports both uses.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace mcsim {
+
+template <typename T>
+class FixedQueue {
+ public:
+  explicit FixedQueue(std::size_t capacity) : slots_(capacity) {
+    assert(capacity > 0);
+  }
+
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ == slots_.size(); }
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return slots_.size(); }
+
+  /// Push to the tail. Caller must check !full().
+  T& push(T value) {
+    assert(!full());
+    std::size_t pos = (head_ + size_) % slots_.size();
+    slots_[pos] = std::move(value);
+    ++size_;
+    return slots_[pos];
+  }
+
+  /// Pop from the head. Caller must check !empty().
+  T pop() {
+    assert(!empty());
+    T out = std::move(slots_[head_]);
+    head_ = (head_ + 1) % slots_.size();
+    --size_;
+    return out;
+  }
+
+  T& front() {
+    assert(!empty());
+    return slots_[head_];
+  }
+  const T& front() const {
+    assert(!empty());
+    return slots_[head_];
+  }
+  T& back() {
+    assert(!empty());
+    return slots_[(head_ + size_ - 1) % slots_.size()];
+  }
+
+  /// i-th element from the head (0 == head). Caller must check i < size().
+  T& at(std::size_t i) {
+    assert(i < size_);
+    return slots_[(head_ + i) % slots_.size()];
+  }
+  const T& at(std::size_t i) const {
+    assert(i < size_);
+    return slots_[(head_ + i) % slots_.size()];
+  }
+
+  /// Drop the newest n elements (used by pipeline squash).
+  void pop_back_n(std::size_t n) {
+    assert(n <= size_);
+    size_ -= n;
+  }
+
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace mcsim

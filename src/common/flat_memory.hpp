@@ -1,0 +1,23 @@
+// Flat word-addressed backing store for the simulated physical memory.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace mcsim {
+
+class FlatMemory {
+ public:
+  explicit FlatMemory(std::uint64_t bytes) : words_(bytes / kWordBytes, 0) {}
+
+  Word read(Addr a) const { return words_.at(a / kWordBytes); }
+  void write(Addr a, Word v) { words_.at(a / kWordBytes) = v; }
+  std::uint64_t size_bytes() const { return words_.size() * kWordBytes; }
+
+ private:
+  std::vector<Word> words_;
+};
+
+}  // namespace mcsim

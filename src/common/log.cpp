@@ -1,0 +1,13 @@
+#include "common/log.hpp"
+
+namespace mcsim {
+
+LogLevel Log::level_ = LogLevel::kOff;
+
+void Log::write(LogLevel l, Cycle cycle, const char* component, const std::string& msg) {
+  const char* tag = l == LogLevel::kInfo ? "I" : l == LogLevel::kDebug ? "D" : "T";
+  std::fprintf(stderr, "[%s %8llu %-12s] %s\n", tag,
+               static_cast<unsigned long long>(cycle), component, msg.c_str());
+}
+
+}  // namespace mcsim

@@ -1,0 +1,37 @@
+// Minimal leveled logger. Off by default; tests and debugging turn it on.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace mcsim {
+
+enum class LogLevel : int { kOff = 0, kInfo = 1, kDebug = 2, kTrace = 3 };
+
+/// Global log configuration. The simulator is single-threaded by
+/// design (determinism, DESIGN.md §4.4), so plain globals are fine.
+class Log {
+ public:
+  static LogLevel level() { return level_; }
+  static void set_level(LogLevel l) { level_ = l; }
+  static bool enabled(LogLevel l) { return static_cast<int>(l) <= static_cast<int>(level_); }
+
+  /// printf-style emission with a cycle stamp; use via the MCSIM_LOG macro.
+  static void write(LogLevel l, Cycle cycle, const char* component, const std::string& msg);
+
+ private:
+  static LogLevel level_;
+};
+
+}  // namespace mcsim
+
+#define MCSIM_LOG(lvl, cycle, component, ...)                              \
+  do {                                                                     \
+    if (::mcsim::Log::enabled(lvl)) {                                      \
+      char buf_[512];                                                      \
+      std::snprintf(buf_, sizeof buf_, __VA_ARGS__);                       \
+      ::mcsim::Log::write(lvl, cycle, component, buf_);                    \
+    }                                                                      \
+  } while (0)

@@ -1,0 +1,50 @@
+// Deterministic PCG32 random-number generator.
+//
+// Workload generators must not depend on std:: distributions (their
+// output differs across standard-library implementations); everything
+// here is exactly reproducible from the seed.
+#pragma once
+
+#include <cstdint>
+
+namespace mcsim {
+
+class Pcg32 {
+ public:
+  explicit Pcg32(std::uint64_t seed = 0x853c49e6748fea9bULL,
+                 std::uint64_t stream = 0xda3e39cb94b95bdbULL)
+      : state_(0), inc_((stream << 1u) | 1u) {
+    next();
+    state_ += seed;
+    next();
+  }
+
+  std::uint32_t next() {
+    std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    auto xorshifted = static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+    auto rot = static_cast<std::uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+  }
+
+  /// Uniform in [0, bound) without modulo bias.
+  std::uint32_t next_below(std::uint32_t bound) {
+    if (bound <= 1) return 0;
+    std::uint32_t threshold = (0u - bound) % bound;
+    for (;;) {
+      std::uint32_t r = next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Bernoulli draw: true with probability num/den.
+  bool chance(std::uint32_t num, std::uint32_t den) { return next_below(den) < num; }
+
+  double next_double() { return next() * (1.0 / 4294967296.0); }
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+};
+
+}  // namespace mcsim

@@ -1,0 +1,44 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mcsim {
+
+void StatSet::sample(const std::string& name, std::uint64_t value) {
+  Sample& s = samples_[name];
+  s.sum += value;
+  s.count += 1;
+  s.max = std::max(s.max, value);
+}
+
+double StatSet::mean(const std::string& name) const {
+  auto it = samples_.find(name);
+  if (it == samples_.end() || it->second.count == 0) return 0.0;
+  return static_cast<double>(it->second.sum) / static_cast<double>(it->second.count);
+}
+
+std::uint64_t StatSet::max_of(const std::string& name) const {
+  auto it = samples_.find(name);
+  return it == samples_.end() ? 0 : it->second.max;
+}
+
+std::uint64_t StatSet::count_of(const std::string& name) const {
+  auto it = samples_.find(name);
+  return it == samples_.end() ? 0 : it->second.count;
+}
+
+std::string StatSet::report() const {
+  std::ostringstream os;
+  for (const auto& [name, value] : counters_) {
+    os << prefix_ << '.' << name << ' ' << value << '\n';
+  }
+  for (const auto& [name, s] : samples_) {
+    os << prefix_ << '.' << name << ".mean "
+       << (s.count ? static_cast<double>(s.sum) / static_cast<double>(s.count) : 0.0)
+       << " (n=" << s.count << ", max=" << s.max << ")\n";
+  }
+  return os.str();
+}
+
+}  // namespace mcsim

@@ -1,0 +1,55 @@
+// Named statistic counters with a registry for report generation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mcsim {
+
+/// A flat bag of named 64-bit counters plus scalar samples.
+///
+/// Components own a StatSet each; Machine aggregates them into the
+/// experiment reports the benches print (DESIGN.md §3).
+class StatSet {
+ public:
+  explicit StatSet(std::string prefix) : prefix_(std::move(prefix)) {}
+
+  void add(const std::string& name, std::uint64_t delta = 1) { counters_[name] += delta; }
+  void set(const std::string& name, std::uint64_t value) { counters_[name] = value; }
+  std::uint64_t get(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+
+  /// Record one latency observation (kept as sum + count + max for
+  /// cheap mean/max reporting).
+  void sample(const std::string& name, std::uint64_t value);
+  double mean(const std::string& name) const;
+  std::uint64_t max_of(const std::string& name) const;
+  std::uint64_t count_of(const std::string& name) const;
+
+  const std::string& prefix() const { return prefix_; }
+  const std::map<std::string, std::uint64_t>& counters() const { return counters_; }
+
+  /// Human-readable dump, one "prefix.name value" line per counter.
+  std::string report() const;
+
+  void clear() {
+    counters_.clear();
+    samples_.clear();
+  }
+
+ private:
+  struct Sample {
+    std::uint64_t sum = 0;
+    std::uint64_t count = 0;
+    std::uint64_t max = 0;
+  };
+  std::string prefix_;
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, Sample> samples_;
+};
+
+}  // namespace mcsim

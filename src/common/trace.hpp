@@ -1,0 +1,47 @@
+// Structured execution trace used to reproduce the paper's Figure 5
+// (event-by-event contents of the reorder buffer, store buffer, and
+// speculative-load buffer). Disabled by default; zero cost when off.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace mcsim {
+
+class Trace {
+ public:
+  struct Event {
+    Cycle cycle = 0;
+    ProcId proc = 0;
+    std::string category;  ///< e.g. "slb", "sb", "rob", "squash", "coherence"
+    std::string text;
+  };
+
+  void enable(bool on = true) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  void log(Cycle cycle, ProcId proc, std::string category, std::string text) {
+    if (!enabled_) return;
+    events_.push_back(Event{cycle, proc, std::move(category), std::move(text)});
+  }
+
+  const std::vector<Event>& events() const { return events_; }
+  void clear() { events_.clear(); }
+
+  /// All events in `category`, in order.
+  std::vector<Event> filter(const std::string& category) const {
+    std::vector<Event> out;
+    for (const Event& e : events_) {
+      if (e.category == category) out.push_back(e);
+    }
+    return out;
+  }
+
+ private:
+  bool enabled_ = false;
+  std::vector<Event> events_;
+};
+
+}  // namespace mcsim

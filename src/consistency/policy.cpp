@@ -1,0 +1,123 @@
+#include "consistency/policy.hpp"
+
+namespace mcsim {
+
+const char* to_string(AccessClass c) {
+  switch (c) {
+    case AccessClass::kLoad: return "LOAD";
+    case AccessClass::kStore: return "STORE";
+    case AccessClass::kAcquire: return "ACQUIRE";
+    case AccessClass::kRelease: return "RELEASE";
+  }
+  return "?";
+}
+
+namespace {
+bool is_sync(AccessClass c) {
+  return c == AccessClass::kAcquire || c == AccessClass::kRelease;
+}
+}  // namespace
+
+bool requires_delay(ConsistencyModel m, AccessClass prev, AccessClass next) {
+  // Classify the underlying operation for the PC read/write rules.
+  const bool prev_is_read = prev == AccessClass::kLoad || prev == AccessClass::kAcquire;
+  const bool next_is_read = next == AccessClass::kLoad || next == AccessClass::kAcquire;
+
+  switch (m) {
+    case ConsistencyModel::kSC:
+      // Program order throughout.
+      return true;
+    case ConsistencyModel::kPC:
+      // Reads may bypass earlier writes; everything else in order.
+      return !(next_is_read && !prev_is_read);
+    case ConsistencyModel::kWC:
+      // Order is enforced only around synchronization accesses
+      // (either side of the arc being a sync orders the pair).
+      return is_sync(prev) || is_sync(next);
+    case ConsistencyModel::kRC:
+      // RCpc: accesses after an acquire wait for it; a release waits
+      // for everything before it; sync accesses among themselves obey
+      // processor consistency (so release->acquire is NOT ordered).
+      if (prev == AccessClass::kAcquire) return true;
+      if (next == AccessClass::kRelease) return true;
+      if (is_sync(prev) && is_sync(next))
+        return !(next_is_read && !prev_is_read);  // PC among syncs
+      return false;
+  }
+  return true;
+}
+
+bool load_may_issue(ConsistencyModel m, const IssueContext& ctx) {
+  switch (m) {
+    case ConsistencyModel::kSC:
+      // A load performs only after every previous access has performed.
+      return !ctx.earlier_load_incomplete && !ctx.earlier_store_incomplete;
+    case ConsistencyModel::kPC:
+      // Loads wait for previous loads but bypass the store buffer.
+      return !ctx.earlier_load_incomplete;
+    case ConsistencyModel::kWC:
+      if (ctx.earlier_sync_incomplete) return false;
+      if (ctx.self_sync != SyncKind::kNone)
+        return !ctx.earlier_load_incomplete && !ctx.earlier_store_incomplete;
+      return true;
+    case ConsistencyModel::kRC:
+      // Only an incomplete earlier acquire gates a load.
+      return !ctx.earlier_acquire_incomplete;
+  }
+  return false;
+}
+
+bool store_may_issue(ConsistencyModel m, const IssueContext& ctx) {
+  switch (m) {
+    case ConsistencyModel::kSC:
+    case ConsistencyModel::kPC:
+      // Writes perform one at a time, in program order.
+      return !ctx.earlier_store_incomplete;
+    case ConsistencyModel::kWC:
+      if (ctx.self_sync != SyncKind::kNone)
+        return !ctx.earlier_load_incomplete && !ctx.earlier_store_incomplete;
+      return !ctx.earlier_sync_incomplete;
+    case ConsistencyModel::kRC:
+      if (ctx.self_sync == SyncKind::kRelease)
+        return !ctx.earlier_store_incomplete;  // loads covered by ROB release
+      // Ordinary stores (and acquire RMW writes) pipeline freely; the
+      // reorder buffer's head-release already ordered them after any
+      // earlier acquire.
+      return true;
+  }
+  return false;
+}
+
+bool rmw_may_issue(ConsistencyModel m, const IssueContext& ctx) {
+  return load_may_issue(m, ctx) && store_may_issue(m, ctx);
+}
+
+bool spec_load_treated_as_acquire(ConsistencyModel m, SyncKind load_sync) {
+  switch (m) {
+    case ConsistencyModel::kSC:
+    case ConsistencyModel::kPC:
+      // "For SC, all loads are treated as acquires" (§4.2); PC keeps
+      // load->load order, so the same holds.
+      return true;
+    case ConsistencyModel::kWC:
+      return load_sync != SyncKind::kNone;
+    case ConsistencyModel::kRC:
+      return load_sync == SyncKind::kAcquire;
+  }
+  return true;
+}
+
+StoreTagRule spec_load_store_tag_rule(ConsistencyModel m) {
+  switch (m) {
+    case ConsistencyModel::kSC:
+      return StoreTagRule::kAnyStore;
+    case ConsistencyModel::kPC:
+    case ConsistencyModel::kRC:
+      return StoreTagRule::kNone;
+    case ConsistencyModel::kWC:
+      return StoreTagRule::kSyncStore;
+  }
+  return StoreTagRule::kNone;
+}
+
+}  // namespace mcsim

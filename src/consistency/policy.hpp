@@ -1,0 +1,75 @@
+// Consistency-model delay policies (paper §2, Figure 1).
+//
+// Two views of the same rules:
+//  * requires_delay(): the Figure-1 delay-arc matrix between access
+//    classes, used by the fig1 bench and by property tests;
+//  * load_may_issue() / store_may_issue(): the issue-gating predicates
+//    the load/store unit evaluates at the points the paper names (the
+//    load/store reservation station for loads, the store buffer head
+//    for stores). These are the "conventional" enforcement mechanism
+//    that the prefetch and speculative-load techniques then relax.
+#pragma once
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+
+namespace mcsim {
+
+/// Access classification for the Figure-1 matrix.
+enum class AccessClass : std::uint8_t {
+  kLoad,          ///< ordinary load
+  kStore,         ///< ordinary store
+  kAcquire,       ///< read synchronization (acquire load / acquire RMW read)
+  kRelease,       ///< write synchronization (release store)
+};
+
+const char* to_string(AccessClass c);
+
+/// True when, under `m`, the later access `next` may not perform until
+/// the earlier access `prev` has performed (a delay arc in Figure 1).
+/// Local data/control dependences are outside this matrix.
+bool requires_delay(ConsistencyModel m, AccessClass prev, AccessClass next);
+
+/// Snapshot of the program-order-earlier accesses that are still
+/// incomplete at the moment an access wants to issue, plus the access's
+/// own classification. Built by the LSU, consumed by the predicates.
+struct IssueContext {
+  bool earlier_load_incomplete = false;     ///< an earlier load has not performed
+  bool earlier_store_incomplete = false;    ///< an earlier store/RMW has not performed
+  bool earlier_sync_incomplete = false;     ///< an earlier sync access (acq or rel)
+  bool earlier_acquire_incomplete = false;  ///< an earlier acquire
+  SyncKind self_sync = SyncKind::kNone;
+};
+
+/// May a load with context `ctx` issue (perform) now?
+///
+/// Note the store-side arcs a load never needs to check here: the
+/// reorder buffer releases stores only at its head, which already
+/// guarantees every load preceding a store has performed.
+bool load_may_issue(ConsistencyModel m, const IssueContext& ctx);
+
+/// May the store at the head of the store buffer issue now? Only
+/// called once the reorder buffer has released the store (precise
+/// interrupts), so earlier loads are known to have performed.
+bool store_may_issue(ConsistencyModel m, const IssueContext& ctx);
+
+/// An RMW acts as both a load and a store; it may issue only when both
+/// predicates pass.
+bool rmw_may_issue(ConsistencyModel m, const IssueContext& ctx);
+
+/// Under `m`, must a speculative load's entry stay in the
+/// speculative-load buffer until the load completes? This is the `acq`
+/// field of the paper's speculative-load buffer: SC treats every load
+/// as an acquire; RC only real acquires (§4.2).
+bool spec_load_treated_as_acquire(ConsistencyModel m, SyncKind load_sync);
+
+/// Does a speculative load need to wait for earlier stores (the
+/// `store tag` field)? Returns which class of earlier store gates it.
+enum class StoreTagRule : std::uint8_t {
+  kNone,        ///< loads never wait for earlier stores (PC, RC)
+  kAnyStore,    ///< last earlier incomplete store of any kind (SC)
+  kSyncStore,   ///< last earlier incomplete synchronization store (WC)
+};
+StoreTagRule spec_load_store_tag_rule(ConsistencyModel m);
+
+}  // namespace mcsim

@@ -1,0 +1,62 @@
+#include "consistency/prefetch_engine.hpp"
+
+namespace mcsim {
+
+bool PrefetchEngine::enqueue(Addr line, bool exclusive) {
+  for (Pending& p : queue_) {
+    if (p.line == line) {
+      p.exclusive = p.exclusive || exclusive;
+      return true;  // already queued; caller should not offer again
+    }
+  }
+  if (queue_.size() >= capacity_) return false;
+  queue_.push_back(Pending{line, exclusive});
+  return true;
+}
+
+bool PrefetchEngine::offer(Addr line, bool exclusive, bool allowed_now, StatSet& stats) {
+  if (mode_ == PrefetchMode::kOff) return true;  // swallow: nothing will ever queue
+  if (mode_ == PrefetchMode::kBinding && !allowed_now) {
+    // A binding prefetch binds the value when it completes, so it may
+    // not be issued any earlier than the access itself (§6).
+    return false;  // keep offering; it may become allowed later
+  }
+  if (exclusive && protocol_ == CoherenceKind::kUpdate) {
+    // §3.1: an update protocol cannot partially service a write.
+    stats.add("prefetch_ex_suppressed_update");
+    return true;  // permanently not prefetchable; don't re-offer
+  }
+  bool queued = enqueue(line, exclusive);
+  if (queued) stats.add(exclusive ? "prefetch_offer_ex" : "prefetch_offer_read");
+  return queued;
+}
+
+bool PrefetchEngine::offer_software(Addr line, bool exclusive, StatSet& stats) {
+  if (exclusive && protocol_ == CoherenceKind::kUpdate) {
+    stats.add("prefetch_ex_suppressed_update");
+    return true;
+  }
+  bool queued = enqueue(line, exclusive);
+  if (queued) stats.add("prefetch_offer_sw");
+  return queued;
+}
+
+bool PrefetchEngine::drain(CoherentCache& cache, Cycle now, StatSet& stats) {
+  if (queue_.empty()) return false;
+  Pending p = queue_.front();
+  CacheRequest req;
+  req.op = p.exclusive ? CacheOp::kPrefetchEx : CacheOp::kPrefetchShared;
+  req.addr = p.line;
+  req.token = 0;
+  ProbeResult r = cache.probe(req, now);
+  if (r == ProbeResult::kRejected) {
+    // MSHRs full: keep the prefetch queued, port was burned this cycle.
+    stats.add("prefetch_retry");
+    return true;
+  }
+  queue_.pop_front();
+  stats.add("prefetch_drained");
+  return true;
+}
+
+}  // namespace mcsim

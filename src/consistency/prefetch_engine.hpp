@@ -1,0 +1,70 @@
+// Hardware-controlled non-binding prefetch engine (paper §3).
+//
+// The load/store unit offers the line address of every address-ready
+// access that is *delayed by consistency constraints*; the engine
+// buffers them (the §3.2 "prefetch buffer"), deduplicates by line, and
+// retires one prefetch per cycle into the cache whenever the port is
+// free. Read prefetches for loads, read-exclusive prefetches for
+// stores and RMWs.
+//
+// Non-binding: the line lands in the coherent cache, so correctness is
+// never affected. Under an update-based protocol read-exclusive
+// prefetches are impossible (§3.1) and exclusive offers are dropped.
+// Binding mode exists only for the §6 related-work ablation: the
+// engine then refuses any offer for an access the consistency model
+// has not already cleared — which is exactly why binding prefetch
+// cannot help.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "coherence/cache.hpp"
+
+namespace mcsim {
+
+class PrefetchEngine {
+ public:
+  PrefetchEngine(PrefetchMode mode, CoherenceKind protocol, std::size_t capacity)
+      : mode_(mode), protocol_(protocol), capacity_(capacity) {}
+
+  PrefetchMode mode() const { return mode_; }
+  bool enabled() const { return mode_ != PrefetchMode::kOff; }
+  bool empty() const { return queue_.empty(); }
+  std::size_t size() const { return queue_.size(); }
+
+  /// Offer a delayed access's target line. `exclusive` selects a
+  /// read-exclusive prefetch. `allowed_now` tells the engine whether
+  /// the access could already issue under the consistency model — a
+  /// binding prefetcher may only act in that case. Returns true if the
+  /// offer was queued (callers use this to offer each access once).
+  bool offer(Addr line, bool exclusive, bool allowed_now, StatSet& stats);
+
+  /// Software-prefetch instructions bypass the mode check (they are
+  /// explicit program requests), but still respect the protocol rule.
+  bool offer_software(Addr line, bool exclusive, StatSet& stats);
+
+  /// Retire at most one prefetch into the cache. Call only when the
+  /// cache port is free. Returns true if a probe was made.
+  bool drain(CoherentCache& cache, Cycle now, StatSet& stats);
+
+  void clear() { queue_.clear(); }
+
+ private:
+  struct Pending {
+    Addr line;
+    bool exclusive;
+  };
+
+  bool enqueue(Addr line, bool exclusive);
+
+  PrefetchMode mode_;
+  CoherenceKind protocol_;
+  std::size_t capacity_;
+  std::deque<Pending> queue_;
+};
+
+}  // namespace mcsim

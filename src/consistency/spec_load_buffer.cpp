@@ -1,0 +1,104 @@
+#include "consistency/spec_load_buffer.hpp"
+
+#include <sstream>
+
+namespace mcsim {
+
+void SpecLoadBuffer::mark_done(std::uint64_t seq, Word value) {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    Entry& e = entries_.at(i);
+    if (e.seq == seq) {
+      e.done = true;
+      e.value = value;
+      return;
+    }
+  }
+}
+
+void SpecLoadBuffer::nullify_store_tag(std::uint64_t store_seq) {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    Entry& e = entries_.at(i);
+    if (e.store_tag == store_seq) e.store_tag = kNoTag;
+  }
+}
+
+std::vector<std::uint64_t> SpecLoadBuffer::retire_ready() {
+  std::vector<std::uint64_t> retired;
+  while (!entries_.empty()) {
+    const Entry& head = entries_.front();
+    if (head.store_tag != kNoTag) break;
+    if (head.acq && !head.done) break;
+    retired.push_back(head.seq);
+    entries_.pop();
+  }
+  return retired;
+}
+
+SpecLoadBuffer::MatchResult SpecLoadBuffer::on_line_event(LineEventKind /*kind*/,
+                                                          Addr line) const {
+  // Every event kind is treated identically (conservatively): an
+  // invalidation or update may have changed the value; a replacement
+  // means we would no longer observe such a change (§4.2).
+  MatchResult r;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& e = entries_.at(i);
+    if (e.line != line) continue;
+    if (e.done) {
+      // Oldest done match: the speculated value may have been consumed
+      // by later instructions; squash from the load itself.
+      r.squash = true;
+      r.squash_seq = e.seq;
+      break;  // everything younger dies with the squash
+    }
+    // Not done: the initial return value must be discarded and the
+    // load reissued; instructions after it have consumed nothing.
+    r.reissue.push_back(e.seq);
+  }
+  return r;
+}
+
+void SpecLoadBuffer::squash_from(std::uint64_t seq) {
+  // Entries are inserted in program order, so doomed entries are a
+  // suffix of the FIFO.
+  std::size_t keep = 0;
+  while (keep < entries_.size() && entries_.at(keep).seq < seq) ++keep;
+  entries_.pop_back_n(entries_.size() - keep);
+}
+
+void SpecLoadBuffer::mark_reissued(std::uint64_t seq) {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    Entry& e = entries_.at(i);
+    if (e.seq == seq) {
+      e.done = false;
+      e.value = 0;
+      return;
+    }
+  }
+}
+
+const SpecLoadBuffer::Entry* SpecLoadBuffer::find(std::uint64_t seq) const {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& e = entries_.at(i);
+    if (e.seq == seq) return &e;
+  }
+  return nullptr;
+}
+
+std::string SpecLoadBuffer::dump() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& e = entries_.at(i);
+    os << "[seq=" << e.seq << " acq=" << (e.acq ? 1 : 0) << " done=" << (e.done ? 1 : 0)
+       << " st_tag=";
+    if (e.store_tag == kNoTag)
+      os << "null";
+    else
+      os << e.store_tag;
+    os << " addr=0x" << std::hex << e.addr << std::dec
+       << (e.is_rmw_read ? " rmw" : "") << "]";
+    if (i + 1 != entries_.size()) os << ' ';
+  }
+  return os.str();
+}
+
+}  // namespace mcsim

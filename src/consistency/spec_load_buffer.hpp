@@ -1,0 +1,98 @@
+// The speculative-load buffer (paper §4.2, Figure 4).
+//
+// One FIFO entry per load issued before the consistency model would
+// allow it to perform. Fields per the paper: load address, `acq`
+// (entry must stay until the load completes), `done` (load has
+// completed), and `store tag` (the earlier store this load would have
+// had to wait for; nullified when that store performs).
+//
+// Detection: invalidations, updates, and replacements reported by the
+// cache are matched associatively against the addresses in the buffer.
+// A match against a done entry means a possibly-consumed value is
+// stale: the load and everything after it must be squashed and
+// refetched. A match against a not-done entry merely forces the load
+// to reissue (its initial return value will be dropped).
+//
+// Retirement: the head entry retires once its store tag is null and,
+// if `acq` is set, the load has completed. FIFO retirement is what
+// makes "all previous acquires completed" fall out for free.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/fixed_queue.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "coherence/types.hpp"
+
+namespace mcsim {
+
+class SpecLoadBuffer {
+ public:
+  static constexpr std::uint64_t kNoTag = ~0ull;
+
+  struct Entry {
+    std::uint64_t seq = 0;        ///< dynamic instruction id of the load
+    Addr addr = 0;                ///< word address
+    Addr line = 0;                ///< cache-line address (match granularity)
+    bool acq = false;
+    bool done = false;
+    std::uint64_t store_tag = kNoTag;  ///< seq of the gating store, or kNoTag
+    bool is_rmw_read = false;     ///< Appendix A read-exclusive entry
+    Word value = 0;               ///< speculated value once done
+  };
+
+  explicit SpecLoadBuffer(std::size_t capacity) : entries_(capacity) {}
+
+  bool full() const { return entries_.full(); }
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+
+  void insert(const Entry& e) { entries_.push(e); }
+
+  /// The load (or RMW read) completed with `value`.
+  void mark_done(std::uint64_t seq, Word value);
+
+  /// A store with dynamic id `store_seq` performed: null out matching tags.
+  void nullify_store_tag(std::uint64_t store_seq);
+
+  /// Retire every ready head entry; returns the seqs retired, in
+  /// order. The retirement instant is when a speculative load stops
+  /// being speculative — coherence monitoring guarantees its value
+  /// still equals the memory value now, which is what makes "as if it
+  /// performed at retirement" the sound serialization point.
+  std::vector<std::uint64_t> retire_ready();
+
+  /// What the detection mechanism demands after a coherence transaction
+  /// on `line`.
+  struct MatchResult {
+    bool squash = false;
+    std::uint64_t squash_seq = 0;           ///< oldest done (consumed) match
+    std::vector<std::uint64_t> reissue;     ///< not-done matches older than that
+  };
+  MatchResult on_line_event(LineEventKind kind, Addr line) const;
+
+  /// Remove every entry with seq >= `seq` (pipeline squash).
+  void squash_from(std::uint64_t seq);
+
+  /// Reset a reissued load's entry: done cleared, value dropped.
+  void mark_reissued(std::uint64_t seq);
+
+  const Entry* find(std::uint64_t seq) const;
+
+  /// Figure-5 style rendering: one "acq done st_tag addr" row per entry,
+  /// head first.
+  std::string dump() const;
+
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t i = 0; i < entries_.size(); ++i) fn(entries_.at(i));
+  }
+
+ private:
+  FixedQueue<Entry> entries_;
+};
+
+}  // namespace mcsim

@@ -1,0 +1,35 @@
+// Branch prediction: a branch target buffer of 2-bit saturating
+// counters [Lee & Smith 84], with static hints taking precedence (the
+// paper's lock idiom assumes "the branch predictor takes the path that
+// assumes the lock synchronization succeeds").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "isa/instruction.hpp"
+
+namespace mcsim {
+
+class BranchPredictor {
+ public:
+  explicit BranchPredictor(std::uint32_t entries);
+
+  /// Predicted direction for the conditional branch at static index `pc`.
+  bool predict(std::size_t pc, const Instruction& inst) const;
+
+  /// Train the dynamic predictor with the resolved direction.
+  void train(std::size_t pc, const Instruction& inst, bool taken);
+
+  const StatSet& stats() const { return stats_; }
+  StatSet& stats() { return stats_; }
+
+ private:
+  std::size_t index(std::size_t pc) const { return pc % counters_.size(); }
+  std::vector<std::uint8_t> counters_;  ///< 2-bit: 0,1 = not taken; 2,3 = taken
+  StatSet stats_;
+};
+
+}  // namespace mcsim

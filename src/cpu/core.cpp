@@ -1,0 +1,372 @@
+#include "cpu/core.hpp"
+
+#include <cassert>
+#include <sstream>
+
+namespace mcsim {
+
+namespace {
+constexpr std::size_t kUnlimited = static_cast<std::size_t>(-1);
+
+SystemConfig resolve_for(const SystemConfig& cfg, ProcId id) {
+  SystemConfig out = cfg;
+  out.core = cfg.core_for(id);
+  out.per_core.clear();
+  return out;
+}
+}  // namespace
+
+Core::Core(ProcId id, const SystemConfig& cfg, const Program& program,
+           CoherentCache& cache, Trace* trace)
+    : id_(id),
+      cfg_(resolve_for(cfg, id)),
+      program_(program),
+      trace_(trace),
+      predictor_(cfg_.core.btb_entries),
+      lsu_(id, cfg_, cache, *this, trace),
+      stats_("core" + std::to_string(id)) {
+  rename_.fill(kNoProducer);
+  cache.set_observer(this);
+  if (cfg_.core.ideal_frontend) {
+    // The paper's walkthroughs assume the program is already decoded
+    // and sitting in the reorder buffer at cycle 0.
+    do_fetch(0);
+    do_dispatch(0);
+  }
+}
+
+Core::RobEntry* Core::rob_find(std::uint64_t seq) {
+  // Seqs in the ROB are sorted but not contiguous: a squash discards a
+  // suffix while the dynamic-id counter keeps advancing, so the next
+  // dispatched instruction leaves a gap. Scan (the window is small).
+  for (RobEntry& e : rob_) {
+    if (e.seq == seq) return &e;
+  }
+  return nullptr;
+}
+
+Operand Core::resolve(RegId reg) {
+  if (reg == 0) return Operand::immediate(0);
+  std::uint64_t p = rename_[reg];
+  if (p == kNoProducer) return Operand::immediate(regfile_[reg]);
+  // Producer is still in flight; it must be in the ROB.
+  RobEntry* e = rob_find(p);
+  assert(e != nullptr && "rename table points at a live ROB entry");
+  if (e->value_ready) return Operand::immediate(e->result);
+  return Operand::tagged(p);
+}
+
+void Core::writeback(const RobEntry& e) {
+  if (e.inst.writes_rd() && e.inst.rd != 0) {
+    regfile_[e.inst.rd] = e.result;
+    if (rename_[e.inst.rd] == e.seq) rename_[e.inst.rd] = kNoProducer;
+  }
+}
+
+void Core::broadcast(std::uint64_t seq, Word value) {
+  for (RobEntry& e : rob_) {
+    e.op1.wake(seq, value);
+    e.op2.wake(seq, value);
+  }
+  lsu_.on_producer_ready(seq, value);
+}
+
+void Core::tick(Cycle now) {
+  lsu_.drain_responses(now);
+  lsu_.retire_spec_entries(now);
+  lsu_.tick_addr_unit(now);
+  do_commit(now);
+  do_execute(now);
+  do_dispatch(now);
+  lsu_.tick_issue(now);
+  do_fetch(now);
+}
+
+void Core::do_commit(Cycle now) {
+  std::size_t width =
+      cfg_.core.ideal_frontend ? kUnlimited : cfg_.core.commit_width;
+  std::size_t n = 0;
+  while (n < width && !rob_.empty()) {
+    RobEntry& e = rob_.front();
+    const Instruction& in = e.inst;
+
+    if (in.op == Opcode::kHalt) {
+      halted_ = true;
+      halt_cycle_ = now;
+      rob_.pop_front();
+      ++retired_;
+      stats_.set("halt_cycle", now);
+      break;
+    }
+
+    if (in.is_rmw()) {
+      if (!e.released) {
+        if (!lsu_.store_in_buffer(e.seq)) break;  // address not translated
+        lsu_.release_store(e.seq);
+        e.released = true;
+      }
+      if (!e.performed) break;
+      if (!lsu_.load_retirable(e.seq)) break;  // spec entry still live
+      writeback(e);
+      rob_.pop_front();
+      ++retired_;
+      ++n;
+      continue;
+    }
+
+    if (in.is_store()) {
+      if (!e.released) {
+        if (!lsu_.store_in_buffer(e.seq)) break;
+        lsu_.release_store(e.seq);
+        e.released = true;
+      }
+      // SC keeps the store at the head until it performs, so the store
+      // buffer issues one store at a time (§4.2); the other models
+      // retire it as soon as the address translation is done.
+      if (cfg_.model == ConsistencyModel::kSC && !e.performed) break;
+      rob_.pop_front();
+      ++retired_;
+      ++n;
+      continue;
+    }
+
+    if (in.is_load()) {
+      if (!e.value_ready) break;
+      if (!lsu_.load_retirable(e.seq)) break;
+      writeback(e);
+      rob_.pop_front();
+      ++retired_;
+      ++n;
+      continue;
+    }
+
+    if (in.is_branch()) {
+      if (!e.executed) break;
+      rob_.pop_front();
+      ++retired_;
+      ++n;
+      continue;
+    }
+
+    // ALU, nop, fence, software prefetch: retire when the result /
+    // completion signal is available.
+    if (!e.value_ready) break;
+    writeback(e);
+    rob_.pop_front();
+    ++retired_;
+    ++n;
+  }
+}
+
+void Core::do_execute(Cycle now) {
+  std::vector<std::pair<std::uint64_t, Word>> results;
+  std::uint32_t used = 0;
+  for (RobEntry& e : rob_) {
+    if (used >= cfg_.core.num_alus) break;
+    if (e.executed) continue;
+    if (e.inst.is_alu()) {
+      if (!e.op1.ready || !e.op2.ready) continue;
+      e.executed = true;
+      results.emplace_back(e.seq, eval_alu(e.inst, e.op1.value, e.op2.value));
+      ++used;
+    } else if (e.inst.is_branch()) {
+      if (!e.op1.ready || !e.op2.ready) continue;
+      e.executed = true;
+      e.value_ready = true;
+      const bool taken = eval_branch(e.inst.op, e.op1.value, e.op2.value);
+      predictor_.train(e.pc, e.inst, taken);
+      ++used;
+      if (taken != e.predicted_taken) {
+        stats_.add("branch_mispredicts");
+        const std::size_t target =
+            taken ? static_cast<std::size_t>(e.inst.imm) : e.pc + 1;
+        squash_from(e.seq + 1, target, now, "branch mispredict");
+        break;  // younger entries are gone
+      }
+    }
+  }
+  // Results become visible at the end of the cycle (1-cycle ALU latency).
+  for (auto& [seq, value] : results) {
+    RobEntry* e = rob_find(seq);
+    if (e == nullptr) continue;  // squashed by a branch this same cycle
+    e->value_ready = true;
+    e->result = value;
+    broadcast(seq, value);
+  }
+}
+
+void Core::do_dispatch(Cycle now) {
+  (void)now;
+  std::size_t width =
+      cfg_.core.ideal_frontend ? kUnlimited : cfg_.core.decode_width;
+  std::size_t n = 0;
+  while (n < width && !fetch_buf_.empty() && !dispatch_stopped_) {
+    if (rob_.size() >= cfg_.core.rob_entries) break;
+    const FetchedInst f = fetch_buf_.front();
+    const Instruction& in = program_.at(f.pc);
+    const bool to_lsu = in.is_mem() || in.is_fence();
+    if (to_lsu && !lsu_.can_dispatch()) break;
+    fetch_buf_.pop_front();
+
+    RobEntry e;
+    e.seq = next_seq_++;
+    e.pc = f.pc;
+    e.inst = in;
+    e.predicted_taken = f.predicted_taken;
+
+    if (in.is_alu()) {
+      e.op1 = resolve(in.rs1);
+      e.op2 = in.has_imm_operand() ? Operand::immediate(static_cast<Word>(in.imm))
+                                   : resolve(in.rs2);
+    } else if (in.is_branch()) {
+      e.op1 = resolve(in.rs1);
+      e.op2 = resolve(in.rs2);
+    } else if (in.op == Opcode::kNop) {
+      e.executed = true;
+      e.value_ready = true;
+    } else if (to_lsu) {
+      Operand base = resolve(in.mem.base);
+      Operand index = resolve(in.mem.index);
+      Operand data = resolve(in.rs2);
+      Operand cmp = resolve(in.rs1);
+      lsu_.dispatch(e.seq, f.pc, in, base, index, data, cmp);
+    }
+
+    if (in.op == Opcode::kHalt) dispatch_stopped_ = true;
+    if (in.writes_rd() && in.rd != 0) rename_[in.rd] = e.seq;
+    rob_.push_back(std::move(e));
+    stats_.add("dispatched");
+    ++n;
+  }
+}
+
+void Core::do_fetch(Cycle now) {
+  (void)now;
+  const std::size_t width =
+      cfg_.core.ideal_frontend ? kUnlimited : cfg_.core.fetch_width;
+  const std::size_t cap =
+      cfg_.core.ideal_frontend ? kUnlimited : 2 * cfg_.core.fetch_width;
+  std::size_t n = 0;
+  while (n < width && !fetch_stopped_ &&
+         (cap == kUnlimited || fetch_buf_.size() < cap)) {
+    if (fetch_pc_ >= program_.size()) {
+      // Programs must end in halt; stop cleanly if control fell off.
+      fetch_stopped_ = true;
+      break;
+    }
+    const Instruction& in = program_.at(fetch_pc_);
+    bool predicted_taken = false;
+    if (in.is_branch()) predicted_taken = predictor_.predict(fetch_pc_, in);
+    fetch_buf_.push_back(FetchedInst{fetch_pc_, predicted_taken});
+    stats_.add("fetched");
+    if (in.op == Opcode::kHalt) {
+      fetch_stopped_ = true;
+      break;
+    }
+    fetch_pc_ = (in.is_branch() && predicted_taken)
+                    ? static_cast<std::size_t>(in.imm)
+                    : fetch_pc_ + 1;
+    ++n;
+    if (cfg_.core.ideal_frontend && n > 100000)
+      break;  // safety valve for pathological predicted loops
+  }
+}
+
+void Core::squash_from(std::uint64_t seq, std::size_t refetch_pc, Cycle now,
+                       const char* why) {
+  std::size_t dropped = 0;
+  while (!rob_.empty() && rob_.back().seq >= seq) {
+    rob_.pop_back();
+    ++dropped;
+  }
+  lsu_.squash_from(seq);
+  fetch_buf_.clear();
+  fetch_pc_ = refetch_pc;
+  fetch_stopped_ = false;
+  dispatch_stopped_ = false;
+  rename_.fill(kNoProducer);
+  for (RobEntry& e : rob_) {
+    if (e.inst.writes_rd() && e.inst.rd != 0) rename_[e.inst.rd] = e.seq;
+  }
+  stats_.add("squashes");
+  stats_.add("squashed_instructions", dropped);
+  if (trace_)
+    trace_->log(now, id_, "squash",
+                std::string(why) + " from seq=" + std::to_string(seq) + " refetch pc=" +
+                    std::to_string(refetch_pc) + " dropped=" + std::to_string(dropped));
+}
+
+void Core::mem_completed(std::uint64_t seq, Word value, Cycle now) {
+  RobEntry* e = rob_find(seq);
+  if (e == nullptr) return;  // e.g. a store already retired under RC/WC/PC
+  const Instruction& in = e->inst;
+  if (in.is_rmw()) {
+    if (e->spec_value && e->value_ready && e->result != value) {
+      // Appendix-A speculation delivered a value that differs from the
+      // one the atomic actually read: discard dependent computation.
+      stats_.add("rmw_value_mispredicts");
+      squash_from(seq + 1, e->pc + 1, now, "rmw speculated value wrong");
+      e = rob_find(seq);  // references may have moved
+      assert(e != nullptr);
+    }
+    e->performed = true;
+    e->value_ready = true;
+    e->spec_value = false;
+    e->result = value;
+    broadcast(seq, value);
+    return;
+  }
+  if (in.is_store()) {
+    e->performed = true;
+    return;
+  }
+  if (in.is_load()) {
+    e->performed = true;
+    e->value_ready = true;
+    e->result = value;
+    broadcast(seq, value);
+    return;
+  }
+  // fence / software prefetch
+  e->value_ready = true;
+}
+
+void Core::rmw_spec_value(std::uint64_t seq, Word value, Cycle now) {
+  (void)now;
+  RobEntry* e = rob_find(seq);
+  if (e == nullptr || e->performed || e->value_ready) return;
+  e->value_ready = true;
+  e->spec_value = true;
+  e->result = value;
+  stats_.add("rmw_spec_values");
+  broadcast(seq, value);
+}
+
+void Core::request_squash_refetch(std::uint64_t seq, Cycle now, const char* reason) {
+  // A squash target is always an uncommitted instruction: a load with a
+  // live speculative-load entry cannot retire, and nothing younger than
+  // an unretired entry can have retired either. If seq points past the
+  // tail (e.g. "after the RMW" when nothing follows it yet), there is
+  // nothing to discard.
+  RobEntry* e = rob_find(seq);
+  if (e == nullptr) return;
+  squash_from(e->seq, e->pc, now, reason);
+}
+
+void Core::on_line_event(LineEventKind kind, Addr line, Cycle now) {
+  lsu_.on_line_event(kind, line, now);
+}
+
+std::string Core::rob_dump() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < rob_.size(); ++i) {
+    const RobEntry& e = rob_[i];
+    os << "[" << e.seq << ":" << disassemble(e.inst)
+       << (e.value_ready ? " V" : "") << (e.performed ? " P" : "")
+       << (e.released ? " R" : "") << "]";
+    if (i + 1 != rob_.size()) os << ' ';
+  }
+  return os.str();
+}
+
+}  // namespace mcsim

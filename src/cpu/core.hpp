@@ -1,0 +1,125 @@
+// Dynamically scheduled processor core, modeled after Johnson's design
+// (paper Figure 3): in-order fetch with branch prediction, decode with
+// register renaming into a reorder buffer, out-of-order execution,
+// in-order retirement with precise interrupts, and the load/store unit
+// of Figure 4.
+//
+// The reorder buffer implements the paper's store policies: a store is
+// released to the store buffer when it reaches the ROB head; under SC
+// it additionally stays at the head until it performs, so stores issue
+// one at a time. RMWs always retire only once performed (Appendix A).
+// Loads with a live speculative-load buffer entry cannot retire — they
+// are still squashable.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "common/trace.hpp"
+#include "common/types.hpp"
+#include "coherence/cache.hpp"
+#include "cpu/branch_predictor.hpp"
+#include "cpu/lsu.hpp"
+#include "cpu/operand.hpp"
+#include "isa/program.hpp"
+
+namespace mcsim {
+
+class Core : public LsuHost, public LineEventObserver {
+ public:
+  Core(ProcId id, const SystemConfig& cfg, const Program& program, CoherentCache& cache,
+       Trace* trace);
+
+  /// Advance one cycle. The cache must have ticked already.
+  void tick(Cycle now);
+
+  bool halted() const { return halted_; }
+  /// Halted and every buffered access has performed.
+  bool drained() const { return halted_ && rob_.empty() && lsu_.empty(); }
+  Cycle halt_cycle() const { return halt_cycle_; }
+
+  Word reg(RegId r) const { return regfile_[r]; }
+  std::uint64_t instructions_retired() const { return retired_; }
+
+  LoadStoreUnit& lsu() { return lsu_; }
+  const LoadStoreUnit& lsu() const { return lsu_; }
+
+  // --- LsuHost --------------------------------------------------------
+  void mem_completed(std::uint64_t seq, Word value, Cycle now) override;
+  void rmw_spec_value(std::uint64_t seq, Word value, Cycle now) override;
+  void request_squash_refetch(std::uint64_t seq, Cycle now, const char* reason) override;
+
+  // --- LineEventObserver (wired to this core's cache) -----------------
+  void on_line_event(LineEventKind kind, Addr line, Cycle now) override;
+
+  /// Figure-5 rendering of the reorder buffer, head first.
+  std::string rob_dump() const;
+
+  const StatSet& stats() const { return stats_; }
+  StatSet& stats() { return stats_; }
+
+ private:
+  struct RobEntry {
+    std::uint64_t seq = 0;
+    std::size_t pc = 0;
+    Instruction inst;
+    Operand op1, op2;         ///< ALU/branch sources
+    bool executed = false;    ///< ALU/branch has been executed
+    bool value_ready = false; ///< rd value available (speculative for RMW)
+    Word result = 0;
+    bool performed = false;   ///< memory access performed
+    bool released = false;    ///< store/RMW released to the store buffer
+    bool spec_value = false;  ///< result is an Appendix-A speculative RMW value
+    bool predicted_taken = false;
+  };
+
+  struct FetchedInst {
+    std::size_t pc = 0;
+    bool predicted_taken = false;
+  };
+
+  void do_commit(Cycle now);
+  void do_execute(Cycle now);
+  void do_dispatch(Cycle now);
+  void do_fetch(Cycle now);
+  void squash_from(std::uint64_t seq, std::size_t refetch_pc, Cycle now, const char* why);
+
+  RobEntry* rob_find(std::uint64_t seq);
+  Operand resolve(RegId reg);
+  void writeback(const RobEntry& e);
+  void broadcast(std::uint64_t seq, Word value);
+
+  ProcId id_;
+  /// This core's resolved configuration: the machine-wide settings
+  /// with any per_core override for this processor already applied.
+  SystemConfig cfg_;
+  const Program& program_;
+  Trace* trace_;
+
+  std::deque<RobEntry> rob_;
+  std::array<Word, kNumArchRegs> regfile_{};
+  /// rename_[r]: seq of the youngest in-flight producer of r, or kNone.
+  static constexpr std::uint64_t kNoProducer = ~0ull;
+  std::array<std::uint64_t, kNumArchRegs> rename_;
+
+  BranchPredictor predictor_;
+  LoadStoreUnit lsu_;
+
+  std::deque<FetchedInst> fetch_buf_;
+  std::size_t fetch_pc_ = 0;
+  bool fetch_stopped_ = false;   ///< fetched past a halt
+  bool dispatch_stopped_ = false;///< dispatched a halt
+  bool halted_ = false;          ///< halt retired
+  Cycle halt_cycle_ = 0;
+
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t retired_ = 0;
+
+  StatSet stats_;
+};
+
+}  // namespace mcsim

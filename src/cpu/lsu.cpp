@@ -1,0 +1,658 @@
+#include "cpu/lsu.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace mcsim {
+
+LoadStoreUnit::LoadStoreUnit(ProcId id, const SystemConfig& cfg, CoherentCache& cache,
+                             LsuHost& host, Trace* trace)
+    : id_(id),
+      cfg_(cfg),
+      cache_(cache),
+      host_(host),
+      trace_(trace),
+      spec_buffer_(cfg.core.spec_load_buffer_entries),
+      prefetch_(cfg.core.prefetch, cfg.mem.coherence, cfg.core.prefetch_buffer_entries),
+      stats_("lsu" + std::to_string(id)) {}
+
+void LoadStoreUnit::dispatch(std::uint64_t seq, std::size_t pc, const Instruction& inst,
+                             Operand base, Operand index, Operand data, Operand cmp) {
+  assert(can_dispatch());
+  RsEntry e;
+  e.seq = seq;
+  e.pc = pc;
+  e.inst = inst;
+  e.base = base;
+  e.index = index;
+  e.data = data;
+  e.cmp = cmp;
+  ls_rs_.push_back(std::move(e));
+}
+
+void LoadStoreUnit::on_producer_ready(std::uint64_t producer_seq, Word value) {
+  for (RsEntry& e : ls_rs_) {
+    e.base.wake(producer_seq, value);
+    e.index.wake(producer_seq, value);
+    e.data.wake(producer_seq, value);
+    e.cmp.wake(producer_seq, value);
+  }
+  for (StoreEntry& e : store_buf_) {
+    e.data.wake(producer_seq, value);
+    e.cmp.wake(producer_seq, value);
+  }
+}
+
+void LoadStoreUnit::release_store(std::uint64_t seq) {
+  StoreEntry* s = find_store(seq);
+  assert(s != nullptr && "released store must have its address translated");
+  s->released = true;
+  if (trace_) trace_->log(0, id_, "sb", "release seq=" + std::to_string(seq));
+}
+
+bool LoadStoreUnit::store_in_buffer(std::uint64_t seq) const {
+  return find_store(seq) != nullptr;
+}
+
+bool LoadStoreUnit::load_retirable(std::uint64_t seq) const {
+  return spec_buffer_.find(seq) == nullptr;
+}
+
+LoadStoreUnit::LoadEntry* LoadStoreUnit::find_load(std::uint64_t seq) {
+  for (LoadEntry& e : load_q_) {
+    if (e.seq == seq) return &e;
+  }
+  return nullptr;
+}
+
+LoadStoreUnit::StoreEntry* LoadStoreUnit::find_store(std::uint64_t seq) {
+  for (StoreEntry& e : store_buf_) {
+    if (e.seq == seq) return &e;
+  }
+  return nullptr;
+}
+
+const LoadStoreUnit::StoreEntry* LoadStoreUnit::find_store(std::uint64_t seq) const {
+  for (const StoreEntry& e : store_buf_) {
+    if (e.seq == seq) return &e;
+  }
+  return nullptr;
+}
+
+void LoadStoreUnit::tick_addr_unit(Cycle now) {
+  if (ls_rs_.empty()) return;
+  RsEntry& head = ls_rs_.front();
+  const Instruction& inst = head.inst;
+
+  if (inst.is_fence()) {
+    // Full fence: completes only when every earlier access has
+    // performed. Nothing behind it can reach the address unit, so the
+    // two queues contain exactly the earlier accesses.
+    if (load_q_.empty() && store_buf_.empty()) {
+      host_.mem_completed(head.seq, 0, now);
+      ls_rs_.pop_front();
+      stats_.add("fence_done");
+    } else {
+      stats_.add("fence_stall");
+    }
+    return;
+  }
+
+  if (!head.addr_operands_ready()) {
+    stats_.add("addr_stall");
+    return;
+  }
+  const Addr ea = static_cast<Addr>(head.base.value) +
+                  (static_cast<Addr>(head.index.value) << inst.mem.scale_log2) +
+                  static_cast<Addr>(inst.mem.disp);
+
+  if (inst.is_sw_prefetch()) {
+    bool exclusive = inst.op == Opcode::kPrefetchEx;
+    if (prefetch_.offer_software(cache_.line_of(ea), exclusive, stats_)) {
+      host_.mem_completed(head.seq, 0, now);
+      ls_rs_.pop_front();
+    }
+    return;
+  }
+
+  if (inst.is_load()) {
+    if (load_q_.size() >= cfg_.core.ls_rs_entries) return;  // structural stall
+    LoadEntry e;
+    e.seq = head.seq;
+    e.pc = head.pc;
+    e.sync = inst.sync;
+    e.addr = ea;
+    e.ready_at = now;
+    load_q_.push_back(e);
+    ls_rs_.pop_front();
+    return;
+  }
+
+  // Store or RMW.
+  if (store_buf_.size() >= cfg_.core.store_buffer_entries) return;
+  const bool rmw_split = inst.is_rmw() && cfg_.core.speculative_loads &&
+                         cfg_.mem.coherence == CoherenceKind::kInvalidation;
+  // The Appendix-A split is mandatory once speculation is on: the
+  // read-exclusive's speculative-load-buffer entry is what makes later
+  // speculative loads wait (FIFO) for this acquire. Stall rather than
+  // silently skip it.
+  if (rmw_split && load_q_.size() >= cfg_.core.ls_rs_entries) return;
+  StoreEntry s;
+  s.seq = head.seq;
+  s.pc = head.pc;
+  s.inst = inst;
+  s.addr = ea;
+  s.data = head.data;
+  s.cmp = head.cmp;
+  s.sync = inst.sync;
+  s.is_rmw = inst.is_rmw();
+  s.ready_at = now;
+  store_buf_.push_back(s);
+  if (rmw_split) {
+    // Appendix A: split the RMW into a speculative read-exclusive load
+    // plus the buffered atomic operation.
+    LoadEntry le;
+    le.seq = head.seq;
+    le.pc = head.pc;
+    le.sync = inst.sync;
+    le.addr = ea;
+    le.is_rmw_read = true;
+    le.ready_at = now;
+    load_q_.push_back(le);
+  }
+  ls_rs_.pop_front();
+}
+
+IssueContext LoadStoreUnit::context_for(std::uint64_t seq, SyncKind self_sync) const {
+  IssueContext ctx;
+  ctx.self_sync = self_sync;
+  for (const LoadEntry& e : load_q_) {
+    if (e.seq >= seq) continue;
+    ctx.earlier_load_incomplete = true;
+    if (e.sync != SyncKind::kNone) ctx.earlier_sync_incomplete = true;
+    if (e.sync == SyncKind::kAcquire) ctx.earlier_acquire_incomplete = true;
+  }
+  for (const StoreEntry& e : store_buf_) {
+    if (e.seq >= seq) continue;
+    ctx.earlier_store_incomplete = true;
+    if (e.is_rmw) ctx.earlier_load_incomplete = true;  // an RMW reads too
+    if (e.sync != SyncKind::kNone) ctx.earlier_sync_incomplete = true;
+    if (e.sync == SyncKind::kAcquire) ctx.earlier_acquire_incomplete = true;
+  }
+  return ctx;
+}
+
+LoadStoreUnit::StoreEntry* LoadStoreUnit::forwarding_source(const LoadEntry& ld,
+                                                            bool& blocked) {
+  blocked = false;
+  for (auto it = store_buf_.rbegin(); it != store_buf_.rend(); ++it) {
+    if (it->seq >= ld.seq) continue;
+    if (it->addr != ld.addr) continue;
+    if (it->is_rmw || !it->data.ready) {
+      blocked = true;  // value unknown until the RMW performs / data arrives
+      return nullptr;
+    }
+    return &*it;
+  }
+  return nullptr;
+}
+
+void LoadStoreUnit::insert_spec_entry(const LoadEntry& ld, Cycle now) {
+  SpecLoadBuffer::Entry e;
+  e.seq = ld.seq;
+  e.addr = ld.addr;
+  e.line = cache_.line_of(ld.addr);
+  e.is_rmw_read = ld.is_rmw_read;
+  if (ld.is_rmw_read) {
+    e.acq = true;
+    e.store_tag = ld.seq;  // gated by its own buffered RMW (Appendix A)
+  } else {
+    e.acq = spec_load_treated_as_acquire(cfg_.model, ld.sync);
+    switch (spec_load_store_tag_rule(cfg_.model)) {
+      case StoreTagRule::kNone:
+        break;
+      case StoreTagRule::kAnyStore:
+        for (auto it = store_buf_.rbegin(); it != store_buf_.rend(); ++it) {
+          if (it->seq < ld.seq) {
+            e.store_tag = it->seq;
+            break;
+          }
+        }
+        break;
+      case StoreTagRule::kSyncStore:
+        for (auto it = store_buf_.rbegin(); it != store_buf_.rend(); ++it) {
+          if (it->seq < ld.seq && it->sync != SyncKind::kNone) {
+            e.store_tag = it->seq;
+            break;
+          }
+        }
+        break;
+    }
+    // An earlier incomplete RMW whose *read* side gates this load must
+    // also hold the entry: under PC every RMW (load->load order),
+    // under RC an acquire RMW. With the invalidation protocol the
+    // RMW's own read-exclusive entry sits ahead in the FIFO and covers
+    // this; under the update protocol there is no such entry, so the
+    // store tag must carry the dependence. (RMWs that gate this way
+    // issue serially under both models, so the newest one suffices.)
+    if (e.store_tag == SpecLoadBuffer::kNoTag) {
+      const bool gate_any_rmw = cfg_.model == ConsistencyModel::kPC;
+      const bool gate_acq_rmw = cfg_.model == ConsistencyModel::kRC;
+      if (gate_any_rmw || gate_acq_rmw) {
+        for (auto it = store_buf_.rbegin(); it != store_buf_.rend(); ++it) {
+          if (it->seq >= ld.seq || !it->is_rmw) continue;
+          if (gate_any_rmw || it->sync == SyncKind::kAcquire) {
+            e.store_tag = it->seq;
+            break;
+          }
+        }
+      }
+    }
+  }
+  spec_buffer_.insert(e);
+  stats_.add("spec_entries");
+  if (trace_)
+    trace_->log(now, id_, "slb",
+                "insert seq=" + std::to_string(e.seq) + " addr=" + std::to_string(e.addr) +
+                    " acq=" + (e.acq ? std::string("1") : std::string("0")));
+}
+
+void LoadStoreUnit::issue_load(LoadEntry& ld, Cycle now) {
+  const bool spec_mode = cfg_.core.speculative_loads;
+  if (!ld.is_rmw_read && !ld.reissue) {
+    bool blocked = false;
+    StoreEntry* src = forwarding_source(ld, blocked);
+    if (blocked) return;  // wait for the matching store's value
+    if (src != nullptr) {
+      // Store-to-load forwarding binds the load to our own store's
+      // value with NO coherence detection possible (the line need not
+      // even be cached), so it is only sound when the consistency
+      // model already allows the load to perform — never as a
+      // speculation. Otherwise the load waits: either the gate opens,
+      // or the store performs and the load re-checks via the cache.
+      if (spec_mode && !load_may_issue(cfg_.model, context_for(ld.seq, ld.sync))) {
+        stats_.add("forward_gated");
+        return;
+      }
+      local_completions_.push_back(LocalCompletion{ld.seq, src->data.value, now + 1});
+      ld.issued = true;
+      stats_.add("load_forwarded");
+      demand_issued_this_cycle_ = true;
+      return;
+    }
+  }
+  if (!cache_.port_free(now)) return;
+  const bool needs_entry = spec_mode && !ld.reissue;
+  if (needs_entry && spec_buffer_.full()) {
+    stats_.add("spec_buffer_full_stall");
+    return;
+  }
+  CacheRequest req;
+  req.op = ld.is_rmw_read ? CacheOp::kLoadEx : CacheOp::kLoad;
+  req.addr = ld.addr;
+  req.token = next_token_++;
+  ProbeResult r = cache_.probe(req, now);
+  if (r == ProbeResult::kRejected) {
+    --next_token_;
+    return;  // retry next cycle
+  }
+  tokens_[req.token] =
+      TokenInfo{ld.is_rmw_read ? TokenInfo::Kind::kLoadEx : TokenInfo::Kind::kLoad, ld.seq,
+                ld.gen};
+  if (ld.is_rmw_read) {
+    if (StoreEntry* st = find_store(ld.seq)) st->spec_read_issued = true;
+  }
+  demand_issued_this_cycle_ = true;
+  const bool was_reissue = ld.reissue;
+  ld.issued = true;
+  ld.reissue = false;
+  if (needs_entry) insert_spec_entry(ld, now);
+  stats_.add(was_reissue ? "load_reissued" : "load_issued");
+  if (trace_)
+    trace_->log(now, id_, "lq",
+                std::string(was_reissue ? "reissue" : "issue") + " seq=" +
+                    std::to_string(ld.seq) + " addr=" + std::to_string(ld.addr) +
+                    (ld.is_rmw_read ? " rmw-read" : ""));
+}
+
+void LoadStoreUnit::issue_store(StoreEntry& st, Cycle now) {
+  CacheRequest req;
+  req.addr = st.addr;
+  req.token = next_token_;
+  if (st.is_rmw) {
+    req.op = CacheOp::kRmw;
+    req.rmw_op = st.inst.rmw;
+    req.rmw_cmp = st.cmp.value;
+    req.rmw_src = st.data.value;
+  } else {
+    req.op = CacheOp::kStore;
+    req.store_value = st.data.value;
+  }
+  // An RMW whose Appendix-A speculative read-exclusive is still
+  // outstanding combines with it in the MSHR ("so that a duplicate
+  // request is not sent out", §3.2) — no tag-array port needed.
+  bool merged_free = false;
+  if (st.is_rmw && st.spec_read_issued && cache_.mshr_active(st.addr)) {
+    merged_free = cache_.merge_into_mshr(req);
+  }
+  if (!merged_free) {
+    if (!cache_.port_free(now)) return;
+    ProbeResult r = cache_.probe(req, now);
+    if (r == ProbeResult::kRejected) return;
+    demand_issued_this_cycle_ = true;
+  }
+  ++next_token_;
+  tokens_[req.token] = TokenInfo{
+      st.is_rmw ? TokenInfo::Kind::kRmw : TokenInfo::Kind::kStore, st.seq, 0};
+  st.issued = true;
+  stats_.add(st.is_rmw ? "rmw_issued" : "store_issued");
+  if (trace_)
+    trace_->log(now, id_, "sb",
+                "issue seq=" + std::to_string(st.seq) + " addr=" + std::to_string(st.addr));
+}
+
+void LoadStoreUnit::offer_prefetches(Cycle now) {
+  (void)now;
+  const bool rmw_split =
+      cfg_.core.speculative_loads && cfg_.mem.coherence == CoherenceKind::kInvalidation;
+  const bool spec_mode = cfg_.core.speculative_loads;
+  if (!prefetch_.enabled()) return;
+  // §3.2: prefetches are generated only for accesses that are being
+  // *delayed* — an access the model already allows will issue on its
+  // own and a prefetch for it would only burn the cache port.
+  if (!spec_mode) {
+    for (LoadEntry& e : load_q_) {
+      if (e.issued || e.offered || e.is_rmw_read) continue;
+      IssueContext ctx = context_for(e.seq, e.sync);
+      bool allowed = load_may_issue(cfg_.model, ctx);
+      if (allowed) continue;
+      if (prefetch_.offer(cache_.line_of(e.addr), /*exclusive=*/false, allowed, stats_))
+        e.offered = true;
+    }
+  }
+  for (StoreEntry& e : store_buf_) {
+    if (e.issued || e.offered) continue;
+    // Under speculative execution (invalidation protocol) an RMW's line
+    // is already being fetched exclusively by its Appendix-A read.
+    if (e.is_rmw && rmw_split) continue;
+    IssueContext ctx = context_for(e.seq, e.sync);
+    bool allowed = e.released && (e.is_rmw ? rmw_may_issue(cfg_.model, ctx)
+                                           : store_may_issue(cfg_.model, ctx));
+    if (allowed) continue;
+    if (prefetch_.offer(cache_.line_of(e.addr), /*exclusive=*/true, allowed, stats_))
+      e.offered = true;
+  }
+}
+
+void LoadStoreUnit::tick_issue(Cycle now) {
+  demand_issued_this_cycle_ = false;
+  const bool spec_mode = cfg_.core.speculative_loads;
+
+  // Pick issue candidates: the oldest actionable load and store.
+  LoadEntry* lcand = nullptr;
+  for (LoadEntry& e : load_q_) {
+    if (e.reissue || !e.issued) {
+      lcand = &e;
+      break;
+    }
+  }
+  if (lcand != nullptr && !lcand->reissue && !spec_mode) {
+    // Conventional enforcement: gate at the reservation-station/queue
+    // head until the consistency model allows the load to perform.
+    IssueContext ctx = context_for(lcand->seq, lcand->sync);
+    if (!load_may_issue(cfg_.model, ctx)) {
+      stats_.add("load_gated");
+      lcand = nullptr;
+    }
+  }
+
+  StoreEntry* scand = nullptr;
+  for (StoreEntry& e : store_buf_) {
+    if (!e.issued) {
+      scand = &e;
+      break;
+    }
+  }
+  if (scand != nullptr) {
+    bool ready = scand->released && scand->data.ready && scand->cmp.ready;
+    if (ready) {
+      IssueContext ctx = context_for(scand->seq, scand->sync);
+      ready = scand->is_rmw ? rmw_may_issue(cfg_.model, ctx)
+                            : store_may_issue(cfg_.model, ctx);
+      if (!ready) stats_.add("store_gated");
+    }
+    if (!ready) scand = nullptr;
+  }
+
+  // One demand access per cycle, oldest first. A tie is the Appendix-A
+  // RMW pair (the atomic and its own speculative read-exclusive carry
+  // the same seq): the speculative load goes first, so the merged
+  // waiters read the old value before the atomic rewrites it. An RMW
+  // that will combine into its own outstanding read-exclusive MSHR
+  // does not need the port and never displaces a load.
+  const bool store_merges_free = scand != nullptr && scand->is_rmw &&
+                                 scand->spec_read_issued &&
+                                 cache_.mshr_active(scand->addr);
+  if (lcand != nullptr && scand != nullptr && !store_merges_free) {
+    if (lcand->seq <= scand->seq)
+      scand = nullptr;
+    else
+      lcand = nullptr;
+  }
+  if (scand != nullptr && store_merges_free) issue_store(*scand, now);
+  if (lcand != nullptr) issue_load(*lcand, now);
+  if (scand != nullptr && !store_merges_free) issue_store(*scand, now);
+
+  offer_prefetches(now);
+  if (cache_.port_free(now)) prefetch_.drain(cache_, now, stats_);
+}
+
+bool LoadStoreUnit::erase_load(std::uint64_t seq) {
+  for (auto it = load_q_.begin(); it != load_q_.end(); ++it) {
+    if (it->seq == seq) {
+      load_q_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool LoadStoreUnit::erase_store(std::uint64_t seq) {
+  for (auto it = store_buf_.begin(); it != store_buf_.end(); ++it) {
+    if (it->seq == seq) {
+      store_buf_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+void LoadStoreUnit::record(std::uint64_t seq, std::size_t pc, Addr addr, AccessKind kind,
+                           SyncKind sync, Word value, Cycle now) {
+  if (!cfg_.record_accesses) return;
+  AccessRecord r;
+  r.seq = seq;
+  r.pc = pc;
+  r.addr = addr;
+  r.kind = kind;
+  r.sync = sync;
+  r.value = value;
+  r.performed_at = now;
+  records_.push_back(r);
+}
+
+std::vector<AccessRecord> LoadStoreUnit::access_log() const {
+  std::vector<AccessRecord> out = records_;
+  std::sort(out.begin(), out.end(),
+            [](const AccessRecord& a, const AccessRecord& b) { return a.seq < b.seq; });
+  return out;
+}
+
+void LoadStoreUnit::drain_responses(Cycle now) {
+  while (!local_completions_.empty() && local_completions_.front().ready_at <= now) {
+    LocalCompletion lc = local_completions_.front();
+    local_completions_.pop_front();
+    LoadEntry* le = find_load(lc.seq);
+    if (le == nullptr) continue;  // squashed
+    record(lc.seq, le->pc, le->addr, AccessKind::kLoad, le->sync, lc.value, now);
+    erase_load(lc.seq);
+    host_.mem_completed(lc.seq, lc.value, now);
+  }
+
+  CacheResponse r;
+  while (cache_.pop_response(now, r)) {
+    auto it = tokens_.find(r.token);
+    if (it == tokens_.end()) continue;
+    TokenInfo info = it->second;
+    tokens_.erase(it);
+    switch (info.kind) {
+      case TokenInfo::Kind::kLoad: {
+        LoadEntry* e = find_load(info.seq);
+        if (e == nullptr || e->gen != info.gen || !e->issued || e->reissue) {
+          stats_.add("response_dropped");
+          break;
+        }
+        record(info.seq, e->pc, e->addr, AccessKind::kLoad, e->sync, r.value, now);
+        stats_.sample("load_latency", now - e->ready_at);
+        erase_load(info.seq);
+        spec_buffer_.mark_done(info.seq, r.value);
+        host_.mem_completed(info.seq, r.value, now);
+        break;
+      }
+      case TokenInfo::Kind::kLoadEx: {
+        LoadEntry* e = find_load(info.seq);
+        if (e == nullptr || e->gen != info.gen || !e->issued || e->reissue) {
+          stats_.add("response_dropped");
+          break;
+        }
+        erase_load(info.seq);
+        spec_buffer_.mark_done(info.seq, r.value);
+        host_.rmw_spec_value(info.seq, r.value, now);
+        break;
+      }
+      case TokenInfo::Kind::kStore: {
+        StoreEntry* s = find_store(info.seq);
+        assert(s != nullptr && "issued stores are never squashed");
+        record(info.seq, s->pc, s->addr, AccessKind::kStore, s->sync, s->data.value, now);
+        stats_.sample("store_latency", now - s->ready_at);
+        erase_store(info.seq);
+        spec_buffer_.nullify_store_tag(info.seq);
+        host_.mem_completed(info.seq, 0, now);
+        if (trace_)
+          trace_->log(now, id_, "sb", "complete seq=" + std::to_string(info.seq));
+        break;
+      }
+      case TokenInfo::Kind::kRmw: {
+        StoreEntry* s = find_store(info.seq);
+        assert(s != nullptr && "issued RMWs are never squashed");
+        record(info.seq, s->pc, s->addr, AccessKind::kRmw, s->sync, r.value, now);
+        stats_.sample("rmw_latency", now - s->ready_at);
+        erase_store(info.seq);
+        // Drop a still-pending speculative read-exclusive for this RMW:
+        // its return value must be ignored once the atomic has issued.
+        erase_load(info.seq);
+        spec_buffer_.nullify_store_tag(info.seq);
+        spec_buffer_.mark_done(info.seq, r.value);
+        host_.mem_completed(info.seq, r.value, now);
+        if (trace_)
+          trace_->log(now, id_, "sb", "rmw complete seq=" + std::to_string(info.seq));
+        break;
+      }
+    }
+  }
+}
+
+void LoadStoreUnit::retire_spec_entries(Cycle now) {
+  std::vector<std::uint64_t> retired = spec_buffer_.retire_ready();
+  if (retired.empty()) return;
+  stats_.add("spec_retired", retired.size());
+  if (trace_) trace_->log(now, id_, "slb", "retired " + std::to_string(retired.size()));
+  if (cfg_.record_accesses) {
+    // Restamp loads to their retirement instant: that is when they
+    // stop being speculative, and coherence monitoring guarantees the
+    // value read still equals memory now — the sound serialization
+    // point for the sva analysis.
+    for (std::uint64_t seq : retired) {
+      for (AccessRecord& r : records_) {
+        if (r.seq == seq && r.kind == AccessKind::kLoad) r.performed_at = now;
+      }
+    }
+  }
+}
+
+void LoadStoreUnit::on_line_event(LineEventKind kind, Addr line, Cycle now) {
+  if (trace_)
+    trace_->log(now, id_, "coherence",
+                std::string(to_string(kind)) + " line=" + std::to_string(line));
+  if (spec_buffer_.empty()) return;
+  SpecLoadBuffer::MatchResult mr = spec_buffer_.on_line_event(kind, line);
+  for (std::uint64_t seq : mr.reissue) {
+    LoadEntry* e = find_load(seq);
+    if (e == nullptr || !e->issued) continue;
+    ++e->gen;  // the in-flight initial return value must be discarded
+    e->reissue = true;
+    spec_buffer_.mark_reissued(seq);
+    stats_.add("spec_reissue");
+    if (trace_) trace_->log(now, id_, "slb", "reissue seq=" + std::to_string(seq));
+  }
+  if (!mr.squash) return;
+
+  const SpecLoadBuffer::Entry* se = spec_buffer_.find(mr.squash_seq);
+  assert(se != nullptr);
+  if (se->is_rmw_read) {
+    // Appendix A: if the atomic has not been issued yet, discard the
+    // RMW and everything after it; if it has, only the computation
+    // following it (its value will come from the issued atomic).
+    StoreEntry* st = find_store(mr.squash_seq);
+    if (st != nullptr && !st->issued) {
+      stats_.add("spec_squash_rmw");
+      host_.request_squash_refetch(mr.squash_seq, now, "rmw speculative value invalidated");
+    } else {
+      spec_buffer_.mark_reissued(mr.squash_seq);
+      stats_.add("spec_squash_after_rmw");
+      host_.request_squash_refetch(mr.squash_seq + 1, now,
+                                   "computation after RMW invalidated");
+    }
+  } else {
+    stats_.add("spec_squash");
+    host_.request_squash_refetch(mr.squash_seq, now, "speculative load value invalidated");
+  }
+}
+
+void LoadStoreUnit::squash_from(std::uint64_t seq) {
+  while (!ls_rs_.empty() && ls_rs_.back().seq >= seq) ls_rs_.pop_back();
+  while (!load_q_.empty() && load_q_.back().seq >= seq) load_q_.pop_back();
+  while (!store_buf_.empty() && store_buf_.back().seq >= seq) {
+    assert(!store_buf_.back().issued && "issued stores are architecturally committed");
+    store_buf_.pop_back();
+  }
+  spec_buffer_.squash_from(seq);
+  for (auto it = local_completions_.begin(); it != local_completions_.end();) {
+    if (it->seq >= seq)
+      it = local_completions_.erase(it);
+    else
+      ++it;
+  }
+  // Completed-but-squashed speculative loads are architecturally void.
+  for (auto it = records_.begin(); it != records_.end();) {
+    if (it->seq >= seq)
+      it = records_.erase(it);
+    else
+      ++it;
+  }
+}
+
+std::string LoadStoreUnit::store_buffer_dump() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < store_buf_.size(); ++i) {
+    const StoreEntry& e = store_buf_[i];
+    os << "[seq=" << e.seq << (e.is_rmw ? " rmw" : " st") << " addr=0x" << std::hex
+       << e.addr << std::dec << (e.released ? " rel" : "") << (e.issued ? " issued" : "")
+       << "]";
+    if (i + 1 != store_buf_.size()) os << ' ';
+  }
+  return os.str();
+}
+
+}  // namespace mcsim

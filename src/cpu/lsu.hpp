@@ -1,0 +1,204 @@
+// Load/store unit (paper Figure 4): load/store reservation station,
+// address unit, store buffer with forwarding, load queue, the
+// speculative-load buffer (§4), and the prefetch engine (§3).
+//
+// This is where the consistency model is enforced: loads gate at the
+// head of the load queue with load_may_issue(); stores gate at the
+// store buffer (after the reorder buffer releases them at its head)
+// with store_may_issue(). With speculative loads enabled the load
+// gates disappear and the speculative-load buffer takes over
+// detection; with prefetching enabled, gated accesses get their lines
+// fetched early.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/access_record.hpp"
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "common/trace.hpp"
+#include "common/types.hpp"
+#include "coherence/cache.hpp"
+#include "consistency/policy.hpp"
+#include "consistency/prefetch_engine.hpp"
+#include "consistency/spec_load_buffer.hpp"
+#include "cpu/operand.hpp"
+#include "isa/instruction.hpp"
+
+namespace mcsim {
+
+/// Callbacks from the LSU into the core.
+class LsuHost {
+ public:
+  virtual ~LsuHost() = default;
+  /// A memory instruction performed. `value` is the load / RMW-old value.
+  virtual void mem_completed(std::uint64_t seq, Word value, Cycle now) = 0;
+  /// Appendix A: the speculative read-exclusive for an RMW returned a
+  /// value; the core may bind the RMW's destination speculatively.
+  virtual void rmw_spec_value(std::uint64_t seq, Word value, Cycle now) = 0;
+  /// §4.2 correction mechanism: squash `seq` and everything younger,
+  /// then refetch starting at `seq`'s instruction.
+  virtual void request_squash_refetch(std::uint64_t seq, Cycle now, const char* reason) = 0;
+};
+
+class LoadStoreUnit {
+ public:
+  LoadStoreUnit(ProcId id, const SystemConfig& cfg, CoherentCache& cache, LsuHost& host,
+                Trace* trace);
+
+  bool can_dispatch() const { return ls_rs_.size() < cfg_.core.ls_rs_entries; }
+
+  /// Decode handed us a memory instruction (load/store/RMW/fence/
+  /// software prefetch) with renamed operands.
+  void dispatch(std::uint64_t seq, std::size_t pc, const Instruction& inst, Operand base,
+                Operand index, Operand data, Operand cmp);
+
+  /// A producer completed; wake any operands waiting on it.
+  void on_producer_ready(std::uint64_t producer_seq, Word value);
+
+  /// The reorder buffer reached this store/RMW at its head (precise
+  /// interrupts): the store buffer may now issue it.
+  void release_store(std::uint64_t seq);
+
+  /// Is the store's address translated (entry left the reservation
+  /// station)? The ROB retires stores only once this holds.
+  bool store_in_buffer(std::uint64_t seq) const;
+
+  /// May the ROB retire this load/RMW? True once its speculative-load
+  /// buffer entry (if any) has retired — a load with a live entry is
+  /// still speculative and must stay squashable.
+  bool load_retirable(std::uint64_t seq) const;
+
+  /// Stage A (before commit): the address unit routes the reservation-
+  /// station head to the load queue / store buffer; fences resolve.
+  void tick_addr_unit(Cycle now);
+
+  /// Stage B (after commit/execute/dispatch): issue at most one demand
+  /// access (oldest-first among ready loads and stores), offer delayed
+  /// accesses to the prefetch engine, drain one prefetch if the port is
+  /// still free.
+  void tick_issue(Cycle now);
+
+  /// Route cache responses to completions. Call first each cycle.
+  void drain_responses(Cycle now);
+
+  /// Retire ready speculative-load buffer entries (call before commit).
+  void retire_spec_entries(Cycle now);
+
+  /// Coherence transaction seen by the cache (invalidate/update/replace).
+  void on_line_event(LineEventKind kind, Addr line, Cycle now);
+
+  /// Pipeline squash: drop every entry with seq >= `seq`.
+  void squash_from(std::uint64_t seq);
+
+  bool empty() const {
+    return ls_rs_.empty() && load_q_.empty() && store_buf_.empty() && spec_buffer_.empty();
+  }
+
+  const SpecLoadBuffer& spec_buffer() const { return spec_buffer_; }
+  const PrefetchEngine& prefetch_engine() const { return prefetch_; }
+
+  /// Architectural access log (cfg.record_accesses), program order.
+  std::vector<AccessRecord> access_log() const;
+
+  /// Figure-5 renderings.
+  std::string store_buffer_dump() const;
+  std::string spec_buffer_dump() const { return spec_buffer_.dump(); }
+
+  const StatSet& stats() const { return stats_; }
+  StatSet& stats() { return stats_; }
+
+ private:
+  struct RsEntry {  // load/store reservation station
+    std::uint64_t seq = 0;
+    std::size_t pc = 0;
+    Instruction inst;
+    Operand base, index, data, cmp;
+    bool addr_operands_ready() const { return base.ready && index.ready; }
+  };
+
+  struct LoadEntry {
+    std::uint64_t seq = 0;
+    std::size_t pc = 0;
+    SyncKind sync = SyncKind::kNone;
+    Addr addr = 0;
+    bool is_rmw_read = false;  ///< Appendix A speculative read-exclusive
+    bool issued = false;
+    bool reissue = false;      ///< detection asked for a reissue
+    bool offered = false;      ///< already offered to the prefetch engine
+    std::uint32_t gen = 0;     ///< bumped to drop a stale in-flight value
+    Cycle ready_at = 0;        ///< when the address became available
+  };
+
+  struct StoreEntry {
+    std::uint64_t seq = 0;
+    std::size_t pc = 0;
+    Instruction inst;
+    Addr addr = 0;
+    Operand data, cmp;  ///< store value / RMW src, RMW compare
+    SyncKind sync = SyncKind::kNone;
+    bool is_rmw = false;
+    bool released = false;
+    bool issued = false;
+    bool offered = false;
+    bool spec_read_issued = false;  ///< Appendix-A read-exclusive in flight
+    Cycle ready_at = 0;             ///< when the address became available
+  };
+
+  struct TokenInfo {
+    enum class Kind : std::uint8_t { kLoad, kLoadEx, kStore, kRmw };
+    Kind kind = Kind::kLoad;
+    std::uint64_t seq = 0;
+    std::uint32_t gen = 0;
+  };
+
+  struct LocalCompletion {  ///< store-to-load forwarding result
+    std::uint64_t seq = 0;
+    Word value = 0;
+    Cycle ready_at = 0;
+  };
+
+  IssueContext context_for(std::uint64_t seq, SyncKind self_sync) const;
+  LoadEntry* find_load(std::uint64_t seq);
+  StoreEntry* find_store(std::uint64_t seq);
+  const StoreEntry* find_store(std::uint64_t seq) const;
+  bool erase_load(std::uint64_t seq);
+  bool erase_store(std::uint64_t seq);
+  void record(std::uint64_t seq, std::size_t pc, Addr addr, AccessKind kind, SyncKind sync,
+              Word value, Cycle now);
+
+  /// Newest earlier store to the same word, for forwarding. Returns
+  /// nullptr when none; `blocked` is set when an RMW matches (no
+  /// forwarding possible — the old value is unknown until it performs).
+  StoreEntry* forwarding_source(const LoadEntry& ld, bool& blocked);
+
+  void issue_load(LoadEntry& ld, Cycle now);
+  void issue_store(StoreEntry& st, Cycle now);
+  void insert_spec_entry(const LoadEntry& ld, Cycle now);
+  void offer_prefetches(Cycle now);
+
+  ProcId id_;
+  const SystemConfig& cfg_;
+  CoherentCache& cache_;
+  LsuHost& host_;
+  Trace* trace_;
+
+  std::deque<RsEntry> ls_rs_;
+  std::deque<LoadEntry> load_q_;
+  std::deque<StoreEntry> store_buf_;
+  SpecLoadBuffer spec_buffer_;
+  PrefetchEngine prefetch_;
+  std::map<std::uint64_t, TokenInfo> tokens_;
+  std::deque<LocalCompletion> local_completions_;
+  std::uint64_t next_token_ = 1;
+  bool demand_issued_this_cycle_ = false;
+  std::vector<AccessRecord> records_;
+
+  StatSet stats_;
+};
+
+}  // namespace mcsim

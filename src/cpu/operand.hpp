@@ -1,0 +1,28 @@
+// A renamed source operand: either a ready value or a tag naming the
+// dynamic instruction (seq) that will produce it.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace mcsim {
+
+struct Operand {
+  bool ready = true;
+  Word value = 0;
+  std::uint64_t tag = 0;  ///< producer seq; meaningful only when !ready
+
+  static Operand immediate(Word v) { return Operand{true, v, 0}; }
+  static Operand tagged(std::uint64_t producer) { return Operand{false, 0, producer}; }
+
+  /// Producer `producer` completed with `v`; capture it if we were waiting.
+  void wake(std::uint64_t producer, Word v) {
+    if (!ready && tag == producer) {
+      ready = true;
+      value = v;
+    }
+  }
+};
+
+}  // namespace mcsim

@@ -1,0 +1,56 @@
+#include "interconnect/network.hpp"
+
+#include <cassert>
+
+namespace mcsim {
+
+Network::Network(std::uint32_t endpoints, std::uint32_t latency, std::uint32_t deliver_bw)
+    : latency_(latency), deliver_bw_(deliver_bw), inboxes_(endpoints), stats_("net") {
+  assert(endpoints >= 2);
+  assert(latency >= 1);
+}
+
+void Network::send(Message msg, Cycle now, std::uint32_t extra_delay) {
+  assert(msg.dst < inboxes_.size());
+  stats_.add("messages_sent");
+  stats_.add(std::string("sent.") + to_string(msg.type));
+  in_flight_.push(InFlight{now + latency_ + extra_delay, next_seq_++, std::move(msg)});
+}
+
+void Network::deliver(Cycle now) {
+  std::vector<std::uint32_t> delivered(inboxes_.size(), 0);
+  // Bandwidth-limited endpoints leave excess messages queued; they are
+  // re-examined next cycle (deliver_at is in the past then, still pops
+  // first by priority order).
+  std::vector<InFlight> deferred;
+  while (!in_flight_.empty() && in_flight_.top().deliver_at <= now) {
+    InFlight f = in_flight_.top();
+    in_flight_.pop();
+    if (deliver_bw_ != 0 && delivered[f.msg.dst] >= deliver_bw_) {
+      deferred.push_back(std::move(f));
+      continue;
+    }
+    ++delivered[f.msg.dst];
+    inboxes_[f.msg.dst].push_back(std::move(f.msg));
+    stats_.add("messages_delivered");
+  }
+  for (InFlight& f : deferred) in_flight_.push(std::move(f));
+}
+
+bool Network::recv(EndpointId ep, Message& out) {
+  auto& box = inboxes_.at(ep);
+  if (box.empty()) return false;
+  out = std::move(box.front());
+  box.pop_front();
+  return true;
+}
+
+bool Network::idle() const {
+  if (!in_flight_.empty()) return false;
+  for (const auto& box : inboxes_) {
+    if (!box.empty()) return false;
+  }
+  return true;
+}
+
+}  // namespace mcsim

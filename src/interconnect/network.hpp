@@ -1,0 +1,68 @@
+// Deterministic interconnect: point-to-point messages with a fixed
+// one-way latency and optional per-endpoint delivery bandwidth.
+//
+// Delivery between any ordered pair of endpoints is FIFO (fixed
+// latency + stable sequence tie-break), which the coherence protocol
+// relies on: a directory reply never overtakes a later invalidation
+// for the same line.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <queue>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "interconnect/message.hpp"
+
+namespace mcsim {
+
+class Network {
+ public:
+  /// `endpoints` = number of processors + 1 (the directory).
+  /// `deliver_bw` caps messages delivered per endpoint per cycle
+  /// (0 = unlimited, the paper's assumption).
+  Network(std::uint32_t endpoints, std::uint32_t latency, std::uint32_t deliver_bw = 0);
+
+  static EndpointId directory_endpoint(std::uint32_t num_procs) { return num_procs; }
+
+  std::uint32_t latency() const { return latency_; }
+
+  /// Inject a message at cycle `now`; it becomes visible to the
+  /// destination's inbox at `now + latency + extra_delay`. The
+  /// directory uses `extra_delay` to model its service time.
+  void send(Message msg, Cycle now, std::uint32_t extra_delay = 0);
+
+  /// Move messages whose delivery time has arrived into per-endpoint
+  /// inboxes. Call once per cycle before endpoints tick.
+  void deliver(Cycle now);
+
+  /// Drain one delivered message for `ep`; returns false when empty.
+  bool recv(EndpointId ep, Message& out);
+
+  bool idle() const;  ///< no messages in flight or undelivered
+
+  const StatSet& stats() const { return stats_; }
+  StatSet& stats() { return stats_; }
+
+ private:
+  struct InFlight {
+    Cycle deliver_at;
+    std::uint64_t seq;  ///< injection order, for deterministic ties
+    Message msg;
+    bool operator>(const InFlight& o) const {
+      if (deliver_at != o.deliver_at) return deliver_at > o.deliver_at;
+      return seq > o.seq;
+    }
+  };
+
+  std::uint32_t latency_;
+  std::uint32_t deliver_bw_;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<InFlight, std::vector<InFlight>, std::greater<InFlight>> in_flight_;
+  std::vector<std::deque<Message>> inboxes_;
+  StatSet stats_;
+};
+
+}  // namespace mcsim

@@ -1,0 +1,382 @@
+#include "isa/assembler.hpp"
+
+#include <cctype>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "isa/builder.hpp"
+
+namespace mcsim {
+
+namespace {
+
+struct Token {
+  std::string text;
+};
+
+std::string strip(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+std::string lower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+/// Split an operand list on commas (brackets protect their contents).
+std::vector<std::string> split_operands(const std::string& s, std::size_t line) {
+  std::vector<std::string> out;
+  std::string cur;
+  int depth = 0;
+  for (char c : s) {
+    if (c == '[') ++depth;
+    if (c == ']') {
+      --depth;
+      if (depth < 0) throw AsmError(line, "unbalanced ']'");
+    }
+    if (c == ',' && depth == 0) {
+      out.push_back(strip(cur));
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (depth != 0) throw AsmError(line, "unbalanced '['");
+  std::string last = strip(cur);
+  if (!last.empty()) out.push_back(last);
+  return out;
+}
+
+class Assembler {
+ public:
+  explicit Assembler(const std::string& source) : source_(source) {}
+
+  Program run() {
+    std::size_t pos = 0, line_no = 0;
+    while (pos <= source_.size()) {
+      std::size_t nl = source_.find('\n', pos);
+      std::string raw = source_.substr(pos, nl == std::string::npos ? nl : nl - pos);
+      pos = nl == std::string::npos ? source_.size() + 1 : nl + 1;
+      ++line_no;
+      parse_line(raw, line_no);
+    }
+    try {
+      return builder_.build();
+    } catch (const std::runtime_error& e) {
+      throw AsmError(line_no, e.what());  // e.g. undefined branch label
+    }
+  }
+
+ private:
+  void parse_line(std::string text, std::size_t line) {
+    // Strip comments.
+    for (char marker : {';', '#'}) {
+      std::size_t c = text.find(marker);
+      if (c != std::string::npos) text = text.substr(0, c);
+    }
+    text = strip(text);
+    if (text.empty()) return;
+
+    // Labels (possibly followed by an instruction on the same line).
+    std::size_t colon = text.find(':');
+    if (colon != std::string::npos && text.find('[') > colon) {
+      std::string name = strip(text.substr(0, colon));
+      if (name.empty() || !is_identifier(name)) throw AsmError(line, "bad label name");
+      try {
+        builder_.label(name);
+      } catch (const std::runtime_error& e) {
+        throw AsmError(line, e.what());
+      }
+      parse_line(text.substr(colon + 1), line);
+      return;
+    }
+
+    // Mnemonic and operands.
+    std::size_t sp = text.find_first_of(" \t");
+    std::string mn = lower(sp == std::string::npos ? text : text.substr(0, sp));
+    std::string rest = sp == std::string::npos ? "" : strip(text.substr(sp));
+    std::vector<std::string> ops = split_operands(rest, line);
+
+    if (mn == ".sym") {
+      auto parts = split_space(rest, line, 2);
+      symbols_[parts[0]] = static_cast<Addr>(parse_number(parts[1], line));
+      builder_.symbol(parts[0], static_cast<Addr>(parse_number(parts[1], line)));
+      return;
+    }
+    if (mn == ".data") {
+      auto parts = split_space(rest, line, 2);
+      builder_.data(static_cast<Addr>(parse_number(parts[0], line)),
+                    static_cast<Word>(parse_number(parts[1], line)));
+      return;
+    }
+
+    emit(mn, ops, line);
+  }
+
+  static bool is_identifier(const std::string& s) {
+    if (s.empty() || std::isdigit(static_cast<unsigned char>(s[0]))) return false;
+    for (char c : s) {
+      if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') return false;
+    }
+    return true;
+  }
+
+  std::vector<std::string> split_space(const std::string& s, std::size_t line,
+                                       std::size_t expect) {
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : s + " ") {
+      if (c == ' ' || c == '\t') {
+        if (!cur.empty()) out.push_back(cur);
+        cur.clear();
+      } else {
+        cur.push_back(c);
+      }
+    }
+    if (out.size() != expect) throw AsmError(line, "expected " + std::to_string(expect) + " fields");
+    return out;
+  }
+
+  std::int64_t parse_number(const std::string& s, std::size_t line) {
+    if (s.empty()) throw AsmError(line, "empty number");
+    auto it = symbols_.find(s);
+    if (it != symbols_.end()) return static_cast<std::int64_t>(it->second);
+    try {
+      std::size_t used = 0;
+      long long v = std::stoll(s, &used, 0);  // handles 0x..., decimal, negative
+      if (used != s.size()) throw AsmError(line, "bad number: " + s);
+      return v;
+    } catch (const AsmError&) {
+      throw;
+    } catch (const std::exception&) {
+      throw AsmError(line, "bad number or unknown symbol: " + s);
+    }
+  }
+
+  RegId parse_reg(const std::string& s, std::size_t line) {
+    if (s.size() < 2 || (s[0] != 'r' && s[0] != 'R'))
+      throw AsmError(line, "expected register, got: " + s);
+    std::int64_t n = parse_number(s.substr(1), line);
+    if (n < 0 || n >= static_cast<std::int64_t>(kNumArchRegs))
+      throw AsmError(line, "register out of range: " + s);
+    return static_cast<RegId>(n);
+  }
+
+  static bool looks_like_reg(const std::string& s) {
+    return s.size() >= 2 && (s[0] == 'r' || s[0] == 'R') &&
+           std::isdigit(static_cast<unsigned char>(s[1]));
+  }
+
+  /// Parse "[...]" into a MemOperand: terms separated by '+', each a
+  /// register (first = base, second = index, optionally "<< k") or a
+  /// displacement number/symbol.
+  MemOperand parse_mem(const std::string& s, std::size_t line) {
+    if (s.size() < 2 || s.front() != '[' || s.back() != ']')
+      throw AsmError(line, "expected memory operand [..], got: " + s);
+    std::string inner = strip(s.substr(1, s.size() - 2));
+    MemOperand m;
+    bool have_base = false, have_index = false;
+    std::size_t pos = 0;
+    while (pos < inner.size()) {
+      std::size_t plus = inner.find('+', pos);
+      std::string term = strip(inner.substr(pos, plus == std::string::npos
+                                                     ? std::string::npos
+                                                     : plus - pos));
+      pos = plus == std::string::npos ? inner.size() : plus + 1;
+      if (term.empty()) throw AsmError(line, "empty term in memory operand");
+      std::size_t shift = term.find("<<");
+      if (shift != std::string::npos) {
+        std::string rpart = strip(term.substr(0, shift));
+        std::int64_t k = parse_number(strip(term.substr(shift + 2)), line);
+        if (k < 0 || k > 31) throw AsmError(line, "bad shift in memory operand");
+        if (have_index) throw AsmError(line, "two index registers");
+        m.index = parse_reg(rpart, line);
+        m.scale_log2 = static_cast<std::uint8_t>(k);
+        have_index = true;
+      } else if (looks_like_reg(term)) {
+        if (!have_base) {
+          m.base = parse_reg(term, line);
+          have_base = true;
+        } else if (!have_index) {
+          m.index = parse_reg(term, line);
+          have_index = true;
+        } else {
+          throw AsmError(line, "too many registers in memory operand");
+        }
+      } else {
+        m.disp += parse_number(term, line);
+      }
+    }
+    return m;
+  }
+
+  void need(const std::vector<std::string>& ops, std::size_t n, std::size_t line,
+            const std::string& mn) {
+    if (ops.size() != n)
+      throw AsmError(line, mn + " expects " + std::to_string(n) + " operands, got " +
+                               std::to_string(ops.size()));
+  }
+
+  void emit(const std::string& mn_full, const std::vector<std::string>& ops,
+            std::size_t line) {
+    // Split optional suffixes: ld.acq, st.rel, beq.t, bne.nt ...
+    std::string mn = mn_full, suffix;
+    std::size_t dot = mn_full.find('.');
+    if (dot != std::string::npos) {
+      mn = mn_full.substr(0, dot);
+      suffix = mn_full.substr(dot + 1);
+    }
+    auto hint = [&]() {
+      if (suffix == "t") return BranchHint::kTaken;
+      if (suffix == "nt") return BranchHint::kNotTaken;
+      if (!suffix.empty()) throw AsmError(line, "bad branch suffix ." + suffix);
+      return BranchHint::kNone;
+    };
+
+    if (mn == "nop") { builder_.nop(); return; }
+    if (mn == "halt") { builder_.halt(); return; }
+    if (mn == "fence") { builder_.fence(); return; }
+
+    if (mn == "li") {
+      need(ops, 2, line, mn);
+      builder_.addi(parse_reg(ops[0], line), 0, parse_number(ops[1], line));
+      return;
+    }
+    if (mn == "mov") {
+      need(ops, 2, line, mn);
+      builder_.mov(parse_reg(ops[0], line), parse_reg(ops[1], line));
+      return;
+    }
+    if (mn == "addi" || mn == "andi" || mn == "ori" || mn == "xori" || mn == "slti") {
+      need(ops, 3, line, mn);
+      Instruction i;
+      i.op = mn == "addi"   ? Opcode::kAddi
+             : mn == "andi" ? Opcode::kAndi
+             : mn == "ori"  ? Opcode::kOri
+             : mn == "xori" ? Opcode::kXori
+                            : Opcode::kSlti;
+      // Route through the builder to keep a single emission path.
+      if (i.op == Opcode::kAddi) {
+        builder_.addi(parse_reg(ops[0], line), parse_reg(ops[1], line),
+                      parse_number(ops[2], line));
+      } else {
+        Instruction raw;
+        raw.op = i.op;
+        raw.rd = parse_reg(ops[0], line);
+        raw.rs1 = parse_reg(ops[1], line);
+        raw.imm = parse_number(ops[2], line);
+        builder_.raw(raw);
+      }
+      return;
+    }
+
+    static const std::map<std::string, Opcode> kRRR = {
+        {"add", Opcode::kAdd}, {"sub", Opcode::kSub}, {"and", Opcode::kAnd},
+        {"or", Opcode::kOr},   {"xor", Opcode::kXor}, {"slt", Opcode::kSlt},
+        {"sltu", Opcode::kSltu}, {"mul", Opcode::kMul}, {"shl", Opcode::kShl},
+        {"shr", Opcode::kShr}};
+    if (auto it = kRRR.find(mn); it != kRRR.end()) {
+      need(ops, 3, line, mn);
+      Instruction raw;
+      raw.op = it->second;
+      raw.rd = parse_reg(ops[0], line);
+      raw.rs1 = parse_reg(ops[1], line);
+      raw.rs2 = parse_reg(ops[2], line);
+      builder_.raw(raw);
+      return;
+    }
+
+    if (mn == "ld") {
+      need(ops, 2, line, mn);
+      if (suffix == "acq")
+        builder_.load_acq(parse_reg(ops[0], line), parse_mem(ops[1], line));
+      else if (suffix.empty())
+        builder_.load(parse_reg(ops[0], line), parse_mem(ops[1], line));
+      else
+        throw AsmError(line, "bad load suffix ." + suffix);
+      return;
+    }
+    if (mn == "st") {
+      need(ops, 2, line, mn);
+      if (suffix == "rel")
+        builder_.store_rel(parse_reg(ops[0], line), parse_mem(ops[1], line));
+      else if (suffix.empty())
+        builder_.store(parse_reg(ops[0], line), parse_mem(ops[1], line));
+      else
+        throw AsmError(line, "bad store suffix ." + suffix);
+      return;
+    }
+    if (mn == "tas") {
+      need(ops, 2, line, mn);
+      builder_.tas(parse_reg(ops[0], line), parse_mem(ops[1], line));
+      return;
+    }
+    if (mn == "fadd") {
+      need(ops, 3, line, mn);
+      builder_.fetch_add(parse_reg(ops[0], line), parse_mem(ops[1], line),
+                         parse_reg(ops[2], line));
+      return;
+    }
+    if (mn == "swap") {
+      need(ops, 3, line, mn);
+      builder_.swap(parse_reg(ops[0], line), parse_mem(ops[1], line),
+                    parse_reg(ops[2], line));
+      return;
+    }
+    if (mn == "cas") {
+      need(ops, 4, line, mn);
+      builder_.cas(parse_reg(ops[0], line), parse_mem(ops[1], line),
+                   parse_reg(ops[2], line), parse_reg(ops[3], line));
+      return;
+    }
+    if (mn == "pf") {
+      need(ops, 1, line, mn);
+      builder_.prefetch(parse_mem(ops[0], line));
+      return;
+    }
+    if (mn == "pfx") {
+      need(ops, 1, line, mn);
+      builder_.prefetch_ex(parse_mem(ops[0], line));
+      return;
+    }
+
+    if (mn == "beq" || mn == "bne" || mn == "blt" || mn == "bge") {
+      need(ops, 3, line, mn);
+      RegId a = parse_reg(ops[0], line);
+      RegId b = parse_reg(ops[1], line);
+      const std::string& target = ops[2];
+      if (!is_identifier(target)) throw AsmError(line, "branch target must be a label");
+      BranchHint h = hint();
+      if (mn == "beq") builder_.beq(a, b, target, h);
+      if (mn == "bne") builder_.bne(a, b, target, h);
+      if (mn == "blt") builder_.blt(a, b, target, h);
+      if (mn == "bge") builder_.bge(a, b, target, h);
+      return;
+    }
+    if (mn == "jmp") {
+      need(ops, 1, line, mn);
+      if (!is_identifier(ops[0])) throw AsmError(line, "jmp target must be a label");
+      builder_.jmp(ops[0]);
+      return;
+    }
+
+    throw AsmError(line, "unknown mnemonic: " + mn_full);
+  }
+
+  std::string source_;
+  ProgramBuilder builder_;
+  std::map<std::string, Addr> symbols_;
+};
+
+}  // namespace
+
+Program assemble(const std::string& source) {
+  Assembler a(source);
+  return a.run();
+}
+
+}  // namespace mcsim

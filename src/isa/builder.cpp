@@ -1,0 +1,233 @@
+#include "isa/builder.hpp"
+
+#include <stdexcept>
+
+namespace mcsim {
+
+ProgramBuilder& ProgramBuilder::emit(Instruction inst) {
+  insts_.push_back(inst);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::label(const std::string& name) {
+  if (!labels_.emplace(name, insts_.size()).second)
+    throw std::runtime_error("duplicate label: " + name);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::branch(Opcode op, RegId a, RegId b,
+                                       const std::string& target, BranchHint hint) {
+  Instruction i;
+  i.op = op;
+  i.rs1 = a;
+  i.rs2 = b;
+  i.hint = hint;
+  fixups_.push_back({insts_.size(), target});
+  return emit(i);
+}
+
+ProgramBuilder& ProgramBuilder::beq(RegId a, RegId b, const std::string& t, BranchHint h) {
+  return branch(Opcode::kBeq, a, b, t, h);
+}
+ProgramBuilder& ProgramBuilder::bne(RegId a, RegId b, const std::string& t, BranchHint h) {
+  return branch(Opcode::kBne, a, b, t, h);
+}
+ProgramBuilder& ProgramBuilder::blt(RegId a, RegId b, const std::string& t, BranchHint h) {
+  return branch(Opcode::kBlt, a, b, t, h);
+}
+ProgramBuilder& ProgramBuilder::bge(RegId a, RegId b, const std::string& t, BranchHint h) {
+  return branch(Opcode::kBge, a, b, t, h);
+}
+ProgramBuilder& ProgramBuilder::jmp(const std::string& t) {
+  return branch(Opcode::kJmp, 0, 0, t, BranchHint::kNone);
+}
+
+ProgramBuilder& ProgramBuilder::addi(RegId rd, RegId rs1, std::int64_t imm) {
+  Instruction i;
+  i.op = Opcode::kAddi;
+  i.rd = rd;
+  i.rs1 = rs1;
+  i.imm = imm;
+  return emit(i);
+}
+
+namespace {
+Instruction rrr(Opcode op, RegId rd, RegId rs1, RegId rs2) {
+  Instruction i;
+  i.op = op;
+  i.rd = rd;
+  i.rs1 = rs1;
+  i.rs2 = rs2;
+  return i;
+}
+}  // namespace
+
+ProgramBuilder& ProgramBuilder::add(RegId rd, RegId a, RegId b) { return emit(rrr(Opcode::kAdd, rd, a, b)); }
+ProgramBuilder& ProgramBuilder::sub(RegId rd, RegId a, RegId b) { return emit(rrr(Opcode::kSub, rd, a, b)); }
+ProgramBuilder& ProgramBuilder::and_(RegId rd, RegId a, RegId b) { return emit(rrr(Opcode::kAnd, rd, a, b)); }
+ProgramBuilder& ProgramBuilder::or_(RegId rd, RegId a, RegId b) { return emit(rrr(Opcode::kOr, rd, a, b)); }
+ProgramBuilder& ProgramBuilder::xor_(RegId rd, RegId a, RegId b) { return emit(rrr(Opcode::kXor, rd, a, b)); }
+ProgramBuilder& ProgramBuilder::slt(RegId rd, RegId a, RegId b) { return emit(rrr(Opcode::kSlt, rd, a, b)); }
+ProgramBuilder& ProgramBuilder::mul(RegId rd, RegId a, RegId b) { return emit(rrr(Opcode::kMul, rd, a, b)); }
+ProgramBuilder& ProgramBuilder::shl(RegId rd, RegId a, RegId b) { return emit(rrr(Opcode::kShl, rd, a, b)); }
+ProgramBuilder& ProgramBuilder::nop() { return emit(Instruction{}); }
+
+ProgramBuilder& ProgramBuilder::raw(const Instruction& inst) { return emit(inst); }
+
+ProgramBuilder& ProgramBuilder::load(RegId rd, MemOperand m) {
+  Instruction i;
+  i.op = Opcode::kLoad;
+  i.rd = rd;
+  i.mem = m;
+  return emit(i);
+}
+
+ProgramBuilder& ProgramBuilder::load_acq(RegId rd, MemOperand m) {
+  Instruction i;
+  i.op = Opcode::kLoad;
+  i.rd = rd;
+  i.mem = m;
+  i.sync = SyncKind::kAcquire;
+  return emit(i);
+}
+
+ProgramBuilder& ProgramBuilder::store(RegId rs2, MemOperand m) {
+  Instruction i;
+  i.op = Opcode::kStore;
+  i.rs2 = rs2;
+  i.mem = m;
+  return emit(i);
+}
+
+ProgramBuilder& ProgramBuilder::store_rel(RegId rs2, MemOperand m) {
+  Instruction i;
+  i.op = Opcode::kStore;
+  i.rs2 = rs2;
+  i.mem = m;
+  i.sync = SyncKind::kRelease;
+  return emit(i);
+}
+
+ProgramBuilder& ProgramBuilder::tas(RegId rd, MemOperand m, SyncKind sync) {
+  Instruction i;
+  i.op = Opcode::kRmw;
+  i.rmw = RmwOp::kTestAndSet;
+  i.rd = rd;
+  i.mem = m;
+  i.sync = sync;
+  return emit(i);
+}
+
+ProgramBuilder& ProgramBuilder::fetch_add(RegId rd, MemOperand m, RegId addend, SyncKind sync) {
+  Instruction i;
+  i.op = Opcode::kRmw;
+  i.rmw = RmwOp::kFetchAdd;
+  i.rd = rd;
+  i.rs2 = addend;
+  i.mem = m;
+  i.sync = sync;
+  return emit(i);
+}
+
+ProgramBuilder& ProgramBuilder::swap(RegId rd, MemOperand m, RegId src, SyncKind sync) {
+  Instruction i;
+  i.op = Opcode::kRmw;
+  i.rmw = RmwOp::kSwap;
+  i.rd = rd;
+  i.rs2 = src;
+  i.mem = m;
+  i.sync = sync;
+  return emit(i);
+}
+
+ProgramBuilder& ProgramBuilder::cas(RegId rd, MemOperand m, RegId cmp, RegId newval,
+                                    SyncKind sync) {
+  Instruction i;
+  i.op = Opcode::kRmw;
+  i.rmw = RmwOp::kCompareSwap;
+  i.rd = rd;
+  i.rs1 = cmp;
+  i.rs2 = newval;
+  i.mem = m;
+  i.sync = sync;
+  return emit(i);
+}
+
+ProgramBuilder& ProgramBuilder::prefetch(MemOperand m) {
+  Instruction i;
+  i.op = Opcode::kPrefetch;
+  i.mem = m;
+  return emit(i);
+}
+
+ProgramBuilder& ProgramBuilder::prefetch_ex(MemOperand m) {
+  Instruction i;
+  i.op = Opcode::kPrefetchEx;
+  i.mem = m;
+  return emit(i);
+}
+
+ProgramBuilder& ProgramBuilder::fence() {
+  Instruction i;
+  i.op = Opcode::kFence;
+  return emit(i);
+}
+
+ProgramBuilder& ProgramBuilder::halt() {
+  Instruction i;
+  i.op = Opcode::kHalt;
+  return emit(i);
+}
+
+ProgramBuilder& ProgramBuilder::lock(Addr lock_addr, RegId scratch) {
+  // The paper's lock idiom: test&set until it returns 0, with the
+  // branch predicted to fall through (lock succeeds).
+  std::string l = "__lock_" + std::to_string(insts_.size());
+  label(l);
+  tas(scratch, abs(lock_addr), SyncKind::kAcquire);
+  bne(scratch, 0, l, BranchHint::kNotTaken);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::unlock(Addr lock_addr) {
+  return store_rel(0, abs(lock_addr));
+}
+
+ProgramBuilder& ProgramBuilder::spin_until_eq(Addr flag_addr, Word value, RegId scratch,
+                                              RegId scratch2) {
+  // Spin-waits predict "keep spinning" (taken): unlike a lock — where
+  // the paper assumes success — a flag wait is usually not yet
+  // satisfied, and predicting exit would speculate the code after the
+  // loop on every iteration, flooding the memory system with wrong-path
+  // requests that steal ownership from the producer.
+  std::string l = "__spin_" + std::to_string(insts_.size());
+  li(scratch2, value);
+  label(l);
+  load_acq(scratch, abs(flag_addr));
+  bne(scratch, scratch2, l, BranchHint::kTaken);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::data(Addr addr, Word value) {
+  data_.push_back({addr, value});
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::symbol(const std::string& name, Addr addr) {
+  symbols_[name] = addr;
+  return *this;
+}
+
+Program ProgramBuilder::build() {
+  for (const Fixup& f : fixups_) {
+    auto it = labels_.find(f.label);
+    if (it == labels_.end()) throw std::runtime_error("undefined label: " + f.label);
+    insts_[f.inst_index].imm = static_cast<std::int64_t>(it->second);
+  }
+  Program p(insts_);
+  for (const DataInit& d : data_) p.add_data(d.addr, d.value);
+  for (const auto& [name, addr] : symbols_) p.add_symbol(name, addr);
+  return p;
+}
+
+}  // namespace mcsim

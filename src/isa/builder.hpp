@@ -1,0 +1,117 @@
+// Fluent program builder with forward-referencing labels.
+//
+//   ProgramBuilder b;
+//   b.label("spin");
+//   b.tas(1, ProgramBuilder::abs(kLockAddr), SyncKind::kAcquire);
+//   b.bne(1, 0, "spin", BranchHint::kNotTaken);
+//   b.store(2, ProgramBuilder::abs(kA));
+//   b.store_rel(0, ProgramBuilder::abs(kLockAddr));
+//   b.halt();
+//   Program p = b.build();
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/program.hpp"
+
+namespace mcsim {
+
+class ProgramBuilder {
+ public:
+  // ---- addressing-mode helpers -------------------------------------
+  static MemOperand abs(Addr a) { return MemOperand{0, 0, 0, static_cast<std::int64_t>(a)}; }
+  static MemOperand based(RegId base, std::int64_t disp = 0) {
+    return MemOperand{base, 0, 0, disp};
+  }
+  /// base displacement + reg[index] << scale: the paper's `E[D]` access.
+  static MemOperand indexed(Addr array_base, RegId index, std::uint8_t scale_log2 = 2) {
+    return MemOperand{0, index, scale_log2, static_cast<std::int64_t>(array_base)};
+  }
+
+  // ---- labels and control flow -------------------------------------
+  ProgramBuilder& label(const std::string& name);
+  ProgramBuilder& beq(RegId a, RegId b, const std::string& target,
+                      BranchHint hint = BranchHint::kNone);
+  ProgramBuilder& bne(RegId a, RegId b, const std::string& target,
+                      BranchHint hint = BranchHint::kNone);
+  ProgramBuilder& blt(RegId a, RegId b, const std::string& target,
+                      BranchHint hint = BranchHint::kNone);
+  ProgramBuilder& bge(RegId a, RegId b, const std::string& target,
+                      BranchHint hint = BranchHint::kNone);
+  ProgramBuilder& jmp(const std::string& target);
+
+  // ---- ALU -----------------------------------------------------------
+  ProgramBuilder& addi(RegId rd, RegId rs1, std::int64_t imm);
+  ProgramBuilder& li(RegId rd, Word value) { return addi(rd, 0, value); }
+  ProgramBuilder& mov(RegId rd, RegId rs) { return addi(rd, rs, 0); }
+  ProgramBuilder& add(RegId rd, RegId rs1, RegId rs2);
+  ProgramBuilder& sub(RegId rd, RegId rs1, RegId rs2);
+  ProgramBuilder& and_(RegId rd, RegId rs1, RegId rs2);
+  ProgramBuilder& or_(RegId rd, RegId rs1, RegId rs2);
+  ProgramBuilder& xor_(RegId rd, RegId rs1, RegId rs2);
+  ProgramBuilder& slt(RegId rd, RegId rs1, RegId rs2);
+  ProgramBuilder& mul(RegId rd, RegId rs1, RegId rs2);
+  ProgramBuilder& shl(RegId rd, RegId rs1, RegId rs2);
+  ProgramBuilder& nop();
+
+  /// Append a fully formed instruction (used by the assembler for
+  /// forms without dedicated sugar). Branch targets in `imm` are taken
+  /// as-is; prefer the label-based branch methods.
+  ProgramBuilder& raw(const Instruction& inst);
+
+  // ---- memory ---------------------------------------------------------
+  ProgramBuilder& load(RegId rd, MemOperand m);
+  ProgramBuilder& load_acq(RegId rd, MemOperand m);
+  ProgramBuilder& store(RegId rs2, MemOperand m);
+  ProgramBuilder& store_rel(RegId rs2, MemOperand m);
+  ProgramBuilder& tas(RegId rd, MemOperand m, SyncKind sync = SyncKind::kAcquire);
+  ProgramBuilder& fetch_add(RegId rd, MemOperand m, RegId addend,
+                            SyncKind sync = SyncKind::kNone);
+  ProgramBuilder& swap(RegId rd, MemOperand m, RegId src,
+                       SyncKind sync = SyncKind::kNone);
+  ProgramBuilder& cas(RegId rd, MemOperand m, RegId cmp, RegId newval,
+                      SyncKind sync = SyncKind::kNone);
+  ProgramBuilder& prefetch(MemOperand m);
+  ProgramBuilder& prefetch_ex(MemOperand m);
+  ProgramBuilder& fence();
+  ProgramBuilder& halt();
+
+  // ---- idioms ---------------------------------------------------------
+  /// Spin-lock acquire: test&set loop on `lock_addr` using scratch reg,
+  /// with the paper's lock-succeeds branch hint.
+  ProgramBuilder& lock(Addr lock_addr, RegId scratch = 31);
+  /// Lock release: release-store of zero.
+  ProgramBuilder& unlock(Addr lock_addr);
+  /// Spin until mem[flag_addr] == value (flag/acquire idiom).
+  ProgramBuilder& spin_until_eq(Addr flag_addr, Word value, RegId scratch = 31,
+                                RegId scratch2 = 30);
+
+  // ---- data segment / symbols ------------------------------------------
+  ProgramBuilder& data(Addr addr, Word value);
+  ProgramBuilder& symbol(const std::string& name, Addr addr);
+
+  std::size_t next_index() const { return insts_.size(); }
+
+  /// Resolve labels and produce the program. Throws std::runtime_error
+  /// on undefined or duplicate labels.
+  Program build();
+
+ private:
+  ProgramBuilder& emit(Instruction inst);
+  ProgramBuilder& branch(Opcode op, RegId a, RegId b, const std::string& target,
+                         BranchHint hint);
+
+  struct Fixup {
+    std::size_t inst_index;
+    std::string label;
+  };
+  std::vector<Instruction> insts_;
+  std::map<std::string, std::size_t> labels_;
+  std::vector<Fixup> fixups_;
+  std::vector<DataInit> data_;
+  std::map<std::string, Addr> symbols_;
+};
+
+}  // namespace mcsim

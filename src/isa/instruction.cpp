@@ -1,0 +1,170 @@
+#include "isa/instruction.hpp"
+
+#include <sstream>
+
+namespace mcsim {
+
+const char* to_string(Opcode op) {
+  switch (op) {
+    case Opcode::kNop: return "nop";
+    case Opcode::kHalt: return "halt";
+    case Opcode::kAdd: return "add";
+    case Opcode::kSub: return "sub";
+    case Opcode::kAnd: return "and";
+    case Opcode::kOr: return "or";
+    case Opcode::kXor: return "xor";
+    case Opcode::kSlt: return "slt";
+    case Opcode::kSltu: return "sltu";
+    case Opcode::kMul: return "mul";
+    case Opcode::kShl: return "shl";
+    case Opcode::kShr: return "shr";
+    case Opcode::kAddi: return "addi";
+    case Opcode::kAndi: return "andi";
+    case Opcode::kOri: return "ori";
+    case Opcode::kXori: return "xori";
+    case Opcode::kSlti: return "slti";
+    case Opcode::kLoad: return "ld";
+    case Opcode::kStore: return "st";
+    case Opcode::kRmw: return "rmw";
+    case Opcode::kPrefetch: return "pf";
+    case Opcode::kPrefetchEx: return "pfx";
+    case Opcode::kFence: return "fence";
+    case Opcode::kBeq: return "beq";
+    case Opcode::kBne: return "bne";
+    case Opcode::kBlt: return "blt";
+    case Opcode::kBge: return "bge";
+    case Opcode::kJmp: return "jmp";
+  }
+  return "?";
+}
+
+const char* to_string(RmwOp op) {
+  switch (op) {
+    case RmwOp::kTestAndSet: return "tas";
+    case RmwOp::kFetchAdd: return "fadd";
+    case RmwOp::kSwap: return "swap";
+    case RmwOp::kCompareSwap: return "cas";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string mem_str(const MemOperand& m) {
+  std::ostringstream os;
+  os << "[r" << unsigned(m.base);
+  if (m.index != 0) {
+    os << "+r" << unsigned(m.index);
+    if (m.scale_log2 != 0) os << "<<" << unsigned(m.scale_log2);
+  }
+  if (m.disp != 0) os << (m.disp > 0 ? "+" : "") << m.disp;
+  os << "]";
+  return os.str();
+}
+
+const char* sync_suffix(SyncKind s) {
+  switch (s) {
+    case SyncKind::kNone: return "";
+    case SyncKind::kAcquire: return ".acq";
+    case SyncKind::kRelease: return ".rel";
+  }
+  return "";
+}
+
+}  // namespace
+
+std::string disassemble(const Instruction& inst) {
+  std::ostringstream os;
+  switch (inst.op) {
+    case Opcode::kNop:
+    case Opcode::kHalt:
+    case Opcode::kFence:
+      os << to_string(inst.op);
+      break;
+    case Opcode::kLoad:
+      os << "ld" << sync_suffix(inst.sync) << " r" << unsigned(inst.rd) << ", "
+         << mem_str(inst.mem);
+      break;
+    case Opcode::kStore:
+      os << "st" << sync_suffix(inst.sync) << " r" << unsigned(inst.rs2) << ", "
+         << mem_str(inst.mem);
+      break;
+    case Opcode::kRmw:
+      os << to_string(inst.rmw) << sync_suffix(inst.sync) << " r" << unsigned(inst.rd)
+         << ", " << mem_str(inst.mem);
+      if (inst.rmw == RmwOp::kCompareSwap)
+        os << ", cmp=r" << unsigned(inst.rs1) << ", new=r" << unsigned(inst.rs2);
+      else if (inst.rmw != RmwOp::kTestAndSet)
+        os << ", r" << unsigned(inst.rs2);
+      break;
+    case Opcode::kPrefetch:
+    case Opcode::kPrefetchEx:
+      os << to_string(inst.op) << " " << mem_str(inst.mem);
+      break;
+    case Opcode::kBeq:
+    case Opcode::kBne:
+    case Opcode::kBlt:
+    case Opcode::kBge:
+      os << to_string(inst.op) << " r" << unsigned(inst.rs1) << ", r"
+         << unsigned(inst.rs2) << ", @" << inst.imm;
+      if (inst.hint == BranchHint::kTaken) os << " (hint:T)";
+      if (inst.hint == BranchHint::kNotTaken) os << " (hint:NT)";
+      break;
+    case Opcode::kJmp:
+      os << "jmp @" << inst.imm;
+      break;
+    default:
+      os << to_string(inst.op) << " r" << unsigned(inst.rd) << ", r"
+         << unsigned(inst.rs1);
+      if (inst.has_imm_operand())
+        os << ", " << inst.imm;
+      else
+        os << ", r" << unsigned(inst.rs2);
+      break;
+  }
+  return os.str();
+}
+
+Word eval_alu(const Instruction& inst, Word a, Word b) {
+  switch (inst.op) {
+    case Opcode::kAdd: case Opcode::kAddi: return a + b;
+    case Opcode::kSub: return a - b;
+    case Opcode::kAnd: case Opcode::kAndi: return a & b;
+    case Opcode::kOr: case Opcode::kOri: return a | b;
+    case Opcode::kXor: case Opcode::kXori: return a ^ b;
+    case Opcode::kSlt: case Opcode::kSlti:
+      return static_cast<std::int32_t>(a) < static_cast<std::int32_t>(b) ? 1 : 0;
+    case Opcode::kSltu: return a < b ? 1 : 0;
+    case Opcode::kMul: return a * b;
+    case Opcode::kShl: return b >= 32 ? 0 : a << (b & 31);
+    case Opcode::kShr: return b >= 32 ? 0 : a >> (b & 31);
+    default: return 0;
+  }
+}
+
+bool eval_branch(Opcode op, Word a, Word b) {
+  switch (op) {
+    case Opcode::kBeq: return a == b;
+    case Opcode::kBne: return a != b;
+    case Opcode::kBlt: return static_cast<std::int32_t>(a) < static_cast<std::int32_t>(b);
+    case Opcode::kBge: return static_cast<std::int32_t>(a) >= static_cast<std::int32_t>(b);
+    case Opcode::kJmp: return true;
+    default: return false;
+  }
+}
+
+Word apply_rmw(RmwOp op, Word old, Word cmp, Word src) {
+  switch (op) {
+    case RmwOp::kTestAndSet: return 1;
+    case RmwOp::kFetchAdd: return old + src;
+    case RmwOp::kSwap: return src;
+    case RmwOp::kCompareSwap: return old == cmp ? src : old;
+  }
+  return old;
+}
+
+Word eval_rmw_new_value(const Instruction& inst, Word old, Word rs1_val, Word rs2_val) {
+  return apply_rmw(inst.rmw, old, rs1_val, rs2_val);
+}
+
+}  // namespace mcsim

@@ -1,0 +1,50 @@
+// Reference interpreter: architectural (timing-free) execution of one
+// program against a flat memory. Used as the golden model in tests —
+// the out-of-order core, under any consistency model and with any
+// combination of the paper's techniques enabled, must commit exactly
+// the state this interpreter computes for single-processor programs.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/flat_memory.hpp"
+#include "isa/program.hpp"
+
+namespace mcsim {
+
+struct InterpResult {
+  std::array<Word, kNumArchRegs> regs{};
+  std::uint64_t instructions_executed = 0;
+  bool halted = false;  ///< false means the step limit was hit first
+};
+
+/// Execute `prog` to completion (or `max_steps`). Loads/stores go to
+/// `mem`; data initializers in the program are applied first.
+InterpResult interpret(const Program& prog, FlatMemory& mem,
+                       std::uint64_t max_steps = 1'000'000);
+
+/// Single-step interpreter state, for tests that interleave processors
+/// by hand to enumerate sequentially consistent executions.
+class InterpThread {
+ public:
+  InterpThread(const Program& prog, FlatMemory& mem) : prog_(&prog), mem_(&mem) {}
+
+  bool done() const { return halted_ || pc_ >= prog_->size(); }
+  std::size_t pc() const { return pc_; }
+  Word reg(RegId r) const { return regs_[r]; }
+
+  /// Execute exactly one instruction; no-op when done.
+  void step();
+
+ private:
+  const Program* prog_;
+  FlatMemory* mem_;
+  std::array<Word, kNumArchRegs> regs_{};
+  std::size_t pc_ = 0;
+  bool halted_ = false;
+};
+
+}  // namespace mcsim

@@ -1,0 +1,22 @@
+#include "isa/program.hpp"
+
+#include <sstream>
+
+namespace mcsim {
+
+std::string Program::symbol_for(Addr addr) const {
+  for (const auto& [name, a] : symbols_) {
+    if (a == addr) return name;
+  }
+  return "";
+}
+
+std::string Program::listing() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < insts_.size(); ++i) {
+    os << i << ":\t" << disassemble(insts_[i]) << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace mcsim

@@ -1,0 +1,120 @@
+#include "sim/machine.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace mcsim {
+
+Machine::Machine(const SystemConfig& cfg, std::vector<Program> programs)
+    : cfg_(cfg),
+      programs_(std::move(programs)),
+      net_(cfg.num_procs + 1, cfg.mem.net_latency, cfg.mem.deliver_bw),
+      dir_(cfg.num_procs, cfg.cache, cfg.mem, net_),
+      drain_cycle_(cfg.num_procs, 0),
+      drained_(cfg.num_procs, false) {
+  std::string err = cfg_.validate();
+  if (!err.empty()) throw std::invalid_argument("invalid SystemConfig: " + err);
+  if (programs_.size() != cfg_.num_procs)
+    throw std::invalid_argument("need exactly one program per processor");
+
+  for (const Program& p : programs_) {
+    for (const DataInit& d : p.data()) dir_.memory().write(d.addr, d.value);
+  }
+  caches_.reserve(cfg_.num_procs);
+  cores_.reserve(cfg_.num_procs);
+  for (ProcId p = 0; p < cfg_.num_procs; ++p) {
+    caches_.push_back(std::make_unique<CoherentCache>(p, cfg_.cache, cfg_.mem.coherence,
+                                                      net_, cfg_.num_procs));
+  }
+  for (ProcId p = 0; p < cfg_.num_procs; ++p) {
+    cores_.push_back(std::make_unique<Core>(p, cfg_, programs_[p], *caches_[p], &trace_));
+  }
+}
+
+void Machine::step() {
+  net_.deliver(cycle_);
+  dir_.tick(cycle_);
+  for (auto& c : caches_) c->tick(cycle_);
+  for (ProcId p = 0; p < cfg_.num_procs; ++p) {
+    cores_[p]->tick(cycle_);
+    if (!drained_[p] && cores_[p]->drained()) {
+      drained_[p] = true;
+      drain_cycle_[p] = cycle_;
+    }
+  }
+  ++cycle_;
+}
+
+bool Machine::done() const {
+  for (ProcId p = 0; p < cfg_.num_procs; ++p) {
+    if (!drained_[p]) return false;
+  }
+  if (!net_.idle() || !dir_.idle()) return false;
+  for (const auto& c : caches_) {
+    if (!c->idle()) return false;
+  }
+  return true;
+}
+
+RunResult Machine::run() {
+  while (!done() && cycle_ < cfg_.max_cycles) step();
+  RunResult r;
+  r.deadlocked = !done();
+  r.drain_cycle = drain_cycle_;
+  for (ProcId p = 0; p < cfg_.num_procs; ++p) {
+    r.retired.push_back(cores_[p]->instructions_retired());
+    if (drain_cycle_[p] > r.cycles) r.cycles = drain_cycle_[p];
+  }
+  if (r.deadlocked) r.cycles = cycle_;
+  return r;
+}
+
+namespace {
+std::vector<Word> line_from_memory(const FlatMemory& mem, Addr line, std::uint32_t bytes) {
+  std::vector<Word> data(bytes / kWordBytes);
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = mem.read(line + i * kWordBytes);
+  return data;
+}
+}  // namespace
+
+void Machine::preload_shared(ProcId p, Addr a) {
+  Addr line = caches_.at(p)->line_of(a);
+  caches_[p]->preload_line(line, LineState::kShared,
+                           line_from_memory(dir_.memory(), line, cfg_.cache.line_bytes));
+  dir_.preload(line, Directory::State::kShared, p);
+}
+
+void Machine::preload_exclusive(ProcId p, Addr a) {
+  Addr line = caches_.at(p)->line_of(a);
+  caches_[p]->preload_line(line, LineState::kExclusive,
+                           line_from_memory(dir_.memory(), line, cfg_.cache.line_bytes));
+  dir_.preload(line, Directory::State::kDirty, p);
+}
+
+Word Machine::read_word(Addr a) const {
+  for (const auto& c : caches_) {
+    if (c->line_state(a) == LineState::kExclusive) return *c->peek_word(a);
+  }
+  return dir_.memory().read(a);
+}
+
+std::string Machine::stats_report() const {
+  std::ostringstream os;
+  for (ProcId p = 0; p < cfg_.num_procs; ++p) {
+    os << cores_[p]->stats().report();
+    os << cores_[p]->lsu().stats().report();
+    os << caches_[p]->stats().report();
+  }
+  os << dir_.stats().report();
+  os << net_.stats().report();
+  return os.str();
+}
+
+std::vector<std::vector<AccessRecord>> Machine::access_logs() const {
+  std::vector<std::vector<AccessRecord>> logs;
+  logs.reserve(cfg_.num_procs);
+  for (ProcId p = 0; p < cfg_.num_procs; ++p) logs.push_back(cores_[p]->lsu().access_log());
+  return logs;
+}
+
+}  // namespace mcsim

@@ -1,0 +1,88 @@
+// Machine: N dynamically-scheduled cores with private coherent caches,
+// a directory/memory module, and the interconnect — the whole
+// multiprocessor of the paper, driven by a single deterministic clock.
+//
+// This is the top-level public API:
+//
+//   SystemConfig cfg = SystemConfig::paper_default(2, ConsistencyModel::kSC);
+//   cfg.core.prefetch = PrefetchMode::kNonBinding;
+//   Machine m(cfg, {producer_program, consumer_program});
+//   RunResult r = m.run();
+//   // r.cycles, m.read_word(addr), m.core(0).reg(3), ...
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/trace.hpp"
+#include "coherence/cache.hpp"
+#include "coherence/directory.hpp"
+#include "cpu/core.hpp"
+#include "interconnect/network.hpp"
+#include "isa/program.hpp"
+
+namespace mcsim {
+
+struct RunResult {
+  Cycle cycles = 0;        ///< cycle at which the last processor drained
+  bool deadlocked = false; ///< hit cfg.max_cycles before completion
+  std::vector<std::uint64_t> retired;     ///< instructions per processor
+  std::vector<Cycle> drain_cycle;         ///< per-processor completion time
+};
+
+class Machine {
+ public:
+  /// One program per processor; programs.size() must equal cfg.num_procs.
+  /// Every program's data initializers are applied to memory up front.
+  Machine(const SystemConfig& cfg, std::vector<Program> programs);
+
+  /// Run to completion (all processors drained, memory system quiet).
+  RunResult run();
+
+  /// Advance a single cycle (benches and the Figure-5 trace use this).
+  void step();
+
+  Cycle now() const { return cycle_; }
+  bool done() const;
+
+  Core& core(ProcId p) { return *cores_.at(p); }
+  const Core& core(ProcId p) const { return *cores_.at(p); }
+  CoherentCache& cache(ProcId p) { return *caches_.at(p); }
+  const CoherentCache& cache(ProcId p) const { return *caches_.at(p); }
+  Directory& directory() { return dir_; }
+  Network& network() { return net_; }
+  Trace& trace() { return trace_; }
+  const SystemConfig& config() const { return cfg_; }
+
+  /// Coherent value of a word after (or during) a run: an exclusive
+  /// cached copy wins over memory.
+  Word read_word(Addr a) const;
+
+  /// Experiment setup: warm `p`'s cache with the line containing `a`
+  /// (contents from memory), shared or exclusive, keeping the
+  /// directory consistent. Call before run()/step().
+  void preload_shared(ProcId p, Addr a);
+  void preload_exclusive(ProcId p, Addr a);
+
+  /// Aggregated stats from every component, one line per counter.
+  std::string stats_report() const;
+
+  /// Per-processor architectural access logs (cfg.record_accesses).
+  std::vector<std::vector<AccessRecord>> access_logs() const;
+
+ private:
+  SystemConfig cfg_;
+  Trace trace_;
+  std::vector<Program> programs_;
+  Network net_;
+  Directory dir_;
+  std::vector<std::unique_ptr<CoherentCache>> caches_;
+  std::vector<std::unique_ptr<Core>> cores_;
+  std::vector<Cycle> drain_cycle_;
+  std::vector<bool> drained_;
+  Cycle cycle_ = 0;
+};
+
+}  // namespace mcsim

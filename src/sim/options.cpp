@@ -1,0 +1,117 @@
+#include "sim/options.hpp"
+
+#include <cstdlib>
+
+namespace mcsim {
+
+namespace {
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+bool parse_u32(const std::string& s, std::uint32_t& out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  unsigned long v = std::strtoul(s.c_str(), &end, 0);
+  if (end == nullptr || *end != '\0') return false;
+  out = static_cast<std::uint32_t>(v);
+  return true;
+}
+
+bool parse_u64(const std::string& s, std::uint64_t& out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(s.c_str(), &end, 0);
+  if (end == nullptr || *end != '\0') return false;
+  out = v;
+  return true;
+}
+
+}  // namespace
+
+OptionsResult parse_options(int argc, const char* const* argv) {
+  OptionsResult r;
+  std::uint32_t procs = 1;
+  ConsistencyModel model = ConsistencyModel::kSC;
+  bool ideal = false;
+  std::uint32_t miss = 100;
+  r.config = SystemConfig::realistic(1, model);
+
+  auto fail = [&](const std::string& msg) {
+    r.error = msg;
+    return r;
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      r.show_help = true;
+    } else if (starts_with(arg, "--model=")) {
+      std::string v = arg.substr(8);
+      if (v == "SC" || v == "sc") model = ConsistencyModel::kSC;
+      else if (v == "PC" || v == "pc") model = ConsistencyModel::kPC;
+      else if (v == "WC" || v == "wc") model = ConsistencyModel::kWC;
+      else if (v == "RC" || v == "rc") model = ConsistencyModel::kRC;
+      else return fail("unknown model: " + v);
+    } else if (starts_with(arg, "--procs=")) {
+      if (!parse_u32(arg.substr(8), procs)) return fail("bad --procs");
+    } else if (arg == "--spec") {
+      r.config.core.speculative_loads = true;
+    } else if (arg == "--no-spec") {
+      r.config.core.speculative_loads = false;
+    } else if (arg == "--prefetch") {
+      r.config.core.prefetch = PrefetchMode::kNonBinding;
+    } else if (starts_with(arg, "--prefetch=")) {
+      std::string v = arg.substr(11);
+      if (v == "off") r.config.core.prefetch = PrefetchMode::kOff;
+      else if (v == "nonbinding") r.config.core.prefetch = PrefetchMode::kNonBinding;
+      else if (v == "binding") r.config.core.prefetch = PrefetchMode::kBinding;
+      else return fail("unknown prefetch mode: " + v);
+    } else if (starts_with(arg, "--miss=")) {
+      if (!parse_u32(arg.substr(7), miss) || miss < 4) return fail("bad --miss");
+    } else if (starts_with(arg, "--protocol=")) {
+      std::string v = arg.substr(11);
+      if (v == "inv") r.config.mem.coherence = CoherenceKind::kInvalidation;
+      else if (v == "upd") r.config.mem.coherence = CoherenceKind::kUpdate;
+      else return fail("unknown protocol: " + v);
+    } else if (arg == "--ideal") {
+      ideal = true;
+    } else if (arg == "--realistic") {
+      ideal = false;
+    } else if (starts_with(arg, "--rob=")) {
+      if (!parse_u32(arg.substr(6), r.config.core.rob_entries)) return fail("bad --rob");
+    } else if (starts_with(arg, "--mshrs=")) {
+      if (!parse_u32(arg.substr(8), r.config.cache.mshrs)) return fail("bad --mshrs");
+    } else if (starts_with(arg, "--max-cycles=")) {
+      if (!parse_u64(arg.substr(13), r.config.max_cycles)) return fail("bad --max-cycles");
+    } else if (starts_with(arg, "--")) {
+      return fail("unknown flag: " + arg);
+    } else {
+      r.positional.push_back(arg);
+    }
+  }
+
+  r.config.num_procs = procs;
+  r.config.model = model;
+  r.config.core.ideal_frontend = ideal;
+  r.config.with_clean_miss_latency(miss);
+  std::string err = r.config.validate();
+  if (!err.empty()) return fail("invalid configuration: " + err);
+  return r;
+}
+
+std::string options_help() {
+  return
+      "  --model=SC|PC|WC|RC      consistency model (default SC)\n"
+      "  --procs=N                processor count (default 1)\n"
+      "  --spec / --no-spec       speculative loads (paper <section> 4)\n"
+      "  --prefetch[=off|nonbinding|binding]  hardware prefetch (paper <section> 3)\n"
+      "  --miss=N                 clean-miss latency in cycles (default 100)\n"
+      "  --protocol=inv|upd       coherence protocol (default inv)\n"
+      "  --ideal / --realistic    front-end model (default realistic)\n"
+      "  --rob=N --mshrs=N        capacity knobs\n"
+      "  --max-cycles=N           deadlock watchdog\n";
+}
+
+}  // namespace mcsim

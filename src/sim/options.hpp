@@ -1,0 +1,37 @@
+// Command-line configuration for examples and benches: turn
+// `--model=RC --spec --prefetch --procs=4 --miss=200` into a
+// SystemConfig, leaving positional arguments to the caller.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+
+namespace mcsim {
+
+struct OptionsResult {
+  SystemConfig config;
+  std::vector<std::string> positional;  ///< non-flag arguments, in order
+  bool show_help = false;               ///< --help/-h was given
+  std::string error;                    ///< non-empty on a bad flag
+  bool ok() const { return error.empty(); }
+};
+
+/// Flags (all optional; later flags win):
+///   --model=SC|PC|WC|RC        consistency model        (default SC)
+///   --procs=N                  processor count          (default 1)
+///   --spec / --no-spec         speculative loads (§4)
+///   --prefetch[=off|nonbinding|binding]   §3 technique; bare = nonbinding
+///   --miss=N                   clean-miss latency in cycles (default 100)
+///   --protocol=inv|upd         coherence protocol
+///   --ideal / --realistic      front-end model          (default realistic)
+///   --rob=N --mshrs=N          common capacity knobs
+///   --max-cycles=N             deadlock watchdog
+///   --help
+OptionsResult parse_options(int argc, const char* const* argv);
+
+/// One-paragraph usage text listing the flags above.
+std::string options_help();
+
+}  // namespace mcsim

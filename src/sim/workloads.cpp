@@ -1,0 +1,252 @@
+#include "sim/workloads.hpp"
+
+#include <cassert>
+
+#include "common/rng.hpp"
+#include "isa/builder.hpp"
+
+namespace mcsim {
+
+namespace {
+
+// Address-space layout (line size 16B; 0x40 strides avoid false sharing).
+constexpr Addr kLockBase = 0x10000;
+constexpr Addr kCounterBase = 0x20000;
+constexpr Addr kBufferBase = 0x30000;
+constexpr Addr kFlagBase = 0x40000;
+constexpr Addr kBarrierCount = 0x50000;
+constexpr Addr kBarrierSense = 0x50040;
+constexpr Addr kArrayBase = 0x60000;
+constexpr Addr kSharedPool = 0x70000;
+constexpr Addr kPrivateBase = 0x80000;
+constexpr Addr kChainBase = 0x90000;
+constexpr Addr kResultBase = 0xf0000;
+
+Addr lock_addr(std::uint32_t i) { return kLockBase + 0x40 * i; }
+Addr counter_addr(std::uint32_t i) { return kCounterBase + 0x40 * i; }
+Addr result_addr(std::uint32_t p) { return kResultBase + 0x40 * p; }
+
+}  // namespace
+
+Workload make_producer_consumer(std::uint32_t nprocs, std::uint32_t items) {
+  assert(nprocs % 2 == 0);
+  Workload w;
+  w.name = "producer_consumer";
+  for (std::uint32_t pair = 0; pair < nprocs / 2; ++pair) {
+    const Addr buf = kBufferBase + pair * 0x1000;
+    const Addr flag = kFlagBase + pair * 0x40;
+    Word sum = 0;
+
+    ProgramBuilder prod;
+    for (std::uint32_t i = 0; i < items; ++i) {
+      Word v = pair * 1000 + i;
+      sum += v;
+      prod.li(1, v);
+      prod.store(1, ProgramBuilder::abs(buf + 4 * i));
+    }
+    prod.li(2, 1);
+    prod.store_rel(2, ProgramBuilder::abs(flag));
+    prod.halt();
+
+    ProgramBuilder cons;
+    cons.spin_until_eq(flag, 1);
+    cons.li(5, 0);
+    for (std::uint32_t i = 0; i < items; ++i) {
+      cons.load(4, ProgramBuilder::abs(buf + 4 * i));
+      cons.add(5, 5, 4);
+    }
+    cons.store(5, ProgramBuilder::abs(result_addr(2 * pair + 1)));
+    cons.halt();
+
+    w.programs.push_back(prod.build());
+    w.programs.push_back(cons.build());
+    w.expected.emplace_back(result_addr(2 * pair + 1), sum);
+  }
+  return w;
+}
+
+Workload make_critical_sections(std::uint32_t nprocs, std::uint32_t iterations,
+                                std::uint32_t ncounters) {
+  Workload w;
+  w.name = "critical_sections";
+  std::vector<Word> totals(ncounters, 0);
+  for (std::uint32_t p = 0; p < nprocs; ++p) {
+    ProgramBuilder b;
+    for (std::uint32_t i = 0; i < iterations; ++i) {
+      std::uint32_t c = (p + i) % ncounters;
+      ++totals[c];
+      b.lock(lock_addr(c));
+      b.load(1, ProgramBuilder::abs(counter_addr(c)));
+      b.addi(1, 1, 1);
+      b.store(1, ProgramBuilder::abs(counter_addr(c)));
+      b.unlock(lock_addr(c));
+    }
+    b.halt();
+    w.programs.push_back(b.build());
+  }
+  for (std::uint32_t c = 0; c < ncounters; ++c)
+    w.expected.emplace_back(counter_addr(c), totals[c]);
+  return w;
+}
+
+namespace {
+
+/// Emit a centralized sense-reversing barrier crossing.
+/// Registers used: r20 local sense, r21 scratch, r22 scratch.
+void emit_barrier(ProgramBuilder& b, std::uint32_t nprocs, int barrier_id) {
+  const std::string done = "__bar_done_" + std::to_string(barrier_id);
+  const std::string spin = "__bar_spin_" + std::to_string(barrier_id);
+  b.li(21, 1);
+  b.xor_(20, 20, 21);  // flip local sense
+  b.li(22, 1);
+  b.fetch_add(21, ProgramBuilder::abs(kBarrierCount), 22, SyncKind::kAcquire);
+  b.li(22, nprocs - 1);
+  b.bne(21, 22, spin);
+  // Last arrival: reset the count, publish the new sense.
+  b.store(0, ProgramBuilder::abs(kBarrierCount));
+  b.store_rel(20, ProgramBuilder::abs(kBarrierSense));
+  b.jmp(done);
+  b.label(spin);
+  b.load_acq(22, ProgramBuilder::abs(kBarrierSense));
+  b.bne(22, 20, spin, BranchHint::kTaken);  // spin-wait: predict "stay"
+  b.label(done);
+}
+
+}  // namespace
+
+Workload make_barrier_phases(std::uint32_t nprocs, std::uint32_t phases,
+                             std::uint32_t slice_words) {
+  Workload w;
+  w.name = "barrier_phases";
+  int barrier_id = 0;
+  std::vector<Word> acc(nprocs, 0);
+  for (std::uint32_t ph = 0; ph < phases; ++ph) {
+    for (std::uint32_t p = 0; p < nprocs; ++p) {
+      std::uint32_t neighbour = (p + 1) % nprocs;
+      acc[p] += slice_words * ((neighbour + 1) * 100 + ph);
+    }
+  }
+  for (std::uint32_t p = 0; p < nprocs; ++p) {
+    ProgramBuilder b;
+    const Addr my_slice = kArrayBase + p * ((slice_words * 4 + 63) & ~63ull);
+    const Addr nb_slice =
+        kArrayBase + ((p + 1) % nprocs) * ((slice_words * 4 + 63) & ~63ull);
+    b.li(20, 0);   // local barrier sense
+    b.li(25, 0);   // accumulator
+    for (std::uint32_t ph = 0; ph < phases; ++ph) {
+      b.li(1, (p + 1) * 100 + ph);
+      for (std::uint32_t i = 0; i < slice_words; ++i)
+        b.store(1, ProgramBuilder::abs(my_slice + 4 * i));
+      emit_barrier(b, nprocs, barrier_id * 100 + 2 * ph);  // writes done
+      for (std::uint32_t i = 0; i < slice_words; ++i) {
+        b.load(2, ProgramBuilder::abs(nb_slice + 4 * i));
+        b.add(25, 25, 2);
+      }
+      emit_barrier(b, nprocs, barrier_id * 100 + 2 * ph + 1);  // reads done
+    }
+    b.store(25, ProgramBuilder::abs(result_addr(p)));
+    b.halt();
+    w.programs.push_back(b.build());
+    w.expected.emplace_back(result_addr(p), acc[p]);
+    ++barrier_id;
+  }
+  return w;
+}
+
+Workload make_random_mix(std::uint32_t nprocs, std::uint32_t length, std::uint64_t seed) {
+  Workload w;
+  w.name = "random_mix";
+  constexpr std::uint32_t kPoolWords = 64;
+  constexpr std::uint32_t kLocks = 2;
+  std::vector<Word> lock_totals(kLocks, 0);
+  for (std::uint32_t p = 0; p < nprocs; ++p) {
+    Pcg32 rng(seed + 1 + p);
+    ProgramBuilder b;
+    if (p == 0) {
+      for (std::uint32_t i = 0; i < kPoolWords; ++i)
+        b.data(kSharedPool + 4 * i, i * 3 + 1);
+    }
+    const Addr priv = kPrivateBase + p * 0x1000;
+    const Addr my_words = kSharedPool + 0x1000 + p * 0x100;  // disjoint shared writes
+    for (std::uint32_t i = 0; i < length; ++i) {
+      switch (rng.next_below(8)) {
+        case 0:
+        case 1:
+        case 2:
+          b.load(1, ProgramBuilder::abs(kSharedPool + 4 * rng.next_below(kPoolWords)));
+          break;
+        case 3:
+          b.store(1, ProgramBuilder::abs(my_words + 4 * rng.next_below(16)));
+          break;
+        case 4:
+          b.load(2, ProgramBuilder::abs(priv + 4 * rng.next_below(32)));
+          break;
+        case 5:
+          b.store(2, ProgramBuilder::abs(priv + 4 * rng.next_below(32)));
+          break;
+        case 6:
+          b.addi(3, 3, 1);
+          break;
+        case 7: {
+          std::uint32_t l = rng.next_below(kLocks);
+          ++lock_totals[l];
+          b.lock(lock_addr(l));
+          b.load(4, ProgramBuilder::abs(counter_addr(l)));
+          b.addi(4, 4, 1);
+          b.store(4, ProgramBuilder::abs(counter_addr(l)));
+          b.unlock(lock_addr(l));
+          break;
+        }
+      }
+    }
+    b.halt();
+    w.programs.push_back(b.build());
+  }
+  for (std::uint32_t l = 0; l < kLocks; ++l)
+    w.expected.emplace_back(counter_addr(l), lock_totals[l]);
+  return w;
+}
+
+Workload make_dependent_chain(std::uint32_t nprocs, std::uint32_t depth,
+                              std::uint32_t hits_between_misses) {
+  // The §3.3 motif repeated: lock; miss C_k; hit D_k (index); miss
+  // E_k[D_k]; unlock. Hits come from preloaded lines; every E access
+  // depends on the D value, so prefetching cannot start it early.
+  Workload w;
+  w.name = "dependent_chain";
+  for (std::uint32_t p = 0; p < nprocs; ++p) {
+    ProgramBuilder b;
+    const Addr base = kChainBase + p * 0x40000;
+    Word checksum = 0;
+    for (std::uint32_t k = 0; k < depth; ++k) {
+      const Addr lock = base + 0x8000 + 0x40 * k;
+      const Addr c = base + 0x100 * k;
+      const Addr e_array = base + 0x10000 + 0x400 * k;
+      b.lock(lock);
+      b.load(1, ProgramBuilder::abs(c));  // miss
+      Word accum_hits = 0;
+      for (std::uint32_t h = 0; h < hits_between_misses; ++h) {
+        const Addr d = base + 0x20000 + 0x100 * (k * hits_between_misses + h);
+        // Index values spaced a cache line apart so every E access is
+        // its own (cold) line.
+        const Word idx = 4 * (1 + (k + h) % 7);
+        b.data(d, idx);
+        w.preload_shared.emplace_back(p, d);
+        b.load(2, ProgramBuilder::abs(d));                 // hit
+        b.load(3, ProgramBuilder::indexed(e_array, 2, 2)); // miss, address <- D
+        b.data(e_array + 4 * idx, idx * 10);
+        accum_hits += idx * 10;
+        b.add(4, 4, 3);
+      }
+      checksum += accum_hits;
+      b.unlock(lock);
+    }
+    b.store(4, ProgramBuilder::abs(result_addr(p)));
+    b.halt();
+    w.programs.push_back(b.build());
+    w.expected.emplace_back(result_addr(p), checksum);
+  }
+  return w;
+}
+
+}  // namespace mcsim

@@ -1,0 +1,62 @@
+// Parameterized multiprocessor workload generators for the simulation
+// study the paper calls for in §5 ("It is important to substantiate
+// the above observations in the future with extensive simulation
+// experiments"). Each generator returns one program per processor plus
+// metadata the benches print.
+//
+// All generators are deterministic given their parameters (Pcg32).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/program.hpp"
+
+namespace mcsim {
+
+struct Workload {
+  std::string name;
+  std::vector<Program> programs;
+  /// Expected final value per checked address (sanity validation so a
+  /// bench never reports timings from a miscomputing run).
+  std::vector<std::pair<Addr, Word>> expected;
+  /// Lines to warm into caches before the run (Machine::preload_shared),
+  /// for workloads whose point is a mix of hits and misses.
+  std::vector<std::pair<ProcId, Addr>> preload_shared;
+};
+
+/// Producer/consumer pairs (the paper's Figure 2 workloads, scaled):
+/// even processors produce `items` values into a per-pair buffer inside
+/// a critical section, odd processors consume them the same way.
+/// `nprocs` must be even.
+Workload make_producer_consumer(std::uint32_t nprocs, std::uint32_t items);
+
+/// Lock-protected shared counters: every processor performs
+/// `iterations` increments on counters selected round-robin, each under
+/// its counter's test&set lock.
+Workload make_critical_sections(std::uint32_t nprocs, std::uint32_t iterations,
+                                std::uint32_t ncounters);
+
+/// Barrier-separated phases: in each phase every processor writes its
+/// own slice of a shared array, crosses a centralized sense-reversing
+/// barrier (fetch&add + flag spin), then reads its neighbour's slice.
+Workload make_barrier_phases(std::uint32_t nprocs, std::uint32_t phases,
+                             std::uint32_t slice_words);
+
+/// Random mix: each processor executes `length` operations; a fraction
+/// are shared-pool accesses (reads/writes), the rest private traffic,
+/// with occasional lock-protected updates. Race-free by construction:
+/// unprotected shared-pool writes go to per-processor disjoint words.
+Workload make_random_mix(std::uint32_t nprocs, std::uint32_t length,
+                         std::uint64_t seed);
+
+/// Pointer-chase with interspersed cache hits (the §3.3 "out-of-order
+/// consumption" pattern scaled): each processor walks a chain whose
+/// next-pointers alternate between cached and uncached lines, all
+/// behind a lock. Prefetching cannot shortcut the dependent loads;
+/// speculation can consume the hits early. Single-processor pattern.
+Workload make_dependent_chain(std::uint32_t nprocs, std::uint32_t depth,
+                              std::uint32_t hits_between_misses);
+
+}  // namespace mcsim

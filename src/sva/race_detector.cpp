@@ -1,0 +1,114 @@
+#include "sva/race_detector.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace mcsim {
+namespace sva {
+
+std::string Race::describe() const {
+  std::ostringstream os;
+  os << "race on addr 0x" << std::hex << a.addr << std::dec << ": P" << proc_a << " pc="
+     << a.pc << (a.kind == AccessKind::kLoad ? " read" : " write") << " @" << a.performed_at
+     << "  vs  P" << proc_b << " pc=" << b.pc
+     << (b.kind == AccessKind::kLoad ? " read" : " write") << " @" << b.performed_at;
+  return os.str();
+}
+
+namespace {
+
+struct GlobalEvent {
+  ProcId proc;
+  AccessRecord rec;
+};
+
+using VectorClock = std::vector<std::uint64_t>;
+
+void join(VectorClock& into, const VectorClock& from) {
+  for (std::size_t i = 0; i < into.size(); ++i)
+    into[i] = std::max(into[i], from[i]);
+}
+
+struct WordState {
+  bool has_write = false;
+  ProcId write_owner = 0;
+  std::uint64_t write_clock = 0;
+  AccessRecord write_rec;
+  // last read per processor: scalar clock + record
+  std::map<ProcId, std::pair<std::uint64_t, AccessRecord>> reads;
+};
+
+bool is_sync_access(const AccessRecord& r) {
+  return r.sync != SyncKind::kNone || r.kind == AccessKind::kRmw;
+}
+
+}  // namespace
+
+Report analyze(const std::vector<std::vector<AccessRecord>>& logs, std::size_t max_races) {
+  const std::size_t nprocs = logs.size();
+  std::vector<GlobalEvent> events;
+  for (ProcId p = 0; p < nprocs; ++p) {
+    for (const AccessRecord& r : logs[p]) events.push_back(GlobalEvent{p, r});
+  }
+  // The global interleaving: perform time, ties by processor then seq.
+  std::sort(events.begin(), events.end(), [](const GlobalEvent& x, const GlobalEvent& y) {
+    if (x.rec.performed_at != y.rec.performed_at)
+      return x.rec.performed_at < y.rec.performed_at;
+    if (x.proc != y.proc) return x.proc < y.proc;
+    return x.rec.seq < y.rec.seq;
+  });
+
+  std::vector<VectorClock> vc(nprocs, VectorClock(nprocs, 0));
+  std::map<Addr, VectorClock> release_vc;  ///< published clocks per sync location
+  std::map<Addr, WordState> words;
+
+  Report report;
+  for (const GlobalEvent& ev : events) {
+    const ProcId p = ev.proc;
+    const AccessRecord& r = ev.rec;
+    VectorClock& my = vc[p];
+
+    if (is_sync_access(r)) {
+      // Acquire side: join the clock published at this location.
+      if (r.sync == SyncKind::kAcquire || r.kind == AccessKind::kRmw) {
+        auto it = release_vc.find(r.addr);
+        if (it != release_vc.end()) join(my, it->second);
+      }
+      // Release side: publish.
+      if (r.sync == SyncKind::kRelease || r.kind == AccessKind::kRmw) {
+        VectorClock& rel = release_vc[r.addr];
+        if (rel.empty()) rel.assign(nprocs, 0);
+        join(rel, my);
+      }
+      ++my[p];
+      continue;  // sync locations are exempt from race reporting
+    }
+
+    WordState& w = words[r.addr];
+    const bool is_write = r.kind != AccessKind::kLoad;
+
+    if (w.has_write && w.write_owner != p && my[w.write_owner] < w.write_clock &&
+        report.races.size() < max_races) {
+      report.races.push_back(Race{w.write_owner, w.write_rec, p, r});
+    }
+    if (is_write) {
+      for (const auto& [q, read] : w.reads) {
+        if (q != p && my[q] < read.first && report.races.size() < max_races)
+          report.races.push_back(Race{q, read.second, p, r});
+      }
+      w.has_write = true;
+      w.write_owner = p;
+      w.write_clock = my[p] + 1;  // clock value after this access
+      w.write_rec = r;
+      w.reads.clear();
+    } else {
+      w.reads[p] = {my[p] + 1, r};
+    }
+    ++my[p];
+  }
+  return report;
+}
+
+}  // namespace sva
+}  // namespace mcsim

@@ -1,0 +1,54 @@
+// Detecting violations of sequential consistency (the §6 extension,
+// after Gharachorloo & Gibbons [6]).
+//
+// A release-consistent machine is guaranteed to provide sequentially
+// consistent executions for programs free of data races; deciding
+// race-freedom statically is undecidable, so [6] checks each
+// *execution*: either the execution is sequentially consistent, or the
+// program has a data race. We implement that check as a happens-before
+// analysis over the architectural access logs the simulator records:
+//
+//  * program order on each processor orders its own accesses;
+//  * a release (or any RMW/store observed by an acquire) to location L
+//    synchronizes-with a later acquire of L that reads the released
+//    value's epoch;
+//  * two conflicting accesses (same word, at least one write) from
+//    different processors that are not ordered by the transitive
+//    closure constitute a data race.
+//
+// If no race is reported, the execution was sequentially consistent.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/access_record.hpp"
+
+namespace mcsim {
+namespace sva {
+
+struct Race {
+  ProcId proc_a = 0;
+  AccessRecord a;
+  ProcId proc_b = 0;
+  AccessRecord b;
+  std::string describe() const;
+};
+
+struct Report {
+  std::vector<Race> races;
+  bool sequentially_consistent() const { return races.empty(); }
+};
+
+/// Analyze one execution. `logs[p]` is processor p's architectural
+/// access log in program order (Machine::access_logs()). The global
+/// interleaving is reconstructed from perform timestamps (ties broken
+/// by processor id), which is exact on this simulator because a
+/// performed access is visible machine-wide at its perform cycle.
+/// `max_races` bounds the report size.
+Report analyze(const std::vector<std::vector<AccessRecord>>& logs,
+               std::size_t max_races = 16);
+
+}  // namespace sva
+}  // namespace mcsim

@@ -1,0 +1,154 @@
+#include "sva/sc_enumerator.hpp"
+
+#include <map>
+#include <stdexcept>
+#include <string>
+
+#include "isa/instruction.hpp"
+
+namespace mcsim {
+namespace sva {
+
+namespace {
+
+struct ThreadState {
+  std::size_t pc = 0;
+  bool halted = false;
+  std::array<Word, kNumArchRegs> regs{};
+};
+
+struct MachineState {
+  std::vector<ThreadState> threads;
+  std::map<Addr, Word> memory;  ///< overlay over zero-initialized memory
+
+  std::string encode() const {
+    std::string s;
+    for (const ThreadState& t : threads) {
+      s.append(reinterpret_cast<const char*>(&t.pc), sizeof t.pc);
+      s.push_back(t.halted ? 1 : 0);
+      s.append(reinterpret_cast<const char*>(t.regs.data()),
+               t.regs.size() * sizeof(Word));
+    }
+    for (const auto& [a, v] : memory) {
+      s.append(reinterpret_cast<const char*>(&a), sizeof a);
+      s.append(reinterpret_cast<const char*>(&v), sizeof v);
+    }
+    return s;
+  }
+};
+
+Word mem_read(const MachineState& st, Addr a) {
+  auto it = st.memory.find(a & ~static_cast<Addr>(kWordBytes - 1));
+  return it == st.memory.end() ? 0 : it->second;
+}
+
+void mem_write(MachineState& st, Addr a, Word v) {
+  st.memory[a & ~static_cast<Addr>(kWordBytes - 1)] = v;
+}
+
+Addr effective_address(const Instruction& inst, const ThreadState& t) {
+  return static_cast<Addr>(t.regs[inst.mem.base]) +
+         (static_cast<Addr>(t.regs[inst.mem.index]) << inst.mem.scale_log2) +
+         static_cast<Addr>(inst.mem.disp);
+}
+
+/// Execute one instruction of thread `p` (SC: one atomic global step).
+void step(MachineState& st, const Program& prog, std::size_t p) {
+  ThreadState& t = st.threads[p];
+  const Instruction& inst = prog.at(t.pc);
+  std::size_t next_pc = t.pc + 1;
+  switch (inst.op) {
+    case Opcode::kHalt:
+      t.halted = true;
+      return;
+    case Opcode::kNop:
+    case Opcode::kFence:
+    case Opcode::kPrefetch:
+    case Opcode::kPrefetchEx:
+      break;
+    case Opcode::kLoad:
+      t.regs[inst.rd] = mem_read(st, effective_address(inst, t));
+      break;
+    case Opcode::kStore:
+      mem_write(st, effective_address(inst, t), t.regs[inst.rs2]);
+      break;
+    case Opcode::kRmw: {
+      Addr ea = effective_address(inst, t);
+      Word old = mem_read(st, ea);
+      mem_write(st, ea, apply_rmw(inst.rmw, old, t.regs[inst.rs1], t.regs[inst.rs2]));
+      t.regs[inst.rd] = old;
+      break;
+    }
+    case Opcode::kBeq:
+    case Opcode::kBne:
+    case Opcode::kBlt:
+    case Opcode::kBge:
+    case Opcode::kJmp:
+      if (eval_branch(inst.op, t.regs[inst.rs1], t.regs[inst.rs2]))
+        next_pc = static_cast<std::size_t>(inst.imm);
+      break;
+    default: {  // ALU
+      Word b = inst.has_imm_operand() ? static_cast<Word>(inst.imm) : t.regs[inst.rs2];
+      t.regs[inst.rd] = eval_alu(inst, t.regs[inst.rs1], b);
+      break;
+    }
+  }
+  t.regs[0] = 0;
+  t.pc = next_pc;
+}
+
+}  // namespace
+
+EnumerationResult enumerate_sc_outcomes(const std::vector<Program>& programs,
+                                        std::uint64_t /*mem_bytes*/,
+                                        const std::vector<Addr>& watch,
+                                        std::uint64_t max_states) {
+  for (const Program& p : programs) {
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      const Instruction& inst = p.at(i);
+      if (inst.is_branch() && static_cast<std::size_t>(inst.imm) <= i)
+        throw std::invalid_argument(
+            "enumerate_sc_outcomes requires loop-free programs");
+    }
+  }
+
+  MachineState init;
+  init.threads.resize(programs.size());
+  for (const Program& p : programs) {
+    for (const DataInit& d : p.data()) mem_write(init, d.addr, d.value);
+  }
+
+  EnumerationResult result;
+  std::set<std::string> visited;
+  std::vector<MachineState> stack{init};
+  visited.insert(init.encode());
+
+  while (!stack.empty()) {
+    if (result.states_explored++ >= max_states) {
+      result.complete = false;
+      break;
+    }
+    MachineState st = std::move(stack.back());
+    stack.pop_back();
+
+    bool any_runnable = false;
+    for (std::size_t p = 0; p < programs.size(); ++p) {
+      ThreadState& t = st.threads[p];
+      if (t.halted || t.pc >= programs[p].size()) continue;
+      any_runnable = true;
+      MachineState next = st;
+      step(next, programs[p], p);
+      if (visited.insert(next.encode()).second) stack.push_back(std::move(next));
+    }
+    if (!any_runnable) {
+      ScOutcome out;
+      for (const ThreadState& t : st.threads) out.regs.push_back(t.regs);
+      for (Addr a : watch) out.memory.push_back(mem_read(st, a));
+      result.outcomes.insert(std::move(out));
+    }
+  }
+  return result;
+}
+
+}  // namespace sva
+}  // namespace mcsim

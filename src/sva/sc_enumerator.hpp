@@ -1,0 +1,58 @@
+// Exhaustive enumeration of the sequentially consistent outcomes of a
+// tiny multiprocessor program.
+//
+// Sequential consistency is defined by Lamport as "the result of any
+// execution is the same as if the operations of all the processors
+// were executed in some sequential order" — so for small straight-line
+// programs the full outcome set is computable by interleaving the
+// reference interpreter. Tests use it as an oracle: whatever the
+// detailed machine produces under SC — with speculative loads and
+// prefetching enabled — must be one of these outcomes, or the paper's
+// central safety claim is broken.
+//
+// Programs must be loop-free (every execution terminates); the state
+// space is deduplicated, and `max_states` bounds runaway exploration.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "isa/program.hpp"
+
+namespace mcsim {
+namespace sva {
+
+struct ScOutcome {
+  /// Final architectural registers, one array per processor.
+  std::vector<std::array<Word, kNumArchRegs>> regs;
+  /// Final values of the watched memory words, in watch order.
+  std::vector<Word> memory;
+
+  bool operator<(const ScOutcome& o) const {
+    if (regs != o.regs) return regs < o.regs;
+    return memory < o.memory;
+  }
+  bool operator==(const ScOutcome& o) const {
+    return regs == o.regs && memory == o.memory;
+  }
+};
+
+struct EnumerationResult {
+  std::set<ScOutcome> outcomes;
+  bool complete = true;  ///< false if max_states was hit (set is partial)
+  std::uint64_t states_explored = 0;
+};
+
+/// Enumerate every SC outcome of `programs` (one per processor).
+/// `watch` selects the memory words included in the outcome.
+/// Throws std::invalid_argument if any program can branch backwards
+/// (loops make the enumeration unbounded).
+EnumerationResult enumerate_sc_outcomes(const std::vector<Program>& programs,
+                                        std::uint64_t mem_bytes,
+                                        const std::vector<Addr>& watch,
+                                        std::uint64_t max_states = 5'000'000);
+
+}  // namespace sva
+}  // namespace mcsim

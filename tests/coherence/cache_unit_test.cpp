@@ -1,0 +1,163 @@
+// Cache-internal behaviours not covered by the protocol tests: LRU
+// replacement order, the port model, prefetched-line accounting,
+// line_of arithmetic, direct MSHR merging, and preload.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "coherence/cache.hpp"
+#include "coherence/directory.hpp"
+
+namespace mcsim {
+namespace {
+
+struct Rig {
+  explicit Rig(std::uint32_t sets = 2, std::uint32_t ways = 2) {
+    cache_cfg.num_sets = sets;
+    cache_cfg.ways = ways;
+    cache_cfg.line_bytes = 16;
+    cache_cfg.mshrs = 4;
+    mem_cfg.net_latency = 5;
+    mem_cfg.dir_latency = 2;
+    mem_cfg.mem_bytes = 1 << 16;
+    net = std::make_unique<Network>(2, mem_cfg.net_latency);
+    dir = std::make_unique<Directory>(1, cache_cfg, mem_cfg, *net);
+    cache = std::make_unique<CoherentCache>(0, cache_cfg, CoherenceKind::kInvalidation,
+                                            *net, 1);
+  }
+  void settle(int n = 30) {
+    for (int i = 0; i < n; ++i) {
+      net->deliver(cycle);
+      dir->tick(cycle);
+      cache->tick(cycle);
+      ++cycle;
+    }
+  }
+  void demand_load(Addr a) {
+    CacheRequest r;
+    r.op = CacheOp::kLoad;
+    r.addr = a;
+    r.token = ++token;
+    cache->probe(r, cycle);
+    settle();
+  }
+
+  CacheConfig cache_cfg;
+  MemConfig mem_cfg;
+  std::unique_ptr<Network> net;
+  std::unique_ptr<Directory> dir;
+  std::unique_ptr<CoherentCache> cache;
+  Cycle cycle = 0;
+  std::uint64_t token = 0;
+};
+
+TEST(CacheUnit, LineOfMasksToLineBoundary) {
+  Rig r;
+  EXPECT_EQ(r.cache->line_of(0x0), 0x0u);
+  EXPECT_EQ(r.cache->line_of(0xf), 0x0u);
+  EXPECT_EQ(r.cache->line_of(0x10), 0x10u);
+  EXPECT_EQ(r.cache->line_of(0x1234), 0x1230u);
+}
+
+TEST(CacheUnit, PortAllowsOneProbePerCycle) {
+  Rig r;
+  EXPECT_TRUE(r.cache->port_free(r.cycle));
+  r.demand_load(0x100);  // advanced time inside
+  EXPECT_TRUE(r.cache->port_free(r.cycle));
+  CacheRequest req;
+  req.op = CacheOp::kLoad;
+  req.addr = 0x100;
+  req.token = 99;
+  r.cache->probe(req, r.cycle);
+  EXPECT_FALSE(r.cache->port_free(r.cycle));
+  EXPECT_TRUE(r.cache->port_free(r.cycle + 1));
+}
+
+TEST(CacheUnit, LruEvictsLeastRecentlyUsed) {
+  Rig r(/*sets=*/2, /*ways=*/2);
+  // Set 0 lines (2 sets x 16B lines): stride 0x20.
+  r.demand_load(0x100);  // A
+  r.demand_load(0x120);  // B (set full)
+  r.demand_load(0x100);  // touch A: B is now LRU
+  r.demand_load(0x140);  // C evicts B
+  EXPECT_NE(r.cache->line_state(0x100), LineState::kInvalid);
+  EXPECT_EQ(r.cache->line_state(0x120), LineState::kInvalid);
+  EXPECT_NE(r.cache->line_state(0x140), LineState::kInvalid);
+}
+
+TEST(CacheUnit, PrefetchedLineCountsUsefulOnFirstDemandHit) {
+  Rig r;
+  CacheRequest pf;
+  pf.op = CacheOp::kPrefetchShared;
+  pf.addr = 0x200;
+  r.cache->probe(pf, r.cycle);
+  r.settle();
+  r.demand_load(0x200);  // hit on the prefetched line
+  EXPECT_EQ(r.cache->stats().get("prefetch_useful_hit"), 1u);
+  r.demand_load(0x200);  // second hit does not double count
+  EXPECT_EQ(r.cache->stats().get("prefetch_useful_hit"), 1u);
+}
+
+TEST(CacheUnit, MergeIntoMshrRequiresOutstandingTransaction) {
+  Rig r;
+  CacheRequest req;
+  req.op = CacheOp::kRmw;
+  req.addr = 0x300;
+  req.token = 50;
+  EXPECT_FALSE(r.cache->merge_into_mshr(req)) << "no MSHR yet";
+  CacheRequest ld;
+  ld.op = CacheOp::kLoadEx;
+  ld.addr = 0x300;
+  ld.token = 51;
+  r.cache->probe(ld, r.cycle);
+  EXPECT_TRUE(r.cache->merge_into_mshr(req));
+  r.settle();
+  // Both the LoadEx and the merged RMW completed.
+  CacheResponse resp;
+  int n = 0;
+  while (r.cache->pop_response(r.cycle, resp)) ++n;
+  EXPECT_EQ(n, 2);
+  EXPECT_EQ(*r.cache->peek_word(0x300), 1u);  // test&set wrote 1
+}
+
+TEST(CacheUnit, PreloadInstallsWithoutTraffic) {
+  Rig r;
+  std::vector<Word> data(4, 77);
+  r.cache->preload_line(0x400, LineState::kShared, data);
+  EXPECT_EQ(r.cache->line_state(0x400), LineState::kShared);
+  EXPECT_EQ(*r.cache->peek_word(0x404), 77u);
+  EXPECT_TRUE(r.net->idle());
+}
+
+TEST(CacheUnit, IdleReflectsOutstandingWork) {
+  Rig r;
+  EXPECT_TRUE(r.cache->idle());
+  CacheRequest req;
+  req.op = CacheOp::kLoad;
+  req.addr = 0x500;
+  req.token = 60;
+  r.cache->probe(req, r.cycle);
+  EXPECT_FALSE(r.cache->idle());  // MSHR outstanding
+  r.settle();
+  EXPECT_FALSE(r.cache->idle());  // response queued, not yet popped
+  CacheResponse resp;
+  while (r.cache->pop_response(r.cycle, resp)) {
+  }
+  EXPECT_TRUE(r.cache->idle());
+}
+
+TEST(CacheUnit, ForEachResidentLineVisitsEverything) {
+  Rig r;
+  r.demand_load(0x100);
+  r.demand_load(0x120);
+  int count = 0;
+  r.cache->for_each_resident_line(
+      [&](Addr, LineState st, const std::vector<Word>&) {
+        EXPECT_EQ(st, LineState::kShared);
+        ++count;
+      });
+  EXPECT_EQ(count, 2);
+}
+
+}  // namespace
+}  // namespace mcsim

@@ -1,0 +1,59 @@
+#include "common/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcsim {
+namespace {
+
+TEST(SystemConfig, PaperDefaultHas100CycleMiss) {
+  SystemConfig cfg = SystemConfig::paper_default(2, ConsistencyModel::kSC);
+  EXPECT_EQ(cfg.clean_miss_latency(), 100u);
+  EXPECT_TRUE(cfg.core.ideal_frontend);
+  EXPECT_EQ(cfg.num_procs, 2u);
+  EXPECT_TRUE(cfg.validate().empty()) << cfg.validate();
+}
+
+TEST(SystemConfig, WithCleanMissLatencyHitsTargetExactly) {
+  SystemConfig cfg;
+  for (std::uint32_t target : {10u, 25u, 100u, 101u, 400u}) {
+    cfg.with_clean_miss_latency(target);
+    EXPECT_EQ(cfg.clean_miss_latency(), target) << "target " << target;
+  }
+}
+
+TEST(SystemConfig, ValidateCatchesBadGeometry) {
+  SystemConfig cfg = SystemConfig::paper_default(1, ConsistencyModel::kRC);
+  cfg.cache.line_bytes = 12;  // not a power of two
+  EXPECT_FALSE(cfg.validate().empty());
+
+  cfg = SystemConfig::paper_default(1, ConsistencyModel::kRC);
+  cfg.cache.num_sets = 3;
+  EXPECT_FALSE(cfg.validate().empty());
+
+  cfg = SystemConfig::paper_default(1, ConsistencyModel::kRC);
+  cfg.num_procs = 0;
+  EXPECT_FALSE(cfg.validate().empty());
+
+  cfg = SystemConfig::paper_default(1, ConsistencyModel::kRC);
+  cfg.core.rob_entries = 0;
+  EXPECT_FALSE(cfg.validate().empty());
+}
+
+TEST(SystemConfig, EnumNames) {
+  EXPECT_STREQ(to_string(ConsistencyModel::kSC), "SC");
+  EXPECT_STREQ(to_string(ConsistencyModel::kPC), "PC");
+  EXPECT_STREQ(to_string(ConsistencyModel::kWC), "WC");
+  EXPECT_STREQ(to_string(ConsistencyModel::kRC), "RC");
+  EXPECT_STREQ(to_string(CoherenceKind::kInvalidation), "invalidation");
+  EXPECT_STREQ(to_string(CoherenceKind::kUpdate), "update");
+  EXPECT_STREQ(to_string(PrefetchMode::kNonBinding), "non-binding");
+}
+
+TEST(SystemConfig, RealisticIsNotIdeal) {
+  SystemConfig cfg = SystemConfig::realistic(4, ConsistencyModel::kWC);
+  EXPECT_FALSE(cfg.core.ideal_frontend);
+  EXPECT_TRUE(cfg.validate().empty());
+}
+
+}  // namespace
+}  // namespace mcsim

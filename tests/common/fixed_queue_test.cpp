@@ -1,0 +1,87 @@
+#include "common/fixed_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace mcsim {
+namespace {
+
+TEST(FixedQueue, StartsEmpty) {
+  FixedQueue<int> q(4);
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.full());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.capacity(), 4u);
+}
+
+TEST(FixedQueue, PushPopFifoOrder) {
+  FixedQueue<int> q(3);
+  q.push(1);
+  q.push(2);
+  q.push(3);
+  EXPECT_TRUE(q.full());
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.pop(), 3);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(FixedQueue, WrapsAroundCircularly) {
+  FixedQueue<int> q(3);
+  for (int round = 0; round < 10; ++round) {
+    q.push(round);
+    q.push(round + 100);
+    EXPECT_EQ(q.pop(), round);
+    EXPECT_EQ(q.pop(), round + 100);
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(FixedQueue, AtIndexesFromHead) {
+  FixedQueue<int> q(4);
+  q.push(10);
+  q.push(20);
+  q.push(30);
+  q.pop();
+  q.push(40);
+  EXPECT_EQ(q.at(0), 20);
+  EXPECT_EQ(q.at(1), 30);
+  EXPECT_EQ(q.at(2), 40);
+  EXPECT_EQ(q.front(), 20);
+  EXPECT_EQ(q.back(), 40);
+}
+
+TEST(FixedQueue, PopBackNDropsNewest) {
+  FixedQueue<int> q(8);
+  for (int i = 0; i < 6; ++i) q.push(i);
+  q.pop_back_n(2);
+  EXPECT_EQ(q.size(), 4u);
+  EXPECT_EQ(q.back(), 3);
+  q.pop_back_n(0);
+  EXPECT_EQ(q.size(), 4u);
+  q.pop_back_n(4);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(FixedQueue, ClearResets) {
+  FixedQueue<std::string> q(2);
+  q.push("a");
+  q.push("b");
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  q.push("c");
+  EXPECT_EQ(q.front(), "c");
+}
+
+TEST(FixedQueue, MutationThroughAt) {
+  FixedQueue<int> q(4);
+  q.push(1);
+  q.push(2);
+  q.at(1) = 99;
+  q.pop();
+  EXPECT_EQ(q.front(), 99);
+}
+
+}  // namespace
+}  // namespace mcsim

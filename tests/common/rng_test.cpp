@@ -1,0 +1,52 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcsim {
+namespace {
+
+TEST(Pcg32, DeterministicFromSeed) {
+  Pcg32 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Pcg32, DifferentSeedsDiffer) {
+  Pcg32 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(Pcg32, NextBelowStaysInRange) {
+  Pcg32 r(7);
+  for (std::uint32_t bound : {1u, 2u, 7u, 100u, 1000u}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(r.next_below(bound), bound);
+  }
+  EXPECT_EQ(r.next_below(1), 0u);
+  EXPECT_EQ(r.next_below(0), 0u);
+}
+
+TEST(Pcg32, ChanceRoughlyMatchesProbability) {
+  Pcg32 r(42);
+  int hits = 0;
+  const int trials = 10000;
+  for (int i = 0; i < trials; ++i) {
+    if (r.chance(1, 4)) ++hits;
+  }
+  EXPECT_GT(hits, trials / 4 - 300);
+  EXPECT_LT(hits, trials / 4 + 300);
+}
+
+TEST(Pcg32, DoubleInUnitInterval) {
+  Pcg32 r(5);
+  for (int i = 0; i < 100; ++i) {
+    double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace mcsim

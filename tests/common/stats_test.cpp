@@ -1,0 +1,55 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcsim {
+namespace {
+
+TEST(StatSet, CountersStartAtZero) {
+  StatSet s("x");
+  EXPECT_EQ(s.get("missing"), 0u);
+}
+
+TEST(StatSet, AddAccumulates) {
+  StatSet s("x");
+  s.add("hits");
+  s.add("hits", 4);
+  EXPECT_EQ(s.get("hits"), 5u);
+}
+
+TEST(StatSet, SetOverwrites) {
+  StatSet s("x");
+  s.add("v", 10);
+  s.set("v", 3);
+  EXPECT_EQ(s.get("v"), 3u);
+}
+
+TEST(StatSet, SamplesTrackMeanCountMax) {
+  StatSet s("x");
+  s.sample("lat", 10);
+  s.sample("lat", 20);
+  s.sample("lat", 90);
+  EXPECT_DOUBLE_EQ(s.mean("lat"), 40.0);
+  EXPECT_EQ(s.count_of("lat"), 3u);
+  EXPECT_EQ(s.max_of("lat"), 90u);
+  EXPECT_DOUBLE_EQ(s.mean("absent"), 0.0);
+}
+
+TEST(StatSet, ReportContainsPrefixAndValues) {
+  StatSet s("core0");
+  s.add("retired", 42);
+  std::string rep = s.report();
+  EXPECT_NE(rep.find("core0.retired 42"), std::string::npos);
+}
+
+TEST(StatSet, ClearRemovesEverything) {
+  StatSet s("x");
+  s.add("a", 7);
+  s.sample("b", 1);
+  s.clear();
+  EXPECT_EQ(s.get("a"), 0u);
+  EXPECT_EQ(s.count_of("b"), 0u);
+}
+
+}  // namespace
+}  // namespace mcsim

@@ -1,0 +1,56 @@
+#include "common/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcsim {
+namespace {
+
+TEST(Trace, DisabledByDefaultAndDropsEvents) {
+  Trace t;
+  EXPECT_FALSE(t.enabled());
+  t.log(1, 0, "x", "hello");
+  EXPECT_TRUE(t.events().empty());
+}
+
+TEST(Trace, RecordsWhenEnabled) {
+  Trace t;
+  t.enable();
+  t.log(5, 1, "slb", "insert");
+  t.log(6, 0, "sb", "issue");
+  ASSERT_EQ(t.events().size(), 2u);
+  EXPECT_EQ(t.events()[0].cycle, 5u);
+  EXPECT_EQ(t.events()[0].proc, 1u);
+  EXPECT_EQ(t.events()[1].category, "sb");
+}
+
+TEST(Trace, FilterSelectsCategory) {
+  Trace t;
+  t.enable();
+  t.log(1, 0, "a", "1");
+  t.log(2, 0, "b", "2");
+  t.log(3, 0, "a", "3");
+  auto a = t.filter("a");
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_EQ(a[1].text, "3");
+  EXPECT_TRUE(t.filter("zzz").empty());
+}
+
+TEST(Trace, ClearEmpties) {
+  Trace t;
+  t.enable();
+  t.log(1, 0, "a", "1");
+  t.clear();
+  EXPECT_TRUE(t.events().empty());
+}
+
+TEST(Trace, DisableStopsRecordingButKeepsHistory) {
+  Trace t;
+  t.enable();
+  t.log(1, 0, "a", "1");
+  t.enable(false);
+  t.log(2, 0, "a", "2");
+  EXPECT_EQ(t.events().size(), 1u);
+}
+
+}  // namespace
+}  // namespace mcsim

@@ -1,0 +1,57 @@
+#include "cpu/branch_predictor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcsim {
+namespace {
+
+Instruction branch(Opcode op, BranchHint hint = BranchHint::kNone) {
+  Instruction i;
+  i.op = op;
+  i.hint = hint;
+  return i;
+}
+
+TEST(BranchPredictor, JmpAlwaysTaken) {
+  BranchPredictor bp(16);
+  EXPECT_TRUE(bp.predict(0, branch(Opcode::kJmp)));
+}
+
+TEST(BranchPredictor, HintsOverrideCounters) {
+  BranchPredictor bp(16);
+  Instruction t = branch(Opcode::kBeq, BranchHint::kTaken);
+  Instruction nt = branch(Opcode::kBeq, BranchHint::kNotTaken);
+  EXPECT_TRUE(bp.predict(3, t));
+  EXPECT_FALSE(bp.predict(3, nt));
+  // Training does not move hinted branches.
+  for (int i = 0; i < 10; ++i) bp.train(3, nt, true);
+  EXPECT_FALSE(bp.predict(3, nt));
+}
+
+TEST(BranchPredictor, TwoBitCounterSaturates) {
+  BranchPredictor bp(16);
+  Instruction b = branch(Opcode::kBne);
+  // Initial state: weakly not-taken.
+  EXPECT_FALSE(bp.predict(5, b));
+  bp.train(5, b, true);
+  EXPECT_TRUE(bp.predict(5, b));  // 1 -> 2: now predicts taken
+  bp.train(5, b, true);
+  bp.train(5, b, true);  // saturate at 3
+  bp.train(5, b, false);
+  EXPECT_TRUE(bp.predict(5, b));  // 3 -> 2: still taken (hysteresis)
+  bp.train(5, b, false);
+  EXPECT_FALSE(bp.predict(5, b));  // 2 -> 1
+}
+
+TEST(BranchPredictor, EntriesIndexedByPc) {
+  BranchPredictor bp(4);
+  Instruction b = branch(Opcode::kBeq);
+  bp.train(0, b, true);
+  bp.train(0, b, true);
+  EXPECT_TRUE(bp.predict(0, b));
+  EXPECT_FALSE(bp.predict(1, b));  // different entry untouched
+  EXPECT_TRUE(bp.predict(4, b));   // aliases onto entry 0 (4 % 4)
+}
+
+}  // namespace
+}  // namespace mcsim

@@ -1,0 +1,157 @@
+// Regression tests for bugs found during development. Each test is a
+// distilled reproduction of a real miscomputation; keep them exact.
+#include <gtest/gtest.h>
+
+#include "isa/builder.hpp"
+#include "sim/machine.hpp"
+#include "sim/workloads.hpp"
+
+namespace mcsim {
+namespace {
+
+// Bug 1: store-to-load forwarding used to bind a value speculatively
+// with no detection coverage. Distilled: P1 increments a counter in
+// two back-to-back critical sections; its second read forwarded the
+// first section's store value even though P0 incremented in between.
+TEST(Regression, ForwardingMustNotBindSpeculatively) {
+  constexpr Addr kLock = 0x1000, kCount = 0x2000;
+  auto cs = [](int n) {
+    ProgramBuilder b;
+    for (int i = 0; i < n; ++i) {
+      b.lock(kLock);
+      b.load(1, ProgramBuilder::abs(kCount));
+      b.addi(1, 1, 1);
+      b.store(1, ProgramBuilder::abs(kCount));
+      b.unlock(kLock);
+    }
+    b.halt();
+    return b.build();
+  };
+  for (ConsistencyModel model : {ConsistencyModel::kSC, ConsistencyModel::kPC,
+                                 ConsistencyModel::kWC, ConsistencyModel::kRC}) {
+    SystemConfig cfg = SystemConfig::realistic(2, model);
+    cfg.core.speculative_loads = true;
+    Machine m(cfg, {cs(4), cs(4)});
+    RunResult r = m.run();
+    ASSERT_FALSE(r.deadlocked) << to_string(model);
+    EXPECT_EQ(m.read_word(kCount), 8u) << to_string(model);
+  }
+}
+
+// Bug 1 (original surface): the full random-mix workload under every
+// model x technique combination must compute exact counter totals.
+TEST(Regression, RandomMixSeed12345AllCombos) {
+  for (ConsistencyModel model : {ConsistencyModel::kSC, ConsistencyModel::kPC,
+                                 ConsistencyModel::kWC, ConsistencyModel::kRC}) {
+    for (int tech = 0; tech < 4; ++tech) {
+      Workload w = make_random_mix(4, 40, 12345);
+      SystemConfig cfg = SystemConfig::realistic(4, model);
+      cfg.core.prefetch =
+          (tech & 1) != 0 ? PrefetchMode::kNonBinding : PrefetchMode::kOff;
+      cfg.core.speculative_loads = (tech & 2) != 0;
+      Machine m(cfg, w.programs);
+      RunResult r = m.run();
+      ASSERT_FALSE(r.deadlocked) << to_string(model) << " tech=" << tech;
+      for (auto& [addr, value] : w.expected)
+        EXPECT_EQ(m.read_word(addr), value) << to_string(model) << " tech=" << tech;
+    }
+  }
+}
+
+// Bug 2: under RC (and PC) with the update protocol there is no
+// Appendix-A read-exclusive entry, so an ordinary speculative load
+// needed a store tag pointing at an earlier incomplete acquire RMW;
+// without it the load retired while the acquire was still pending.
+TEST(Regression, UpdateProtocolSpecLoadWaitsForAcquireRmw) {
+  constexpr Addr kLock = 0x1000, kCount = 0x2000;
+  auto cs = [](int n) {
+    ProgramBuilder b;
+    for (int i = 0; i < n; ++i) {
+      b.lock(kLock);
+      b.load(1, ProgramBuilder::abs(kCount));
+      b.addi(1, 1, 1);
+      b.store(1, ProgramBuilder::abs(kCount));
+      b.unlock(kLock);
+    }
+    b.halt();
+    return b.build();
+  };
+  for (ConsistencyModel model : {ConsistencyModel::kPC, ConsistencyModel::kRC}) {
+    SystemConfig cfg = SystemConfig::realistic(2, model);
+    cfg.mem.coherence = CoherenceKind::kUpdate;
+    cfg.core.speculative_loads = true;
+    Machine m(cfg, {cs(4), cs(4)});
+    RunResult r = m.run();
+    ASSERT_FALSE(r.deadlocked) << to_string(model);
+    EXPECT_EQ(m.read_word(kCount), 8u) << to_string(model);
+  }
+}
+
+// Bug 3 (by construction): the Appendix-A split must never be skipped
+// when the load queue is full — a tiny queue with contended locks
+// still computes exact totals.
+TEST(Regression, RmwSplitSurvivesTinyLoadQueue) {
+  constexpr Addr kLock = 0x1000, kCount = 0x2000;
+  ProgramBuilder b;
+  for (int i = 0; i < 3; ++i) {
+    b.lock(kLock);
+    b.load(1, ProgramBuilder::abs(kCount));
+    b.addi(1, 1, 1);
+    b.store(1, ProgramBuilder::abs(kCount));
+    b.unlock(kLock);
+    // extra loads to pressure the load queue
+    for (int j = 0; j < 4; ++j) b.load(2, ProgramBuilder::abs(0x4000 + 16 * j));
+  }
+  b.halt();
+  Program p = b.build();
+  SystemConfig cfg = SystemConfig::realistic(2, ConsistencyModel::kRC);
+  cfg.core.speculative_loads = true;
+  cfg.core.ls_rs_entries = 2;
+  Machine m(cfg, {p, p});
+  RunResult r = m.run();
+  ASSERT_FALSE(r.deadlocked);
+  EXPECT_EQ(m.read_word(kCount), 6u);
+}
+
+// Bug 4 (program-level finding, kept as a liveness canary): a
+// test-and-test&set work-queue must drain under every model with both
+// techniques on. A naive TAS spin loop can starve the producer forever
+// on a deterministic machine; the t-t&s structure must not.
+TEST(Regression, WorkQueueStyleContentionDrains) {
+  constexpr Addr kLock = 0x1000, kWork = 0x1100, kDone = 0x1200, kSum = 0x1300;
+  ProgramBuilder prod;
+  for (int i = 0; i < 4; ++i) {
+    prod.lock(kLock);
+    prod.load(1, ProgramBuilder::abs(kWork));
+    prod.addi(1, 1, 1);
+    prod.store(1, ProgramBuilder::abs(kWork));
+    prod.unlock(kLock);
+  }
+  prod.li(2, 1);
+  prod.store_rel(2, ProgramBuilder::abs(kDone));
+  prod.halt();
+
+  ProgramBuilder cons;
+  cons.label("poll");
+  cons.load_acq(3, ProgramBuilder::abs(kDone));
+  cons.beq(3, 0, "poll", BranchHint::kTaken);
+  cons.lock(kLock);
+  cons.load(4, ProgramBuilder::abs(kWork));
+  cons.store(4, ProgramBuilder::abs(kSum));
+  cons.unlock(kLock);
+  cons.halt();
+
+  for (ConsistencyModel model : {ConsistencyModel::kSC, ConsistencyModel::kRC}) {
+    SystemConfig cfg = SystemConfig::realistic(2, model);
+    cfg.core.speculative_loads = true;
+    cfg.core.prefetch = PrefetchMode::kNonBinding;
+    cfg.max_cycles = 1'000'000;
+    Machine m(cfg, {prod.build(), cons.build()});
+    RunResult r = m.run();
+    ASSERT_FALSE(r.deadlocked) << to_string(model);
+    EXPECT_EQ(m.read_word(kSum), 4u) << to_string(model);
+  }
+}
+
+}  // namespace
+}  // namespace mcsim

@@ -1,0 +1,146 @@
+// Machine-level tests under the update-based coherence protocol
+// (paper §3.1): writes push values to sharers instead of invalidating,
+// read-exclusive prefetching is impossible, and the speculative-load
+// buffer treats updates conservatively like invalidations.
+#include <gtest/gtest.h>
+
+#include "isa/builder.hpp"
+#include "sim/machine.hpp"
+
+namespace mcsim {
+namespace {
+
+SystemConfig update_cfg(std::uint32_t procs, ConsistencyModel m) {
+  SystemConfig cfg = SystemConfig::paper_default(procs, m);
+  cfg.mem.coherence = CoherenceKind::kUpdate;
+  return cfg;
+}
+
+TEST(UpdateProtocol, SingleCoreComputesCorrectly) {
+  ProgramBuilder b;
+  b.li(1, 5);
+  b.store(1, ProgramBuilder::abs(0x40));
+  b.load(2, ProgramBuilder::abs(0x40));
+  b.addi(3, 2, 2);
+  b.store(3, ProgramBuilder::abs(0x44));
+  b.halt();
+  for (ConsistencyModel model : {ConsistencyModel::kSC, ConsistencyModel::kRC}) {
+    Machine m(update_cfg(1, model), {b.build()});
+    RunResult r = m.run();
+    ASSERT_FALSE(r.deadlocked) << to_string(model);
+    EXPECT_EQ(m.read_word(0x44), 7u) << to_string(model);
+  }
+}
+
+TEST(UpdateProtocol, MessagePassingDeliversThroughUpdates) {
+  constexpr Addr kData = 0x100, kFlag = 0x200, kOut = 0x300;
+  ProgramBuilder p0;
+  p0.li(1, 66);
+  p0.store(1, ProgramBuilder::abs(kData));
+  p0.li(2, 1);
+  p0.store_rel(2, ProgramBuilder::abs(kFlag));
+  p0.halt();
+  ProgramBuilder p1;
+  p1.spin_until_eq(kFlag, 1);
+  p1.load(3, ProgramBuilder::abs(kData));
+  p1.store(3, ProgramBuilder::abs(kOut));
+  p1.halt();
+  for (ConsistencyModel model : {ConsistencyModel::kSC, ConsistencyModel::kRC}) {
+    Machine m(update_cfg(2, model), {p0.build(), p1.build()});
+    RunResult r = m.run();
+    ASSERT_FALSE(r.deadlocked) << to_string(model);
+    EXPECT_EQ(m.read_word(kOut), 66u) << to_string(model);
+  }
+}
+
+TEST(UpdateProtocol, LockedCounterStaysAtomicViaDirectoryRmw) {
+  constexpr Addr kLock = 0x400, kCount = 0x500;
+  auto prog = [] {
+    ProgramBuilder b;
+    for (int i = 0; i < 4; ++i) {
+      b.lock(kLock);
+      b.load(1, ProgramBuilder::abs(kCount));
+      b.addi(1, 1, 1);
+      b.store(1, ProgramBuilder::abs(kCount));
+      b.unlock(kLock);
+    }
+    b.halt();
+    return b.build();
+  }();
+  Machine m(update_cfg(2, ConsistencyModel::kSC), {prog, prog});
+  RunResult r = m.run();
+  ASSERT_FALSE(r.deadlocked);
+  EXPECT_EQ(m.read_word(kCount), 8u);
+}
+
+TEST(UpdateProtocol, NoExclusivePrefetchesAreIssued) {
+  // §3.1: "to be effective for writes, prefetching requires an
+  // invalidation-based coherence scheme."
+  ProgramBuilder b;
+  b.load(1, ProgramBuilder::abs(0x800));  // slow gate
+  b.store(1, ProgramBuilder::abs(0x900)); // delayed store: would be pfx'd
+  b.halt();
+  SystemConfig cfg = update_cfg(1, ConsistencyModel::kSC);
+  cfg.core.prefetch = PrefetchMode::kNonBinding;
+  Machine m(cfg, {b.build()});
+  RunResult r = m.run();
+  ASSERT_FALSE(r.deadlocked);
+  EXPECT_EQ(m.cache(0).stats().get("prefetch_ex_issued"), 0u);
+  EXPECT_GE(m.core(0).lsu().stats().get("prefetch_ex_suppressed_update"), 1u);
+}
+
+TEST(UpdateProtocol, ReadPrefetchStillWorks) {
+  ProgramBuilder b;
+  b.load(1, ProgramBuilder::abs(0x800));  // slow gate (SC delays next load)
+  b.load(2, ProgramBuilder::abs(0x900));  // delayed: read-prefetchable
+  b.halt();
+  SystemConfig cfg = update_cfg(1, ConsistencyModel::kSC);
+  cfg.core.prefetch = PrefetchMode::kNonBinding;
+  Machine m(cfg, {b.build()});
+  RunResult r = m.run();
+  ASSERT_FALSE(r.deadlocked);
+  EXPECT_GE(m.cache(0).stats().get("prefetch_read_issued"), 1u);
+  // Both loads pipeline: well under the 2x100 serial time.
+  EXPECT_LT(r.cycles, 180u);
+}
+
+TEST(UpdateProtocol, SpeculationRepairsOnUpdateEvents) {
+  // P0 speculates a load of kTarget (a local hit) past a slow cold
+  // gate load; P1 updates the word ~110 cycles in. The update event
+  // must be treated like an invalidation: squash and re-read. Because
+  // the update rewrote P0's copy in place, the re-read hits and
+  // returns the new value.
+  constexpr Addr kGate = 0x1000, kGate2 = 0x3000, kTarget = 0x2000;
+  ProgramBuilder p0;
+  p0.data(kTarget, 10);
+  // Two serialized gate stores (SC issues stores one at a time, and an
+  // update-protocol store takes a full directory round trip): the
+  // target load's entry carries the second store's tag and cannot
+  // retire before ~200, while P1's update arrives at ~110.
+  p0.store(0, ProgramBuilder::abs(kGate));
+  p0.store(0, ProgramBuilder::abs(kGate2));
+  p0.load(2, ProgramBuilder::abs(kTarget));  // hit, speculated, consumed
+  p0.halt();
+  ProgramBuilder p1;
+  for (int i = 0; i < 10; ++i) p1.addi(8, 8, 1);
+  p1.addi(4, 8, static_cast<std::int64_t>(kTarget) - 10);
+  p1.li(2, 50);
+  p1.store(2, ProgramBuilder::based(4));  // update reaches P0 at ~113
+  p1.halt();
+  SystemConfig cfg = update_cfg(2, ConsistencyModel::kSC);
+  cfg.core.speculative_loads = true;
+  cfg.core.rob_entries = 64;
+  Machine m(cfg, {p0.build(), p1.build()});
+  m.preload_shared(0, kTarget);
+  RunResult r = m.run();
+  ASSERT_FALSE(r.deadlocked);
+  // P1's store performed before P0's gate load returned, so SC demands
+  // the new value.
+  EXPECT_EQ(m.core(0).reg(2), 50u);
+  EXPECT_GE(m.core(0).lsu().stats().get("spec_squash") +
+                m.core(0).lsu().stats().get("spec_reissue"),
+            1u);
+}
+
+}  // namespace
+}  // namespace mcsim

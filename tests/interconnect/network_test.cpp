@@ -1,0 +1,89 @@
+#include "interconnect/network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcsim {
+namespace {
+
+Message msg(EndpointId src, EndpointId dst, Addr line = 0) {
+  Message m;
+  m.type = MsgType::kReadReq;
+  m.src = src;
+  m.dst = dst;
+  m.line_addr = line;
+  return m;
+}
+
+TEST(Network, DeliversAfterExactLatency) {
+  Network net(3, 10);
+  net.send(msg(0, 2), 5);
+  Message out;
+  net.deliver(14);
+  EXPECT_FALSE(net.recv(2, out));
+  net.deliver(15);
+  ASSERT_TRUE(net.recv(2, out));
+  EXPECT_EQ(out.src, 0u);
+}
+
+TEST(Network, ExtraDelayAddsServiceTime) {
+  Network net(3, 10);
+  net.send(msg(0, 2), 0, /*extra_delay=*/3);
+  Message out;
+  net.deliver(12);
+  EXPECT_FALSE(net.recv(2, out));
+  net.deliver(13);
+  EXPECT_TRUE(net.recv(2, out));
+}
+
+TEST(Network, FifoBetweenSamePair) {
+  Network net(3, 5);
+  for (Addr a = 0; a < 10; ++a) net.send(msg(0, 1, a * 64), 0);
+  net.deliver(5);
+  Message out;
+  for (Addr a = 0; a < 10; ++a) {
+    ASSERT_TRUE(net.recv(1, out));
+    EXPECT_EQ(out.line_addr, a * 64);
+  }
+  EXPECT_FALSE(net.recv(1, out));
+}
+
+TEST(Network, IdleTracksInFlightAndInboxes) {
+  Network net(2, 4);
+  EXPECT_TRUE(net.idle());
+  net.send(msg(0, 1), 0);
+  EXPECT_FALSE(net.idle());
+  net.deliver(4);
+  EXPECT_FALSE(net.idle());  // sitting in the inbox
+  Message out;
+  net.recv(1, out);
+  EXPECT_TRUE(net.idle());
+}
+
+TEST(Network, BandwidthLimitDefersExcess) {
+  Network net(2, 1, /*deliver_bw=*/2);
+  for (int i = 0; i < 5; ++i) net.send(msg(0, 1), 0);
+  net.deliver(1);
+  Message out;
+  int got = 0;
+  while (net.recv(1, out)) ++got;
+  EXPECT_EQ(got, 2);
+  net.deliver(2);
+  got = 0;
+  while (net.recv(1, out)) ++got;
+  EXPECT_EQ(got, 2);
+  net.deliver(3);
+  got = 0;
+  while (net.recv(1, out)) ++got;
+  EXPECT_EQ(got, 1);
+}
+
+TEST(Network, StatsCountMessages) {
+  Network net(2, 1);
+  net.send(msg(0, 1), 0);
+  net.deliver(1);
+  EXPECT_EQ(net.stats().get("messages_sent"), 1u);
+  EXPECT_EQ(net.stats().get("messages_delivered"), 1u);
+}
+
+}  // namespace
+}  // namespace mcsim

@@ -1,0 +1,158 @@
+#include "isa/assembler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "isa/interp.hpp"
+#include "sim/machine.hpp"
+
+namespace mcsim {
+namespace {
+
+TEST(Assembler, BasicAluProgram) {
+  Program p = assemble(R"(
+    li   r1, 10
+    li   r2, 0x20      ; hex immediate
+    add  r3, r1, r2
+    sub  r4, r2, r1
+    halt
+  )");
+  FlatMemory mem(1024);
+  InterpResult r = interpret(p, mem);
+  EXPECT_EQ(r.regs[3], 42u);
+  EXPECT_EQ(r.regs[4], 22u);
+}
+
+TEST(Assembler, CommentsAndBlankLines) {
+  Program p = assemble("# leading comment\n\n  li r1, 1 ; trailing\n\nhalt\n");
+  EXPECT_EQ(p.size(), 2u);
+}
+
+TEST(Assembler, LabelsAndBranches) {
+  Program p = assemble(R"(
+    li r1, 0
+    li r2, 1
+    li r3, 5
+  loop:
+    add r1, r1, r2
+    addi r2, r2, 1
+    blt r2, r3, loop
+    halt
+  )");
+  FlatMemory mem(1024);
+  InterpResult r = interpret(p, mem);
+  EXPECT_EQ(r.regs[1], 1u + 2 + 3 + 4);
+}
+
+TEST(Assembler, LabelOnSameLineAsInstruction) {
+  Program p = assemble("top: li r1, 3\n jmp end\n end: halt\n");
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_EQ(p.at(1).imm, 2);
+}
+
+TEST(Assembler, MemoryOperandForms) {
+  Program p = assemble(R"(
+    .sym buf 0x200
+    .data 0x100 7
+    .data 0x204 9
+    ld r1, [0x100]
+    li r2, 1
+    ld r3, [buf + r2 << 2]
+    ld r4, [r2 + 0xff]
+    st r1, [buf]
+    halt
+  )");
+  FlatMemory mem(4096);
+  InterpResult r = interpret(p, mem);
+  EXPECT_EQ(r.regs[1], 7u);
+  EXPECT_EQ(r.regs[3], 9u);
+  EXPECT_EQ(r.regs[4], 7u);  // 1 + 0xff = 0x100
+  EXPECT_EQ(mem.read(0x200), 7u);
+}
+
+TEST(Assembler, SyncFlavorsAndRmws) {
+  Program p = assemble(R"(
+    .sym lock 0x400
+    .data 0x500 10
+  spin:
+    tas    r31, [lock]
+    bne.nt r31, r0, spin
+    li     r2, 5
+    fadd   r3, [0x500], r2
+    swap   r4, [0x500], r2
+    cas    r5, [0x500], r2, r3
+    st.rel r0, [lock]
+    halt
+  )");
+  EXPECT_EQ(p.at(0).sync, SyncKind::kAcquire);
+  EXPECT_EQ(p.at(1).hint, BranchHint::kNotTaken);
+  FlatMemory mem(4096);
+  InterpResult r = interpret(p, mem);
+  EXPECT_EQ(r.regs[3], 10u);  // fadd old
+  EXPECT_EQ(r.regs[4], 15u);  // swap old (10+5)
+  EXPECT_EQ(r.regs[5], 5u);   // cas old; 5==r2 so writes r3=10
+  EXPECT_EQ(mem.read(0x500), 10u);
+  EXPECT_EQ(mem.read(0x400), 0u);  // released
+}
+
+TEST(Assembler, FencePrefetchNop) {
+  Program p = assemble("pf [0x100]\n pfx [0x200]\n fence\n nop\n halt\n");
+  EXPECT_EQ(p.at(0).op, Opcode::kPrefetch);
+  EXPECT_EQ(p.at(1).op, Opcode::kPrefetchEx);
+  EXPECT_EQ(p.at(2).op, Opcode::kFence);
+  EXPECT_EQ(p.at(3).op, Opcode::kNop);
+}
+
+TEST(Assembler, ErrorsCarryLineNumbers) {
+  try {
+    assemble("li r1, 1\n bogus r2\n halt\n");
+    FAIL() << "expected AsmError";
+  } catch (const AsmError& e) {
+    EXPECT_EQ(e.line(), 2u);
+    EXPECT_NE(std::string(e.what()).find("bogus"), std::string::npos);
+  }
+}
+
+TEST(Assembler, ErrorCases) {
+  EXPECT_THROW(assemble("ld r1\n"), AsmError);              // missing operand
+  EXPECT_THROW(assemble("ld r1, [r2\n"), AsmError);         // unbalanced bracket
+  EXPECT_THROW(assemble("ld r99, [0]\n"), AsmError);        // register range
+  EXPECT_THROW(assemble("beq r1, r2, 5\n"), AsmError);      // numeric branch target
+  EXPECT_THROW(assemble("jmp nowhere\nhalt\n"), AsmError);  // undefined label
+  EXPECT_THROW(assemble("x: nop\nx: nop\n"), AsmError);     // duplicate label
+  EXPECT_THROW(assemble("li r1, zzz\n"), AsmError);         // unknown symbol
+  EXPECT_THROW(assemble("ld.foo r1, [0]\n"), AsmError);     // bad suffix
+}
+
+TEST(Assembler, AssembledProgramRunsOnTheMachine) {
+  Program p = assemble(R"(
+    .sym lock 0x1000
+    .sym A    0x2000
+    .sym B    0x3000
+    tas    r31, [lock]
+    st     r0, [A]
+    st     r0, [B]
+    st.rel r0, [lock]
+    halt
+  )");
+  SystemConfig cfg = SystemConfig::paper_default(1, ConsistencyModel::kSC);
+  Machine m(cfg, {p});
+  RunResult r = m.run();
+  ASSERT_FALSE(r.deadlocked);
+  EXPECT_EQ(r.cycles, 301u);  // Figure 2 / Example 1 baseline, from assembly
+}
+
+TEST(Assembler, RoundTripThroughDisassembler) {
+  Program p = assemble(R"(
+    li r1, 3
+    ld.acq r2, [r1 + 0x40]
+    st.rel r2, [0x80]
+    fadd r3, [0x90], r1
+    halt
+  )");
+  EXPECT_NE(disassemble(p.at(1)).find("ld.acq"), std::string::npos);
+  EXPECT_NE(disassemble(p.at(2)).find("st.rel"), std::string::npos);
+  EXPECT_NE(disassemble(p.at(3)).find("fadd"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mcsim

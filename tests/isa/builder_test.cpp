@@ -1,0 +1,93 @@
+#include "isa/builder.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcsim {
+namespace {
+
+TEST(ProgramBuilder, ResolvesForwardLabels) {
+  ProgramBuilder b;
+  b.beq(1, 2, "end");
+  b.addi(3, 0, 7);
+  b.label("end");
+  b.halt();
+  Program p = b.build();
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_EQ(p.at(0).imm, 2);  // branch targets the halt
+}
+
+TEST(ProgramBuilder, ResolvesBackwardLabels) {
+  ProgramBuilder b;
+  b.label("top");
+  b.addi(1, 1, 1);
+  b.bne(1, 2, "top");
+  b.halt();
+  Program p = b.build();
+  EXPECT_EQ(p.at(1).imm, 0);
+}
+
+TEST(ProgramBuilder, UndefinedLabelThrows) {
+  ProgramBuilder b;
+  b.jmp("nowhere");
+  EXPECT_THROW(b.build(), std::runtime_error);
+}
+
+TEST(ProgramBuilder, DuplicateLabelThrows) {
+  ProgramBuilder b;
+  b.label("x");
+  EXPECT_THROW(b.label("x"), std::runtime_error);
+}
+
+TEST(ProgramBuilder, LockIdiomEmitsTasAndSpin) {
+  ProgramBuilder b;
+  b.lock(0x100);
+  b.unlock(0x100);
+  b.halt();
+  Program p = b.build();
+  ASSERT_EQ(p.size(), 4u);
+  EXPECT_EQ(p.at(0).op, Opcode::kRmw);
+  EXPECT_EQ(p.at(0).rmw, RmwOp::kTestAndSet);
+  EXPECT_EQ(p.at(0).sync, SyncKind::kAcquire);
+  EXPECT_EQ(p.at(1).op, Opcode::kBne);
+  EXPECT_EQ(p.at(1).imm, 0);  // spin back to the TAS
+  EXPECT_EQ(p.at(1).hint, BranchHint::kNotTaken);
+  EXPECT_EQ(p.at(2).op, Opcode::kStore);
+  EXPECT_EQ(p.at(2).sync, SyncKind::kRelease);
+}
+
+TEST(ProgramBuilder, DataAndSymbolsCarryThrough) {
+  ProgramBuilder b;
+  b.data(0x40, 99).symbol("flag", 0x40);
+  b.halt();
+  Program p = b.build();
+  ASSERT_EQ(p.data().size(), 1u);
+  EXPECT_EQ(p.data()[0].addr, 0x40u);
+  EXPECT_EQ(p.data()[0].value, 99u);
+  EXPECT_EQ(p.symbols().at("flag"), 0x40u);
+  EXPECT_EQ(p.symbol_for(0x40), "flag");
+  EXPECT_EQ(p.symbol_for(0x44), "");
+}
+
+TEST(ProgramBuilder, IndexedAddressingEncodesScale) {
+  ProgramBuilder b;
+  b.load(5, ProgramBuilder::indexed(0x200, 3, 2));
+  b.halt();
+  Program p = b.build();
+  EXPECT_EQ(p.at(0).mem.index, 3);
+  EXPECT_EQ(p.at(0).mem.scale_log2, 2);
+  EXPECT_EQ(p.at(0).mem.disp, 0x200);
+}
+
+TEST(ProgramBuilder, SpinUntilEqEmitsAcquireLoad) {
+  ProgramBuilder b;
+  b.spin_until_eq(0x80, 1);
+  b.halt();
+  Program p = b.build();
+  // li; load.acq; bne
+  ASSERT_EQ(p.size(), 4u);
+  EXPECT_EQ(p.at(1).op, Opcode::kLoad);
+  EXPECT_EQ(p.at(1).sync, SyncKind::kAcquire);
+}
+
+}  // namespace
+}  // namespace mcsim

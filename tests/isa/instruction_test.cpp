@@ -1,0 +1,92 @@
+#include "isa/instruction.hpp"
+
+#include <gtest/gtest.h>
+
+#include "isa/builder.hpp"
+
+namespace mcsim {
+namespace {
+
+TEST(Instruction, Classification) {
+  ProgramBuilder b;
+  b.load(1, ProgramBuilder::abs(0));
+  b.store(1, ProgramBuilder::abs(0));
+  b.tas(1, ProgramBuilder::abs(0));
+  b.add(1, 2, 3);
+  b.beq(1, 2, "e");
+  b.fence();
+  b.prefetch(ProgramBuilder::abs(0));
+  b.label("e");
+  b.halt();
+  Program p = b.build();
+  EXPECT_TRUE(p.at(0).is_load());
+  EXPECT_TRUE(p.at(0).is_mem());
+  EXPECT_TRUE(p.at(0).writes_rd());
+  EXPECT_TRUE(p.at(1).is_store());
+  EXPECT_FALSE(p.at(1).writes_rd());
+  EXPECT_TRUE(p.at(2).is_rmw());
+  EXPECT_TRUE(p.at(2).writes_rd());
+  EXPECT_TRUE(p.at(3).is_alu());
+  EXPECT_TRUE(p.at(4).is_branch());
+  EXPECT_TRUE(p.at(4).is_cond_branch());
+  EXPECT_TRUE(p.at(5).is_fence());
+  EXPECT_TRUE(p.at(6).is_sw_prefetch());
+}
+
+TEST(Instruction, EvalAluCoversAllOps) {
+  Instruction i;
+  i.op = Opcode::kAdd;
+  EXPECT_EQ(eval_alu(i, 2, 3), 5u);
+  i.op = Opcode::kSub;
+  EXPECT_EQ(eval_alu(i, 2, 3), static_cast<Word>(-1));
+  i.op = Opcode::kAnd;
+  EXPECT_EQ(eval_alu(i, 6, 3), 2u);
+  i.op = Opcode::kOr;
+  EXPECT_EQ(eval_alu(i, 6, 3), 7u);
+  i.op = Opcode::kXor;
+  EXPECT_EQ(eval_alu(i, 6, 3), 5u);
+  i.op = Opcode::kSlt;
+  EXPECT_EQ(eval_alu(i, static_cast<Word>(-1), 0), 1u);  // signed compare
+  i.op = Opcode::kSltu;
+  EXPECT_EQ(eval_alu(i, static_cast<Word>(-1), 0), 0u);  // unsigned compare
+  i.op = Opcode::kShl;
+  EXPECT_EQ(eval_alu(i, 1, 4), 16u);
+  EXPECT_EQ(eval_alu(i, 1, 40), 0u);  // out-of-range shift
+  i.op = Opcode::kShr;
+  EXPECT_EQ(eval_alu(i, 16, 4), 1u);
+}
+
+TEST(Instruction, EvalBranch) {
+  EXPECT_TRUE(eval_branch(Opcode::kBeq, 3, 3));
+  EXPECT_FALSE(eval_branch(Opcode::kBeq, 3, 4));
+  EXPECT_TRUE(eval_branch(Opcode::kBne, 3, 4));
+  EXPECT_TRUE(eval_branch(Opcode::kBlt, static_cast<Word>(-2), 1));
+  EXPECT_FALSE(eval_branch(Opcode::kBlt, 1, static_cast<Word>(-2)));
+  EXPECT_TRUE(eval_branch(Opcode::kBge, 5, 5));
+  EXPECT_TRUE(eval_branch(Opcode::kJmp, 0, 0));
+}
+
+TEST(Instruction, ApplyRmw) {
+  EXPECT_EQ(apply_rmw(RmwOp::kTestAndSet, 0, 0, 0), 1u);
+  EXPECT_EQ(apply_rmw(RmwOp::kFetchAdd, 10, 0, 5), 15u);
+  EXPECT_EQ(apply_rmw(RmwOp::kSwap, 10, 0, 5), 5u);
+  EXPECT_EQ(apply_rmw(RmwOp::kCompareSwap, 10, 10, 5), 5u);
+  EXPECT_EQ(apply_rmw(RmwOp::kCompareSwap, 10, 11, 5), 10u);
+}
+
+TEST(Instruction, DisassembleReadable) {
+  ProgramBuilder b;
+  b.load_acq(3, ProgramBuilder::abs(0x40));
+  b.store_rel(4, ProgramBuilder::abs(0x44));
+  b.tas(5, ProgramBuilder::abs(0x48));
+  b.halt();
+  Program p = b.build();
+  EXPECT_NE(disassemble(p.at(0)).find("ld.acq r3"), std::string::npos);
+  EXPECT_NE(disassemble(p.at(1)).find("st.rel r4"), std::string::npos);
+  EXPECT_NE(disassemble(p.at(2)).find("tas.acq r5"), std::string::npos);
+  EXPECT_EQ(disassemble(p.at(3)), "halt");
+  EXPECT_FALSE(p.listing().empty());
+}
+
+}  // namespace
+}  // namespace mcsim

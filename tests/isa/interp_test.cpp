@@ -1,0 +1,145 @@
+#include "isa/interp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "isa/builder.hpp"
+
+namespace mcsim {
+namespace {
+
+TEST(Interp, AluArithmetic) {
+  ProgramBuilder b;
+  b.li(1, 10);
+  b.li(2, 3);
+  b.add(3, 1, 2);
+  b.sub(4, 1, 2);
+  b.mul(5, 1, 2);
+  b.slt(6, 2, 1);
+  b.halt();
+  FlatMemory mem(1024);
+  InterpResult r = interpret(b.build(), mem);
+  EXPECT_TRUE(r.halted);
+  EXPECT_EQ(r.regs[3], 13u);
+  EXPECT_EQ(r.regs[4], 7u);
+  EXPECT_EQ(r.regs[5], 30u);
+  EXPECT_EQ(r.regs[6], 1u);
+}
+
+TEST(Interp, LoadStoreRoundTrip) {
+  ProgramBuilder b;
+  b.li(1, 0xdead);
+  b.store(1, ProgramBuilder::abs(0x40));
+  b.load(2, ProgramBuilder::abs(0x40));
+  b.halt();
+  FlatMemory mem(1024);
+  InterpResult r = interpret(b.build(), mem);
+  EXPECT_EQ(r.regs[2], 0xdeadu);
+  EXPECT_EQ(mem.read(0x40), 0xdeadu);
+}
+
+TEST(Interp, IndexedAddressing) {
+  ProgramBuilder b;
+  b.data(0x100 + 3 * 4, 777);
+  b.li(1, 3);
+  b.load(2, ProgramBuilder::indexed(0x100, 1, 2));
+  b.halt();
+  FlatMemory mem(1024);
+  InterpResult r = interpret(b.build(), mem);
+  EXPECT_EQ(r.regs[2], 777u);
+}
+
+TEST(Interp, LoopSumsOneToTen) {
+  ProgramBuilder b;
+  b.li(1, 0);   // sum
+  b.li(2, 1);   // i
+  b.li(3, 11);  // bound
+  b.label("loop");
+  b.add(1, 1, 2);
+  b.addi(2, 2, 1);
+  b.blt(2, 3, "loop");
+  b.halt();
+  FlatMemory mem(1024);
+  InterpResult r = interpret(b.build(), mem);
+  EXPECT_EQ(r.regs[1], 55u);
+}
+
+TEST(Interp, RmwSemantics) {
+  ProgramBuilder b;
+  b.data(0x10, 5);
+  b.li(2, 7);
+  b.tas(1, ProgramBuilder::abs(0x10));
+  b.fetch_add(3, ProgramBuilder::abs(0x10), 2);
+  b.swap(4, ProgramBuilder::abs(0x10), 2);
+  b.load(5, ProgramBuilder::abs(0x10));
+  b.halt();
+  FlatMemory mem(1024);
+  InterpResult r = interpret(b.build(), mem);
+  EXPECT_EQ(r.regs[1], 5u);  // tas old value
+  EXPECT_EQ(r.regs[3], 1u);  // after tas wrote 1
+  EXPECT_EQ(r.regs[4], 8u);  // after fadd: 1+7
+  EXPECT_EQ(r.regs[5], 7u);  // swap wrote 7
+}
+
+TEST(Interp, CasOnlyWritesOnMatch) {
+  ProgramBuilder b;
+  b.data(0x20, 4);
+  b.li(1, 4);   // expected
+  b.li(2, 9);   // new
+  b.cas(3, ProgramBuilder::abs(0x20), 1, 2);
+  b.li(1, 100);  // now wrong expectation
+  b.cas(4, ProgramBuilder::abs(0x20), 1, 2);
+  b.load(5, ProgramBuilder::abs(0x20));
+  b.halt();
+  FlatMemory mem(1024);
+  InterpResult r = interpret(b.build(), mem);
+  EXPECT_EQ(r.regs[3], 4u);
+  EXPECT_EQ(r.regs[4], 9u);  // old value returned, no write (9 != 100)
+  EXPECT_EQ(r.regs[5], 9u);
+}
+
+TEST(Interp, R0AlwaysZero) {
+  ProgramBuilder b;
+  b.addi(0, 0, 42);
+  b.add(1, 0, 0);
+  b.halt();
+  FlatMemory mem(64);
+  InterpResult r = interpret(b.build(), mem);
+  EXPECT_EQ(r.regs[0], 0u);
+  EXPECT_EQ(r.regs[1], 0u);
+}
+
+TEST(Interp, StepLimitStopsRunawayLoop) {
+  ProgramBuilder b;
+  b.label("fore");
+  b.jmp("fore");
+  b.halt();
+  FlatMemory mem(64);
+  InterpResult r = interpret(b.build(), mem, 100);
+  EXPECT_FALSE(r.halted);
+  EXPECT_EQ(r.instructions_executed, 100u);
+}
+
+TEST(InterpThread, ManualInterleavingOfTwoThreads) {
+  // Two threads incrementing a shared counter with atomic fetch-add
+  // always sum correctly regardless of interleaving.
+  ProgramBuilder b;
+  b.li(2, 1);
+  b.fetch_add(1, ProgramBuilder::abs(0x8), 2);
+  b.halt();
+  Program p = b.build();
+  FlatMemory mem(64);
+  InterpThread t0(p, mem), t1(p, mem);
+  // interleave: t0 li, t1 li, t1 fadd, t0 fadd, both halt
+  t0.step();
+  t1.step();
+  t1.step();
+  t0.step();
+  t0.step();
+  t1.step();
+  EXPECT_TRUE(t0.done());
+  EXPECT_TRUE(t1.done());
+  EXPECT_EQ(mem.read(0x8), 2u);
+}
+
+}  // namespace
+}  // namespace mcsim

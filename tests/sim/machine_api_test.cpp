@@ -1,0 +1,134 @@
+// Machine public-API behaviours: construction validation, preloads,
+// read_word coherence, stats reporting, stepping, access logs.
+#include <gtest/gtest.h>
+
+#include "isa/builder.hpp"
+#include "sim/machine.hpp"
+
+namespace mcsim {
+namespace {
+
+Program trivial() {
+  ProgramBuilder b;
+  b.li(1, 7);
+  b.store(1, ProgramBuilder::abs(0x100));
+  b.halt();
+  return b.build();
+}
+
+TEST(MachineApi, RejectsInvalidConfig) {
+  SystemConfig cfg = SystemConfig::paper_default(1, ConsistencyModel::kSC);
+  cfg.cache.num_sets = 3;  // not a power of two
+  EXPECT_THROW(Machine(cfg, {trivial()}), std::invalid_argument);
+}
+
+TEST(MachineApi, RejectsProgramCountMismatch) {
+  SystemConfig cfg = SystemConfig::paper_default(2, ConsistencyModel::kSC);
+  EXPECT_THROW(Machine(cfg, {trivial()}), std::invalid_argument);
+}
+
+TEST(MachineApi, DataInitializersApplyBeforeRun) {
+  ProgramBuilder b;
+  b.data(0x200, 42);
+  b.halt();
+  SystemConfig cfg = SystemConfig::paper_default(1, ConsistencyModel::kSC);
+  Machine m(cfg, {b.build()});
+  EXPECT_EQ(m.read_word(0x200), 42u);  // visible pre-run
+  m.run();
+  EXPECT_EQ(m.read_word(0x200), 42u);
+}
+
+TEST(MachineApi, ReadWordPrefersExclusiveCachedCopy) {
+  SystemConfig cfg = SystemConfig::paper_default(1, ConsistencyModel::kSC);
+  Machine m(cfg, {trivial()});
+  RunResult r = m.run();
+  ASSERT_FALSE(r.deadlocked);
+  // The store's line is dirty in the cache; memory still has 0.
+  EXPECT_EQ(m.cache(0).line_state(0x100), LineState::kExclusive);
+  EXPECT_EQ(m.directory().memory().read(0x100), 0u);
+  EXPECT_EQ(m.read_word(0x100), 7u);  // coherent view
+}
+
+TEST(MachineApi, PreloadSharedMakesLoadsHit) {
+  ProgramBuilder b;
+  b.data(0x300, 9);
+  b.load(1, ProgramBuilder::abs(0x300));
+  b.halt();
+  SystemConfig cfg = SystemConfig::paper_default(1, ConsistencyModel::kSC);
+  Machine m(cfg, {b.build()});
+  m.preload_shared(0, 0x300);
+  RunResult r = m.run();
+  ASSERT_FALSE(r.deadlocked);
+  EXPECT_EQ(m.core(0).reg(1), 9u);
+  EXPECT_LT(r.cycles, 10u) << "a preloaded line must hit";
+  EXPECT_EQ(m.cache(0).stats().get("load_hit"), 1u);
+}
+
+TEST(MachineApi, PreloadExclusiveMakesStoresHit) {
+  SystemConfig cfg = SystemConfig::paper_default(1, ConsistencyModel::kSC);
+  Machine m(cfg, {trivial()});
+  m.preload_exclusive(0, 0x100);
+  RunResult r = m.run();
+  ASSERT_FALSE(r.deadlocked);
+  EXPECT_LT(r.cycles, 10u);
+}
+
+TEST(MachineApi, StepAdvancesOneCycle) {
+  SystemConfig cfg = SystemConfig::paper_default(1, ConsistencyModel::kSC);
+  Machine m(cfg, {trivial()});
+  EXPECT_EQ(m.now(), 0u);
+  m.step();
+  EXPECT_EQ(m.now(), 1u);
+  while (!m.done()) m.step();
+  EXPECT_TRUE(m.core(0).halted());
+}
+
+TEST(MachineApi, StatsReportMentionsEveryComponent) {
+  SystemConfig cfg = SystemConfig::paper_default(2, ConsistencyModel::kSC);
+  Machine m(cfg, {trivial(), trivial()});
+  m.run();
+  std::string rep = m.stats_report();
+  for (const char* key : {"core0.", "core1.", "lsu0.", "cache0.", "dir.", "net."})
+    EXPECT_NE(rep.find(key), std::string::npos) << key;
+}
+
+TEST(MachineApi, AccessLogsEmptyUnlessEnabled) {
+  SystemConfig cfg = SystemConfig::paper_default(1, ConsistencyModel::kSC);
+  Machine m(cfg, {trivial()});
+  m.run();
+  EXPECT_TRUE(m.access_logs()[0].empty());
+
+  cfg.record_accesses = true;
+  Machine m2(cfg, {trivial()});
+  m2.run();
+  auto log = m2.access_logs()[0];
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].addr, 0x100u);
+  EXPECT_EQ(log[0].kind, AccessKind::kStore);
+  EXPECT_EQ(log[0].value, 7u);
+}
+
+TEST(MachineApi, DeadlockWatchdogReports) {
+  // A program that spins forever on a flag nobody sets.
+  ProgramBuilder b;
+  b.spin_until_eq(0x400, 1);
+  b.halt();
+  SystemConfig cfg = SystemConfig::paper_default(1, ConsistencyModel::kSC);
+  cfg.max_cycles = 2000;
+  Machine m(cfg, {b.build()});
+  RunResult r = m.run();
+  EXPECT_TRUE(r.deadlocked);
+  EXPECT_GE(r.cycles, 2000u);
+}
+
+TEST(MachineApi, RetiredCountsPerProcessor) {
+  SystemConfig cfg = SystemConfig::paper_default(2, ConsistencyModel::kSC);
+  Machine m(cfg, {trivial(), trivial()});
+  RunResult r = m.run();
+  ASSERT_EQ(r.retired.size(), 2u);
+  EXPECT_EQ(r.retired[0], 3u);  // li, st, halt
+  EXPECT_EQ(r.retired[1], 3u);
+}
+
+}  // namespace
+}  // namespace mcsim

@@ -1,0 +1,141 @@
+// End-to-end smoke tests: whole-machine runs on every model with every
+// technique combination must compute the architecturally correct
+// result (validated against the reference interpreter).
+#include <gtest/gtest.h>
+
+#include "isa/builder.hpp"
+#include "isa/interp.hpp"
+#include "sim/machine.hpp"
+
+namespace mcsim {
+namespace {
+
+Program alu_and_memory_program() {
+  ProgramBuilder b;
+  b.li(1, 10);
+  b.li(2, 32);
+  b.add(3, 1, 2);                        // r3 = 42
+  b.store(3, ProgramBuilder::abs(0x40));
+  b.load(4, ProgramBuilder::abs(0x40)); // r4 = 42
+  b.addi(5, 4, 1);                       // r5 = 43
+  b.store(5, ProgramBuilder::abs(0x44));
+  b.load(6, ProgramBuilder::abs(0x44));
+  b.halt();
+  return b.build();
+}
+
+struct TechConfig {
+  bool spec;
+  PrefetchMode pf;
+};
+
+class MachineSmoke
+    : public ::testing::TestWithParam<std::tuple<ConsistencyModel, int, bool>> {};
+
+TEST_P(MachineSmoke, SingleCoreMatchesInterpreter) {
+  auto [model, tech, ideal] = GetParam();
+  SystemConfig cfg = SystemConfig::paper_default(1, model);
+  cfg.core.ideal_frontend = ideal;
+  cfg.core.speculative_loads = (tech & 1) != 0;
+  cfg.core.prefetch = (tech & 2) != 0 ? PrefetchMode::kNonBinding : PrefetchMode::kOff;
+
+  Program p = alu_and_memory_program();
+  Machine m(cfg, {p});
+  RunResult r = m.run();
+  ASSERT_FALSE(r.deadlocked) << "model=" << to_string(model) << " tech=" << tech;
+
+  FlatMemory ref_mem(cfg.mem.mem_bytes);
+  InterpResult ref = interpret(p, ref_mem);
+  for (RegId reg = 0; reg < kNumArchRegs; ++reg)
+    EXPECT_EQ(m.core(0).reg(reg), ref.regs[reg]) << "r" << unsigned(reg);
+  EXPECT_EQ(m.read_word(0x40), 42u);
+  EXPECT_EQ(m.read_word(0x44), 43u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModelsAllTechniques, MachineSmoke,
+    ::testing::Combine(::testing::Values(ConsistencyModel::kSC, ConsistencyModel::kPC,
+                                         ConsistencyModel::kWC, ConsistencyModel::kRC),
+                       ::testing::Values(0, 1, 2, 3),
+                       ::testing::Bool()),
+    [](const testing::TestParamInfo<std::tuple<ConsistencyModel, int, bool>>& info) {
+      std::string n = to_string(std::get<0>(info.param));
+      n += (std::get<1>(info.param) & 1) != 0 ? "_spec" : "_nospec";
+      n += (std::get<1>(info.param) & 2) != 0 ? "_pf" : "_nopf";
+      n += std::get<2>(info.param) ? "_ideal" : "_real";
+      return n;
+    });
+
+TEST(MachineSmokeBasic, BranchLoopRuns) {
+  ProgramBuilder b;
+  b.li(1, 0);
+  b.li(2, 1);
+  b.li(3, 20);
+  b.label("loop");
+  b.add(1, 1, 2);
+  b.addi(2, 2, 1);
+  b.blt(2, 3, "loop");
+  b.store(1, ProgramBuilder::abs(0x80));
+  b.halt();
+  SystemConfig cfg = SystemConfig::realistic(1, ConsistencyModel::kSC);
+  Machine m(cfg, {b.build()});
+  RunResult r = m.run();
+  ASSERT_FALSE(r.deadlocked);
+  EXPECT_EQ(m.read_word(0x80), 190u);  // 1+2+...+19
+}
+
+TEST(MachineSmokeBasic, TwoCoreMessagePassingUnderSC) {
+  // P0: write data, set flag. P1: spin on flag, read data.
+  constexpr Addr kData = 0x100, kFlag = 0x200;
+  ProgramBuilder p0;
+  p0.li(1, 77);
+  p0.store(1, ProgramBuilder::abs(kData));
+  p0.li(2, 1);
+  p0.store_rel(2, ProgramBuilder::abs(kFlag));
+  p0.halt();
+
+  ProgramBuilder p1;
+  p1.spin_until_eq(kFlag, 1);
+  p1.load(3, ProgramBuilder::abs(kData));
+  p1.store(3, ProgramBuilder::abs(0x300));
+  p1.halt();
+
+  for (ConsistencyModel model : {ConsistencyModel::kSC, ConsistencyModel::kPC,
+                                 ConsistencyModel::kWC, ConsistencyModel::kRC}) {
+    SystemConfig cfg = SystemConfig::realistic(2, model);
+    Machine m(cfg, {p0.build(), p1.build()});
+    RunResult r = m.run();
+    ASSERT_FALSE(r.deadlocked) << to_string(model);
+    EXPECT_EQ(m.read_word(0x300), 77u) << to_string(model);
+  }
+}
+
+TEST(MachineSmokeBasic, LockedCounterTwoCores) {
+  constexpr Addr kLock = 0x100, kCount = 0x200;
+  auto prog = [] {
+    ProgramBuilder b;
+    for (int i = 0; i < 3; ++i) {
+      b.lock(kLock);
+      b.load(1, ProgramBuilder::abs(kCount));
+      b.addi(1, 1, 1);
+      b.store(1, ProgramBuilder::abs(kCount));
+      b.unlock(kLock);
+    }
+    b.halt();
+    return b.build();
+  }();
+  for (ConsistencyModel model : {ConsistencyModel::kSC, ConsistencyModel::kRC}) {
+    for (bool spec : {false, true}) {
+      SystemConfig cfg = SystemConfig::realistic(2, model);
+      cfg.core.speculative_loads = spec;
+      cfg.core.prefetch = spec ? PrefetchMode::kNonBinding : PrefetchMode::kOff;
+      Machine m(cfg, {prog, prog});
+      RunResult r = m.run();
+      ASSERT_FALSE(r.deadlocked) << to_string(model) << " spec=" << spec;
+      EXPECT_EQ(m.read_word(kCount), 6u) << to_string(model) << " spec=" << spec;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mcsim

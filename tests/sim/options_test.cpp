@@ -1,0 +1,85 @@
+#include "sim/options.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcsim {
+namespace {
+
+OptionsResult parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return parse_options(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Options, DefaultsAreScRealistic) {
+  OptionsResult r = parse({});
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.config.model, ConsistencyModel::kSC);
+  EXPECT_EQ(r.config.num_procs, 1u);
+  EXPECT_FALSE(r.config.core.ideal_frontend);
+  EXPECT_FALSE(r.config.core.speculative_loads);
+  EXPECT_EQ(r.config.core.prefetch, PrefetchMode::kOff);
+  EXPECT_EQ(r.config.clean_miss_latency(), 100u);
+}
+
+TEST(Options, FullConfiguration) {
+  OptionsResult r = parse({"--model=RC", "--procs=4", "--spec", "--prefetch",
+                           "--miss=200", "--protocol=upd", "--ideal", "--rob=128",
+                           "--mshrs=8", "--max-cycles=5000"});
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.config.model, ConsistencyModel::kRC);
+  EXPECT_EQ(r.config.num_procs, 4u);
+  EXPECT_TRUE(r.config.core.speculative_loads);
+  EXPECT_EQ(r.config.core.prefetch, PrefetchMode::kNonBinding);
+  EXPECT_EQ(r.config.clean_miss_latency(), 200u);
+  EXPECT_EQ(r.config.mem.coherence, CoherenceKind::kUpdate);
+  EXPECT_TRUE(r.config.core.ideal_frontend);
+  EXPECT_EQ(r.config.core.rob_entries, 128u);
+  EXPECT_EQ(r.config.cache.mshrs, 8u);
+  EXPECT_EQ(r.config.max_cycles, 5000u);
+}
+
+TEST(Options, PrefetchModes) {
+  EXPECT_EQ(parse({"--prefetch=off"}).config.core.prefetch, PrefetchMode::kOff);
+  EXPECT_EQ(parse({"--prefetch=binding"}).config.core.prefetch, PrefetchMode::kBinding);
+  EXPECT_EQ(parse({"--prefetch=nonbinding"}).config.core.prefetch,
+            PrefetchMode::kNonBinding);
+  EXPECT_FALSE(parse({"--prefetch=bogus"}).ok());
+}
+
+TEST(Options, LaterFlagsWin) {
+  OptionsResult r = parse({"--spec", "--no-spec", "--model=PC", "--model=WC"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.config.core.speculative_loads);
+  EXPECT_EQ(r.config.model, ConsistencyModel::kWC);
+}
+
+TEST(Options, PositionalArgumentsPassThrough) {
+  OptionsResult r = parse({"12", "--model=RC", "workload.s"});
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.positional.size(), 2u);
+  EXPECT_EQ(r.positional[0], "12");
+  EXPECT_EQ(r.positional[1], "workload.s");
+}
+
+TEST(Options, ErrorsAreReported) {
+  EXPECT_FALSE(parse({"--model=XX"}).ok());
+  EXPECT_FALSE(parse({"--procs=abc"}).ok());
+  EXPECT_FALSE(parse({"--bogus"}).ok());
+  EXPECT_FALSE(parse({"--miss=1"}).ok());  // too small to split into legs
+}
+
+TEST(Options, HelpFlag) {
+  EXPECT_TRUE(parse({"--help"}).show_help);
+  EXPECT_TRUE(parse({"-h"}).show_help);
+  EXPECT_NE(options_help().find("--model"), std::string::npos);
+}
+
+TEST(Options, HexValuesAccepted) {
+  OptionsResult r = parse({"--rob=0x40"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.config.core.rob_entries, 64u);
+}
+
+}  // namespace
+}  // namespace mcsim

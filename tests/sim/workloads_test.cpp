@@ -1,0 +1,96 @@
+// The workload generators feed every quantitative claim in the bench
+// suite, so each generator gets: structural checks, an end-to-end run
+// validating its expected values, and a determinism check.
+#include <gtest/gtest.h>
+
+#include "sim/machine.hpp"
+#include "sim/workloads.hpp"
+
+namespace mcsim {
+namespace {
+
+RunResult run(const Workload& w, SystemConfig cfg) {
+  cfg.num_procs = static_cast<std::uint32_t>(w.programs.size());
+  Machine m(cfg, w.programs);
+  for (auto& [p, a] : w.preload_shared) m.preload_shared(p, a);
+  RunResult r = m.run();
+  EXPECT_FALSE(r.deadlocked) << w.name;
+  for (auto& [addr, value] : w.expected)
+    EXPECT_EQ(m.read_word(addr), value) << w.name << " addr 0x" << std::hex << addr;
+  return r;
+}
+
+TEST(Workloads, ProducerConsumerStructure) {
+  Workload w = make_producer_consumer(4, 8);
+  EXPECT_EQ(w.programs.size(), 4u);
+  EXPECT_EQ(w.expected.size(), 2u);  // one checksum per consumer
+  // Expected checksum for pair 0: sum of 0..7 = 28; pair 1: 1000..1007.
+  EXPECT_EQ(w.expected[0].second, 28u);
+  EXPECT_EQ(w.expected[1].second, 8u * 1000 + 28u);
+}
+
+TEST(Workloads, ProducerConsumerRuns) {
+  run(make_producer_consumer(2, 4), SystemConfig::realistic(2, ConsistencyModel::kSC));
+  run(make_producer_consumer(4, 4), SystemConfig::realistic(4, ConsistencyModel::kRC));
+}
+
+TEST(Workloads, CriticalSectionsTotals) {
+  Workload w = make_critical_sections(3, 5, 2);
+  Word sum = 0;
+  for (auto& [addr, v] : w.expected) sum += v;
+  EXPECT_EQ(sum, 15u);  // 3 procs x 5 increments
+  run(w, SystemConfig::realistic(3, ConsistencyModel::kWC));
+}
+
+TEST(Workloads, BarrierPhasesComputesNeighbourSums) {
+  Workload w = make_barrier_phases(3, 2, 2);
+  EXPECT_EQ(w.programs.size(), 3u);
+  run(w, SystemConfig::realistic(3, ConsistencyModel::kSC));
+  run(w, SystemConfig::realistic(3, ConsistencyModel::kRC));
+}
+
+TEST(Workloads, RandomMixDeterministicPerSeed) {
+  Workload a = make_random_mix(2, 20, 99);
+  Workload b = make_random_mix(2, 20, 99);
+  ASSERT_EQ(a.programs.size(), b.programs.size());
+  for (std::size_t p = 0; p < a.programs.size(); ++p) {
+    ASSERT_EQ(a.programs[p].size(), b.programs[p].size());
+    for (std::size_t i = 0; i < a.programs[p].size(); ++i)
+      EXPECT_EQ(disassemble(a.programs[p].at(i)), disassemble(b.programs[p].at(i)));
+  }
+  Workload c = make_random_mix(2, 20, 100);
+  bool differs = c.programs[0].size() != a.programs[0].size();
+  for (std::size_t i = 0; !differs && i < a.programs[0].size(); ++i)
+    differs = disassemble(a.programs[0].at(i)) != disassemble(c.programs[0].at(i));
+  EXPECT_TRUE(differs) << "different seeds should generate different programs";
+}
+
+TEST(Workloads, RandomMixRuns) {
+  run(make_random_mix(3, 30, 7), SystemConfig::realistic(3, ConsistencyModel::kPC));
+}
+
+TEST(Workloads, DependentChainPreloadsHitLines) {
+  Workload w = make_dependent_chain(2, 3, 2);
+  EXPECT_FALSE(w.preload_shared.empty());
+  run(w, SystemConfig::paper_default(2, ConsistencyModel::kSC));
+}
+
+TEST(Workloads, MachineRunsAreDeterministic) {
+  for (int rep = 0; rep < 2; ++rep) {
+    Workload w = make_critical_sections(2, 4, 2);
+    SystemConfig cfg = SystemConfig::realistic(2, ConsistencyModel::kRC);
+    cfg.core.speculative_loads = true;
+    cfg.core.prefetch = PrefetchMode::kNonBinding;
+    static Cycle first_cycles = 0;
+    Machine m(cfg, w.programs);
+    RunResult r = m.run();
+    ASSERT_FALSE(r.deadlocked);
+    if (rep == 0)
+      first_cycles = r.cycles;
+    else
+      EXPECT_EQ(r.cycles, first_cycles) << "same config+programs must be cycle-identical";
+  }
+}
+
+}  // namespace
+}  // namespace mcsim

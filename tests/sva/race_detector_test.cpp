@@ -1,0 +1,169 @@
+// Tests of the §6 extension: per-execution SC-violation / data-race
+// detection, both on hand-built logs and on real simulator runs.
+#include <gtest/gtest.h>
+
+#include "isa/builder.hpp"
+#include "sim/machine.hpp"
+#include "sva/race_detector.hpp"
+
+namespace mcsim {
+namespace {
+
+AccessRecord rec(std::uint64_t seq, Addr addr, AccessKind kind, Cycle at,
+                 SyncKind sync = SyncKind::kNone) {
+  AccessRecord r;
+  r.seq = seq;
+  r.addr = addr;
+  r.kind = kind;
+  r.sync = sync;
+  r.performed_at = at;
+  return r;
+}
+
+TEST(RaceDetector, EmptyLogsAreSC) {
+  sva::Report rep = sva::analyze({{}, {}});
+  EXPECT_TRUE(rep.sequentially_consistent());
+}
+
+TEST(RaceDetector, UnsynchronizedWriteReadIsARace) {
+  std::vector<std::vector<AccessRecord>> logs(2);
+  logs[0].push_back(rec(1, 0x100, AccessKind::kStore, 10));
+  logs[1].push_back(rec(1, 0x100, AccessKind::kLoad, 20));
+  sva::Report rep = sva::analyze(logs);
+  ASSERT_FALSE(rep.sequentially_consistent());
+  EXPECT_EQ(rep.races[0].a.addr, 0x100u);
+  EXPECT_FALSE(rep.races[0].describe().empty());
+}
+
+TEST(RaceDetector, UnsynchronizedWriteWriteIsARace) {
+  std::vector<std::vector<AccessRecord>> logs(2);
+  logs[0].push_back(rec(1, 0x100, AccessKind::kStore, 10));
+  logs[1].push_back(rec(1, 0x100, AccessKind::kStore, 20));
+  EXPECT_FALSE(sva::analyze(logs).sequentially_consistent());
+}
+
+TEST(RaceDetector, ReadReadIsNotARace) {
+  std::vector<std::vector<AccessRecord>> logs(2);
+  logs[0].push_back(rec(1, 0x100, AccessKind::kLoad, 10));
+  logs[1].push_back(rec(1, 0x100, AccessKind::kLoad, 20));
+  EXPECT_TRUE(sva::analyze(logs).sequentially_consistent());
+}
+
+TEST(RaceDetector, DifferentWordsDoNotConflict) {
+  std::vector<std::vector<AccessRecord>> logs(2);
+  logs[0].push_back(rec(1, 0x100, AccessKind::kStore, 10));
+  logs[1].push_back(rec(1, 0x104, AccessKind::kStore, 20));
+  EXPECT_TRUE(sva::analyze(logs).sequentially_consistent());
+}
+
+TEST(RaceDetector, ReleaseAcquireOrdersTheRace) {
+  std::vector<std::vector<AccessRecord>> logs(2);
+  logs[0].push_back(rec(1, 0x100, AccessKind::kStore, 10));
+  logs[0].push_back(rec(2, 0x200, AccessKind::kStore, 11, SyncKind::kRelease));
+  logs[1].push_back(rec(1, 0x200, AccessKind::kLoad, 20, SyncKind::kAcquire));
+  logs[1].push_back(rec(2, 0x100, AccessKind::kLoad, 21));
+  EXPECT_TRUE(sva::analyze(logs).sequentially_consistent());
+}
+
+TEST(RaceDetector, AcquireWithoutMatchingReleaseDoesNotOrder) {
+  std::vector<std::vector<AccessRecord>> logs(2);
+  logs[0].push_back(rec(1, 0x100, AccessKind::kStore, 10));
+  // Acquire of a DIFFERENT location: no synchronizes-with edge.
+  logs[1].push_back(rec(1, 0x300, AccessKind::kLoad, 20, SyncKind::kAcquire));
+  logs[1].push_back(rec(2, 0x100, AccessKind::kLoad, 21));
+  EXPECT_FALSE(sva::analyze(logs).sequentially_consistent());
+}
+
+TEST(RaceDetector, RmwChainsTransferOrdering) {
+  // P0 writes data, unlocks via RMW-ish release; P1's RMW acquire on
+  // the same lock orders the later read.
+  std::vector<std::vector<AccessRecord>> logs(2);
+  logs[0].push_back(rec(1, 0x100, AccessKind::kStore, 10));
+  logs[0].push_back(rec(2, 0x400, AccessKind::kRmw, 12));
+  logs[1].push_back(rec(1, 0x400, AccessKind::kRmw, 20));
+  logs[1].push_back(rec(2, 0x100, AccessKind::kLoad, 25));
+  EXPECT_TRUE(sva::analyze(logs).sequentially_consistent());
+}
+
+TEST(RaceDetector, TransitivityThroughAThirdProcessor) {
+  std::vector<std::vector<AccessRecord>> logs(3);
+  logs[0].push_back(rec(1, 0x100, AccessKind::kStore, 10));
+  logs[0].push_back(rec(2, 0x200, AccessKind::kStore, 11, SyncKind::kRelease));
+  logs[1].push_back(rec(1, 0x200, AccessKind::kLoad, 15, SyncKind::kAcquire));
+  logs[1].push_back(rec(2, 0x300, AccessKind::kStore, 16, SyncKind::kRelease));
+  logs[2].push_back(rec(1, 0x300, AccessKind::kLoad, 20, SyncKind::kAcquire));
+  logs[2].push_back(rec(2, 0x100, AccessKind::kLoad, 21));
+  EXPECT_TRUE(sva::analyze(logs).sequentially_consistent());
+}
+
+// ---- end-to-end on simulator executions --------------------------------
+
+TEST(RaceDetectorEndToEnd, LockedProgramIsRaceFree) {
+  constexpr Addr kLock = 0x1000, kCount = 0x2000;
+  auto prog = [] {
+    ProgramBuilder b;
+    for (int i = 0; i < 3; ++i) {
+      b.lock(kLock);
+      b.load(1, ProgramBuilder::abs(kCount));
+      b.addi(1, 1, 1);
+      b.store(1, ProgramBuilder::abs(kCount));
+      b.unlock(kLock);
+    }
+    b.halt();
+    return b.build();
+  }();
+  for (ConsistencyModel model : {ConsistencyModel::kSC, ConsistencyModel::kRC}) {
+    SystemConfig cfg = SystemConfig::realistic(2, model);
+    cfg.record_accesses = true;
+    cfg.core.speculative_loads = true;
+    cfg.core.prefetch = PrefetchMode::kNonBinding;
+    Machine m(cfg, {prog, prog});
+    RunResult r = m.run();
+    ASSERT_FALSE(r.deadlocked);
+    sva::Report rep = sva::analyze(m.access_logs());
+    EXPECT_TRUE(rep.sequentially_consistent())
+        << to_string(model) << ": " << rep.races[0].describe();
+  }
+}
+
+TEST(RaceDetectorEndToEnd, RacyProgramIsFlagged) {
+  constexpr Addr kShared = 0x1000;
+  ProgramBuilder p0;
+  p0.li(1, 1);
+  p0.store(1, ProgramBuilder::abs(kShared));  // unsynchronized write
+  p0.halt();
+  ProgramBuilder p1;
+  p1.load(2, ProgramBuilder::abs(kShared));  // unsynchronized read
+  p1.halt();
+  SystemConfig cfg = SystemConfig::realistic(2, ConsistencyModel::kRC);
+  cfg.record_accesses = true;
+  Machine m(cfg, {p0.build(), p1.build()});
+  RunResult r = m.run();
+  ASSERT_FALSE(r.deadlocked);
+  EXPECT_FALSE(sva::analyze(m.access_logs()).sequentially_consistent());
+}
+
+TEST(RaceDetectorEndToEnd, FlagSynchronizationViaReleaseIsClean) {
+  constexpr Addr kData = 0x100, kFlag = 0x200;
+  ProgramBuilder p0;
+  p0.li(1, 9);
+  p0.store(1, ProgramBuilder::abs(kData));
+  p0.li(2, 1);
+  p0.store_rel(2, ProgramBuilder::abs(kFlag));
+  p0.halt();
+  ProgramBuilder p1;
+  p1.spin_until_eq(kFlag, 1);
+  p1.load(3, ProgramBuilder::abs(kData));
+  p1.halt();
+  SystemConfig cfg = SystemConfig::realistic(2, ConsistencyModel::kRC);
+  cfg.record_accesses = true;
+  Machine m(cfg, {p0.build(), p1.build()});
+  RunResult r = m.run();
+  ASSERT_FALSE(r.deadlocked);
+  sva::Report rep = sva::analyze(m.access_logs());
+  EXPECT_TRUE(rep.sequentially_consistent())
+      << (rep.races.empty() ? "" : rep.races[0].describe());
+}
+
+}  // namespace
+}  // namespace mcsim

@@ -1,0 +1,247 @@
+// The exhaustive-SC oracle itself, then the headline use: random racy
+// programs where the detailed machine under SC — with speculation and
+// prefetching on — must only ever produce an enumerated SC outcome,
+// while PC (which really is weaker) escapes the set on the store-
+// buffering shape.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "isa/builder.hpp"
+#include "sim/machine.hpp"
+#include "sva/sc_enumerator.hpp"
+
+namespace mcsim {
+namespace {
+
+using sva::enumerate_sc_outcomes;
+using sva::ScOutcome;
+
+TEST(ScEnumerator, SingleThreadHasOneOutcome) {
+  ProgramBuilder b;
+  b.li(1, 5);
+  b.store(1, ProgramBuilder::abs(0x10));
+  b.halt();
+  auto r = enumerate_sc_outcomes({b.build()}, 1 << 12, {0x10});
+  EXPECT_TRUE(r.complete);
+  ASSERT_EQ(r.outcomes.size(), 1u);
+  EXPECT_EQ(r.outcomes.begin()->memory[0], 5u);
+}
+
+TEST(ScEnumerator, StoreBufferingForbidsBothZero) {
+  // The classic SB shape: SC admits (r,r) in {(0,1),(1,0),(1,1)}, never (0,0).
+  ProgramBuilder p0;
+  p0.li(1, 1);
+  p0.store(1, ProgramBuilder::abs(0x10));  // x = 1
+  p0.load(2, ProgramBuilder::abs(0x14));   // r2 = y
+  p0.halt();
+  ProgramBuilder p1;
+  p1.li(1, 1);
+  p1.store(1, ProgramBuilder::abs(0x14));  // y = 1
+  p1.load(2, ProgramBuilder::abs(0x10));   // r2 = x
+  p1.halt();
+  auto r = enumerate_sc_outcomes({p0.build(), p1.build()}, 1 << 12, {});
+  EXPECT_TRUE(r.complete);
+  ASSERT_EQ(r.outcomes.size(), 3u);
+  for (const ScOutcome& o : r.outcomes)
+    EXPECT_FALSE(o.regs[0][2] == 0 && o.regs[1][2] == 0);
+}
+
+TEST(ScEnumerator, RmwAtomicityInEnumeration) {
+  // Two unsynchronized fetch&adds: SC (with atomic RMWs) always sums.
+  ProgramBuilder b;
+  b.li(2, 1);
+  b.fetch_add(1, ProgramBuilder::abs(0x10), 2);
+  b.halt();
+  auto r = enumerate_sc_outcomes({b.build(), b.build()}, 1 << 12, {0x10});
+  EXPECT_TRUE(r.complete);
+  for (const ScOutcome& o : r.outcomes) EXPECT_EQ(o.memory[0], 2u);
+}
+
+TEST(ScEnumerator, RejectsLoops) {
+  ProgramBuilder b;
+  b.label("spin");
+  b.jmp("spin");
+  b.halt();
+  EXPECT_THROW(enumerate_sc_outcomes({b.build()}, 1 << 12, {}),
+               std::invalid_argument);
+}
+
+TEST(ScEnumerator, StateBudgetReportsIncompleteness) {
+  ProgramBuilder b;
+  for (int i = 0; i < 6; ++i) b.store(0, ProgramBuilder::abs(0x10 + 4 * i));
+  b.halt();
+  auto r = enumerate_sc_outcomes({b.build(), b.build(), b.build()}, 1 << 12, {}, 10);
+  EXPECT_FALSE(r.complete);
+}
+
+// ---- the oracle applied to the detailed machine -----------------------
+
+constexpr Addr kShared[3] = {0x1000, 0x2000, 0x3000};
+
+struct TwoProcs {
+  Program p0, p1;
+};
+
+/// Random loop-free racy program pair over three shared words.
+TwoProcs random_racy_pair(std::uint64_t seed) {
+  Pcg32 rng(seed);
+  auto gen = [&] {
+    ProgramBuilder b;
+    int n = 3 + rng.next_below(3);
+    for (int i = 0; i < n; ++i) {
+      Addr a = kShared[rng.next_below(3)];
+      switch (rng.next_below(4)) {
+        case 0:
+          b.li(static_cast<RegId>(1 + rng.next_below(3)), rng.next_below(100));
+          break;
+        case 1:
+          b.store(static_cast<RegId>(1 + rng.next_below(3)), ProgramBuilder::abs(a));
+          break;
+        case 2:
+          b.load(static_cast<RegId>(1 + rng.next_below(3)), ProgramBuilder::abs(a));
+          break;
+        case 3:
+          b.fetch_add(static_cast<RegId>(1 + rng.next_below(3)), ProgramBuilder::abs(a),
+                      static_cast<RegId>(1 + rng.next_below(3)));
+          break;
+      }
+    }
+    b.halt();
+    return b.build();
+  };
+  return TwoProcs{gen(), gen()};
+}
+
+ScOutcome machine_outcome(const TwoProcs& progs, ConsistencyModel model, bool spec,
+                          bool pf, bool warm) {
+  SystemConfig cfg = SystemConfig::paper_default(2, model);
+  cfg.core.speculative_loads = spec;
+  cfg.core.prefetch = pf ? PrefetchMode::kNonBinding : PrefetchMode::kOff;
+  Machine m(cfg, {progs.p0, progs.p1});
+  if (warm) {
+    // Warm lines maximize speculative early binding — the adversarial
+    // case for the detection mechanism.
+    for (Addr a : kShared) m.preload_shared(0, a);
+  }
+  RunResult r = m.run();
+  EXPECT_FALSE(r.deadlocked);
+  ScOutcome out;
+  for (ProcId p = 0; p < 2; ++p) {
+    std::array<Word, kNumArchRegs> regs{};
+    for (RegId i = 0; i < kNumArchRegs; ++i) regs[i] = m.core(p).reg(i);
+    out.regs.push_back(regs);
+  }
+  for (Addr a : kShared) out.memory.push_back(m.read_word(a));
+  return out;
+}
+
+class ScSoundness : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScSoundness, MachineUnderScStaysInsideTheScOutcomeSet) {
+  TwoProcs progs = random_racy_pair(40'000 + GetParam());
+  auto oracle = enumerate_sc_outcomes({progs.p0, progs.p1}, 1 << 12,
+                                      {kShared[0], kShared[1], kShared[2]});
+  ASSERT_TRUE(oracle.complete);
+  for (bool spec : {false, true}) {
+    for (bool pf : {false, true}) {
+      for (bool warm : {false, true}) {
+        ScOutcome got = machine_outcome(progs, ConsistencyModel::kSC, spec, pf, warm);
+        EXPECT_TRUE(oracle.outcomes.count(got))
+            << "SC VIOLATION seed=" << GetParam() << " spec=" << spec << " pf=" << pf
+            << " warm=" << warm;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScSoundness, ::testing::Range(0, 20));
+
+// Three-processor variant: shorter programs, same exhaustive check.
+
+class ScSoundness3 : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScSoundness3, ThreeProcessorsStayInsideTheScSet) {
+  Pcg32 rng(90'000 + GetParam());
+  std::vector<Program> progs;
+  for (int p = 0; p < 3; ++p) {
+    ProgramBuilder b;
+    int n = 2 + rng.next_below(2);
+    for (int i = 0; i < n; ++i) {
+      Addr a = kShared[rng.next_below(3)];
+      switch (rng.next_below(3)) {
+        case 0:
+          b.li(static_cast<RegId>(1 + rng.next_below(3)), rng.next_below(50));
+          break;
+        case 1:
+          b.store(static_cast<RegId>(1 + rng.next_below(3)), ProgramBuilder::abs(a));
+          break;
+        case 2:
+          b.load(static_cast<RegId>(1 + rng.next_below(3)), ProgramBuilder::abs(a));
+          break;
+      }
+    }
+    b.halt();
+    progs.push_back(b.build());
+  }
+  auto oracle = enumerate_sc_outcomes(progs, 1 << 12,
+                                      {kShared[0], kShared[1], kShared[2]});
+  ASSERT_TRUE(oracle.complete);
+  for (bool spec : {false, true}) {
+    SystemConfig cfg = SystemConfig::paper_default(3, ConsistencyModel::kSC);
+    cfg.core.speculative_loads = spec;
+    cfg.core.prefetch = spec ? PrefetchMode::kNonBinding : PrefetchMode::kOff;
+    Machine m(cfg, progs);
+    for (Addr a : kShared) m.preload_shared(0, a);
+    RunResult r = m.run();
+    ASSERT_FALSE(r.deadlocked);
+    ScOutcome got;
+    for (ProcId p = 0; p < 3; ++p) {
+      std::array<Word, kNumArchRegs> regs{};
+      for (RegId i = 0; i < kNumArchRegs; ++i) regs[i] = m.core(p).reg(i);
+      got.regs.push_back(regs);
+    }
+    for (Addr a : kShared) got.memory.push_back(m.read_word(a));
+    EXPECT_TRUE(oracle.outcomes.count(got))
+        << "SC VIOLATION (3 procs) seed=" << GetParam() << " spec=" << spec;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScSoundness3, ::testing::Range(0, 8));
+
+TEST(ScSoundnessContrast, PCEscapesTheScSetOnStoreBuffering) {
+  // Confidence that the oracle has teeth: PC's store->load reordering
+  // produces an outcome outside the SC set on the SB shape.
+  ProgramBuilder p0;
+  p0.li(1, 1);
+  p0.store(1, ProgramBuilder::abs(kShared[0]));
+  p0.load(2, ProgramBuilder::abs(kShared[1]));
+  p0.halt();
+  ProgramBuilder p1;
+  p1.li(1, 1);
+  p1.store(1, ProgramBuilder::abs(kShared[1]));
+  p1.load(2, ProgramBuilder::abs(kShared[0]));
+  p1.halt();
+  TwoProcs progs{p0.build(), p1.build()};
+  auto oracle = enumerate_sc_outcomes({progs.p0, progs.p1}, 1 << 12,
+                                      {kShared[0], kShared[1], kShared[2]});
+  // Each side's LOAD target warm in its own cache: the PC-legal early
+  // loads both read the stale zero.
+  SystemConfig cfg = SystemConfig::paper_default(2, ConsistencyModel::kPC);
+  Machine m(cfg, {progs.p0, progs.p1});
+  m.preload_shared(0, kShared[1]);
+  m.preload_shared(1, kShared[0]);
+  RunResult r = m.run();
+  ASSERT_FALSE(r.deadlocked);
+  ScOutcome got;
+  for (ProcId p = 0; p < 2; ++p) {
+    std::array<Word, kNumArchRegs> regs{};
+    for (RegId i = 0; i < kNumArchRegs; ++i) regs[i] = m.core(p).reg(i);
+    got.regs.push_back(regs);
+  }
+  for (Addr a : kShared) got.memory.push_back(m.read_word(a));
+  EXPECT_FALSE(oracle.outcomes.count(got))
+      << "expected PC to exhibit a non-SC outcome here";
+}
+
+}  // namespace
+}  // namespace mcsim
