@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_binding_prefetch.dir/ablation_binding_prefetch.cpp.o"
+  "CMakeFiles/ablation_binding_prefetch.dir/ablation_binding_prefetch.cpp.o.d"
+  "ablation_binding_prefetch"
+  "ablation_binding_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_binding_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ooo_consumption.dir/ablation_ooo_consumption.cpp.o"
+  "CMakeFiles/ablation_ooo_consumption.dir/ablation_ooo_consumption.cpp.o.d"
+  "ablation_ooo_consumption"
+  "ablation_ooo_consumption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ooo_consumption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_partial_deployment.dir/ablation_partial_deployment.cpp.o"
+  "CMakeFiles/ablation_partial_deployment.dir/ablation_partial_deployment.cpp.o.d"
+  "ablation_partial_deployment"
+  "ablation_partial_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_partial_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rollback_rate.dir/ablation_rollback_rate.cpp.o"
+  "CMakeFiles/ablation_rollback_rate.dir/ablation_rollback_rate.cpp.o.d"
+  "ablation_rollback_rate"
+  "ablation_rollback_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rollback_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_update_protocol.dir/ablation_update_protocol.cpp.o"
+  "CMakeFiles/ablation_update_protocol.dir/ablation_update_protocol.cpp.o.d"
+  "ablation_update_protocol"
+  "ablation_update_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_update_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

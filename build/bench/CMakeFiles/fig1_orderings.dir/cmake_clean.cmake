@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_orderings.dir/fig1_orderings.cpp.o"
+  "CMakeFiles/fig1_orderings.dir/fig1_orderings.cpp.o.d"
+  "fig1_orderings"
+  "fig1_orderings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_orderings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_example1.dir/fig2_example1.cpp.o"
+  "CMakeFiles/fig2_example1.dir/fig2_example1.cpp.o.d"
+  "fig2_example1"
+  "fig2_example1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_example1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

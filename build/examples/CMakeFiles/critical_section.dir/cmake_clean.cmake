@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/critical_section.dir/critical_section.cpp.o"
+  "CMakeFiles/critical_section.dir/critical_section.cpp.o.d"
+  "critical_section"
+  "critical_section.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/critical_section.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcsim_coherence.dir/cache.cpp.o"
+  "CMakeFiles/mcsim_coherence.dir/cache.cpp.o.d"
+  "CMakeFiles/mcsim_coherence.dir/directory.cpp.o"
+  "CMakeFiles/mcsim_coherence.dir/directory.cpp.o.d"
+  "libmcsim_coherence.a"
+  "libmcsim_coherence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcsim_coherence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

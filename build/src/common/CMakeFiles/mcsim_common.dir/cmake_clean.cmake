@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcsim_common.dir/config.cpp.o"
+  "CMakeFiles/mcsim_common.dir/config.cpp.o.d"
+  "CMakeFiles/mcsim_common.dir/log.cpp.o"
+  "CMakeFiles/mcsim_common.dir/log.cpp.o.d"
+  "CMakeFiles/mcsim_common.dir/stats.cpp.o"
+  "CMakeFiles/mcsim_common.dir/stats.cpp.o.d"
+  "libmcsim_common.a"
+  "libmcsim_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcsim_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

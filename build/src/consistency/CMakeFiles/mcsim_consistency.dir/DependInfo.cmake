@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/consistency/policy.cpp" "src/consistency/CMakeFiles/mcsim_consistency.dir/policy.cpp.o" "gcc" "src/consistency/CMakeFiles/mcsim_consistency.dir/policy.cpp.o.d"
+  "/root/repo/src/consistency/prefetch_engine.cpp" "src/consistency/CMakeFiles/mcsim_consistency.dir/prefetch_engine.cpp.o" "gcc" "src/consistency/CMakeFiles/mcsim_consistency.dir/prefetch_engine.cpp.o.d"
+  "/root/repo/src/consistency/spec_load_buffer.cpp" "src/consistency/CMakeFiles/mcsim_consistency.dir/spec_load_buffer.cpp.o" "gcc" "src/consistency/CMakeFiles/mcsim_consistency.dir/spec_load_buffer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mcsim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/mcsim_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/coherence/CMakeFiles/mcsim_coherence.dir/DependInfo.cmake"
+  "/root/repo/build/src/interconnect/CMakeFiles/mcsim_interconnect.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

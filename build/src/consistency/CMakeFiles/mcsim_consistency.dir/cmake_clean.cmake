@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcsim_consistency.dir/policy.cpp.o"
+  "CMakeFiles/mcsim_consistency.dir/policy.cpp.o.d"
+  "CMakeFiles/mcsim_consistency.dir/prefetch_engine.cpp.o"
+  "CMakeFiles/mcsim_consistency.dir/prefetch_engine.cpp.o.d"
+  "CMakeFiles/mcsim_consistency.dir/spec_load_buffer.cpp.o"
+  "CMakeFiles/mcsim_consistency.dir/spec_load_buffer.cpp.o.d"
+  "libmcsim_consistency.a"
+  "libmcsim_consistency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcsim_consistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

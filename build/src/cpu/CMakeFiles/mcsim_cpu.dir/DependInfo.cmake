@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/branch_predictor.cpp" "src/cpu/CMakeFiles/mcsim_cpu.dir/branch_predictor.cpp.o" "gcc" "src/cpu/CMakeFiles/mcsim_cpu.dir/branch_predictor.cpp.o.d"
+  "/root/repo/src/cpu/core.cpp" "src/cpu/CMakeFiles/mcsim_cpu.dir/core.cpp.o" "gcc" "src/cpu/CMakeFiles/mcsim_cpu.dir/core.cpp.o.d"
+  "/root/repo/src/cpu/lsu.cpp" "src/cpu/CMakeFiles/mcsim_cpu.dir/lsu.cpp.o" "gcc" "src/cpu/CMakeFiles/mcsim_cpu.dir/lsu.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mcsim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/mcsim_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/coherence/CMakeFiles/mcsim_coherence.dir/DependInfo.cmake"
+  "/root/repo/build/src/consistency/CMakeFiles/mcsim_consistency.dir/DependInfo.cmake"
+  "/root/repo/build/src/interconnect/CMakeFiles/mcsim_interconnect.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

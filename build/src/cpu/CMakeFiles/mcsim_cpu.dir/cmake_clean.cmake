@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcsim_cpu.dir/branch_predictor.cpp.o"
+  "CMakeFiles/mcsim_cpu.dir/branch_predictor.cpp.o.d"
+  "CMakeFiles/mcsim_cpu.dir/core.cpp.o"
+  "CMakeFiles/mcsim_cpu.dir/core.cpp.o.d"
+  "CMakeFiles/mcsim_cpu.dir/lsu.cpp.o"
+  "CMakeFiles/mcsim_cpu.dir/lsu.cpp.o.d"
+  "libmcsim_cpu.a"
+  "libmcsim_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcsim_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

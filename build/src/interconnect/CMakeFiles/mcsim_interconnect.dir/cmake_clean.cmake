@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcsim_interconnect.dir/message.cpp.o"
+  "CMakeFiles/mcsim_interconnect.dir/message.cpp.o.d"
+  "CMakeFiles/mcsim_interconnect.dir/network.cpp.o"
+  "CMakeFiles/mcsim_interconnect.dir/network.cpp.o.d"
+  "libmcsim_interconnect.a"
+  "libmcsim_interconnect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcsim_interconnect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

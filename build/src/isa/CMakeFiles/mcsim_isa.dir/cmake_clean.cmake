@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcsim_isa.dir/assembler.cpp.o"
+  "CMakeFiles/mcsim_isa.dir/assembler.cpp.o.d"
+  "CMakeFiles/mcsim_isa.dir/builder.cpp.o"
+  "CMakeFiles/mcsim_isa.dir/builder.cpp.o.d"
+  "CMakeFiles/mcsim_isa.dir/instruction.cpp.o"
+  "CMakeFiles/mcsim_isa.dir/instruction.cpp.o.d"
+  "CMakeFiles/mcsim_isa.dir/interp.cpp.o"
+  "CMakeFiles/mcsim_isa.dir/interp.cpp.o.d"
+  "CMakeFiles/mcsim_isa.dir/program.cpp.o"
+  "CMakeFiles/mcsim_isa.dir/program.cpp.o.d"
+  "libmcsim_isa.a"
+  "libmcsim_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcsim_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

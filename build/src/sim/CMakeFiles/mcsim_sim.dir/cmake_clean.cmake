@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcsim_sim.dir/machine.cpp.o"
+  "CMakeFiles/mcsim_sim.dir/machine.cpp.o.d"
+  "CMakeFiles/mcsim_sim.dir/options.cpp.o"
+  "CMakeFiles/mcsim_sim.dir/options.cpp.o.d"
+  "CMakeFiles/mcsim_sim.dir/workloads.cpp.o"
+  "CMakeFiles/mcsim_sim.dir/workloads.cpp.o.d"
+  "libmcsim_sim.a"
+  "libmcsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

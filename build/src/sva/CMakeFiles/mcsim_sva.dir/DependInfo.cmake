@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sva/race_detector.cpp" "src/sva/CMakeFiles/mcsim_sva.dir/race_detector.cpp.o" "gcc" "src/sva/CMakeFiles/mcsim_sva.dir/race_detector.cpp.o.d"
+  "/root/repo/src/sva/sc_enumerator.cpp" "src/sva/CMakeFiles/mcsim_sva.dir/sc_enumerator.cpp.o" "gcc" "src/sva/CMakeFiles/mcsim_sva.dir/sc_enumerator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mcsim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/mcsim_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcsim_sva.dir/race_detector.cpp.o"
+  "CMakeFiles/mcsim_sva.dir/race_detector.cpp.o.d"
+  "CMakeFiles/mcsim_sva.dir/sc_enumerator.cpp.o"
+  "CMakeFiles/mcsim_sva.dir/sc_enumerator.cpp.o.d"
+  "libmcsim_sva.a"
+  "libmcsim_sva.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcsim_sva.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

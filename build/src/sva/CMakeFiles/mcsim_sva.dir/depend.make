@@ -1,0 +1,2 @@
+# Empty dependencies file for mcsim_sva.
+# This may be replaced when dependencies are built.

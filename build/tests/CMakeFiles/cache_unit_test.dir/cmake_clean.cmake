@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_unit_test.dir/coherence/cache_unit_test.cpp.o"
+  "CMakeFiles/cache_unit_test.dir/coherence/cache_unit_test.cpp.o.d"
+  "cache_unit_test"
+  "cache_unit_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

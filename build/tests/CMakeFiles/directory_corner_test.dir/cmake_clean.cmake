@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/directory_corner_test.dir/coherence/directory_corner_test.cpp.o"
+  "CMakeFiles/directory_corner_test.dir/coherence/directory_corner_test.cpp.o.d"
+  "directory_corner_test"
+  "directory_corner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/directory_corner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

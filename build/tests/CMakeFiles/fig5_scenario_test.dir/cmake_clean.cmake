@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_scenario_test.dir/integration/fig5_scenario_test.cpp.o"
+  "CMakeFiles/fig5_scenario_test.dir/integration/fig5_scenario_test.cpp.o.d"
+  "fig5_scenario_test"
+  "fig5_scenario_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_scenario_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iriw_test.dir/integration/iriw_test.cpp.o"
+  "CMakeFiles/iriw_test.dir/integration/iriw_test.cpp.o.d"
+  "iriw_test"
+  "iriw_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iriw_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

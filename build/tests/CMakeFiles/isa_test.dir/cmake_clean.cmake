@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isa_test.dir/isa/builder_test.cpp.o"
+  "CMakeFiles/isa_test.dir/isa/builder_test.cpp.o.d"
+  "CMakeFiles/isa_test.dir/isa/instruction_test.cpp.o"
+  "CMakeFiles/isa_test.dir/isa/instruction_test.cpp.o.d"
+  "CMakeFiles/isa_test.dir/isa/interp_test.cpp.o"
+  "CMakeFiles/isa_test.dir/isa/interp_test.cpp.o.d"
+  "isa_test"
+  "isa_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

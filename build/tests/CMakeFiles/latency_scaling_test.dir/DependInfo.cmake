@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/latency_scaling_test.cpp" "tests/CMakeFiles/latency_scaling_test.dir/integration/latency_scaling_test.cpp.o" "gcc" "tests/CMakeFiles/latency_scaling_test.dir/integration/latency_scaling_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mcsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/mcsim_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/consistency/CMakeFiles/mcsim_consistency.dir/DependInfo.cmake"
+  "/root/repo/build/src/coherence/CMakeFiles/mcsim_coherence.dir/DependInfo.cmake"
+  "/root/repo/build/src/interconnect/CMakeFiles/mcsim_interconnect.dir/DependInfo.cmake"
+  "/root/repo/build/src/sva/CMakeFiles/mcsim_sva.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/mcsim_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mcsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latency_scaling_test.dir/integration/latency_scaling_test.cpp.o"
+  "CMakeFiles/latency_scaling_test.dir/integration/latency_scaling_test.cpp.o.d"
+  "latency_scaling_test"
+  "latency_scaling_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latency_scaling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

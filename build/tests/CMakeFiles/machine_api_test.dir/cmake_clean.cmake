@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/machine_api_test.dir/sim/machine_api_test.cpp.o"
+  "CMakeFiles/machine_api_test.dir/sim/machine_api_test.cpp.o.d"
+  "machine_api_test"
+  "machine_api_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/machine_api_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pc_model_test.dir/consistency/pc_model_test.cpp.o"
+  "CMakeFiles/pc_model_test.dir/consistency/pc_model_test.cpp.o.d"
+  "pc_model_test"
+  "pc_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pc_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/per_core_config_test.dir/sim/per_core_config_test.cpp.o"
+  "CMakeFiles/per_core_config_test.dir/sim/per_core_config_test.cpp.o.d"
+  "per_core_config_test"
+  "per_core_config_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/per_core_config_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prefetch_engine_test.dir/consistency/prefetch_engine_test.cpp.o"
+  "CMakeFiles/prefetch_engine_test.dir/consistency/prefetch_engine_test.cpp.o.d"
+  "prefetch_engine_test"
+  "prefetch_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prefetch_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/race_detector_test.dir/sva/race_detector_test.cpp.o"
+  "CMakeFiles/race_detector_test.dir/sva/race_detector_test.cpp.o.d"
+  "race_detector_test"
+  "race_detector_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/race_detector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmw_variants_test.dir/cpu/rmw_variants_test.cpp.o"
+  "CMakeFiles/rmw_variants_test.dir/cpu/rmw_variants_test.cpp.o.d"
+  "rmw_variants_test"
+  "rmw_variants_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmw_variants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

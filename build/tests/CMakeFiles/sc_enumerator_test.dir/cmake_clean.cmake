@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_enumerator_test.dir/sva/sc_enumerator_test.cpp.o"
+  "CMakeFiles/sc_enumerator_test.dir/sva/sc_enumerator_test.cpp.o.d"
+  "sc_enumerator_test"
+  "sc_enumerator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_enumerator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spec_load_buffer_test.dir/consistency/spec_load_buffer_test.cpp.o"
+  "CMakeFiles/spec_load_buffer_test.dir/consistency/spec_load_buffer_test.cpp.o.d"
+  "spec_load_buffer_test"
+  "spec_load_buffer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spec_load_buffer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wc_model_test.dir/consistency/wc_model_test.cpp.o"
+  "CMakeFiles/wc_model_test.dir/consistency/wc_model_test.cpp.o.d"
+  "wc_model_test"
+  "wc_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wc_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
