@@ -6,47 +6,69 @@
 // Same Figure 2 / Example 1 run with the prefetch engine in binding
 // mode: since every candidate access is consistency-delayed, the
 // binding prefetcher never gets to issue anything and the result
-// matches the no-prefetch baseline exactly.
+// matches the no-prefetch baseline exactly. All cells run in one
+// parallel ExperimentRunner sweep.
 #include <cstdio>
 
+#include "bench_util.hpp"
 #include "isa/builder.hpp"
-#include "sim/machine.hpp"
 
 using namespace mcsim;
+using namespace mcsim::bench;
 
 namespace {
 
 constexpr Addr kLock = 0x1000, kA = 0x2000, kB = 0x3000;
 
-Cycle run(ConsistencyModel model, PrefetchMode mode) {
+Program producer() {
   ProgramBuilder b;
   b.tas(31, ProgramBuilder::abs(kLock), SyncKind::kAcquire);
   b.store(0, ProgramBuilder::abs(kA));
   b.store(0, ProgramBuilder::abs(kB));
   b.unlock(kLock);
   b.halt();
-  SystemConfig cfg = SystemConfig::paper_default(1, model);
-  cfg.core.prefetch = mode;
-  Machine m(cfg, {b.build()});
-  RunResult r = m.run();
-  return r.deadlocked ? 0 : r.cycles;
+  return b.build();
 }
+
+const ConsistencyModel kModels[] = {ConsistencyModel::kSC, ConsistencyModel::kPC,
+                                    ConsistencyModel::kWC, ConsistencyModel::kRC};
+const PrefetchMode kModes[] = {PrefetchMode::kOff, PrefetchMode::kBinding,
+                               PrefetchMode::kNonBinding};
+constexpr std::size_t kNumModes = sizeof(kModes) / sizeof(kModes[0]);
 
 }  // namespace
 
 int main() {
   std::printf("Ablation: binding vs non-binding prefetch (paper §6)\n");
   std::printf("Figure 2 / Example 1\n\n");
+
+  const Workload w = make_adhoc_workload("fig2_example1", {producer()});
+  ExperimentGrid grid("ablation_binding_prefetch");
+  for (ConsistencyModel model : kModels) {
+    for (PrefetchMode mode : kModes) {
+      SystemConfig cfg = SystemConfig::paper_default(1, model);
+      cfg.core.prefetch = mode;
+      grid.add(w, cfg, to_string(mode));
+    }
+  }
+
+  ExperimentRunner runner;
+  std::vector<CellResult> results = runner.run(grid);
+
   std::printf("%-6s %12s %12s %14s\n", "model", "no-prefetch", "binding", "non-binding");
-  for (ConsistencyModel model : {ConsistencyModel::kSC, ConsistencyModel::kPC,
-                                 ConsistencyModel::kWC, ConsistencyModel::kRC}) {
-    std::printf("%-6s %12llu %12llu %14llu\n", to_string(model),
-                static_cast<unsigned long long>(run(model, PrefetchMode::kOff)),
-                static_cast<unsigned long long>(run(model, PrefetchMode::kBinding)),
-                static_cast<unsigned long long>(run(model, PrefetchMode::kNonBinding)));
+  for (std::size_t mi = 0; mi < sizeof(kModels) / sizeof(kModels[0]); ++mi) {
+    std::printf("%-6s", to_string(kModels[mi]));
+    for (std::size_t pi = 0; pi < kNumModes; ++pi) {
+      const CellResult& r = results[mi * kNumModes + pi];
+      std::printf(pi == kNumModes - 1 ? "%14llu" : "%12llu",
+                  static_cast<unsigned long long>(r.ok() ? r.stats.cycles : 0));
+    }
+    std::printf("\n");
   }
   std::printf(
       "\nExpected: binding == no-prefetch on every model (it may not move\n"
       "early); non-binding reaches ~103 cycles.\n");
-  return 0;
+
+  write_json("BENCH_ablation_binding_prefetch.json", grid, results, runner.last_sweep());
+  return report_failures(results) == 0 ? 0 : 1;
 }

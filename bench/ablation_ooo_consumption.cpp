@@ -5,33 +5,70 @@
 // (the `read D; read E[D]` motif) and compare prefetch-only against
 // speculation-only: the gap widens with the number of dependent hits,
 // because a prefetch can bring E[D]'s line in only after D's value is
-// consumable, while speculation consumes D immediately.
+// consumable, while speculation consumes D immediately. All cells run
+// in one parallel ExperimentRunner sweep.
 #include <cstdio>
+#include <string>
 
 #include "bench_util.hpp"
 
 using namespace mcsim;
 using namespace mcsim::bench;
 
+namespace {
+
+struct TechCombo {
+  const char* name;
+  bool prefetch;
+  bool spec;
+};
+
+const TechCombo kCombos[] = {
+    {"baseline", false, false},
+    {"+prefetch", true, false},
+    {"+speculation", false, true},
+    {"+both", true, true},
+};
+constexpr std::size_t kNumCombos = sizeof(kCombos) / sizeof(kCombos[0]);
+constexpr std::uint32_t kMinHits = 1, kMaxHits = 6;
+
+}  // namespace
+
 int main() {
   std::printf("Ablation: out-of-order consumption (paper §3.3)\n");
   std::printf("dependent-chain workload, SC, 1 processor, depth 4\n\n");
+
+  ExperimentGrid grid("ablation_ooo_consumption");
+  for (std::uint32_t hits = kMinHits; hits <= kMaxHits; ++hits) {
+    Workload w = make_dependent_chain(1, 4, hits);
+    for (const TechCombo& t : kCombos) {
+      grid.add(w, tech_config(ConsistencyModel::kSC, t.prefetch, t.spec), t.name,
+               {{"hits_per_miss", std::to_string(hits)}});
+    }
+  }
+
+  ExperimentRunner runner;
+  std::vector<CellResult> results = runner.run(grid);
+
   std::printf("%8s %10s %12s %12s %12s %14s\n", "hits/k", "baseline", "+prefetch",
               "+speculation", "+both", "pf speedup/spec");
-  for (std::uint32_t hits = 1; hits <= 6; ++hits) {
-    Workload w = make_dependent_chain(1, 4, hits);
-    Cycle base = run_workload(w, tech_config(ConsistencyModel::kSC, false, false)).cycles;
-    Cycle pf = run_workload(w, tech_config(ConsistencyModel::kSC, true, false)).cycles;
-    Cycle spec = run_workload(w, tech_config(ConsistencyModel::kSC, false, true)).cycles;
-    Cycle both = run_workload(w, tech_config(ConsistencyModel::kSC, true, true)).cycles;
+  for (std::uint32_t hits = kMinHits; hits <= kMaxHits; ++hits) {
+    const std::size_t first = (hits - kMinHits) * kNumCombos;
+    Cycle base = results[first + 0].stats.cycles;
+    Cycle pf = results[first + 1].stats.cycles;
+    Cycle spec = results[first + 2].stats.cycles;
+    Cycle both = results[first + 3].stats.cycles;
     std::printf("%8u %10llu %12llu %12llu %12llu %9.2f/%.2f\n", hits,
                 static_cast<unsigned long long>(base), static_cast<unsigned long long>(pf),
                 static_cast<unsigned long long>(spec),
                 static_cast<unsigned long long>(both),
-                static_cast<double>(base) / pf, static_cast<double>(base) / spec);
+                pf == 0 ? 0.0 : static_cast<double>(base) / pf,
+                spec == 0 ? 0.0 : static_cast<double>(base) / spec);
   }
   std::printf(
       "\nExpected: prefetch speedup stays modest and flat; speculation speedup\n"
       "grows with the number of dependent hits (it consumes them out of order).\n");
-  return 0;
+
+  write_json("BENCH_ablation_ooo_consumption.json", grid, results, runner.last_sweep());
+  return report_failures(results) == 0 ? 0 : 1;
 }

@@ -2,51 +2,58 @@
 // paper's techniques act per processor, so a machine can be upgraded
 // incrementally. Equip 0..N processors of an SC machine with both
 // techniques and chart the completion time of each processor class.
+// All cells run in one parallel ExperimentRunner sweep.
+#include <algorithm>
 #include <cstdio>
+#include <string>
 
-#include "sim/machine.hpp"
-#include "sim/workloads.hpp"
+#include "bench_util.hpp"
 
 using namespace mcsim;
+using namespace mcsim::bench;
 
 int main() {
   constexpr std::uint32_t kProcs = 4;
   std::printf("Per-processor technique deployment (SC, producer/consumer x2)\n\n");
-  std::printf("%-10s %12s %14s %14s\n", "equipped", "total", "equipped-max", "baseline-max");
+
+  ExperimentGrid grid("ablation_partial_deployment");
   for (std::uint32_t k = 0; k <= kProcs; ++k) {
-    Workload w = make_producer_consumer(kProcs, 12);
     SystemConfig cfg = SystemConfig::realistic(kProcs, ConsistencyModel::kSC);
     cfg.per_core.assign(kProcs, cfg.core);
     for (std::uint32_t p = 0; p < k; ++p) {
       cfg.per_core[p].speculative_loads = true;
       cfg.per_core[p].prefetch = PrefetchMode::kNonBinding;
     }
-    Machine m(cfg, w.programs);
-    RunResult r = m.run();
-    if (r.deadlocked) {
-      std::fprintf(stderr, "deadlock!\n");
-      return 1;
-    }
-    for (auto& [addr, value] : w.expected) {
-      if (m.read_word(addr) != value) {
-        std::fprintf(stderr, "wrong result\n");
-        return 1;
-      }
-    }
+    grid.add(make_producer_consumer(kProcs, 12), cfg,
+             std::to_string(k) + " equipped", {{"equipped", std::to_string(k)}});
+  }
+
+  ExperimentRunner runner;
+  std::vector<CellResult> results = runner.run(grid);
+
+  std::printf("%-10s %12s %14s %14s\n", "equipped", "total", "equipped-max",
+              "baseline-max");
+  for (std::uint32_t k = 0; k <= kProcs; ++k) {
+    const CellResult& r = results[k];
+    if (!r.ok()) continue;  // reported below
     Cycle equipped_max = 0, baseline_max = 0;
     for (std::uint32_t p = 0; p < kProcs; ++p) {
+      Cycle drain = p < r.stats.drain_cycles.size() ? r.stats.drain_cycles[p] : 0;
       if (p < k)
-        equipped_max = std::max(equipped_max, r.drain_cycle[p]);
+        equipped_max = std::max(equipped_max, drain);
       else
-        baseline_max = std::max(baseline_max, r.drain_cycle[p]);
+        baseline_max = std::max(baseline_max, drain);
     }
     std::printf("%-10u %12llu %14llu %14llu\n", k,
-                static_cast<unsigned long long>(r.cycles),
+                static_cast<unsigned long long>(r.stats.cycles),
                 static_cast<unsigned long long>(equipped_max),
                 static_cast<unsigned long long>(baseline_max));
   }
   std::printf(
       "\nExpected: equipped processors finish sooner; total time falls as\n"
       "coverage grows (incremental hardware deployment pays off per core).\n");
-  return 0;
+
+  write_json("BENCH_ablation_partial_deployment.json", grid, results,
+             runner.last_sweep());
+  return report_failures(results) == 0 ? 0 : 1;
 }

@@ -5,13 +5,16 @@
 // P0 repeatedly speculates loads of a shared line past slow gate
 // loads; P1 writes that line every `interval` cycles. Sweeping the
 // interval charts rollback rate against achieved speedup: frequent
-// invalidations erode (and eventually invert) the benefit.
+// invalidations erode (and eventually invert) the benefit. All cells
+// run in one parallel ExperimentRunner sweep.
 #include <cstdio>
+#include <string>
 
+#include "bench_util.hpp"
 #include "isa/builder.hpp"
-#include "sim/machine.hpp"
 
 using namespace mcsim;
+using namespace mcsim::bench;
 
 namespace {
 
@@ -45,27 +48,22 @@ Program writer(std::uint32_t interval, std::uint32_t writes) {
   return b.build();
 }
 
-struct Result {
-  Cycle cycles;
-  std::uint64_t squashes;
-  std::uint64_t reissues;
-};
-
-Result run(bool spec, std::uint32_t interval, std::uint32_t writes) {
+SystemConfig config(bool spec) {
   SystemConfig cfg = SystemConfig::paper_default(2, ConsistencyModel::kSC);
   cfg.core.speculative_loads = spec;
   cfg.core.rob_entries = 4096;
   cfg.core.ls_rs_entries = 64;
   cfg.core.spec_load_buffer_entries = 64;
   cfg.core.store_buffer_entries = 64;
-  Machine m(cfg, {reader(), writer(interval, writes)});
-  RunResult r = m.run();
-  Result out;
-  out.cycles = r.deadlocked ? 0 : m.core(0).drained() ? r.drain_cycle[0] : r.cycles;
-  out.squashes = m.core(0).stats().get("squashes");
-  out.reissues = m.core(0).lsu().stats().get("spec_reissue");
-  return out;
+  return cfg;
 }
+
+/// P0's completion time (the workload of interest; P1 is just traffic).
+Cycle p0_cycles(const CellResult& r) {
+  return r.ok() && !r.stats.drain_cycles.empty() ? r.stats.drain_cycles[0] : 0;
+}
+
+const std::uint32_t kIntervals[] = {0u, 25u, 50u, 100u, 200u, 400u, 800u, 1600u};
 
 }  // namespace
 
@@ -73,26 +71,44 @@ int main() {
   std::printf("Ablation: speculation benefit vs invalidation frequency (paper §5)\n");
   std::printf("reader speculates %u loads of one line; writer dirties it periodically\n\n",
               kIters);
+
+  ExperimentGrid grid("ablation_rollback_rate");
+  for (std::uint32_t interval : kIntervals) {
+    std::uint32_t writes = interval == 0 ? 0 : 6400 / interval;
+    Workload w = make_adhoc_workload(
+        "rollback_interval_" + std::to_string(interval),
+        {reader(), writer(interval == 0 ? 1 : interval, writes)});
+    for (bool spec : {false, true}) {
+      grid.add(w, config(spec), spec ? "+speculation" : "baseline",
+               {{"write_interval", std::to_string(interval)}});
+    }
+  }
+
+  ExperimentRunner runner;
+  std::vector<CellResult> results = runner.run(grid);
+
   std::printf("%10s %12s %12s %10s %10s %10s\n", "interval", "base(P0)", "spec(P0)",
               "speedup", "squashes", "reissues");
-  for (std::uint32_t interval : {0u, 25u, 50u, 100u, 200u, 400u, 800u, 1600u}) {
-    std::uint32_t writes = interval == 0 ? 0 : 6400 / interval;
-    Result base = run(false, interval == 0 ? 1 : interval, writes);
-    Result spec = run(true, interval == 0 ? 1 : interval, writes);
+  for (std::size_t i = 0; i < sizeof(kIntervals) / sizeof(kIntervals[0]); ++i) {
+    const CellResult& base = results[2 * i];
+    const CellResult& spec = results[2 * i + 1];
     char label[16];
-    if (interval == 0)
+    if (kIntervals[i] == 0)
       std::snprintf(label, sizeof label, "never");
     else
-      std::snprintf(label, sizeof label, "%u", interval);
+      std::snprintf(label, sizeof label, "%u", kIntervals[i]);
+    Cycle bc = p0_cycles(base), sc = p0_cycles(spec);
     std::printf("%10s %12llu %12llu %9.2fx %10llu %10llu\n", label,
-                static_cast<unsigned long long>(base.cycles),
-                static_cast<unsigned long long>(spec.cycles),
-                static_cast<double>(base.cycles) / static_cast<double>(spec.cycles),
-                static_cast<unsigned long long>(spec.squashes),
-                static_cast<unsigned long long>(spec.reissues));
+                static_cast<unsigned long long>(bc),
+                static_cast<unsigned long long>(sc),
+                sc == 0 ? 0.0 : static_cast<double>(bc) / static_cast<double>(sc),
+                static_cast<unsigned long long>(spec.stats.squashes),
+                static_cast<unsigned long long>(spec.stats.reissues));
   }
   std::printf(
       "\nExpected: large speedup when the line is never (or rarely) written;\n"
       "squash counts rise and speedup shrinks as the write interval drops.\n");
-  return 0;
+
+  write_json("BENCH_ablation_rollback_rate.json", grid, results, runner.last_sweep());
+  return report_failures(results) == 0 ? 0 : 1;
 }

@@ -9,13 +9,16 @@
 //    the lock and the writes plus a small reorder buffer: the hardware
 //    never sees the delayed writes in time, the software prefetches
 //    were hoisted to the top by "the compiler".
+//
+// All cells run in one parallel ExperimentRunner sweep.
 #include <cstdio>
 #include <string>
 
+#include "bench_util.hpp"
 #include "isa/assembler.hpp"
-#include "sim/machine.hpp"
 
 using namespace mcsim;
+using namespace mcsim::bench;
 
 namespace {
 
@@ -52,7 +55,7 @@ Program windowed(bool sw_prefetch, int chain) {
   return assemble(src);
 }
 
-Cycle run(const Program& p, bool hw_prefetch, std::uint32_t rob) {
+SystemConfig config(bool hw_prefetch, std::uint32_t rob) {
   SystemConfig cfg = SystemConfig::paper_default(1, ConsistencyModel::kSC);
   cfg.core.prefetch = hw_prefetch ? PrefetchMode::kNonBinding : PrefetchMode::kOff;
   cfg.core.rob_entries = rob;
@@ -60,38 +63,55 @@ Cycle run(const Program& p, bool hw_prefetch, std::uint32_t rob) {
   cfg.core.ideal_frontend = false;
   cfg.core.fetch_width = 2;
   cfg.core.decode_width = 2;
-  Machine m(cfg, {p});
-  RunResult r = m.run();
-  return r.deadlocked ? 0 : r.cycles;
+  return cfg;
 }
+
+Cycle cycles(const CellResult& r) { return r.ok() ? r.stats.cycles : 0; }
 
 }  // namespace
 
 int main() {
   std::printf("Ablation: hardware vs software non-binding prefetch (paper §6)\n\n");
 
+  ExperimentGrid grid("ablation_sw_prefetch");
+  // Example 1: (sw, hw) in {no, hw, sw, both} order.
+  grid.add(make_adhoc_workload("example1", {example1(false)}), config(false, 64),
+           "no prefetch");
+  grid.add(make_adhoc_workload("example1", {example1(false)}), config(true, 64),
+           "hardware prefetch");
+  grid.add(make_adhoc_workload("example1_sw", {example1(true)}), config(false, 64),
+           "software prefetch");
+  grid.add(make_adhoc_workload("example1_sw", {example1(true)}), config(true, 64),
+           "both");
+  // Lookahead-window limit: 120-instruction chain, 16-entry ROB.
+  grid.add(make_adhoc_workload("windowed", {windowed(false, 120)}), config(false, 16),
+           "no prefetch");
+  grid.add(make_adhoc_workload("windowed", {windowed(false, 120)}), config(true, 16),
+           "hardware prefetch");
+  grid.add(make_adhoc_workload("windowed_sw", {windowed(true, 120)}), config(false, 16),
+           "software prefetch (hoisted)");
+
+  ExperimentRunner runner;
+  std::vector<CellResult> results = runner.run(grid);
+
   std::printf("Example 1 (delayed writes inside the lookahead window), SC:\n");
-  std::printf("  %-28s %8llu cycles\n", "no prefetch",
-              static_cast<unsigned long long>(run(example1(false), false, 64)));
-  std::printf("  %-28s %8llu cycles\n", "hardware prefetch",
-              static_cast<unsigned long long>(run(example1(false), true, 64)));
-  std::printf("  %-28s %8llu cycles\n", "software prefetch",
-              static_cast<unsigned long long>(run(example1(true), false, 64)));
-  std::printf("  %-28s %8llu cycles\n", "both",
-              static_cast<unsigned long long>(run(example1(true), true, 64)));
+  for (std::size_t i = 0; i < 4; ++i) {
+    std::printf("  %-28s %8llu cycles\n", grid.cells()[i].technique.c_str(),
+                static_cast<unsigned long long>(cycles(results[i])));
+  }
 
   std::printf(
       "\nLookahead-window limit: 120-instruction chain between lock and writes,\n"
       "16-entry reorder buffer (hardware cannot see the writes early):\n");
-  std::printf("  %-28s %8llu cycles\n", "no prefetch",
-              static_cast<unsigned long long>(run(windowed(false, 120), false, 16)));
-  std::printf("  %-28s %8llu cycles\n", "hardware prefetch",
-              static_cast<unsigned long long>(run(windowed(false, 120), true, 16)));
-  std::printf("  %-28s %8llu cycles\n", "software prefetch (hoisted)",
-              static_cast<unsigned long long>(run(windowed(true, 120), false, 16)));
+  for (std::size_t i = 4; i < 7; ++i) {
+    std::printf("  %-28s %8llu cycles\n", grid.cells()[i].technique.c_str(),
+                static_cast<unsigned long long>(cycles(results[i])));
+  }
 
   std::printf(
       "\nExpected: on Example 1 hardware == software; with the window exceeded\n"
       "only the software prefetch still helps (its window is the whole program).\n");
-  return 0;
+
+  write_json("BENCH_ablation_sw_prefetch.json", grid, results, runner.last_sweep());
+  return report_failures(results) == 0 ? 0 : 1;
 }

@@ -6,12 +6,14 @@
 // Figure 2 / Example 1 (a write-dominated producer) under both
 // protocols: prefetching recovers the write latency only under
 // invalidation; under update the writes still pay full round trips.
+// All cells run in one parallel ExperimentRunner sweep.
 #include <cstdio>
 
+#include "bench_util.hpp"
 #include "isa/builder.hpp"
-#include "sim/machine.hpp"
 
 using namespace mcsim;
+using namespace mcsim::bench;
 
 namespace {
 
@@ -27,34 +29,47 @@ Program producer() {
   return b.build();
 }
 
-Cycle run(CoherenceKind proto, ConsistencyModel model, bool prefetch) {
-  SystemConfig cfg = SystemConfig::paper_default(1, model);
-  cfg.mem.coherence = proto;
-  cfg.core.prefetch = prefetch ? PrefetchMode::kNonBinding : PrefetchMode::kOff;
-  Machine m(cfg, {producer()});
-  RunResult r = m.run();
-  return r.deadlocked ? 0 : r.cycles;
-}
-
 }  // namespace
 
 int main() {
   std::printf("Ablation: write prefetching needs invalidation coherence (paper §3.1)\n");
   std::printf("Figure 2 / Example 1, write-dominated\n\n");
-  std::printf("%-6s %-14s %10s %12s %10s\n", "model", "protocol", "baseline", "+prefetch",
-              "speedup");
+
+  const Workload w = make_adhoc_workload("fig2_example1", {producer()});
+  ExperimentGrid grid("ablation_update_protocol");
   for (ConsistencyModel model : {ConsistencyModel::kSC, ConsistencyModel::kRC}) {
     for (CoherenceKind proto : {CoherenceKind::kInvalidation, CoherenceKind::kUpdate}) {
-      Cycle base = run(proto, model, false);
-      Cycle pf = run(proto, model, true);
+      for (bool prefetch : {false, true}) {
+        SystemConfig cfg = SystemConfig::paper_default(1, model);
+        cfg.mem.coherence = proto;
+        cfg.core.prefetch = prefetch ? PrefetchMode::kNonBinding : PrefetchMode::kOff;
+        grid.add(w, cfg, prefetch ? "+prefetch" : "baseline",
+                 {{"protocol", to_string(proto)}});
+      }
+    }
+  }
+
+  ExperimentRunner runner;
+  std::vector<CellResult> results = runner.run(grid);
+
+  std::printf("%-6s %-14s %10s %12s %10s\n", "model", "protocol", "baseline", "+prefetch",
+              "speedup");
+  std::size_t i = 0;
+  for (ConsistencyModel model : {ConsistencyModel::kSC, ConsistencyModel::kRC}) {
+    for (CoherenceKind proto : {CoherenceKind::kInvalidation, CoherenceKind::kUpdate}) {
+      Cycle base = results[i].stats.cycles;
+      Cycle pf = results[i + 1].stats.cycles;
+      i += 2;
       std::printf("%-6s %-14s %10llu %12llu %9.2fx\n", to_string(model), to_string(proto),
                   static_cast<unsigned long long>(base),
                   static_cast<unsigned long long>(pf),
-                  static_cast<double>(base) / static_cast<double>(pf));
+                  pf == 0 ? 0.0 : static_cast<double>(base) / static_cast<double>(pf));
     }
   }
   std::printf(
       "\nExpected: ~3x from prefetching under invalidation; ~1x under update\n"
       "(read-exclusive prefetches are suppressed; only reads prefetch).\n");
-  return 0;
+
+  write_json("BENCH_ablation_update_protocol.json", grid, results, runner.last_sweep());
+  return report_failures(results) == 0 ? 0 : 1;
 }

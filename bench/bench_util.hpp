@@ -1,66 +1,48 @@
-// Shared helpers for the benchmark drivers: run a workload under a
-// configuration, validate its expected final state (a bench must never
-// report timings from a miscomputing run), and format result tables.
+// Shared helpers for the benchmark drivers, built on the sim-layer
+// ExperimentRunner types: run a workload under a configuration and
+// validate its expected final state (a bench must never report timings
+// from a miscomputing run). Validation failure marks the CELL failed —
+// callers check `ok()` and report the failing (workload, model,
+// technique) triple instead of the old std::exit(1) mid-sweep.
 #pragma once
 
 #include <cstdio>
-#include <cstdlib>
 #include <string>
 
+#include "sim/experiment.hpp"
 #include "sim/machine.hpp"
 #include "sim/workloads.hpp"
 
 namespace mcsim {
 namespace bench {
 
-struct RunStats {
-  Cycle cycles = 0;
-  std::uint64_t squashes = 0;
-  std::uint64_t reissues = 0;
-  std::uint64_t prefetches = 0;
-  std::uint64_t prefetch_useful = 0;
-  double load_latency_mean = 0.0;   ///< observed address-ready -> performed
-  double store_latency_mean = 0.0;
-};
+using mcsim::CellResult;
+using mcsim::RunStats;
 
-inline RunStats run_workload(const Workload& w, SystemConfig cfg) {
-  cfg.num_procs = static_cast<std::uint32_t>(w.programs.size());
-  Machine m(cfg, w.programs);
-  for (auto& [proc, addr] : w.preload_shared) m.preload_shared(proc, addr);
-  RunResult r = m.run();
-  if (r.deadlocked) {
-    std::fprintf(stderr, "FATAL: %s deadlocked under %s\n", w.name.c_str(),
-                 to_string(cfg.model));
-    std::exit(1);
-  }
-  for (auto& [addr, value] : w.expected) {
-    if (m.read_word(addr) != value) {
-      std::fprintf(stderr, "FATAL: %s computed wrong result under %s: [0x%llx]=%u != %u\n",
-                   w.name.c_str(), to_string(cfg.model),
-                   static_cast<unsigned long long>(addr), m.read_word(addr), value);
-      std::exit(1);
+/// Run one (workload, config) cell synchronously. Never exits: a
+/// deadlocked or miscomputing run comes back with a non-ok status and
+/// a message naming the failing cell.
+inline CellResult run_workload(const Workload& w, SystemConfig cfg,
+                               std::string technique = "") {
+  ExperimentCell cell;
+  cell.workload = w;
+  cell.config = std::move(cfg);
+  cell.technique = std::move(technique);
+  return run_cell(cell);
+}
+
+/// Print every failed cell of a sweep to stderr; returns the number of
+/// failures (bench main()s turn that into the exit code).
+inline int report_failures(const std::vector<CellResult>& results) {
+  int failures = 0;
+  for (const CellResult& r : results) {
+    if (!r.ok()) {
+      ++failures;
+      std::fprintf(stderr, "FAILED cell %s: %s\n", r.cell_label.c_str(),
+                   r.error.c_str());
     }
   }
-  RunStats out;
-  out.cycles = r.cycles;
-  double load_sum = 0, store_sum = 0;
-  std::uint64_t load_n = 0, store_n = 0;
-  for (ProcId p = 0; p < cfg.num_procs; ++p) {
-    out.squashes += m.core(p).stats().get("squashes");
-    out.reissues += m.core(p).lsu().stats().get("spec_reissue");
-    out.prefetches += m.cache(p).stats().get("prefetch_read_issued") +
-                      m.cache(p).stats().get("prefetch_ex_issued");
-    out.prefetch_useful += m.cache(p).stats().get("prefetch_useful_hit") +
-                           m.cache(p).stats().get("prefetch_useful_merge");
-    const StatSet& ls = m.core(p).lsu().stats();
-    load_sum += ls.mean("load_latency") * ls.count_of("load_latency");
-    load_n += ls.count_of("load_latency");
-    store_sum += ls.mean("store_latency") * ls.count_of("store_latency");
-    store_n += ls.count_of("store_latency");
-  }
-  out.load_latency_mean = load_n ? load_sum / load_n : 0.0;
-  out.store_latency_mean = store_n ? store_sum / store_n : 0.0;
-  return out;
+  return failures;
 }
 
 inline SystemConfig tech_config(ConsistencyModel model, bool prefetch, bool spec,
@@ -71,6 +53,15 @@ inline SystemConfig tech_config(ConsistencyModel model, bool prefetch, bool spec
   cfg.core.prefetch = prefetch ? PrefetchMode::kNonBinding : PrefetchMode::kOff;
   cfg.core.speculative_loads = spec;
   return cfg;
+}
+
+/// Wrap a raw per-processor program list as a Workload (for benches
+/// that build Programs directly rather than using sim/workloads.hpp).
+inline Workload make_adhoc_workload(std::string name, std::vector<Program> programs) {
+  Workload w;
+  w.name = std::move(name);
+  w.programs = std::move(programs);
+  return w;
 }
 
 }  // namespace bench

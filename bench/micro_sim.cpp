@@ -5,6 +5,7 @@
 
 #include "coherence/cache.hpp"
 #include "coherence/directory.hpp"
+#include "common/stats.hpp"
 #include "isa/builder.hpp"
 #include "isa/interp.hpp"
 #include "sim/machine.hpp"
@@ -107,6 +108,30 @@ void BM_SpecLoadBufferScan(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_SpecLoadBufferScan);
+
+void BM_StatSetAddById(benchmark::State& state) {
+  // The per-event hot path: a pre-interned handle, resolved once.
+  static const StatId id = StatNames::intern("micro.add_by_id");
+  StatSet s("bm");
+  for (auto _ : state) {
+    s.add(id);
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StatSetAddById);
+
+void BM_StatSetAddByString(benchmark::State& state) {
+  // The cold path interning on every call — what every call site paid
+  // before de-stringification.
+  StatSet s("bm");
+  for (auto _ : state) {
+    s.add("micro.add_by_string");
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StatSetAddByString);
 
 }  // namespace
 }  // namespace mcsim

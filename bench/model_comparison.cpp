@@ -3,6 +3,11 @@
 // Reports total cycles and the normalized slowdown of each model
 // relative to RC — the paper predicts the techniques (a) speed up
 // every model and (b) equalize the models (SC/RC ratio -> ~1.0).
+//
+// All cells are submitted to one ExperimentRunner sweep: they execute
+// in parallel across worker threads (MCSIM_JOBS or all cores), results
+// are collected in submission order, and the whole study is emitted as
+// machine-readable BENCH_models.json for perf-trajectory tracking.
 #include <cstdio>
 #include <vector>
 
@@ -29,26 +34,35 @@ const TechCombo kCombos[] = {
 const ConsistencyModel kModels[] = {ConsistencyModel::kSC, ConsistencyModel::kPC,
                                     ConsistencyModel::kWC, ConsistencyModel::kRC};
 
-void run_table(const Workload& w) {
+constexpr std::size_t kNumCombos = sizeof(kCombos) / sizeof(kCombos[0]);
+constexpr std::size_t kNumModels = sizeof(kModels) / sizeof(kModels[0]);
+
+void print_table(const Workload& w, const std::vector<CellResult>& results,
+                 std::size_t first) {
   std::printf("\n=== workload: %s (%zu processors) ===\n", w.name.c_str(),
               w.programs.size());
   std::printf("%-14s", "technique");
   for (ConsistencyModel m : kModels) std::printf("%12s", to_string(m));
   std::printf("%14s\n", "SC/RC ratio");
-  for (const TechCombo& t : kCombos) {
-    std::printf("%-14s", t.name);
+  for (std::size_t t = 0; t < kNumCombos; ++t) {
+    std::printf("%-14s", kCombos[t].name);
     Cycle sc = 0, rc = 0;
-    for (ConsistencyModel m : kModels) {
-      RunStats s = run_workload(w, tech_config(m, t.prefetch, t.spec));
-      if (m == ConsistencyModel::kSC) sc = s.cycles;
-      if (m == ConsistencyModel::kRC) rc = s.cycles;
-      std::printf("%12llu", static_cast<unsigned long long>(s.cycles));
+    for (std::size_t mi = 0; mi < kNumModels; ++mi) {
+      const CellResult& r = results[first + t * kNumModels + mi];
+      if (kModels[mi] == ConsistencyModel::kSC) sc = r.stats.cycles;
+      if (kModels[mi] == ConsistencyModel::kRC) rc = r.stats.cycles;
+      if (r.ok()) {
+        std::printf("%12llu", static_cast<unsigned long long>(r.stats.cycles));
+      } else {
+        std::printf("%12s", to_string(r.status));
+      }
     }
     std::printf("%14.3f\n", rc == 0 ? 0.0 : static_cast<double>(sc) / rc);
   }
-  // Technique-efficacy counters under SC (the model with most to gain).
-  RunStats base = run_workload(w, tech_config(ConsistencyModel::kSC, false, false));
-  RunStats both = run_workload(w, tech_config(ConsistencyModel::kSC, true, true));
+  // Technique-efficacy counters under SC (the model with most to gain);
+  // the baseline and +both SC cells are rows 0 and 3 of this block.
+  const RunStats& base = results[first + 0 * kNumModels + 0].stats;
+  const RunStats& both = results[first + 3 * kNumModels + 0].stats;
   std::printf("  [SC +both] prefetches=%llu useful=%llu squashes=%llu reissues=%llu\n",
               static_cast<unsigned long long>(both.prefetches),
               static_cast<unsigned long long>(both.prefetch_useful),
@@ -70,14 +84,46 @@ int main() {
   std::printf("Model comparison study (paper §5: \"extensive simulation experiments\")\n");
   std::printf("cycles to completion; miss latency 100, hit 1; realistic 4-wide cores\n");
 
-  run_table(make_producer_consumer(4, 8));
-  run_table(make_critical_sections(4, 6, 2));
-  run_table(make_barrier_phases(4, 3, 4));
-  run_table(make_random_mix(4, 40, 12345));
-  run_table(make_dependent_chain(2, 4, 3));
+  const std::vector<Workload> workloads = {
+      make_producer_consumer(4, 8),
+      make_critical_sections(4, 6, 2),
+      make_barrier_phases(4, 3, 4),
+      make_random_mix(4, 40, 12345),
+      make_dependent_chain(2, 4, 3),
+  };
+
+  ExperimentGrid grid("models");
+  std::vector<std::size_t> first_cell;
+  for (const Workload& w : workloads) {
+    first_cell.push_back(grid.size());
+    for (const TechCombo& t : kCombos) {
+      for (ConsistencyModel m : kModels) {
+        grid.add(w, tech_config(m, t.prefetch, t.spec), t.name);
+      }
+    }
+  }
+
+  ExperimentRunner runner;
+  std::vector<CellResult> results = runner.run(grid);
+
+  for (std::size_t i = 0; i < workloads.size(); ++i) {
+    print_table(workloads[i], results, first_cell[i]);
+  }
+
+  const SweepInfo& sweep = runner.last_sweep();
+  std::printf("\n[sweep] %zu cells, %u workers, %.0f ms wall, %.0f guest cycles/sec\n",
+              grid.size(), sweep.workers, sweep.wall_ms,
+              sweep.wall_ms > 0.0
+                  ? static_cast<double>(sweep.guest_cycles) / (sweep.wall_ms / 1000.0)
+                  : 0.0);
+  if (!write_json("BENCH_models.json", grid, results, sweep)) {
+    std::fprintf(stderr, "WARNING: could not write BENCH_models.json\n");
+  } else {
+    std::printf("[sweep] wrote BENCH_models.json\n");
+  }
 
   std::printf(
       "\nExpected shape (paper §5): baseline SC/RC ratio well above 1; with\n"
       "both techniques every model speeds up and the ratio approaches 1.0.\n");
-  return 0;
+  return report_failures(results) == 0 ? 0 : 1;
 }

@@ -37,6 +37,48 @@ const char* to_string(LineEventKind k) {
   return "?";
 }
 
+namespace {
+// Stat names interned once at static-init; hot paths use the ids.
+namespace stat {
+const StatId load_hit = StatNames::intern("load_hit");
+const StatId load_merged = StatNames::intern("load_merged");
+const StatId load_miss = StatNames::intern("load_miss");
+const StatId loadex_hit = StatNames::intern("loadex_hit");
+const StatId loadex_merged = StatNames::intern("loadex_merged");
+const StatId loadex_miss = StatNames::intern("loadex_miss");
+const StatId mshr_direct_merge = StatNames::intern("mshr_direct_merge");
+const StatId prefetch_dropped = StatNames::intern("prefetch_dropped");
+const StatId prefetch_ex_issued = StatNames::intern("prefetch_ex_issued");
+const StatId prefetch_ex_merged_upgrade = StatNames::intern("prefetch_ex_merged_upgrade");
+const StatId prefetch_read_issued = StatNames::intern("prefetch_read_issued");
+const StatId prefetch_useful_hit = StatNames::intern("prefetch_useful_hit");
+const StatId prefetch_useful_merge = StatNames::intern("prefetch_useful_merge");
+const StatId rejected_mshr_full = StatNames::intern("rejected_mshr_full");
+const StatId replace_clean = StatNames::intern("replace_clean");
+const StatId rmw_hit = StatNames::intern("rmw_hit");
+const StatId rmw_merged = StatNames::intern("rmw_merged");
+const StatId rmw_miss = StatNames::intern("rmw_miss");
+const StatId rmw_update = StatNames::intern("rmw_update");
+const StatId store_hit = StatNames::intern("store_hit");
+const StatId store_hit_update = StatNames::intern("store_hit_update");
+const StatId store_merged = StatNames::intern("store_merged");
+const StatId store_miss = StatNames::intern("store_miss");
+const StatId store_miss_update = StatNames::intern("store_miss_update");
+const StatId store_upgrade_miss = StatNames::intern("store_upgrade_miss");
+const StatId writeback = StatNames::intern("writeback");
+
+/// Per-kind "event.<kind>" ids, resolved on first use.
+StatId event(LineEventKind k) {
+  static const StatId ids[] = {
+      StatNames::intern("event.invalidate"),
+      StatNames::intern("event.update"),
+      StatNames::intern("event.replacement"),
+  };
+  return ids[static_cast<std::size_t>(k)];
+}
+}  // namespace stat
+}  // namespace
+
 CoherentCache::CoherentCache(ProcId id, const CacheConfig& cfg, CoherenceKind protocol,
                              Network& net, std::uint32_t num_procs)
     : id_(id),
@@ -51,6 +93,7 @@ CoherentCache::CoherentCache(ProcId id, const CacheConfig& cfg, CoherenceKind pr
     set.resize(cfg.ways);
     for (auto& way : set) way.data.resize(cfg.line_bytes / kWordBytes, 0);
   }
+  word_ops_.reserve(2 * cfg.mshrs);
 }
 
 CoherentCache::Way* CoherentCache::find_way(Addr line) {
@@ -109,7 +152,7 @@ void CoherentCache::push_response(std::uint64_t token, Word value, Cycle ready, 
 }
 
 void CoherentCache::notify(LineEventKind kind, Addr line, Cycle now) {
-  stats_.add(std::string("event.") + to_string(kind));
+  stats_.add(stat::event(kind));
   if (observer_ != nullptr) observer_->on_line_event(kind, line, now);
 }
 
@@ -146,25 +189,25 @@ ProbeResult CoherentCache::probe(const CacheRequest& req, Cycle now) {
         way->last_use = now;
         if (way->prefetched) {
           way->prefetched = false;
-          stats_.add("prefetch_useful_hit");
+          stats_.add(stat::prefetch_useful_hit);
         }
-        stats_.add("load_hit");
+        stats_.add(stat::load_hit);
         push_response(req.token, read_word(*way, req.addr), now + 1, true);
         return ProbeResult::kHit;
       }
       if (mshr != nullptr) {
-        stats_.add("load_merged");
-        if (mshr->prefetch_initiated) stats_.add("prefetch_useful_merge");
+        stats_.add(stat::load_merged);
+        if (mshr->prefetch_initiated) stats_.add(stat::prefetch_useful_merge);
         mshr->waiters.push_back(Waiter{req.token, CacheOp::kLoad, req.addr, 0,
                                        RmwOp::kTestAndSet, 0, 0});
         return ProbeResult::kMerged;
       }
       Mshr* m = alloc_mshr(line);
       if (m == nullptr) {
-        stats_.add("rejected_mshr_full");
+        stats_.add(stat::rejected_mshr_full);
         return ProbeResult::kRejected;
       }
-      stats_.add("load_miss");
+      stats_.add(stat::load_miss);
       m->waiters.push_back(
           Waiter{req.token, CacheOp::kLoad, req.addr, 0, RmwOp::kTestAndSet, 0, 0});
       net_.send(make_request(MsgType::kReadReq, id_, dir_, line), now);
@@ -173,7 +216,7 @@ ProbeResult CoherentCache::probe(const CacheRequest& req, Cycle now) {
 
     case CacheOp::kStore: {
       if (update_proto) {
-        stats_.add(way != nullptr ? "store_hit_update" : "store_miss_update");
+        stats_.add(way != nullptr ? stat::store_hit_update : stat::store_miss_update);
         if (way != nullptr) {
           way->last_use = now;
           write_word(*way, req.addr, req.store_value);
@@ -194,16 +237,16 @@ ProbeResult CoherentCache::probe(const CacheRequest& req, Cycle now) {
         way->last_use = now;
         if (way->prefetched) {
           way->prefetched = false;
-          stats_.add("prefetch_useful_hit");
+          stats_.add(stat::prefetch_useful_hit);
         }
-        stats_.add("store_hit");
+        stats_.add(stat::store_hit);
         write_word(*way, req.addr, req.store_value);
         push_response(req.token, 0, now + 1, true);
         return ProbeResult::kHit;
       }
       if (mshr != nullptr) {
-        stats_.add("store_merged");
-        if (mshr->prefetch_initiated) stats_.add("prefetch_useful_merge");
+        stats_.add(stat::store_merged);
+        if (mshr->prefetch_initiated) stats_.add(stat::prefetch_useful_merge);
         if (!mshr->want_ex) mshr->upgrade_after_fill = true;
         mshr->waiters.push_back(Waiter{req.token, CacheOp::kStore, req.addr,
                                        req.store_value, RmwOp::kTestAndSet, 0, 0});
@@ -211,10 +254,10 @@ ProbeResult CoherentCache::probe(const CacheRequest& req, Cycle now) {
       }
       Mshr* m = alloc_mshr(line);
       if (m == nullptr) {
-        stats_.add("rejected_mshr_full");
+        stats_.add(stat::rejected_mshr_full);
         return ProbeResult::kRejected;
       }
-      stats_.add(way != nullptr ? "store_upgrade_miss" : "store_miss");
+      stats_.add(way != nullptr ? stat::store_upgrade_miss : stat::store_miss);
       m->want_ex = true;
       m->waiters.push_back(Waiter{req.token, CacheOp::kStore, req.addr, req.store_value,
                                   RmwOp::kTestAndSet, 0, 0});
@@ -228,12 +271,12 @@ ProbeResult CoherentCache::probe(const CacheRequest& req, Cycle now) {
       assert(!update_proto);
       if (way != nullptr && way->state == LineState::kExclusive) {
         way->last_use = now;
-        stats_.add("loadex_hit");
+        stats_.add(stat::loadex_hit);
         push_response(req.token, read_word(*way, req.addr), now + 1, true);
         return ProbeResult::kHit;
       }
       if (mshr != nullptr) {
-        stats_.add("loadex_merged");
+        stats_.add(stat::loadex_merged);
         if (!mshr->want_ex) mshr->upgrade_after_fill = true;
         mshr->waiters.push_back(Waiter{req.token, CacheOp::kLoadEx, req.addr, 0,
                                        RmwOp::kTestAndSet, 0, 0});
@@ -241,10 +284,10 @@ ProbeResult CoherentCache::probe(const CacheRequest& req, Cycle now) {
       }
       Mshr* m = alloc_mshr(line);
       if (m == nullptr) {
-        stats_.add("rejected_mshr_full");
+        stats_.add(stat::rejected_mshr_full);
         return ProbeResult::kRejected;
       }
-      stats_.add("loadex_miss");
+      stats_.add(stat::loadex_miss);
       m->want_ex = true;
       m->waiters.push_back(Waiter{req.token, CacheOp::kLoadEx, req.addr, 0,
                                   RmwOp::kTestAndSet, 0, 0});
@@ -254,7 +297,7 @@ ProbeResult CoherentCache::probe(const CacheRequest& req, Cycle now) {
 
     case CacheOp::kRmw: {
       if (update_proto) {
-        stats_.add("rmw_update");
+        stats_.add(stat::rmw_update);
         word_ops_[req.token] =
             WordOp{req.token, true, req.rmw_op, req.rmw_cmp, req.rmw_src, req.addr};
         Message msg = make_request(MsgType::kRmwReq, id_, dir_, line);
@@ -270,17 +313,17 @@ ProbeResult CoherentCache::probe(const CacheRequest& req, Cycle now) {
         way->last_use = now;
         if (way->prefetched) {
           way->prefetched = false;
-          stats_.add("prefetch_useful_hit");
+          stats_.add(stat::prefetch_useful_hit);
         }
-        stats_.add("rmw_hit");
+        stats_.add(stat::rmw_hit);
         Word old = read_word(*way, req.addr);
         write_word(*way, req.addr, apply_rmw(req.rmw_op, old, req.rmw_cmp, req.rmw_src));
         push_response(req.token, old, now + 1, true);
         return ProbeResult::kHit;
       }
       if (mshr != nullptr) {
-        stats_.add("rmw_merged");
-        if (mshr->prefetch_initiated) stats_.add("prefetch_useful_merge");
+        stats_.add(stat::rmw_merged);
+        if (mshr->prefetch_initiated) stats_.add(stat::prefetch_useful_merge);
         if (!mshr->want_ex) mshr->upgrade_after_fill = true;
         mshr->waiters.push_back(Waiter{req.token, CacheOp::kRmw, req.addr, 0, req.rmw_op,
                                        req.rmw_cmp, req.rmw_src});
@@ -288,10 +331,10 @@ ProbeResult CoherentCache::probe(const CacheRequest& req, Cycle now) {
       }
       Mshr* m = alloc_mshr(line);
       if (m == nullptr) {
-        stats_.add("rejected_mshr_full");
+        stats_.add(stat::rejected_mshr_full);
         return ProbeResult::kRejected;
       }
-      stats_.add("rmw_miss");
+      stats_.add(stat::rmw_miss);
       m->want_ex = true;
       m->waiters.push_back(Waiter{req.token, CacheOp::kRmw, req.addr, 0, req.rmw_op,
                                   req.rmw_cmp, req.rmw_src});
@@ -303,15 +346,15 @@ ProbeResult CoherentCache::probe(const CacheRequest& req, Cycle now) {
       // Paper §3.2: "a prefetch request first checks the cache"; if the
       // line is already present (or on its way) the prefetch is discarded.
       if (way != nullptr || mshr != nullptr) {
-        stats_.add("prefetch_dropped");
+        stats_.add(stat::prefetch_dropped);
         return ProbeResult::kDropped;
       }
       Mshr* m = alloc_mshr(line);
       if (m == nullptr) {
-        stats_.add("rejected_mshr_full");
+        stats_.add(stat::rejected_mshr_full);
         return ProbeResult::kRejected;
       }
-      stats_.add("prefetch_read_issued");
+      stats_.add(stat::prefetch_read_issued);
       m->prefetch_initiated = true;
       net_.send(make_request(MsgType::kReadReq, id_, dir_, line), now);
       return ProbeResult::kMiss;
@@ -322,24 +365,24 @@ ProbeResult CoherentCache::probe(const CacheRequest& req, Cycle now) {
       // (§3.1); the prefetch engine never issues these under update.
       assert(!update_proto);
       if (way != nullptr && way->state == LineState::kExclusive) {
-        stats_.add("prefetch_dropped");
+        stats_.add(stat::prefetch_dropped);
         return ProbeResult::kDropped;
       }
       if (mshr != nullptr) {
         if (!mshr->want_ex && !mshr->upgrade_after_fill) {
           mshr->upgrade_after_fill = true;
-          stats_.add("prefetch_ex_merged_upgrade");
+          stats_.add(stat::prefetch_ex_merged_upgrade);
           return ProbeResult::kMerged;
         }
-        stats_.add("prefetch_dropped");
+        stats_.add(stat::prefetch_dropped);
         return ProbeResult::kDropped;
       }
       Mshr* m = alloc_mshr(line);
       if (m == nullptr) {
-        stats_.add("rejected_mshr_full");
+        stats_.add(stat::rejected_mshr_full);
         return ProbeResult::kRejected;
       }
-      stats_.add("prefetch_ex_issued");
+      stats_.add(stat::prefetch_ex_issued);
       m->prefetch_initiated = true;
       m->want_ex = true;
       net_.send(make_request(MsgType::kReadExReq, id_, dir_, line), now);
@@ -372,7 +415,7 @@ bool CoherentCache::merge_into_mshr(const CacheRequest& req) {
       (req.op == CacheOp::kStore || req.op == CacheOp::kRmw || req.op == CacheOp::kLoadEx))
     mshr->upgrade_after_fill = true;
   mshr->waiters.push_back(w);
-  stats_.add("mshr_direct_merge");
+  stats_.add(stat::mshr_direct_merge);
   return true;
 }
 
@@ -381,10 +424,10 @@ void CoherentCache::evict(Way& way, Cycle now) {
     Message msg = make_request(MsgType::kWriteback, id_, dir_, way.line);
     msg.data = way.data;
     net_.send(std::move(msg), now);
-    stats_.add("writeback");
+    stats_.add(stat::writeback);
   } else {
     net_.send(make_request(MsgType::kReplaceNotify, id_, dir_, way.line), now);
-    stats_.add("replace_clean");
+    stats_.add(stat::replace_clean);
   }
   notify(LineEventKind::kReplacement, way.line, now);
   way.state = LineState::kInvalid;

@@ -15,8 +15,8 @@
 
 #include <cstdint>
 #include <deque>
-#include <map>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "common/config.hpp"
@@ -159,7 +159,7 @@ class CoherentCache {
 
   std::vector<std::vector<Way>> sets_;
   std::vector<Mshr> mshrs_;
-  std::map<std::uint64_t, WordOp> word_ops_;  ///< update protocol, keyed by txn
+  std::unordered_map<std::uint64_t, WordOp> word_ops_;  ///< update protocol, keyed by txn
   std::deque<CacheResponse> responses_;
   std::deque<Message> retry_fills_;
 

@@ -6,6 +6,25 @@
 
 namespace mcsim {
 
+namespace {
+// Stat names interned once at static-init; hot paths use the ids.
+namespace stat {
+const StatId deferred = StatNames::intern("deferred");
+
+/// Per-type "recv.<msg>" ids, resolved on first use.
+StatId recv(MsgType t) {
+  static const std::vector<StatId> ids = [] {
+    std::vector<StatId> v;
+    for (int i = 0; i <= static_cast<int>(MsgType::kRmwReply); ++i)
+      v.push_back(StatNames::intern(std::string("recv.") +
+                                    to_string(static_cast<MsgType>(i))));
+    return v;
+  }();
+  return ids[static_cast<std::size_t>(t)];
+}
+}  // namespace stat
+}  // namespace
+
 Directory::Directory(std::uint32_t num_procs, const CacheConfig& cache_cfg,
                      const MemConfig& mem_cfg, Network& net)
     : num_procs_(num_procs),
@@ -16,6 +35,8 @@ Directory::Directory(std::uint32_t num_procs, const CacheConfig& cache_cfg,
       mem_(mem_cfg.mem_bytes),
       stats_("dir") {
   assert(num_procs <= 64 && "full-bit-vector directory holds 64 sharers");
+  entries_.reserve(1024);
+  busy_.reserve(64);
 }
 
 std::vector<Word> Directory::read_line(Addr line) const {
@@ -92,7 +113,7 @@ void Directory::reply_read_ex(const Message& req, Cycle now) {
 }
 
 void Directory::handle(const Message& msg, Cycle now) {
-  stats_.add(std::string("recv.") + to_string(msg.type));
+  stats_.add(stat::recv(msg.type));
   const Addr line = msg.line_addr;
   auto busy_it = busy_.find(line);
 
@@ -130,7 +151,7 @@ void Directory::handle(const Message& msg, Cycle now) {
       default:
         // New request for a busy line: defer in arrival order.
         txn.deferred.push_back(msg);
-        stats_.add("deferred");
+        stats_.add(stat::deferred);
         return;
     }
   }

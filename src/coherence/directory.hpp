@@ -16,7 +16,7 @@
 
 #include <cstdint>
 #include <deque>
-#include <map>
+#include <unordered_map>
 #include <vector>
 
 #include "common/config.hpp"
@@ -95,8 +95,10 @@ class Directory {
   EndpointId self_;
   Network& net_;
   FlatMemory mem_;
-  std::map<Addr, Entry> entries_;
-  std::map<Addr, Txn> busy_;
+  // Hash maps (never iterated, so unordered lookup is safe and cheap);
+  // reserved up front so the per-message hot path does not rehash.
+  std::unordered_map<Addr, Entry> entries_;
+  std::unordered_map<Addr, Txn> busy_;
   StatSet stats_;
 };
 

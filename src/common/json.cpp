@@ -1,0 +1,380 @@
+#include "common/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+
+namespace mcsim {
+
+Json Json::boolean(bool b) {
+  Json j;
+  j.kind_ = Kind::kBool;
+  j.bool_ = b;
+  return j;
+}
+
+Json Json::number(double d) {
+  Json j;
+  j.kind_ = Kind::kNumber;
+  j.num_ = d;
+  j.int_ = static_cast<std::int64_t>(d);
+  return j;
+}
+
+Json Json::number(std::uint64_t u) {
+  Json j;
+  j.kind_ = Kind::kNumber;
+  j.num_ = static_cast<double>(u);
+  j.int_ = static_cast<std::int64_t>(u);
+  j.int_exact_ = true;
+  return j;
+}
+
+Json Json::number(std::int64_t i) {
+  Json j;
+  j.kind_ = Kind::kNumber;
+  j.num_ = static_cast<double>(i);
+  j.int_ = i;
+  j.int_exact_ = true;
+  return j;
+}
+
+Json Json::string(std::string s) {
+  Json j;
+  j.kind_ = Kind::kString;
+  j.str_ = std::move(s);
+  return j;
+}
+
+Json Json::array() {
+  Json j;
+  j.kind_ = Kind::kArray;
+  return j;
+}
+
+Json Json::object() {
+  Json j;
+  j.kind_ = Kind::kObject;
+  return j;
+}
+
+Json& Json::set(const std::string& key, Json value) {
+  for (auto& [k, v] : members_) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  members_.emplace_back(key, std::move(value));
+  return *this;
+}
+
+const Json* Json::find(const std::string& key) const {
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+const Json kNullJson;
+}  // namespace
+
+const Json& Json::operator[](const std::string& key) const {
+  const Json* v = find(key);
+  return v ? *v : kNullJson;
+}
+
+const Json& Json::operator[](std::size_t i) const {
+  return is_array() && i < items_.size() ? items_[i] : kNullJson;
+}
+
+Json& Json::push_back(Json value) {
+  items_.push_back(std::move(value));
+  return *this;
+}
+
+namespace {
+
+void escape_to(const std::string& s, std::string& out) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void newline_indent(std::string& out, int indent, int depth) {
+  if (indent <= 0) return;
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent) * depth, ' ');
+}
+
+}  // namespace
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  switch (kind_) {
+    case Kind::kNull:
+      out += "null";
+      break;
+    case Kind::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Kind::kNumber: {
+      char buf[48];
+      if (int_exact_) {
+        std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(int_));
+      } else if (std::isfinite(num_)) {
+        std::snprintf(buf, sizeof buf, "%.17g", num_);
+      } else {
+        std::snprintf(buf, sizeof buf, "null");  // JSON has no inf/nan
+      }
+      out += buf;
+      break;
+    }
+    case Kind::kString:
+      escape_to(str_, out);
+      break;
+    case Kind::kArray: {
+      out += '[';
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        if (i) out += ',';
+        newline_indent(out, indent, depth + 1);
+        items_[i].dump_to(out, indent, depth + 1);
+      }
+      if (!items_.empty()) newline_indent(out, indent, depth);
+      out += ']';
+      break;
+    }
+    case Kind::kObject: {
+      out += '{';
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        if (i) out += ',';
+        newline_indent(out, indent, depth + 1);
+        escape_to(members_[i].first, out);
+        out += indent > 0 ? ": " : ":";
+        members_[i].second.dump_to(out, indent, depth + 1);
+      }
+      if (!members_.empty()) newline_indent(out, indent, depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+namespace {
+
+struct Parser {
+  const char* p;
+  const char* end;
+  std::string err;
+
+  bool fail(const std::string& msg) {
+    if (err.empty()) err = msg;
+    return false;
+  }
+  void skip_ws() {
+    while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r')) ++p;
+  }
+  bool consume(char c) {
+    skip_ws();
+    if (p < end && *p == c) {
+      ++p;
+      return true;
+    }
+    return false;
+  }
+
+  bool parse_value(Json& out) {
+    skip_ws();
+    if (p >= end) return fail("unexpected end of input");
+    switch (*p) {
+      case '{': return parse_object(out);
+      case '[': return parse_array(out);
+      case '"': {
+        std::string s;
+        if (!parse_string(s)) return false;
+        out = Json::string(std::move(s));
+        return true;
+      }
+      case 't':
+        if (end - p >= 4 && std::string_view(p, 4) == "true") {
+          p += 4;
+          out = Json::boolean(true);
+          return true;
+        }
+        return fail("bad literal");
+      case 'f':
+        if (end - p >= 5 && std::string_view(p, 5) == "false") {
+          p += 5;
+          out = Json::boolean(false);
+          return true;
+        }
+        return fail("bad literal");
+      case 'n':
+        if (end - p >= 4 && std::string_view(p, 4) == "null") {
+          p += 4;
+          out = Json::null();
+          return true;
+        }
+        return fail("bad literal");
+      default: return parse_number(out);
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    skip_ws();
+    if (p >= end || *p != '"') return fail("expected string");
+    ++p;
+    while (p < end && *p != '"') {
+      if (*p == '\\') {
+        ++p;
+        if (p >= end) return fail("bad escape");
+        switch (*p) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (end - p < 5) return fail("bad \\u escape");
+            unsigned code = 0;
+            for (int i = 1; i <= 4; ++i) {
+              char c = p[i];
+              code <<= 4;
+              if (c >= '0' && c <= '9') code |= static_cast<unsigned>(c - '0');
+              else if (c >= 'a' && c <= 'f') code |= static_cast<unsigned>(c - 'a' + 10);
+              else if (c >= 'A' && c <= 'F') code |= static_cast<unsigned>(c - 'A' + 10);
+              else return fail("bad \\u escape");
+            }
+            // Basic-multilingual-plane only; enough for our own files.
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            p += 4;
+            break;
+          }
+          default: return fail("bad escape");
+        }
+        ++p;
+      } else {
+        out += *p++;
+      }
+    }
+    if (p >= end) return fail("unterminated string");
+    ++p;  // closing quote
+    return true;
+  }
+
+  bool parse_number(Json& out) {
+    const char* start = p;
+    if (p < end && *p == '-') ++p;
+    bool integral = true;
+    while (p < end &&
+           (std::isdigit(static_cast<unsigned char>(*p)) || *p == '.' || *p == 'e' ||
+            *p == 'E' || *p == '+' || *p == '-')) {
+      if (*p == '.' || *p == 'e' || *p == 'E') integral = false;
+      ++p;
+    }
+    if (p == start) return fail("expected value");
+    std::string text(start, p);
+    char* parse_end = nullptr;
+    if (integral) {
+      long long v = std::strtoll(text.c_str(), &parse_end, 10);
+      if (parse_end != text.c_str() + text.size()) return fail("bad number");
+      out = Json::number(static_cast<std::int64_t>(v));
+    } else {
+      double v = std::strtod(text.c_str(), &parse_end);
+      if (parse_end != text.c_str() + text.size()) return fail("bad number");
+      out = Json::number(v);
+    }
+    return true;
+  }
+
+  bool parse_array(Json& out) {
+    ++p;  // '['
+    out = Json::array();
+    skip_ws();
+    if (consume(']')) return true;
+    while (true) {
+      Json item;
+      if (!parse_value(item)) return false;
+      out.push_back(std::move(item));
+      if (consume(',')) continue;
+      if (consume(']')) return true;
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  bool parse_object(Json& out) {
+    ++p;  // '{'
+    out = Json::object();
+    skip_ws();
+    if (consume('}')) return true;
+    while (true) {
+      std::string key;
+      if (!parse_string(key)) return false;
+      if (!consume(':')) return fail("expected ':'");
+      Json value;
+      if (!parse_value(value)) return false;
+      out.set(key, std::move(value));
+      if (consume(',')) continue;
+      if (consume('}')) return true;
+      return fail("expected ',' or '}'");
+    }
+  }
+};
+
+}  // namespace
+
+Json Json::parse(const std::string& text, std::string* error) {
+  Parser parser{text.data(), text.data() + text.size(), {}};
+  Json out;
+  bool ok = parser.parse_value(out);
+  if (ok) {
+    parser.skip_ws();
+    if (parser.p != parser.end) {
+      ok = parser.fail("trailing characters after document");
+    }
+  }
+  if (!ok) {
+    if (error != nullptr) *error = parser.err;
+    return Json::null();
+  }
+  if (error != nullptr) error->clear();
+  return out;
+}
+
+}  // namespace mcsim

@@ -1,0 +1,81 @@
+// Minimal JSON value: enough to emit the experiment runner's
+// machine-readable result files and to parse them back for validation
+// (tests, tooling). No external dependencies; not a general-purpose
+// JSON library — numbers are stored as double plus a lossless int64
+// sidecar, strings must be UTF-8 already.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mcsim {
+
+class Json {
+ public:
+  enum class Kind : std::uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() = default;
+  static Json null() { return Json(); }
+  static Json boolean(bool b);
+  static Json number(double d);
+  static Json number(std::uint64_t u);
+  static Json number(std::int64_t i);
+  static Json string(std::string s);
+  static Json array();
+  static Json object();
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+
+  bool as_bool() const { return bool_; }
+  double as_double() const { return num_; }
+  std::int64_t as_int() const { return int_; }
+  std::uint64_t as_uint() const { return static_cast<std::uint64_t>(int_); }
+  const std::string& as_string() const { return str_; }
+
+  // --- object access -------------------------------------------------
+  /// Set a key (object only); replaces an existing value.
+  Json& set(const std::string& key, Json value);
+  /// Lookup; returns nullptr when absent or not an object.
+  const Json* find(const std::string& key) const;
+  bool contains(const std::string& key) const { return find(key) != nullptr; }
+  /// Lookup sugar: a shared null value when absent (read-only).
+  const Json& operator[](const std::string& key) const;
+  const std::vector<std::pair<std::string, Json>>& members() const { return members_; }
+
+  // --- array access --------------------------------------------------
+  Json& push_back(Json value);
+  const std::vector<Json>& items() const { return items_; }
+  /// Index sugar: a shared null value when out of range (read-only).
+  const Json& operator[](std::size_t i) const;
+  std::size_t size() const { return is_array() ? items_.size() : members_.size(); }
+
+  /// Serialize. `indent` > 0 pretty-prints with that many spaces.
+  std::string dump(int indent = 0) const;
+
+  /// Parse a complete JSON document. Returns a null value and sets
+  /// `error` on malformed input (trailing garbage is an error too).
+  static Json parse(const std::string& text, std::string* error = nullptr);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::int64_t int_ = 0;       ///< lossless integer sidecar
+  bool int_exact_ = false;     ///< int_ holds the authoritative value
+  std::string str_;
+  std::vector<Json> items_;                              ///< kArray
+  std::vector<std::pair<std::string, Json>> members_;    ///< kObject, insertion order
+};
+
+}  // namespace mcsim

@@ -1,39 +1,99 @@
 #include "common/stats.hpp"
 
 #include <algorithm>
+#include <mutex>
 #include <sstream>
+#include <unordered_map>
 
 namespace mcsim {
 
-void StatSet::sample(const std::string& name, std::uint64_t value) {
-  Sample& s = samples_[name];
+namespace {
+
+// Heterogeneous string hashing so intern(string_view) never allocates
+// for a name that is already in the table.
+struct StringHash {
+  using is_transparent = void;
+  std::size_t operator()(std::string_view s) const {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+
+struct InternTable {
+  std::mutex mu;
+  std::vector<std::string> names;
+  std::unordered_map<std::string, std::uint32_t, StringHash, std::equal_to<>> ids;
+};
+
+InternTable& table() {
+  static InternTable t;
+  return t;
+}
+
+}  // namespace
+
+StatId StatNames::intern(std::string_view name) {
+  InternTable& t = table();
+  std::lock_guard<std::mutex> lock(t.mu);
+  auto it = t.ids.find(name);
+  if (it != t.ids.end()) return StatId(it->second);
+  std::uint32_t id = static_cast<std::uint32_t>(t.names.size());
+  t.names.emplace_back(name);
+  t.ids.emplace(t.names.back(), id);
+  return StatId(id);
+}
+
+std::string StatNames::name(StatId id) {
+  InternTable& t = table();
+  std::lock_guard<std::mutex> lock(t.mu);
+  return id.value() < t.names.size() ? t.names[id.value()] : std::string("<invalid>");
+}
+
+std::size_t StatNames::count() {
+  InternTable& t = table();
+  std::lock_guard<std::mutex> lock(t.mu);
+  return t.names.size();
+}
+
+void StatSet::sample(StatId id, std::uint64_t value) {
+  Sample& s = sample_slot(id);
   s.sum += value;
   s.count += 1;
   s.max = std::max(s.max, value);
 }
 
-double StatSet::mean(const std::string& name) const {
-  auto it = samples_.find(name);
-  if (it == samples_.end() || it->second.count == 0) return 0.0;
-  return static_cast<double>(it->second.sum) / static_cast<double>(it->second.count);
+double StatSet::mean(StatId id) const {
+  if (id.value() >= samples_.size()) return 0.0;
+  const Sample& s = samples_[id.value()];
+  if (s.count == 0) return 0.0;
+  return static_cast<double>(s.sum) / static_cast<double>(s.count);
 }
 
-std::uint64_t StatSet::max_of(const std::string& name) const {
-  auto it = samples_.find(name);
-  return it == samples_.end() ? 0 : it->second.max;
+std::uint64_t StatSet::max_of(StatId id) const {
+  return id.value() < samples_.size() ? samples_[id.value()].max : 0;
 }
 
-std::uint64_t StatSet::count_of(const std::string& name) const {
-  auto it = samples_.find(name);
-  return it == samples_.end() ? 0 : it->second.count;
+std::uint64_t StatSet::count_of(StatId id) const {
+  return id.value() < samples_.size() ? samples_[id.value()].count : 0;
+}
+
+std::map<std::string, std::uint64_t> StatSet::counters() const {
+  std::map<std::string, std::uint64_t> out;
+  for (std::uint32_t i = 0; i < counters_.size(); ++i) {
+    if (counters_[i].touched) out.emplace(StatNames::name(StatId(i)), counters_[i].value);
+  }
+  return out;
 }
 
 std::string StatSet::report() const {
   std::ostringstream os;
-  for (const auto& [name, value] : counters_) {
+  for (const auto& [name, value] : counters()) {
     os << prefix_ << '.' << name << ' ' << value << '\n';
   }
-  for (const auto& [name, s] : samples_) {
+  std::map<std::string, Sample> samples;
+  for (std::uint32_t i = 0; i < samples_.size(); ++i) {
+    if (samples_[i].count > 0) samples.emplace(StatNames::name(StatId(i)), samples_[i]);
+  }
+  for (const auto& [name, s] : samples) {
     os << prefix_ << '.' << name << ".mean "
        << (s.count ? static_cast<double>(s.sum) / static_cast<double>(s.count) : 0.0)
        << " (n=" << s.count << ", max=" << s.max << ")\n";

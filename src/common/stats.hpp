@@ -1,37 +1,106 @@
 // Named statistic counters with a registry for report generation.
+//
+// Names are interned process-wide into small-integer StatId handles
+// (StatNames::intern). Components resolve their counter names ONCE —
+// at static-init or construction — and the per-event hot path
+// (StatSet::add(StatId)) is a plain vector increment: no std::string
+// construction, no tree/hash lookup per simulated event. The
+// string-keyed API remains for cold callers (tests, reports, one-off
+// counters); it interns on every call.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace mcsim {
 
+/// Interned statistic name: a process-wide dense integer.
+class StatId {
+ public:
+  StatId() = default;
+  std::uint32_t value() const { return v_; }
+  bool valid() const { return v_ != kInvalid; }
+  bool operator==(const StatId& o) const { return v_ == o.v_; }
+
+ private:
+  friend class StatNames;
+  friend class StatSet;
+  explicit StatId(std::uint32_t v) : v_(v) {}
+  static constexpr std::uint32_t kInvalid = 0xffffffffu;
+  std::uint32_t v_ = kInvalid;
+};
+
+/// Process-global intern table. Thread-safe; only cold paths touch it
+/// (interning a new name, resolving an id back for a report).
+class StatNames {
+ public:
+  static StatId intern(std::string_view name);
+  static std::string name(StatId id);
+  /// Number of distinct names interned so far (ids are 0..count()-1).
+  static std::size_t count();
+};
+
 /// A flat bag of named 64-bit counters plus scalar samples.
 ///
 /// Components own a StatSet each; Machine aggregates them into the
-/// experiment reports the benches print (DESIGN.md §3).
+/// experiment reports the benches print (DESIGN.md §3). Storage is
+/// indexed by StatId, so distinct StatSets (one per core/cache/...,
+/// one simulated machine per worker thread) never contend.
 class StatSet {
  public:
-  explicit StatSet(std::string prefix) : prefix_(std::move(prefix)) {}
+  explicit StatSet(std::string prefix) : prefix_(std::move(prefix)) {
+    counters_.reserve(StatNames::count());
+    samples_.reserve(StatNames::count());
+  }
 
-  void add(const std::string& name, std::uint64_t delta = 1) { counters_[name] += delta; }
-  void set(const std::string& name, std::uint64_t value) { counters_[name] = value; }
-  std::uint64_t get(const std::string& name) const {
-    auto it = counters_.find(name);
-    return it == counters_.end() ? 0 : it->second;
+  // --- hot path: pre-interned handles --------------------------------
+  void add(StatId id, std::uint64_t delta = 1) {
+    Counter& c = counter_slot(id);
+    c.value += delta;
+    c.touched = true;
+  }
+  void set(StatId id, std::uint64_t value) {
+    Counter& c = counter_slot(id);
+    c.value = value;
+    c.touched = true;
+  }
+  std::uint64_t get(StatId id) const {
+    return id.value() < counters_.size() ? counters_[id.value()].value : 0;
   }
 
   /// Record one latency observation (kept as sum + count + max for
   /// cheap mean/max reporting).
-  void sample(const std::string& name, std::uint64_t value);
-  double mean(const std::string& name) const;
-  std::uint64_t max_of(const std::string& name) const;
-  std::uint64_t count_of(const std::string& name) const;
+  void sample(StatId id, std::uint64_t value);
+  double mean(StatId id) const;
+  std::uint64_t max_of(StatId id) const;
+  std::uint64_t count_of(StatId id) const;
+
+  // --- cold path: string keys (interned per call) --------------------
+  void add(const std::string& name, std::uint64_t delta = 1) {
+    add(StatNames::intern(name), delta);
+  }
+  void set(const std::string& name, std::uint64_t value) {
+    set(StatNames::intern(name), value);
+  }
+  std::uint64_t get(const std::string& name) const { return get(StatNames::intern(name)); }
+  void sample(const std::string& name, std::uint64_t value) {
+    sample(StatNames::intern(name), value);
+  }
+  double mean(const std::string& name) const { return mean(StatNames::intern(name)); }
+  std::uint64_t max_of(const std::string& name) const {
+    return max_of(StatNames::intern(name));
+  }
+  std::uint64_t count_of(const std::string& name) const {
+    return count_of(StatNames::intern(name));
+  }
 
   const std::string& prefix() const { return prefix_; }
-  const std::map<std::string, std::uint64_t>& counters() const { return counters_; }
+
+  /// Touched counters as a name-sorted map (report-building; cold).
+  std::map<std::string, std::uint64_t> counters() const;
 
   /// Human-readable dump, one "prefix.name value" line per counter.
   std::string report() const;
@@ -42,14 +111,28 @@ class StatSet {
   }
 
  private:
+  struct Counter {
+    std::uint64_t value = 0;
+    bool touched = false;  ///< add/set seen; untouched slots stay out of reports
+  };
   struct Sample {
     std::uint64_t sum = 0;
     std::uint64_t count = 0;
     std::uint64_t max = 0;
   };
+
+  Counter& counter_slot(StatId id) {
+    if (id.value() >= counters_.size()) counters_.resize(id.value() + 1);
+    return counters_[id.value()];
+  }
+  Sample& sample_slot(StatId id) {
+    if (id.value() >= samples_.size()) samples_.resize(id.value() + 1);
+    return samples_[id.value()];
+  }
+
   std::string prefix_;
-  std::map<std::string, std::uint64_t> counters_;
-  std::map<std::string, Sample> samples_;
+  std::vector<Counter> counters_;  ///< indexed by StatId
+  std::vector<Sample> samples_;    ///< indexed by StatId; present iff count > 0
 };
 
 }  // namespace mcsim

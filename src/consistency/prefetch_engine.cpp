@@ -2,6 +2,18 @@
 
 namespace mcsim {
 
+namespace {
+// Stat names interned once at static-init; hot paths use the ids.
+namespace stat {
+const StatId prefetch_drained = StatNames::intern("prefetch_drained");
+const StatId prefetch_ex_suppressed_update = StatNames::intern("prefetch_ex_suppressed_update");
+const StatId prefetch_offer_ex = StatNames::intern("prefetch_offer_ex");
+const StatId prefetch_offer_read = StatNames::intern("prefetch_offer_read");
+const StatId prefetch_offer_sw = StatNames::intern("prefetch_offer_sw");
+const StatId prefetch_retry = StatNames::intern("prefetch_retry");
+}  // namespace stat
+}  // namespace
+
 bool PrefetchEngine::enqueue(Addr line, bool exclusive) {
   for (Pending& p : queue_) {
     if (p.line == line) {
@@ -23,21 +35,21 @@ bool PrefetchEngine::offer(Addr line, bool exclusive, bool allowed_now, StatSet&
   }
   if (exclusive && protocol_ == CoherenceKind::kUpdate) {
     // §3.1: an update protocol cannot partially service a write.
-    stats.add("prefetch_ex_suppressed_update");
+    stats.add(stat::prefetch_ex_suppressed_update);
     return true;  // permanently not prefetchable; don't re-offer
   }
   bool queued = enqueue(line, exclusive);
-  if (queued) stats.add(exclusive ? "prefetch_offer_ex" : "prefetch_offer_read");
+  if (queued) stats.add(exclusive ? stat::prefetch_offer_ex : stat::prefetch_offer_read);
   return queued;
 }
 
 bool PrefetchEngine::offer_software(Addr line, bool exclusive, StatSet& stats) {
   if (exclusive && protocol_ == CoherenceKind::kUpdate) {
-    stats.add("prefetch_ex_suppressed_update");
+    stats.add(stat::prefetch_ex_suppressed_update);
     return true;
   }
   bool queued = enqueue(line, exclusive);
-  if (queued) stats.add("prefetch_offer_sw");
+  if (queued) stats.add(stat::prefetch_offer_sw);
   return queued;
 }
 
@@ -51,11 +63,11 @@ bool PrefetchEngine::drain(CoherentCache& cache, Cycle now, StatSet& stats) {
   ProbeResult r = cache.probe(req, now);
   if (r == ProbeResult::kRejected) {
     // MSHRs full: keep the prefetch queued, port was burned this cycle.
-    stats.add("prefetch_retry");
+    stats.add(stat::prefetch_retry);
     return true;
   }
   queue_.pop_front();
-  stats.add("prefetch_drained");
+  stats.add(stat::prefetch_drained);
   return true;
 }
 

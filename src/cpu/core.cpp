@@ -6,6 +6,20 @@
 namespace mcsim {
 
 namespace {
+// Stat names interned once at static-init; hot paths use the ids.
+namespace stat {
+const StatId branch_mispredicts = StatNames::intern("branch_mispredicts");
+const StatId dispatched = StatNames::intern("dispatched");
+const StatId fetched = StatNames::intern("fetched");
+const StatId halt_cycle = StatNames::intern("halt_cycle");
+const StatId rmw_spec_values = StatNames::intern("rmw_spec_values");
+const StatId rmw_value_mispredicts = StatNames::intern("rmw_value_mispredicts");
+const StatId squashed_instructions = StatNames::intern("squashed_instructions");
+const StatId squashes = StatNames::intern("squashes");
+}  // namespace stat
+}  // namespace
+
+namespace {
 constexpr std::size_t kUnlimited = static_cast<std::size_t>(-1);
 
 SystemConfig resolve_for(const SystemConfig& cfg, ProcId id) {
@@ -95,7 +109,7 @@ void Core::do_commit(Cycle now) {
       halt_cycle_ = now;
       rob_.pop_front();
       ++retired_;
-      stats_.set("halt_cycle", now);
+      stats_.set(stat::halt_cycle, now);
       break;
     }
 
@@ -177,7 +191,7 @@ void Core::do_execute(Cycle now) {
       predictor_.train(e.pc, e.inst, taken);
       ++used;
       if (taken != e.predicted_taken) {
-        stats_.add("branch_mispredicts");
+        stats_.add(stat::branch_mispredicts);
         const std::size_t target =
             taken ? static_cast<std::size_t>(e.inst.imm) : e.pc + 1;
         squash_from(e.seq + 1, target, now, "branch mispredict");
@@ -235,7 +249,7 @@ void Core::do_dispatch(Cycle now) {
     if (in.op == Opcode::kHalt) dispatch_stopped_ = true;
     if (in.writes_rd() && in.rd != 0) rename_[in.rd] = e.seq;
     rob_.push_back(std::move(e));
-    stats_.add("dispatched");
+    stats_.add(stat::dispatched);
     ++n;
   }
 }
@@ -258,7 +272,7 @@ void Core::do_fetch(Cycle now) {
     bool predicted_taken = false;
     if (in.is_branch()) predicted_taken = predictor_.predict(fetch_pc_, in);
     fetch_buf_.push_back(FetchedInst{fetch_pc_, predicted_taken});
-    stats_.add("fetched");
+    stats_.add(stat::fetched);
     if (in.op == Opcode::kHalt) {
       fetch_stopped_ = true;
       break;
@@ -288,8 +302,8 @@ void Core::squash_from(std::uint64_t seq, std::size_t refetch_pc, Cycle now,
   for (RobEntry& e : rob_) {
     if (e.inst.writes_rd() && e.inst.rd != 0) rename_[e.inst.rd] = e.seq;
   }
-  stats_.add("squashes");
-  stats_.add("squashed_instructions", dropped);
+  stats_.add(stat::squashes);
+  stats_.add(stat::squashed_instructions, dropped);
   if (trace_)
     trace_->log(now, id_, "squash",
                 std::string(why) + " from seq=" + std::to_string(seq) + " refetch pc=" +
@@ -304,7 +318,7 @@ void Core::mem_completed(std::uint64_t seq, Word value, Cycle now) {
     if (e->spec_value && e->value_ready && e->result != value) {
       // Appendix-A speculation delivered a value that differs from the
       // one the atomic actually read: discard dependent computation.
-      stats_.add("rmw_value_mispredicts");
+      stats_.add(stat::rmw_value_mispredicts);
       squash_from(seq + 1, e->pc + 1, now, "rmw speculated value wrong");
       e = rob_find(seq);  // references may have moved
       assert(e != nullptr);
@@ -338,7 +352,7 @@ void Core::rmw_spec_value(std::uint64_t seq, Word value, Cycle now) {
   e->value_ready = true;
   e->spec_value = true;
   e->result = value;
-  stats_.add("rmw_spec_values");
+  stats_.add(stat::rmw_spec_values);
   broadcast(seq, value);
 }
 

@@ -6,6 +6,34 @@
 
 namespace mcsim {
 
+namespace {
+// Stat names interned once at static-init; hot paths use the ids.
+namespace stat {
+const StatId addr_stall = StatNames::intern("addr_stall");
+const StatId fence_done = StatNames::intern("fence_done");
+const StatId fence_stall = StatNames::intern("fence_stall");
+const StatId forward_gated = StatNames::intern("forward_gated");
+const StatId load_forwarded = StatNames::intern("load_forwarded");
+const StatId load_gated = StatNames::intern("load_gated");
+const StatId load_issued = StatNames::intern("load_issued");
+const StatId load_latency = StatNames::intern("load_latency");
+const StatId load_reissued = StatNames::intern("load_reissued");
+const StatId response_dropped = StatNames::intern("response_dropped");
+const StatId rmw_issued = StatNames::intern("rmw_issued");
+const StatId rmw_latency = StatNames::intern("rmw_latency");
+const StatId spec_buffer_full_stall = StatNames::intern("spec_buffer_full_stall");
+const StatId spec_entries = StatNames::intern("spec_entries");
+const StatId spec_reissue = StatNames::intern("spec_reissue");
+const StatId spec_retired = StatNames::intern("spec_retired");
+const StatId spec_squash = StatNames::intern("spec_squash");
+const StatId spec_squash_after_rmw = StatNames::intern("spec_squash_after_rmw");
+const StatId spec_squash_rmw = StatNames::intern("spec_squash_rmw");
+const StatId store_gated = StatNames::intern("store_gated");
+const StatId store_issued = StatNames::intern("store_issued");
+const StatId store_latency = StatNames::intern("store_latency");
+}  // namespace stat
+}  // namespace
+
 LoadStoreUnit::LoadStoreUnit(ProcId id, const SystemConfig& cfg, CoherentCache& cache,
                              LsuHost& host, Trace* trace)
     : id_(id),
@@ -15,7 +43,9 @@ LoadStoreUnit::LoadStoreUnit(ProcId id, const SystemConfig& cfg, CoherentCache& 
       trace_(trace),
       spec_buffer_(cfg.core.spec_load_buffer_entries),
       prefetch_(cfg.core.prefetch, cfg.mem.coherence, cfg.core.prefetch_buffer_entries),
-      stats_("lsu" + std::to_string(id)) {}
+      stats_("lsu" + std::to_string(id)) {
+  tokens_.reserve(64);
+}
 
 void LoadStoreUnit::dispatch(std::uint64_t seq, std::size_t pc, const Instruction& inst,
                              Operand base, Operand index, Operand data, Operand cmp) {
@@ -92,15 +122,15 @@ void LoadStoreUnit::tick_addr_unit(Cycle now) {
     if (load_q_.empty() && store_buf_.empty()) {
       host_.mem_completed(head.seq, 0, now);
       ls_rs_.pop_front();
-      stats_.add("fence_done");
+      stats_.add(stat::fence_done);
     } else {
-      stats_.add("fence_stall");
+      stats_.add(stat::fence_stall);
     }
     return;
   }
 
   if (!head.addr_operands_ready()) {
-    stats_.add("addr_stall");
+    stats_.add(stat::addr_stall);
     return;
   }
   const Addr ea = static_cast<Addr>(head.base.value) +
@@ -251,7 +281,7 @@ void LoadStoreUnit::insert_spec_entry(const LoadEntry& ld, Cycle now) {
     }
   }
   spec_buffer_.insert(e);
-  stats_.add("spec_entries");
+  stats_.add(stat::spec_entries);
   if (trace_)
     trace_->log(now, id_, "slb",
                 "insert seq=" + std::to_string(e.seq) + " addr=" + std::to_string(e.addr) +
@@ -272,12 +302,12 @@ void LoadStoreUnit::issue_load(LoadEntry& ld, Cycle now) {
       // speculation. Otherwise the load waits: either the gate opens,
       // or the store performs and the load re-checks via the cache.
       if (spec_mode && !load_may_issue(cfg_.model, context_for(ld.seq, ld.sync))) {
-        stats_.add("forward_gated");
+        stats_.add(stat::forward_gated);
         return;
       }
       local_completions_.push_back(LocalCompletion{ld.seq, src->data.value, now + 1});
       ld.issued = true;
-      stats_.add("load_forwarded");
+      stats_.add(stat::load_forwarded);
       demand_issued_this_cycle_ = true;
       return;
     }
@@ -285,7 +315,7 @@ void LoadStoreUnit::issue_load(LoadEntry& ld, Cycle now) {
   if (!cache_.port_free(now)) return;
   const bool needs_entry = spec_mode && !ld.reissue;
   if (needs_entry && spec_buffer_.full()) {
-    stats_.add("spec_buffer_full_stall");
+    stats_.add(stat::spec_buffer_full_stall);
     return;
   }
   CacheRequest req;
@@ -308,7 +338,7 @@ void LoadStoreUnit::issue_load(LoadEntry& ld, Cycle now) {
   ld.issued = true;
   ld.reissue = false;
   if (needs_entry) insert_spec_entry(ld, now);
-  stats_.add(was_reissue ? "load_reissued" : "load_issued");
+  stats_.add(was_reissue ? stat::load_reissued : stat::load_issued);
   if (trace_)
     trace_->log(now, id_, "lq",
                 std::string(was_reissue ? "reissue" : "issue") + " seq=" +
@@ -346,7 +376,7 @@ void LoadStoreUnit::issue_store(StoreEntry& st, Cycle now) {
   tokens_[req.token] = TokenInfo{
       st.is_rmw ? TokenInfo::Kind::kRmw : TokenInfo::Kind::kStore, st.seq, 0};
   st.issued = true;
-  stats_.add(st.is_rmw ? "rmw_issued" : "store_issued");
+  stats_.add(st.is_rmw ? stat::rmw_issued : stat::store_issued);
   if (trace_)
     trace_->log(now, id_, "sb",
                 "issue seq=" + std::to_string(st.seq) + " addr=" + std::to_string(st.addr));
@@ -402,7 +432,7 @@ void LoadStoreUnit::tick_issue(Cycle now) {
     // head until the consistency model allows the load to perform.
     IssueContext ctx = context_for(lcand->seq, lcand->sync);
     if (!load_may_issue(cfg_.model, ctx)) {
-      stats_.add("load_gated");
+      stats_.add(stat::load_gated);
       lcand = nullptr;
     }
   }
@@ -420,7 +450,7 @@ void LoadStoreUnit::tick_issue(Cycle now) {
       IssueContext ctx = context_for(scand->seq, scand->sync);
       ready = scand->is_rmw ? rmw_may_issue(cfg_.model, ctx)
                             : store_may_issue(cfg_.model, ctx);
-      if (!ready) stats_.add("store_gated");
+      if (!ready) stats_.add(stat::store_gated);
     }
     if (!ready) scand = nullptr;
   }
@@ -510,11 +540,11 @@ void LoadStoreUnit::drain_responses(Cycle now) {
       case TokenInfo::Kind::kLoad: {
         LoadEntry* e = find_load(info.seq);
         if (e == nullptr || e->gen != info.gen || !e->issued || e->reissue) {
-          stats_.add("response_dropped");
+          stats_.add(stat::response_dropped);
           break;
         }
         record(info.seq, e->pc, e->addr, AccessKind::kLoad, e->sync, r.value, now);
-        stats_.sample("load_latency", now - e->ready_at);
+        stats_.sample(stat::load_latency, now - e->ready_at);
         erase_load(info.seq);
         spec_buffer_.mark_done(info.seq, r.value);
         host_.mem_completed(info.seq, r.value, now);
@@ -523,7 +553,7 @@ void LoadStoreUnit::drain_responses(Cycle now) {
       case TokenInfo::Kind::kLoadEx: {
         LoadEntry* e = find_load(info.seq);
         if (e == nullptr || e->gen != info.gen || !e->issued || e->reissue) {
-          stats_.add("response_dropped");
+          stats_.add(stat::response_dropped);
           break;
         }
         erase_load(info.seq);
@@ -535,7 +565,7 @@ void LoadStoreUnit::drain_responses(Cycle now) {
         StoreEntry* s = find_store(info.seq);
         assert(s != nullptr && "issued stores are never squashed");
         record(info.seq, s->pc, s->addr, AccessKind::kStore, s->sync, s->data.value, now);
-        stats_.sample("store_latency", now - s->ready_at);
+        stats_.sample(stat::store_latency, now - s->ready_at);
         erase_store(info.seq);
         spec_buffer_.nullify_store_tag(info.seq);
         host_.mem_completed(info.seq, 0, now);
@@ -547,7 +577,7 @@ void LoadStoreUnit::drain_responses(Cycle now) {
         StoreEntry* s = find_store(info.seq);
         assert(s != nullptr && "issued RMWs are never squashed");
         record(info.seq, s->pc, s->addr, AccessKind::kRmw, s->sync, r.value, now);
-        stats_.sample("rmw_latency", now - s->ready_at);
+        stats_.sample(stat::rmw_latency, now - s->ready_at);
         erase_store(info.seq);
         // Drop a still-pending speculative read-exclusive for this RMW:
         // its return value must be ignored once the atomic has issued.
@@ -566,7 +596,7 @@ void LoadStoreUnit::drain_responses(Cycle now) {
 void LoadStoreUnit::retire_spec_entries(Cycle now) {
   std::vector<std::uint64_t> retired = spec_buffer_.retire_ready();
   if (retired.empty()) return;
-  stats_.add("spec_retired", retired.size());
+  stats_.add(stat::spec_retired, retired.size());
   if (trace_) trace_->log(now, id_, "slb", "retired " + std::to_string(retired.size()));
   if (cfg_.record_accesses) {
     // Restamp loads to their retirement instant: that is when they
@@ -593,7 +623,7 @@ void LoadStoreUnit::on_line_event(LineEventKind kind, Addr line, Cycle now) {
     ++e->gen;  // the in-flight initial return value must be discarded
     e->reissue = true;
     spec_buffer_.mark_reissued(seq);
-    stats_.add("spec_reissue");
+    stats_.add(stat::spec_reissue);
     if (trace_) trace_->log(now, id_, "slb", "reissue seq=" + std::to_string(seq));
   }
   if (!mr.squash) return;
@@ -606,16 +636,16 @@ void LoadStoreUnit::on_line_event(LineEventKind kind, Addr line, Cycle now) {
     // following it (its value will come from the issued atomic).
     StoreEntry* st = find_store(mr.squash_seq);
     if (st != nullptr && !st->issued) {
-      stats_.add("spec_squash_rmw");
+      stats_.add(stat::spec_squash_rmw);
       host_.request_squash_refetch(mr.squash_seq, now, "rmw speculative value invalidated");
     } else {
       spec_buffer_.mark_reissued(mr.squash_seq);
-      stats_.add("spec_squash_after_rmw");
+      stats_.add(stat::spec_squash_after_rmw);
       host_.request_squash_refetch(mr.squash_seq + 1, now,
                                    "computation after RMW invalidated");
     }
   } else {
-    stats_.add("spec_squash");
+    stats_.add(stat::spec_squash);
     host_.request_squash_refetch(mr.squash_seq, now, "speculative load value invalidated");
   }
 }

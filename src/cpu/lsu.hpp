@@ -13,8 +13,8 @@
 
 #include <cstdint>
 #include <deque>
-#include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/access_record.hpp"
@@ -192,7 +192,7 @@ class LoadStoreUnit {
   std::deque<StoreEntry> store_buf_;
   SpecLoadBuffer spec_buffer_;
   PrefetchEngine prefetch_;
-  std::map<std::uint64_t, TokenInfo> tokens_;
+  std::unordered_map<std::uint64_t, TokenInfo> tokens_;
   std::deque<LocalCompletion> local_completions_;
   std::uint64_t next_token_ = 1;
   bool demand_issued_this_cycle_ = false;

@@ -4,6 +4,26 @@
 
 namespace mcsim {
 
+namespace {
+// Stat names interned once at static-init; hot paths use the ids.
+namespace stat {
+const StatId messages_delivered = StatNames::intern("messages_delivered");
+const StatId messages_sent = StatNames::intern("messages_sent");
+
+/// Per-type "sent.<msg>" ids, resolved on first use.
+StatId sent(MsgType t) {
+  static const std::vector<StatId> ids = [] {
+    std::vector<StatId> v;
+    for (int i = 0; i <= static_cast<int>(MsgType::kRmwReply); ++i)
+      v.push_back(StatNames::intern(std::string("sent.") +
+                                    to_string(static_cast<MsgType>(i))));
+    return v;
+  }();
+  return ids[static_cast<std::size_t>(t)];
+}
+}  // namespace stat
+}  // namespace
+
 Network::Network(std::uint32_t endpoints, std::uint32_t latency, std::uint32_t deliver_bw)
     : latency_(latency), deliver_bw_(deliver_bw), inboxes_(endpoints), stats_("net") {
   assert(endpoints >= 2);
@@ -12,8 +32,8 @@ Network::Network(std::uint32_t endpoints, std::uint32_t latency, std::uint32_t d
 
 void Network::send(Message msg, Cycle now, std::uint32_t extra_delay) {
   assert(msg.dst < inboxes_.size());
-  stats_.add("messages_sent");
-  stats_.add(std::string("sent.") + to_string(msg.type));
+  stats_.add(stat::messages_sent);
+  stats_.add(stat::sent(msg.type));
   in_flight_.push(InFlight{now + latency_ + extra_delay, next_seq_++, std::move(msg)});
 }
 
@@ -32,7 +52,7 @@ void Network::deliver(Cycle now) {
     }
     ++delivered[f.msg.dst];
     inboxes_[f.msg.dst].push_back(std::move(f.msg));
-    stats_.add("messages_delivered");
+    stats_.add(stat::messages_delivered);
   }
   for (InFlight& f : deferred) in_flight_.push(std::move(f));
 }

@@ -1,0 +1,221 @@
+#include "sim/experiment.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <thread>
+
+namespace mcsim {
+
+const char* to_string(CellStatus s) {
+  switch (s) {
+    case CellStatus::kOk: return "ok";
+    case CellStatus::kDeadlock: return "deadlock";
+    case CellStatus::kValidationFailed: return "validation_failed";
+    case CellStatus::kError: return "error";
+  }
+  return "?";
+}
+
+std::size_t ExperimentGrid::add(Workload workload, SystemConfig config,
+                                std::string technique,
+                                std::map<std::string, std::string> tags) {
+  ExperimentCell cell;
+  cell.workload = std::move(workload);
+  cell.config = std::move(config);
+  cell.technique = std::move(technique);
+  cell.tags = std::move(tags);
+  cells_.push_back(std::move(cell));
+  return cells_.size() - 1;
+}
+
+namespace {
+
+std::string label_of(const ExperimentCell& cell) {
+  std::string label = "(" + cell.workload.name + ", " + to_string(cell.config.model);
+  if (!cell.technique.empty()) label += ", " + cell.technique;
+  return label + ")";
+}
+
+unsigned resolve_workers(unsigned requested) {
+  if (requested != 0) return requested;
+  if (const char* env = std::getenv("MCSIM_JOBS")) {
+    long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) return static_cast<unsigned>(v);
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw != 0 ? hw : 1;
+}
+
+}  // namespace
+
+CellResult run_cell(const ExperimentCell& cell) {
+  using clock = std::chrono::steady_clock;
+  CellResult out;
+  out.cell_label = label_of(cell);
+  const auto t0 = clock::now();
+  try {
+    SystemConfig cfg = cell.config;
+    cfg.num_procs = static_cast<std::uint32_t>(cell.workload.programs.size());
+    Machine m(cfg, cell.workload.programs);
+    for (const auto& [proc, addr] : cell.workload.preload_shared) {
+      m.preload_shared(proc, addr);
+    }
+    RunResult r = m.run();
+
+    RunStats& s = out.stats;
+    s.cycles = r.cycles;
+    s.drain_cycles = r.drain_cycle;
+    s.retired = r.retired;
+    double load_sum = 0, store_sum = 0;
+    std::uint64_t load_n = 0, store_n = 0;
+    for (ProcId p = 0; p < cfg.num_procs; ++p) {
+      s.squashes += m.core(p).stats().get("squashes");
+      s.reissues += m.core(p).lsu().stats().get("spec_reissue");
+      s.prefetches += m.cache(p).stats().get("prefetch_read_issued") +
+                      m.cache(p).stats().get("prefetch_ex_issued");
+      s.prefetch_useful += m.cache(p).stats().get("prefetch_useful_hit") +
+                           m.cache(p).stats().get("prefetch_useful_merge");
+      const StatSet& ls = m.core(p).lsu().stats();
+      load_sum += ls.mean("load_latency") * static_cast<double>(ls.count_of("load_latency"));
+      load_n += ls.count_of("load_latency");
+      store_sum +=
+          ls.mean("store_latency") * static_cast<double>(ls.count_of("store_latency"));
+      store_n += ls.count_of("store_latency");
+    }
+    s.load_latency_mean = load_n ? load_sum / static_cast<double>(load_n) : 0.0;
+    s.store_latency_mean = store_n ? store_sum / static_cast<double>(store_n) : 0.0;
+
+    if (r.deadlocked) {
+      out.status = CellStatus::kDeadlock;
+      out.error = out.cell_label + " deadlocked after " + std::to_string(r.cycles) +
+                  " cycles";
+    } else {
+      out.status = CellStatus::kOk;
+      for (const auto& [addr, value] : cell.workload.expected) {
+        Word got = m.read_word(addr);
+        if (got != value) {
+          out.status = CellStatus::kValidationFailed;
+          char buf[128];
+          std::snprintf(buf, sizeof buf, " wrong result: [0x%llx]=%u != %u",
+                        static_cast<unsigned long long>(addr), got, value);
+          out.error = out.cell_label + buf;
+          break;
+        }
+      }
+    }
+  } catch (const std::exception& e) {
+    out.status = CellStatus::kError;
+    out.error = out.cell_label + " " + e.what();
+  }
+  const auto t1 = clock::now();
+  out.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  if (out.wall_ms > 0.0) {
+    out.sims_per_sec = static_cast<double>(out.stats.cycles) / (out.wall_ms / 1000.0);
+  }
+  return out;
+}
+
+ExperimentRunner::ExperimentRunner(unsigned workers) : workers_(resolve_workers(workers)) {}
+
+std::vector<CellResult> ExperimentRunner::run(const ExperimentGrid& grid) {
+  using clock = std::chrono::steady_clock;
+  const std::vector<ExperimentCell>& cells = grid.cells();
+  std::vector<CellResult> results(cells.size());
+  const auto t0 = clock::now();
+
+  const unsigned nthreads =
+      static_cast<unsigned>(std::min<std::size_t>(workers_, cells.size()));
+  if (nthreads <= 1) {
+    for (std::size_t i = 0; i < cells.size(); ++i) results[i] = run_cell(cells[i]);
+  } else {
+    // Work-stealing by atomic index: cells land in results[] at their
+    // submission index, so the output order never depends on timing.
+    std::atomic<std::size_t> next{0};
+    auto worker = [&] {
+      while (true) {
+        std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= cells.size()) return;
+        results[i] = run_cell(cells[i]);
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(nthreads);
+    for (unsigned t = 0; t < nthreads; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  const auto t1 = clock::now();
+  last_sweep_.workers = nthreads == 0 ? 1 : nthreads;
+  last_sweep_.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  last_sweep_.guest_cycles = 0;
+  for (const CellResult& r : results) last_sweep_.guest_cycles += r.stats.cycles;
+  return results;
+}
+
+Json results_to_json(const ExperimentGrid& grid, const std::vector<CellResult>& results,
+                     const SweepInfo& sweep) {
+  Json root = Json::object();
+  root.set("schema", Json::string("mcsim-bench-v1"));
+  root.set("bench", Json::string(grid.name()));
+  root.set("workers", Json::number(static_cast<std::uint64_t>(sweep.workers)));
+  root.set("wall_ms", Json::number(sweep.wall_ms));
+  root.set("guest_cycles", Json::number(sweep.guest_cycles));
+  double sweep_sims =
+      sweep.wall_ms > 0.0 ? static_cast<double>(sweep.guest_cycles) / (sweep.wall_ms / 1000.0)
+                          : 0.0;
+  root.set("sims_per_sec", Json::number(sweep_sims));
+
+  Json cells = Json::array();
+  for (std::size_t i = 0; i < results.size() && i < grid.cells().size(); ++i) {
+    const ExperimentCell& cell = grid.cells()[i];
+    const CellResult& r = results[i];
+    Json c = Json::object();
+    c.set("workload", Json::string(cell.workload.name));
+    c.set("model", Json::string(to_string(cell.config.model)));
+    c.set("technique", Json::string(cell.technique));
+    c.set("num_procs",
+          Json::number(static_cast<std::uint64_t>(cell.workload.programs.size())));
+    Json tags = Json::object();
+    for (const auto& [k, v] : cell.tags) tags.set(k, Json::string(v));
+    c.set("tags", std::move(tags));
+    c.set("status", Json::string(to_string(r.status)));
+    if (!r.error.empty()) c.set("error", Json::string(r.error));
+    c.set("cycles", Json::number(static_cast<std::uint64_t>(r.stats.cycles)));
+    c.set("squashes", Json::number(r.stats.squashes));
+    c.set("reissues", Json::number(r.stats.reissues));
+    c.set("prefetches", Json::number(r.stats.prefetches));
+    c.set("prefetch_useful", Json::number(r.stats.prefetch_useful));
+    c.set("load_latency_mean", Json::number(r.stats.load_latency_mean));
+    c.set("store_latency_mean", Json::number(r.stats.store_latency_mean));
+    Json drains = Json::array();
+    for (Cycle d : r.stats.drain_cycles) {
+      drains.push_back(Json::number(static_cast<std::uint64_t>(d)));
+    }
+    c.set("drain_cycles", std::move(drains));
+    Json retired = Json::array();
+    for (std::uint64_t n : r.stats.retired) retired.push_back(Json::number(n));
+    c.set("retired", std::move(retired));
+    c.set("wall_ms", Json::number(r.wall_ms));
+    c.set("sims_per_sec", Json::number(r.sims_per_sec));
+    cells.push_back(std::move(c));
+  }
+  root.set("cells", std::move(cells));
+  return root;
+}
+
+bool write_json(const std::string& path, const ExperimentGrid& grid,
+                const std::vector<CellResult>& results, const SweepInfo& sweep) {
+  std::string text = results_to_json(grid, results, sweep).dump(2);
+  text += '\n';
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  ok = (std::fclose(f) == 0) && ok;
+  return ok;
+}
+
+}  // namespace mcsim

@@ -1,0 +1,130 @@
+// ExperimentRunner: fan a declarative grid of independent simulation
+// cells (workload × SystemConfig) out across a worker-thread pool.
+//
+// Every Machine is fully self-contained and deterministic (no shared
+// mutable state between simulations), so a sweep is embarrassingly
+// parallel: results are bit-identical whatever the worker count, and
+// they are collected in submission order. This is how the paper's §5
+// "extensive simulation experiments" scale on a multi-core host —
+// harness-level parallelism over deterministic single-threaded cells.
+//
+//   ExperimentGrid grid("models");
+//   grid.add(workload, config, "+both");
+//   ExperimentRunner runner;                  // workers: MCSIM_JOBS or all cores
+//   std::vector<CellResult> results = runner.run(grid);
+//   write_json("BENCH_models.json", grid, results, runner.last_sweep());
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/json.hpp"
+#include "sim/machine.hpp"
+#include "sim/workloads.hpp"
+
+namespace mcsim {
+
+/// Per-cell headline numbers every bench table reads (aggregated over
+/// processors; per-processor vectors kept for deployment studies).
+struct RunStats {
+  Cycle cycles = 0;
+  std::uint64_t squashes = 0;
+  std::uint64_t reissues = 0;
+  std::uint64_t prefetches = 0;
+  std::uint64_t prefetch_useful = 0;
+  double load_latency_mean = 0.0;  ///< observed address-ready -> performed
+  double store_latency_mean = 0.0;
+  std::vector<Cycle> drain_cycles;        ///< per-processor completion time
+  std::vector<std::uint64_t> retired;     ///< instructions per processor
+};
+
+/// One simulation to run: a workload plus the machine to run it on.
+/// `technique` and `tags` are free-form labels that flow into the JSON
+/// report (model/workload names are derived from config/workload).
+struct ExperimentCell {
+  Workload workload;
+  SystemConfig config;
+  std::string technique;
+  std::map<std::string, std::string> tags;
+};
+
+enum class CellStatus : std::uint8_t {
+  kOk,
+  kDeadlock,          ///< hit max_cycles before completion
+  kValidationFailed,  ///< final memory state disagreed with workload.expected
+  kError,             ///< configuration rejected / exception during the run
+};
+
+const char* to_string(CellStatus s);
+
+struct CellResult {
+  CellStatus status = CellStatus::kError;
+  std::string error;     ///< human-readable detail for non-kOk cells
+  RunStats stats;
+  double wall_ms = 0.0;  ///< host wall-clock spent simulating this cell
+  double sims_per_sec = 0.0;  ///< simulated guest cycles per host second
+  bool ok() const { return status == CellStatus::kOk; }
+  /// "(workload, model, technique)" — for failure reports.
+  std::string cell_label;
+};
+
+/// A named list of cells; the name becomes the JSON report's "bench".
+class ExperimentGrid {
+ public:
+  explicit ExperimentGrid(std::string name) : name_(std::move(name)) {}
+
+  /// Returns the submission index of the new cell.
+  std::size_t add(Workload workload, SystemConfig config, std::string technique = "",
+                  std::map<std::string, std::string> tags = {});
+
+  const std::string& name() const { return name_; }
+  const std::vector<ExperimentCell>& cells() const { return cells_; }
+  std::size_t size() const { return cells_.size(); }
+
+ private:
+  std::string name_;
+  std::vector<ExperimentCell> cells_;
+};
+
+/// Aggregate timing of one runner.run() sweep.
+struct SweepInfo {
+  unsigned workers = 0;
+  double wall_ms = 0.0;          ///< whole-sweep host wall clock
+  std::uint64_t guest_cycles = 0;///< sum of per-cell simulated cycles
+};
+
+/// Run one cell synchronously (no validation skipping, no exit()):
+/// deadlock and wrong final state fail the CELL, not the sweep.
+CellResult run_cell(const ExperimentCell& cell);
+
+class ExperimentRunner {
+ public:
+  /// `workers` = 0 resolves to the MCSIM_JOBS environment variable if
+  /// set, else the host's hardware concurrency.
+  explicit ExperimentRunner(unsigned workers = 0);
+
+  /// Run every cell; results are indexed exactly like grid.cells()
+  /// regardless of worker count or completion order.
+  std::vector<CellResult> run(const ExperimentGrid& grid);
+
+  unsigned workers() const { return workers_; }
+  const SweepInfo& last_sweep() const { return last_sweep_; }
+
+ private:
+  unsigned workers_;
+  SweepInfo last_sweep_;
+};
+
+/// Build the machine-readable report (schema: docs/INTERNALS.md
+/// "Experiment runner & JSON schema").
+Json results_to_json(const ExperimentGrid& grid, const std::vector<CellResult>& results,
+                     const SweepInfo& sweep);
+
+/// results_to_json + write to `path`. Returns false on I/O failure.
+bool write_json(const std::string& path, const ExperimentGrid& grid,
+                const std::vector<CellResult>& results, const SweepInfo& sweep);
+
+}  // namespace mcsim

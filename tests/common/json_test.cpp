@@ -1,0 +1,92 @@
+#include "common/json.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcsim {
+namespace {
+
+TEST(Json, BuildsAndDumpsCompact) {
+  Json root = Json::object();
+  root.set("name", Json::string("sweep"));
+  root.set("count", Json::number(std::int64_t{3}));
+  root.set("ratio", Json::number(1.5));
+  root.set("ok", Json::boolean(true));
+  Json arr = Json::array();
+  arr.push_back(Json::number(std::uint64_t{1}));
+  arr.push_back(Json::number(std::uint64_t{2}));
+  root.set("cells", std::move(arr));
+  EXPECT_EQ(root.dump(),
+            "{\"name\":\"sweep\",\"count\":3,\"ratio\":1.5,\"ok\":true,"
+            "\"cells\":[1,2]}");
+}
+
+TEST(Json, ObjectKeepsInsertionOrderAndSetReplaces) {
+  Json o = Json::object();
+  o.set("z", Json::number(std::int64_t{1}));
+  o.set("a", Json::number(std::int64_t{2}));
+  o.set("z", Json::number(std::int64_t{9}));
+  EXPECT_EQ(o.dump(), "{\"z\":9,\"a\":2}");
+  EXPECT_EQ(o.size(), 2u);
+}
+
+TEST(Json, Uint64RoundTripsLosslessly) {
+  const std::uint64_t big = 0x7edc'ba98'7654'3210ull;  // not double-representable
+  Json o = Json::object();
+  o.set("v", Json::number(big));
+  std::string err;
+  Json parsed = Json::parse(o.dump(), &err);
+  ASSERT_TRUE(err.empty()) << err;
+  EXPECT_EQ(parsed["v"].as_uint(), big);
+}
+
+TEST(Json, ParsesNestedDocument) {
+  std::string err;
+  Json v = Json::parse(
+      R"({"s": "a\"b\nA", "n": -2.5e1, "list": [true, false, null, {"k": 7}]})",
+      &err);
+  ASSERT_TRUE(err.empty()) << err;
+  EXPECT_EQ(v["s"].as_string(), "a\"b\nA");
+  EXPECT_DOUBLE_EQ(v["n"].as_double(), -25.0);
+  ASSERT_EQ(v["list"].size(), 4u);
+  EXPECT_TRUE(v["list"][0].as_bool());
+  EXPECT_FALSE(v["list"][1].as_bool());
+  EXPECT_TRUE(v["list"][2].is_null());
+  EXPECT_EQ(v["list"][3]["k"].as_int(), 7);
+}
+
+TEST(Json, PrettyDumpParsesBack) {
+  Json root = Json::object();
+  root.set("a", Json::string("x"));
+  Json arr = Json::array();
+  arr.push_back(Json::number(std::int64_t{1}));
+  root.set("b", std::move(arr));
+  std::string pretty = root.dump(2);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  std::string err;
+  Json parsed = Json::parse(pretty, &err);
+  ASSERT_TRUE(err.empty()) << err;
+  EXPECT_EQ(parsed.dump(), root.dump());
+}
+
+TEST(Json, RejectsMalformedInput) {
+  for (const char* bad : {"", "{", "[1,]", "{\"a\":}", "tru", "\"unterminated",
+                          "1 2", "{\"a\":1,}"}) {
+    std::string err;
+    Json v = Json::parse(bad, &err);
+    EXPECT_FALSE(err.empty()) << "accepted: " << bad;
+    EXPECT_TRUE(v.is_null());
+  }
+}
+
+TEST(Json, MissingLookupsReturnNull) {
+  std::string err;
+  Json v = Json::parse(R"({"a": [1]})", &err);
+  ASSERT_TRUE(err.empty());
+  EXPECT_TRUE(v["nope"].is_null());
+  EXPECT_TRUE(v["a"][5].is_null());
+  EXPECT_TRUE(v["nope"]["deep"]["er"].is_null());
+  EXPECT_FALSE(v.contains("nope"));
+}
+
+}  // namespace
+}  // namespace mcsim

@@ -51,5 +51,69 @@ TEST(StatSet, ClearRemovesEverything) {
   EXPECT_EQ(s.count_of("b"), 0u);
 }
 
+TEST(StatNames, InternIsStableAndDense) {
+  StatId a1 = StatNames::intern("intern_test.alpha");
+  StatId a2 = StatNames::intern("intern_test.alpha");
+  StatId b = StatNames::intern("intern_test.beta");
+  EXPECT_TRUE(a1.valid());
+  EXPECT_EQ(a1, a2);                       // same name, same id
+  EXPECT_NE(a1.value(), b.value());        // distinct names, distinct ids
+  EXPECT_EQ(StatNames::name(a1), "intern_test.alpha");
+  EXPECT_EQ(StatNames::name(b), "intern_test.beta");
+  EXPECT_GT(StatNames::count(), a1.value());
+}
+
+TEST(StatSet, IdAndStringPathsAgree) {
+  StatSet s("x");
+  StatId hits = StatNames::intern("hits");
+  s.add(hits);             // id path
+  s.add("hits", 4);        // string path hits the same slot
+  EXPECT_EQ(s.get(hits), 5u);
+  EXPECT_EQ(s.get("hits"), 5u);
+
+  s.set("v", 10);
+  StatId v = StatNames::intern("v");
+  s.set(v, 3);
+  EXPECT_EQ(s.get("v"), 3u);
+}
+
+TEST(StatSet, IdAndStringSamplePathsAgree) {
+  StatSet s("x");
+  StatId lat = StatNames::intern("lat");
+  s.sample(lat, 10);
+  s.sample("lat", 20);
+  s.sample(lat, 90);
+  EXPECT_DOUBLE_EQ(s.mean("lat"), 40.0);
+  EXPECT_DOUBLE_EQ(s.mean(lat), 40.0);
+  EXPECT_EQ(s.count_of(lat), 3u);
+  EXPECT_EQ(s.max_of(lat), 90u);
+}
+
+TEST(StatSet, ReportUnchangedByInterning) {
+  // The report format must be byte-identical to the string-keyed
+  // original: sorted by name, "prefix.name value" then sample lines.
+  StatSet s("core0");
+  s.add("zeta", 1);
+  s.add("alpha", 2);
+  s.set("explicit_zero", 0);  // set() makes a counter reportable even at 0
+  s.sample("lat", 10);
+  s.sample("lat", 30);
+  EXPECT_EQ(s.report(),
+            "core0.alpha 2\n"
+            "core0.explicit_zero 0\n"
+            "core0.zeta 1\n"
+            "core0.lat.mean 20 (n=2, max=30)\n");
+}
+
+TEST(StatSet, UntouchedIdsStayOutOfReports) {
+  // Interning a name (even at static-init in some other component)
+  // must not make it appear in every StatSet's report.
+  StatNames::intern("never_touched_in_this_set");
+  StatSet s("x");
+  s.add("real", 1);
+  EXPECT_EQ(s.counters().size(), 1u);
+  EXPECT_EQ(s.report().find("never_touched"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace mcsim

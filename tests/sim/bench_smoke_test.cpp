@@ -1,0 +1,73 @@
+// CI smoke: drive a one-cell sweep end to end through the
+// ExperimentRunner — run, emit the JSON report to disk, parse it back,
+// and validate the keys every downstream consumer of
+// BENCH_*.json relies on. Guards the bench executables' shared plumbing
+// without paying for a full model-comparison sweep in CI.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hpp"
+#include "sim/workloads.hpp"
+
+namespace mcsim {
+namespace {
+
+TEST(BenchSmoke, OneCellSweepEmitsValidJson) {
+  ExperimentGrid grid("smoke");
+  SystemConfig cfg = SystemConfig::paper_default(2, ConsistencyModel::kSC);
+  cfg.core.prefetch = PrefetchMode::kNonBinding;
+  cfg.core.speculative_loads = true;
+  grid.add(make_producer_consumer(2, 4), cfg, "+both", {{"suite", "smoke"}});
+
+  ExperimentRunner runner;
+  std::vector<CellResult> results = runner.run(grid);
+  ASSERT_EQ(results.size(), 1u);
+  ASSERT_TRUE(results[0].ok()) << results[0].cell_label << ": " << results[0].error;
+  EXPECT_GT(results[0].stats.cycles, 0u);
+
+  const std::string path = "BENCH_smoke_test.json";
+  ASSERT_TRUE(write_json(path, grid, results, runner.last_sweep()));
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  in.close();
+  std::remove(path.c_str());
+
+  std::string err;
+  Json report = Json::parse(buf.str(), &err);
+  ASSERT_TRUE(err.empty()) << err;
+
+  for (const char* key :
+       {"schema", "bench", "workers", "wall_ms", "guest_cycles", "sims_per_sec",
+        "cells"}) {
+    EXPECT_TRUE(report.contains(key)) << "missing root key: " << key;
+  }
+  EXPECT_EQ(report["schema"].as_string(), "mcsim-bench-v1");
+  EXPECT_EQ(report["bench"].as_string(), "smoke");
+  EXPECT_GE(report["workers"].as_int(), 1);
+  ASSERT_EQ(report["cells"].size(), 1u);
+
+  const Json& cell = report["cells"][0];
+  for (const char* key :
+       {"workload", "model", "technique", "num_procs", "tags", "status", "cycles",
+        "squashes", "reissues", "prefetches", "prefetch_useful", "load_latency_mean",
+        "store_latency_mean", "drain_cycles", "retired", "wall_ms", "sims_per_sec"}) {
+    EXPECT_TRUE(cell.contains(key)) << "missing cell key: " << key;
+  }
+  EXPECT_EQ(cell["status"].as_string(), "ok");
+  EXPECT_EQ(cell["model"].as_string(), "SC");
+  EXPECT_EQ(cell["technique"].as_string(), "+both");
+  EXPECT_EQ(cell["num_procs"].as_int(), 2);
+  EXPECT_EQ(cell["tags"]["suite"].as_string(), "smoke");
+  EXPECT_EQ(cell["cycles"].as_uint(), results[0].stats.cycles);
+  EXPECT_EQ(cell["drain_cycles"].size(), 2u);
+  EXPECT_EQ(cell["retired"].size(), 2u);
+}
+
+}  // namespace
+}  // namespace mcsim
