@@ -105,11 +105,14 @@ int main() {
   }
 
   std::printf("\nkey pipeline events:\n");
+  const Trace::Category cat_squash = Trace::category("squash");
+  const Trace::Category cat_slb = Trace::category("slb");
+  const Trace::Category cat_coherence = Trace::category("coherence");
   for (const auto& e : m.trace().events()) {
     if (e.proc != 0) continue;
-    if (e.category == "squash" || e.category == "slb" || e.category == "coherence")
+    if (e.category == cat_squash || e.category == cat_slb || e.category == cat_coherence)
       std::printf("  %6llu  %-10s %s\n", static_cast<unsigned long long>(e.cycle),
-                  e.category.c_str(), e.text.c_str());
+                  Trace::category_name(e.category).c_str(), e.text.c_str());
   }
 
   Word r3 = m.core(0).reg(3);

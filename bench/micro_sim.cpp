@@ -133,6 +133,40 @@ void BM_StatSetAddByString(benchmark::State& state) {
 }
 BENCHMARK(BM_StatSetAddByString);
 
+void BM_StatSetConstructPresized(benchmark::State& state) {
+  // StatSet construction presizes its dense counter vector to every
+  // name interned so far, so the hot path never reallocates. Guard
+  // both properties: construction stays cheap as names accumulate,
+  // and the invariant itself holds.
+  for (auto _ : state) {
+    StatSet s("bm");
+    if (s.counter_slots() < StatNames::count()) {
+      state.SkipWithError("counter vector not presized to interned names");
+      break;
+    }
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StatSetConstructPresized);
+
+void BM_CoreTickStallAccounting(benchmark::State& state) {
+  // End-to-end cost of a machine cycle with stall-cause attribution on
+  // every core tick (the observability hot path; trace sink disabled).
+  Workload w = make_producer_consumer(2, 4);
+  SystemConfig cfg = SystemConfig::realistic(2, ConsistencyModel::kSC);
+  std::uint64_t guest_cycles = 0;
+  for (auto _ : state) {
+    Machine m(cfg, w.programs);
+    RunResult r = m.run();
+    guest_cycles += r.ticks;
+    benchmark::DoNotOptimize(r.stall);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(guest_cycles));
+  state.SetLabel("items = simulated guest cycles");
+}
+BENCHMARK(BM_CoreTickStallAccounting);
+
 }  // namespace
 }  // namespace mcsim
 

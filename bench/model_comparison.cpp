@@ -80,7 +80,7 @@ void print_table(const Workload& w, const std::vector<CellResult>& results,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("Model comparison study (paper §5: \"extensive simulation experiments\")\n");
   std::printf("cycles to completion; miss latency 100, hit 1; realistic 4-wide cores\n");
 
@@ -102,6 +102,8 @@ int main() {
       }
     }
   }
+
+  apply_trace_out(grid, trace_out_from_args(argc, argv));
 
   ExperimentRunner runner;
   std::vector<CellResult> results = runner.run(grid);

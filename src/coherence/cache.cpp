@@ -53,6 +53,10 @@ const StatId prefetch_ex_merged_upgrade = StatNames::intern("prefetch_ex_merged_
 const StatId prefetch_read_issued = StatNames::intern("prefetch_read_issued");
 const StatId prefetch_useful_hit = StatNames::intern("prefetch_useful_hit");
 const StatId prefetch_useful_merge = StatNames::intern("prefetch_useful_merge");
+/// Histogram of fill-to-first-demand-use distances for prefetched
+/// lines (useful *hits* only — a demand merged into an in-flight
+/// prefetch arrived before the fill, so it has no such distance).
+const StatId prefetch_to_use = StatNames::intern("prefetch_to_use");
 const StatId rejected_mshr_full = StatNames::intern("rejected_mshr_full");
 const StatId replace_clean = StatNames::intern("replace_clean");
 const StatId rmw_hit = StatNames::intern("rmw_hit");
@@ -77,6 +81,13 @@ StatId event(LineEventKind k) {
   return ids[static_cast<std::size_t>(k)];
 }
 }  // namespace stat
+
+namespace ev {
+const TraceEventSink::NameId miss = TraceEventSink::name_id("miss");
+const TraceEventSink::NameId miss_ex = TraceEventSink::name_id("miss-ex");
+const TraceEventSink::NameId prefetch = TraceEventSink::name_id("prefetch");
+const TraceEventSink::NameId prefetch_ex = TraceEventSink::name_id("prefetch-ex");
+}  // namespace ev
 }  // namespace
 
 CoherentCache::CoherentCache(ProcId id, const CacheConfig& cfg, CoherenceKind protocol,
@@ -124,16 +135,27 @@ const CoherentCache::Mshr* CoherentCache::find_mshr(Addr line) const {
   return nullptr;
 }
 
-CoherentCache::Mshr* CoherentCache::alloc_mshr(Addr line) {
+CoherentCache::Mshr* CoherentCache::alloc_mshr(Addr line, Cycle now) {
   for (auto& m : mshrs_) {
     if (!m.valid) {
       m = Mshr{};
       m.valid = true;
       m.line = line;
+      m.alloc_at = now;
       return &m;
     }
   }
   return nullptr;
+}
+
+void CoherentCache::close_mshr(Mshr& m, Cycle now) {
+  if (events_ != nullptr && events_->enabled()) {
+    const TraceEventSink::NameId name =
+        m.prefetch_initiated ? (m.want_ex ? ev::prefetch_ex : ev::prefetch)
+                             : (m.want_ex ? ev::miss_ex : ev::miss);
+    events_->complete(name, track_, m.alloc_at, now);
+  }
+  m.valid = false;
 }
 
 std::size_t CoherentCache::mshrs_in_use() const {
@@ -190,6 +212,7 @@ ProbeResult CoherentCache::probe(const CacheRequest& req, Cycle now) {
         if (way->prefetched) {
           way->prefetched = false;
           stats_.add(stat::prefetch_useful_hit);
+          stats_.sample(stat::prefetch_to_use, now - way->fill_at);
         }
         stats_.add(stat::load_hit);
         push_response(req.token, read_word(*way, req.addr), now + 1, true);
@@ -202,7 +225,7 @@ ProbeResult CoherentCache::probe(const CacheRequest& req, Cycle now) {
                                        RmwOp::kTestAndSet, 0, 0});
         return ProbeResult::kMerged;
       }
-      Mshr* m = alloc_mshr(line);
+      Mshr* m = alloc_mshr(line, now);
       if (m == nullptr) {
         stats_.add(stat::rejected_mshr_full);
         return ProbeResult::kRejected;
@@ -238,6 +261,7 @@ ProbeResult CoherentCache::probe(const CacheRequest& req, Cycle now) {
         if (way->prefetched) {
           way->prefetched = false;
           stats_.add(stat::prefetch_useful_hit);
+          stats_.sample(stat::prefetch_to_use, now - way->fill_at);
         }
         stats_.add(stat::store_hit);
         write_word(*way, req.addr, req.store_value);
@@ -252,7 +276,7 @@ ProbeResult CoherentCache::probe(const CacheRequest& req, Cycle now) {
                                        req.store_value, RmwOp::kTestAndSet, 0, 0});
         return ProbeResult::kMerged;
       }
-      Mshr* m = alloc_mshr(line);
+      Mshr* m = alloc_mshr(line, now);
       if (m == nullptr) {
         stats_.add(stat::rejected_mshr_full);
         return ProbeResult::kRejected;
@@ -282,7 +306,7 @@ ProbeResult CoherentCache::probe(const CacheRequest& req, Cycle now) {
                                        RmwOp::kTestAndSet, 0, 0});
         return ProbeResult::kMerged;
       }
-      Mshr* m = alloc_mshr(line);
+      Mshr* m = alloc_mshr(line, now);
       if (m == nullptr) {
         stats_.add(stat::rejected_mshr_full);
         return ProbeResult::kRejected;
@@ -314,6 +338,7 @@ ProbeResult CoherentCache::probe(const CacheRequest& req, Cycle now) {
         if (way->prefetched) {
           way->prefetched = false;
           stats_.add(stat::prefetch_useful_hit);
+          stats_.sample(stat::prefetch_to_use, now - way->fill_at);
         }
         stats_.add(stat::rmw_hit);
         Word old = read_word(*way, req.addr);
@@ -329,7 +354,7 @@ ProbeResult CoherentCache::probe(const CacheRequest& req, Cycle now) {
                                        req.rmw_cmp, req.rmw_src});
         return ProbeResult::kMerged;
       }
-      Mshr* m = alloc_mshr(line);
+      Mshr* m = alloc_mshr(line, now);
       if (m == nullptr) {
         stats_.add(stat::rejected_mshr_full);
         return ProbeResult::kRejected;
@@ -349,7 +374,7 @@ ProbeResult CoherentCache::probe(const CacheRequest& req, Cycle now) {
         stats_.add(stat::prefetch_dropped);
         return ProbeResult::kDropped;
       }
-      Mshr* m = alloc_mshr(line);
+      Mshr* m = alloc_mshr(line, now);
       if (m == nullptr) {
         stats_.add(stat::rejected_mshr_full);
         return ProbeResult::kRejected;
@@ -377,7 +402,7 @@ ProbeResult CoherentCache::probe(const CacheRequest& req, Cycle now) {
         stats_.add(stat::prefetch_dropped);
         return ProbeResult::kDropped;
       }
-      Mshr* m = alloc_mshr(line);
+      Mshr* m = alloc_mshr(line, now);
       if (m == nullptr) {
         stats_.add(stat::rejected_mshr_full);
         return ProbeResult::kRejected;
@@ -443,6 +468,7 @@ CoherentCache::Way* CoherentCache::fill_line(Addr line, LineState st,
       way.state = st;
       way.data = data;
       way.last_use = now;
+      way.fill_at = now;
       return &way;
     }
   }
@@ -468,6 +494,7 @@ CoherentCache::Way* CoherentCache::fill_line(Addr line, LineState st,
   victim->line = line;
   victim->data = data;
   victim->last_use = now;
+  victim->fill_at = now;
   victim->prefetched = false;
   return victim;
 }
@@ -499,7 +526,7 @@ void CoherentCache::handle_message(const Message& msg, Cycle now) {
         net_.send(make_request(MsgType::kReadExReq, id_, dir_, msg.line_addr), now);
       } else {
         if (m->prefetch_initiated) way->prefetched = true;
-        m->valid = false;
+        close_mshr(*m, now);
       }
       break;
     }
@@ -536,7 +563,7 @@ void CoherentCache::handle_message(const Message& msg, Cycle now) {
       }
       if (m->prefetch_initiated && m->waiters.empty()) way->prefetched = true;
       m->waiters.clear();
-      m->valid = false;
+      close_mshr(*m, now);
       break;
     }
 
@@ -646,6 +673,35 @@ std::optional<Word> CoherentCache::peek_word(Addr a) const {
 bool CoherentCache::idle() const {
   if (!responses_.empty() || !retry_fills_.empty() || !word_ops_.empty()) return false;
   return mshrs_in_use() == 0;
+}
+
+Json CoherentCache::snapshot_json() const {
+  Json out = Json::object();
+  Json mshrs = Json::array();
+  for (const Mshr& m : mshrs_) {
+    if (!m.valid) continue;
+    Json j = Json::object();
+    j.set("line", Json::number(static_cast<std::uint64_t>(m.line)));
+    j.set("want_ex", Json::boolean(m.want_ex));
+    j.set("upgrade_after_fill", Json::boolean(m.upgrade_after_fill));
+    j.set("prefetch_initiated", Json::boolean(m.prefetch_initiated));
+    j.set("alloc_at", Json::number(static_cast<std::uint64_t>(m.alloc_at)));
+    j.set("waiters", Json::number(static_cast<std::uint64_t>(m.waiters.size())));
+    mshrs.push_back(std::move(j));
+  }
+  out.set("mshrs", std::move(mshrs));
+  Json wops = Json::array();
+  for (const auto& [txn, op] : word_ops_) {
+    Json j = Json::object();
+    j.set("txn", Json::number(txn));
+    j.set("rmw", Json::boolean(op.is_rmw));
+    j.set("addr", Json::number(static_cast<std::uint64_t>(op.word_addr)));
+    wops.push_back(std::move(j));
+  }
+  out.set("word_ops", std::move(wops));
+  out.set("pending_responses", Json::number(static_cast<std::uint64_t>(responses_.size())));
+  out.set("retry_fills", Json::number(static_cast<std::uint64_t>(retry_fills_.size())));
+  return out;
 }
 
 }  // namespace mcsim

@@ -20,7 +20,9 @@
 #include <vector>
 
 #include "common/config.hpp"
+#include "common/json.hpp"
 #include "common/stats.hpp"
+#include "common/trace_event.hpp"
 #include "common/types.hpp"
 #include "coherence/types.hpp"
 #include "interconnect/network.hpp"
@@ -37,6 +39,12 @@ class CoherentCache {
 
   /// Processor-side listener for coherence transactions (spec-load buffer).
   void set_observer(LineEventObserver* obs) { observer_ = obs; }
+
+  /// Timeline sink for miss-duration events, rendered on `track`.
+  void set_event_sink(TraceEventSink* sink, std::uint16_t track) {
+    events_ = sink;
+    track_ = track;
+  }
 
   Addr line_of(Addr a) const { return a & ~static_cast<Addr>(cfg_.line_bytes - 1); }
 
@@ -86,6 +94,9 @@ class CoherentCache {
     }
   }
 
+  /// Outstanding MSHRs and word ops, for deadlock post-mortems.
+  Json snapshot_json() const;
+
   const StatSet& stats() const { return stats_; }
   StatSet& stats() { return stats_; }
 
@@ -95,6 +106,7 @@ class CoherentCache {
     Addr line = 0;
     std::vector<Word> data;
     Cycle last_use = 0;
+    Cycle fill_at = 0;        ///< when the current contents were installed
     bool prefetched = false;  ///< filled by a prefetch, no demand use yet
   };
 
@@ -114,6 +126,7 @@ class CoherentCache {
     bool want_ex = false;           ///< outstanding request is read-exclusive
     bool upgrade_after_fill = false;///< issue ReadExReq once the read fill lands
     bool prefetch_initiated = false;
+    Cycle alloc_at = 0;             ///< miss start, for duration events
     std::vector<Waiter> waiters;
   };
 
@@ -134,7 +147,8 @@ class CoherentCache {
   const Way* find_way(Addr line) const;
   Mshr* find_mshr(Addr line);
   const Mshr* find_mshr(Addr line) const;
-  Mshr* alloc_mshr(Addr line);
+  Mshr* alloc_mshr(Addr line, Cycle now);
+  void close_mshr(Mshr& m, Cycle now);
 
   void use_port(Cycle now);
   void push_response(std::uint64_t token, Word value, Cycle ready, bool hit);
@@ -156,6 +170,8 @@ class CoherentCache {
   Network& net_;
   EndpointId dir_;
   LineEventObserver* observer_ = nullptr;
+  TraceEventSink* events_ = nullptr;
+  std::uint16_t track_ = 0;
 
   std::vector<std::vector<Way>> sets_;
   std::vector<Mshr> mshrs_;

@@ -23,6 +23,23 @@ StatId recv(MsgType t) {
   return ids[static_cast<std::size_t>(t)];
 }
 }  // namespace stat
+
+const char* txn_kind_name(int kind) {
+  static const char* const names[] = {"gather-inv-acks", "recall-for-read",
+                                      "recall-for-ex", "gather-update-acks"};
+  return names[kind];
+}
+
+/// Trace-event name per transaction kind, interned on first use.
+TraceEventSink::NameId txn_event_name(int kind) {
+  static const TraceEventSink::NameId ids[] = {
+      TraceEventSink::name_id("gather-inv-acks"),
+      TraceEventSink::name_id("recall-for-read"),
+      TraceEventSink::name_id("recall-for-ex"),
+      TraceEventSink::name_id("gather-update-acks"),
+  };
+  return ids[kind];
+}
 }  // namespace
 
 Directory::Directory(std::uint32_t num_procs, const CacheConfig& cache_cfg,
@@ -173,6 +190,7 @@ void Directory::handle_request(const Message& msg, Cycle now) {
           Txn txn;
           txn.kind = Txn::Kind::kRecallForRead;
           txn.request = msg;
+          txn.started_at = now;
           busy_.emplace(line, std::move(txn));
           Message recall;
           recall.type = MsgType::kRecall;
@@ -201,6 +219,7 @@ void Directory::handle_request(const Message& msg, Cycle now) {
           Txn txn;
           txn.kind = Txn::Kind::kGatherInvAcks;
           txn.request = msg;
+          txn.started_at = now;
           for (ProcId p = 0; p < num_procs_; ++p) {
             if ((others >> p) & 1ull) {
               ++txn.acks_left;
@@ -225,6 +244,7 @@ void Directory::handle_request(const Message& msg, Cycle now) {
           Txn txn;
           txn.kind = Txn::Kind::kRecallForEx;
           txn.request = msg;
+          txn.started_at = now;
           busy_.emplace(line, std::move(txn));
           Message recall;
           recall.type = MsgType::kRecall;
@@ -283,6 +303,7 @@ void Directory::handle_request(const Message& msg, Cycle now) {
       Txn txn;
       txn.kind = Txn::Kind::kGatherUpdateAcks;
       txn.request = msg;
+      txn.started_at = now;
       for (ProcId p = 0; p < num_procs_; ++p) {
         if ((others >> p) & 1ull) {
           ++txn.acks_left;
@@ -322,6 +343,7 @@ void Directory::handle_request(const Message& msg, Cycle now) {
       Txn txn;
       txn.kind = Txn::Kind::kGatherUpdateAcks;
       txn.request = msg;
+      txn.started_at = now;
       txn.request.word_value = old;  // remembered for the final reply
       for (ProcId p = 0; p < num_procs_; ++p) {
         if ((others >> p) & 1ull) {
@@ -351,6 +373,11 @@ void Directory::finish_txn(Addr line, Cycle now) {
   assert(it != busy_.end());
   Txn txn = std::move(it->second);
   busy_.erase(it);
+
+  if (events_ != nullptr && events_->enabled()) {
+    events_->complete(txn_event_name(static_cast<int>(txn.kind)), track_,
+                      txn.started_at, now);
+  }
 
   Entry& e = entry(line);
   switch (txn.kind) {
@@ -397,6 +424,21 @@ void Directory::finish_txn(Addr line, Cycle now) {
       handle_request(txn.deferred[i], now);
     }
   }
+}
+
+Json Directory::snapshot_json() const {
+  Json out = Json::array();
+  for (const auto& [line, txn] : busy_) {
+    Json j = Json::object();
+    j.set("line", Json::number(static_cast<std::uint64_t>(line)));
+    j.set("kind", Json::string(txn_kind_name(static_cast<int>(txn.kind))));
+    j.set("requester", Json::number(static_cast<std::uint64_t>(txn.request.src)));
+    j.set("acks_left", Json::number(static_cast<std::uint64_t>(txn.acks_left)));
+    j.set("started_at", Json::number(static_cast<std::uint64_t>(txn.started_at)));
+    j.set("deferred", Json::number(static_cast<std::uint64_t>(txn.deferred.size())));
+    out.push_back(std::move(j));
+  }
+  return out;
 }
 
 }  // namespace mcsim

@@ -21,7 +21,9 @@
 
 #include "common/config.hpp"
 #include "common/flat_memory.hpp"
+#include "common/json.hpp"
 #include "common/stats.hpp"
+#include "common/trace_event.hpp"
 #include "common/types.hpp"
 #include "interconnect/network.hpp"
 
@@ -39,6 +41,15 @@ class Directory {
   const FlatMemory& memory() const { return mem_; }
 
   bool idle() const { return busy_.empty(); }
+
+  /// Timeline sink for transaction-duration events, rendered on `track`.
+  void set_event_sink(TraceEventSink* sink, std::uint16_t track) {
+    events_ = sink;
+    track_ = track;
+  }
+
+  /// In-flight transactions, for deadlock post-mortems.
+  Json snapshot_json() const;
 
   const StatSet& stats() const { return stats_; }
   StatSet& stats() { return stats_; }
@@ -73,6 +84,7 @@ class Directory {
     Kind kind = Kind::kGatherInvAcks;
     Message request;           ///< the original requester message
     std::uint32_t acks_left = 0;
+    Cycle started_at = 0;      ///< for transaction-duration trace events
     std::deque<Message> deferred;  ///< requests that arrived while busy
   };
 
@@ -99,6 +111,8 @@ class Directory {
   // reserved up front so the per-message hot path does not rehash.
   std::unordered_map<Addr, Entry> entries_;
   std::unordered_map<Addr, Txn> busy_;
+  TraceEventSink* events_ = nullptr;
+  std::uint16_t track_ = 0;
   StatSet stats_;
 };
 

@@ -1,8 +1,34 @@
 #include "common/log.hpp"
 
+#include <cctype>
+#include <cstdlib>
+#include <string>
+
 namespace mcsim {
 
-LogLevel Log::level_ = LogLevel::kOff;
+namespace {
+
+// Startup verbosity from the environment, so a sweep can be re-run
+// loudly without recompiling: MCSIM_LOG_LEVEL=off|info|debug|trace
+// (case-insensitive; the numerals 0-3 work too).
+LogLevel level_from_env() {
+  const char* env = std::getenv("MCSIM_LOG_LEVEL");
+  if (env == nullptr || *env == '\0') return LogLevel::kOff;
+  std::string v;
+  for (const char* p = env; *p != '\0'; ++p) {
+    v += static_cast<char>(std::tolower(static_cast<unsigned char>(*p)));
+  }
+  if (v == "off" || v == "0") return LogLevel::kOff;
+  if (v == "info" || v == "1") return LogLevel::kInfo;
+  if (v == "debug" || v == "2") return LogLevel::kDebug;
+  if (v == "trace" || v == "3") return LogLevel::kTrace;
+  std::fprintf(stderr, "mcsim: ignoring unknown MCSIM_LOG_LEVEL=%s\n", env);
+  return LogLevel::kOff;
+}
+
+}  // namespace
+
+LogLevel Log::level_ = level_from_env();
 
 void Log::write(LogLevel l, Cycle cycle, const char* component, const std::string& msg) {
   const char* tag = l == LogLevel::kInfo ? "I" : l == LogLevel::kDebug ? "D" : "T";

@@ -55,25 +55,33 @@ std::size_t StatNames::count() {
 }
 
 void StatSet::sample(StatId id, std::uint64_t value) {
-  Sample& s = sample_slot(id);
-  s.sum += value;
-  s.count += 1;
-  s.max = std::max(s.max, value);
+  sample_slot(id).record(value);
 }
 
 double StatSet::mean(StatId id) const {
-  if (id.value() >= samples_.size()) return 0.0;
-  const Sample& s = samples_[id.value()];
-  if (s.count == 0) return 0.0;
-  return static_cast<double>(s.sum) / static_cast<double>(s.count);
+  const LogHistogram* h = histogram(id);
+  return h != nullptr ? h->mean() : 0.0;
 }
 
 std::uint64_t StatSet::max_of(StatId id) const {
-  return id.value() < samples_.size() ? samples_[id.value()].max : 0;
+  const LogHistogram* h = histogram(id);
+  return h != nullptr ? h->max() : 0;
 }
 
 std::uint64_t StatSet::count_of(StatId id) const {
-  return id.value() < samples_.size() ? samples_[id.value()].count : 0;
+  const LogHistogram* h = histogram(id);
+  return h != nullptr ? h->count() : 0;
+}
+
+std::uint64_t StatSet::percentile_of(StatId id, double q) const {
+  const LogHistogram* h = histogram(id);
+  return h != nullptr ? h->percentile(q) : 0;
+}
+
+const LogHistogram* StatSet::histogram(StatId id) const {
+  if (id.value() >= samples_.size()) return nullptr;
+  const LogHistogram& h = samples_[id.value()];
+  return h.count() > 0 ? &h : nullptr;
 }
 
 std::map<std::string, std::uint64_t> StatSet::counters() const {
@@ -89,14 +97,14 @@ std::string StatSet::report() const {
   for (const auto& [name, value] : counters()) {
     os << prefix_ << '.' << name << ' ' << value << '\n';
   }
-  std::map<std::string, Sample> samples;
+  std::map<std::string, const LogHistogram*> samples;
   for (std::uint32_t i = 0; i < samples_.size(); ++i) {
-    if (samples_[i].count > 0) samples.emplace(StatNames::name(StatId(i)), samples_[i]);
+    if (samples_[i].count() > 0) samples.emplace(StatNames::name(StatId(i)), &samples_[i]);
   }
-  for (const auto& [name, s] : samples) {
-    os << prefix_ << '.' << name << ".mean "
-       << (s.count ? static_cast<double>(s.sum) / static_cast<double>(s.count) : 0.0)
-       << " (n=" << s.count << ", max=" << s.max << ")\n";
+  for (const auto& [name, h] : samples) {
+    os << prefix_ << '.' << name << ".mean " << h->mean() << " (n=" << h->count()
+       << ", p50=" << h->p50() << ", p90=" << h->p90() << ", p99=" << h->p99()
+       << ", max=" << h->max() << ")\n";
   }
   return os.str();
 }

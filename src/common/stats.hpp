@@ -15,6 +15,8 @@
 #include <string_view>
 #include <vector>
 
+#include "common/histogram.hpp"
+
 namespace mcsim {
 
 /// Interned statistic name: a process-wide dense integer.
@@ -52,8 +54,11 @@ class StatNames {
 class StatSet {
  public:
   explicit StatSet(std::string prefix) : prefix_(std::move(prefix)) {
-    counters_.reserve(StatNames::count());
-    samples_.reserve(StatNames::count());
+    // Pre-size to every name interned so far (components intern at
+    // static init, well before any StatSet exists), so the steady-state
+    // add(StatId) below never takes the resize branch. Histogram slots
+    // stay lazy — they are ~40x bigger and most ids are pure counters.
+    counters_.resize(StatNames::count());
   }
 
   // --- hot path: pre-interned handles --------------------------------
@@ -71,12 +76,15 @@ class StatSet {
     return id.value() < counters_.size() ? counters_[id.value()].value : 0;
   }
 
-  /// Record one latency observation (kept as sum + count + max for
-  /// cheap mean/max reporting).
+  /// Record one latency observation into a log2-bucketed histogram
+  /// (exact mean/count/max plus p50/p90/p99 estimates).
   void sample(StatId id, std::uint64_t value);
   double mean(StatId id) const;
   std::uint64_t max_of(StatId id) const;
   std::uint64_t count_of(StatId id) const;
+  std::uint64_t percentile_of(StatId id, double q) const;
+  /// The full histogram behind a sampled id; nullptr if never sampled.
+  const LogHistogram* histogram(StatId id) const;
 
   // --- cold path: string keys (interned per call) --------------------
   void add(const std::string& name, std::uint64_t delta = 1) {
@@ -96,6 +104,12 @@ class StatSet {
   std::uint64_t count_of(const std::string& name) const {
     return count_of(StatNames::intern(name));
   }
+  std::uint64_t percentile_of(const std::string& name, double q) const {
+    return percentile_of(StatNames::intern(name), q);
+  }
+  const LogHistogram* histogram(const std::string& name) const {
+    return histogram(StatNames::intern(name));
+  }
 
   const std::string& prefix() const { return prefix_; }
 
@@ -106,33 +120,33 @@ class StatSet {
   std::string report() const;
 
   void clear() {
-    counters_.clear();
+    counters_.assign(counters_.size(), Counter{});  // keep the pre-sizing
     samples_.clear();
   }
+
+  /// Allocated counter slots (pre-sizing introspection for tests/benches).
+  std::size_t counter_slots() const { return counters_.size(); }
 
  private:
   struct Counter {
     std::uint64_t value = 0;
     bool touched = false;  ///< add/set seen; untouched slots stay out of reports
   };
-  struct Sample {
-    std::uint64_t sum = 0;
-    std::uint64_t count = 0;
-    std::uint64_t max = 0;
-  };
 
   Counter& counter_slot(StatId id) {
+    // Growth branch kept only for names interned AFTER this set was
+    // constructed (string-keyed one-offs); pre-interned ids never hit it.
     if (id.value() >= counters_.size()) counters_.resize(id.value() + 1);
     return counters_[id.value()];
   }
-  Sample& sample_slot(StatId id) {
+  LogHistogram& sample_slot(StatId id) {
     if (id.value() >= samples_.size()) samples_.resize(id.value() + 1);
     return samples_[id.value()];
   }
 
   std::string prefix_;
-  std::vector<Counter> counters_;  ///< indexed by StatId
-  std::vector<Sample> samples_;    ///< indexed by StatId; present iff count > 0
+  std::vector<Counter> counters_;      ///< indexed by StatId
+  std::vector<LogHistogram> samples_;  ///< indexed by StatId; present iff count > 0
 };
 
 }  // namespace mcsim

@@ -1,0 +1,42 @@
+#include "common/trace.hpp"
+
+#include <mutex>
+#include <unordered_map>
+
+namespace mcsim {
+
+namespace {
+
+// Machines run concurrently in sweep workers, and each first-use of a
+// category interns through here — mutex-protected like StatNames.
+struct CategoryTable {
+  std::mutex mu;
+  std::vector<std::string> names;
+  std::unordered_map<std::string, Trace::Category> ids;
+};
+
+CategoryTable& table() {
+  static CategoryTable t;
+  return t;
+}
+
+}  // namespace
+
+Trace::Category Trace::category(std::string_view name) {
+  CategoryTable& t = table();
+  std::lock_guard<std::mutex> lock(t.mu);
+  auto it = t.ids.find(std::string(name));
+  if (it != t.ids.end()) return it->second;
+  Category id = static_cast<Category>(t.names.size());
+  t.names.emplace_back(name);
+  t.ids.emplace(t.names.back(), id);
+  return id;
+}
+
+std::string Trace::category_name(Category c) {
+  CategoryTable& t = table();
+  std::lock_guard<std::mutex> lock(t.mu);
+  return c < t.names.size() ? t.names[c] : std::string("<invalid>");
+}
+
+}  // namespace mcsim

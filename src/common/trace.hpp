@@ -1,9 +1,15 @@
 // Structured execution trace used to reproduce the paper's Figure 5
 // (event-by-event contents of the reorder buffer, store buffer, and
 // speculative-load buffer). Disabled by default; zero cost when off.
+//
+// Categories are interned process-wide into small ids so logging an
+// event on a hot category costs one integer store, not a std::string
+// construction, and filtering compares integers instead of strings.
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/types.hpp"
@@ -12,31 +18,46 @@ namespace mcsim {
 
 class Trace {
  public:
+  /// Interned category handle; resolve once (static local) per call site.
+  using Category = std::uint16_t;
+
+  /// Intern a category name process-wide (thread-safe, cold).
+  static Category category(std::string_view name);
+  static std::string category_name(Category c);
+
   struct Event {
     Cycle cycle = 0;
     ProcId proc = 0;
-    std::string category;  ///< e.g. "slb", "sb", "rob", "squash", "coherence"
+    Category category = 0;  ///< e.g. category("slb"), category("squash")
     std::string text;
   };
 
   void enable(bool on = true) { enabled_ = on; }
   bool enabled() const { return enabled_; }
 
-  void log(Cycle cycle, ProcId proc, std::string category, std::string text) {
+  void log(Cycle cycle, ProcId proc, Category category, std::string text) {
     if (!enabled_) return;
-    events_.push_back(Event{cycle, proc, std::move(category), std::move(text)});
+    events_.push_back(Event{cycle, proc, category, std::move(text)});
+  }
+  void log(Cycle cycle, ProcId proc, std::string_view category_name, std::string text) {
+    if (!enabled_) return;  // don't intern on disabled traces
+    log(cycle, proc, category(category_name), std::move(text));
   }
 
   const std::vector<Event>& events() const { return events_; }
   void clear() { events_.clear(); }
 
-  /// All events in `category`, in order.
-  std::vector<Event> filter(const std::string& category) const {
-    std::vector<Event> out;
-    for (const Event& e : events_) {
-      if (e.category == category) out.push_back(e);
+  /// Indices into events() of all events in `category`, in order.
+  /// Index-based so filtering never copies event payload strings.
+  std::vector<std::size_t> filter(Category category) const {
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < events_.size(); ++i) {
+      if (events_[i].category == category) out.push_back(i);
     }
     return out;
+  }
+  std::vector<std::size_t> filter(std::string_view category_name) const {
+    return filter(category(category_name));
   }
 
  private:

@@ -1,0 +1,83 @@
+// Chrome trace-event sink: an opt-in timeline of duration/instant
+// events loadable in Perfetto or chrome://tracing ("Load legacy trace").
+//
+// Recording is allocation-light by construction: event names are
+// interned process-wide into 16-bit ids (cold, at static init or first
+// use), a stored event is 24 bytes with no strings, and every emission
+// site is guarded by enabled() so a disabled sink costs one branch.
+// Strings are only materialised at export time (to_json/write).
+//
+// Track convention (set up by Machine): tid 0..P-1 are cores, P..2P-1
+// their private caches, 2P the directory. Cycles are written 1:1 as
+// microseconds — Perfetto has no "cycles" unit, and 1 cycle == 1 us
+// keeps the timeline readable and exact.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/types.hpp"
+
+namespace mcsim {
+
+class TraceEventSink {
+ public:
+  using NameId = std::uint16_t;
+
+  /// Intern an event name process-wide (thread-safe, cold). Ids are
+  /// stable for the process lifetime, so call sites cache them in
+  /// static locals.
+  static NameId name_id(std::string_view name);
+  static std::string name_of(NameId id);
+
+  void enable(bool on = true) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  /// Name a track (Chrome "thread"); shown as the row label.
+  void set_track(std::uint16_t track, std::string name);
+
+  /// Complete ("X") event spanning [start, end] cycles. No-op when
+  /// disabled or when the span is empty.
+  void complete(NameId name, std::uint16_t track, Cycle start, Cycle end) {
+    if (!enabled_ || end <= start) return;
+    events_.push_back(Event{start, end - start, name, track, kPhaseComplete});
+  }
+  /// Instant ("i") event at `ts` cycles.
+  void instant(NameId name, std::uint16_t track, Cycle ts) {
+    if (!enabled_) return;
+    events_.push_back(Event{ts, 0, name, track, kPhaseInstant});
+  }
+
+  /// Recorded timeline events (excludes track-name metadata).
+  std::size_t event_count() const { return events_.size(); }
+
+  /// Chrome trace JSON: {"traceEvents": [...]} — metadata first, then
+  /// timeline events sorted by start timestamp.
+  Json to_json() const;
+
+  /// Serialize to_json() to `path`. Returns false on I/O failure.
+  bool write(const std::string& path) const;
+
+  void clear() { events_.clear(); }
+
+ private:
+  static constexpr std::uint8_t kPhaseComplete = 0;
+  static constexpr std::uint8_t kPhaseInstant = 1;
+
+  struct Event {
+    Cycle ts;
+    Cycle dur;
+    NameId name;
+    std::uint16_t track;
+    std::uint8_t phase;
+  };
+
+  bool enabled_ = false;
+  std::vector<Event> events_;
+  std::vector<std::string> track_names_;  ///< indexed by track id; may have gaps
+};
+
+}  // namespace mcsim

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/fixed_queue.hpp"
+#include "common/json.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "coherence/types.hpp"
@@ -85,6 +86,22 @@ class SpecLoadBuffer {
   /// Figure-5 style rendering: one "acq done st_tag addr" row per entry,
   /// head first.
   std::string dump() const;
+
+  /// Structured rendering for deadlock post-mortems, head first.
+  Json snapshot_json() const {
+    Json arr = Json::array();
+    for_each([&arr](const Entry& e) {
+      Json j = Json::object();
+      j.set("seq", Json::number(e.seq));
+      j.set("addr", Json::number(static_cast<std::uint64_t>(e.addr)));
+      j.set("acq", Json::boolean(e.acq));
+      j.set("done", Json::boolean(e.done));
+      if (e.store_tag != kNoTag) j.set("store_tag", Json::number(e.store_tag));
+      if (e.is_rmw_read) j.set("rmw_read", Json::boolean(true));
+      arr.push_back(std::move(j));
+    });
+    return arr;
+  }
 
   template <typename Fn>
   void for_each(Fn&& fn) const {

@@ -17,6 +17,25 @@ const StatId rmw_value_mispredicts = StatNames::intern("rmw_value_mispredicts");
 const StatId squashed_instructions = StatNames::intern("squashed_instructions");
 const StatId squashes = StatNames::intern("squashes");
 }  // namespace stat
+
+namespace cat {
+const Trace::Category squash = Trace::category("squash");
+}  // namespace cat
+
+// Trace-event names for stall episodes, one per cause, interned once.
+TraceEventSink::NameId stall_event_name(StallCause c) {
+  static const std::array<TraceEventSink::NameId, kNumStallCauses> ids = [] {
+    std::array<TraceEventSink::NameId, kNumStallCauses> a{};
+    for (std::size_t i = 0; i < kNumStallCauses; ++i) {
+      a[i] = TraceEventSink::name_id(std::string("stall:") +
+                                     to_string(static_cast<StallCause>(i)));
+    }
+    return a;
+  }();
+  return ids[static_cast<std::size_t>(c)];
+}
+
+const TraceEventSink::NameId ev_squash = TraceEventSink::name_id("squash");
 }  // namespace
 
 namespace {
@@ -31,13 +50,14 @@ SystemConfig resolve_for(const SystemConfig& cfg, ProcId id) {
 }  // namespace
 
 Core::Core(ProcId id, const SystemConfig& cfg, const Program& program,
-           CoherentCache& cache, Trace* trace)
+           CoherentCache& cache, Trace* trace, TraceEventSink* events)
     : id_(id),
       cfg_(resolve_for(cfg, id)),
       program_(program),
       trace_(trace),
+      events_(events),
       predictor_(cfg_.core.btb_entries),
-      lsu_(id, cfg_, cache, *this, trace),
+      lsu_(id, cfg_, cache, *this, trace, events),
       stats_("core" + std::to_string(id)) {
   rename_.fill(kNoProducer);
   cache.set_observer(this);
@@ -86,6 +106,7 @@ void Core::broadcast(std::uint64_t seq, Word value) {
 }
 
 void Core::tick(Cycle now) {
+  const std::uint64_t retired_before = retired_;
   lsu_.drain_responses(now);
   lsu_.retire_spec_entries(now);
   lsu_.tick_addr_unit(now);
@@ -94,6 +115,50 @@ void Core::tick(Cycle now) {
   do_dispatch(now);
   lsu_.tick_issue(now);
   do_fetch(now);
+  account_cycle(retired_ != retired_before, now);
+}
+
+void Core::account_cycle(bool retired_any, Cycle now) {
+  const StallCause c = retired_any ? StallCause::kBusy : classify_stall();
+  ++stall_[static_cast<std::size_t>(c)];
+  if (events_ != nullptr && events_->enabled() && c != episode_cause_) {
+    flush_stall_episode(now);
+    episode_cause_ = c;
+    episode_start_ = now;
+  }
+}
+
+void Core::flush_stall_episode(Cycle now) {
+  if (events_ == nullptr || !events_->enabled()) return;
+  // Busy and idle stretches are the baseline, not anomalies; emitting
+  // them would drown the interesting episodes in the viewer.
+  if (episode_cause_ != StallCause::kBusy && episode_cause_ != StallCause::kIdle) {
+    events_->complete(stall_event_name(episode_cause_),
+                      static_cast<std::uint16_t>(id_), episode_start_, now);
+  }
+}
+
+StallCause Core::classify_stall() const {
+  if (rob_.empty()) {
+    if (halted_) return lsu_.empty() ? StallCause::kIdle : lsu_.classify_drain();
+    return StallCause::kFrontend;  // fetch/dispatch starved the window
+  }
+  const RobEntry& e = rob_.front();
+  const Instruction& in = e.inst;
+  if (in.op == Opcode::kHalt) return StallCause::kExec;  // commit width exhausted
+  if (in.is_rmw() || in.is_store()) {
+    if (!e.released) return lsu_.classify_rs_block(e.seq);
+    if (!e.performed) return lsu_.classify_store_wait(e.seq);
+    return StallCause::kSpeculation;  // performed; SLB entry keeps it squashable
+  }
+  if (in.is_load()) {
+    if (!e.value_ready) return lsu_.classify_load_wait(e.seq);
+    return StallCause::kSpeculation;  // value bound; SLB entry still live
+  }
+  if (in.is_branch()) return StallCause::kExec;
+  if (in.is_fence()) return StallCause::kConsistency;
+  if (in.is_sw_prefetch()) return lsu_.classify_rs_block(e.seq);
+  return StallCause::kExec;  // ALU/nop waiting on operands or the ALU ports
 }
 
 void Core::do_commit(Cycle now) {
@@ -116,7 +181,7 @@ void Core::do_commit(Cycle now) {
     if (in.is_rmw()) {
       if (!e.released) {
         if (!lsu_.store_in_buffer(e.seq)) break;  // address not translated
-        lsu_.release_store(e.seq);
+        lsu_.release_store(e.seq, now);
         e.released = true;
       }
       if (!e.performed) break;
@@ -131,7 +196,7 @@ void Core::do_commit(Cycle now) {
     if (in.is_store()) {
       if (!e.released) {
         if (!lsu_.store_in_buffer(e.seq)) break;
-        lsu_.release_store(e.seq);
+        lsu_.release_store(e.seq, now);
         e.released = true;
       }
       // SC keeps the store at the head until it performs, so the store
@@ -304,8 +369,10 @@ void Core::squash_from(std::uint64_t seq, std::size_t refetch_pc, Cycle now,
   }
   stats_.add(stat::squashes);
   stats_.add(stat::squashed_instructions, dropped);
-  if (trace_)
-    trace_->log(now, id_, "squash",
+  if (events_ != nullptr && events_->enabled())
+    events_->instant(ev_squash, static_cast<std::uint16_t>(id_), now);
+  if (trace_ != nullptr && trace_->enabled())
+    trace_->log(now, id_, cat::squash,
                 std::string(why) + " from seq=" + std::to_string(seq) + " refetch pc=" +
                     std::to_string(refetch_pc) + " dropped=" + std::to_string(dropped));
 }
@@ -369,6 +436,34 @@ void Core::request_squash_refetch(std::uint64_t seq, Cycle now, const char* reas
 
 void Core::on_line_event(LineEventKind kind, Addr line, Cycle now) {
   lsu_.on_line_event(kind, line, now);
+}
+
+Json Core::snapshot_json() const {
+  Json out = Json::object();
+  out.set("proc", Json::number(static_cast<std::uint64_t>(id_)));
+  out.set("halted", Json::boolean(halted_));
+  out.set("retired", Json::number(retired_));
+  if (!rob_.empty()) {
+    out.set("stalled_on", Json::string(to_string(classify_stall())));
+  }
+  Json rob = Json::array();
+  for (const RobEntry& e : rob_) {
+    Json j = Json::object();
+    j.set("seq", Json::number(e.seq));
+    j.set("pc", Json::number(static_cast<std::uint64_t>(e.pc)));
+    j.set("inst", Json::string(disassemble(e.inst)));
+    std::string flags;
+    if (e.executed) flags += 'E';
+    if (e.value_ready) flags += 'V';
+    if (e.performed) flags += 'P';
+    if (e.released) flags += 'R';
+    if (e.spec_value) flags += 'S';
+    j.set("flags", Json::string(flags));
+    rob.push_back(std::move(j));
+  }
+  out.set("rob", std::move(rob));
+  out.set("lsu", lsu_.snapshot_json());
+  return out;
 }
 
 std::string Core::rob_dump() const {

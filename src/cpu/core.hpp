@@ -18,8 +18,11 @@
 #include <string>
 
 #include "common/config.hpp"
+#include "common/json.hpp"
+#include "common/stall.hpp"
 #include "common/stats.hpp"
 #include "common/trace.hpp"
+#include "common/trace_event.hpp"
 #include "common/types.hpp"
 #include "coherence/cache.hpp"
 #include "cpu/branch_predictor.hpp"
@@ -32,7 +35,7 @@ namespace mcsim {
 class Core : public LsuHost, public LineEventObserver {
  public:
   Core(ProcId id, const SystemConfig& cfg, const Program& program, CoherentCache& cache,
-       Trace* trace);
+       Trace* trace, TraceEventSink* events = nullptr);
 
   /// Advance one cycle. The cache must have ticked already.
   void tick(Cycle now);
@@ -58,6 +61,17 @@ class Core : public LsuHost, public LineEventObserver {
 
   /// Figure-5 rendering of the reorder buffer, head first.
   std::string rob_dump() const;
+
+  /// Per-cause cycle counts; kBusy counts retiring cycles, so the
+  /// entries sum to exactly the number of tick() calls.
+  const StallBreakdown& stall_cycles() const { return stall_; }
+
+  /// Close the open stall episode at end-of-run so its duration event
+  /// reaches the trace. Safe to call when tracing is off.
+  void flush_stall_episode(Cycle now);
+
+  /// Structured ROB + LSU state for deadlock post-mortems.
+  Json snapshot_json() const;
 
   const StatSet& stats() const { return stats_; }
   StatSet& stats() { return stats_; }
@@ -86,6 +100,9 @@ class Core : public LsuHost, public LineEventObserver {
   void do_execute(Cycle now);
   void do_dispatch(Cycle now);
   void do_fetch(Cycle now);
+  /// Why is the ROB head not retiring this cycle? (const; no side effects)
+  StallCause classify_stall() const;
+  void account_cycle(bool retired_any, Cycle now);
   void squash_from(std::uint64_t seq, std::size_t refetch_pc, Cycle now, const char* why);
 
   RobEntry* rob_find(std::uint64_t seq);
@@ -99,6 +116,7 @@ class Core : public LsuHost, public LineEventObserver {
   SystemConfig cfg_;
   const Program& program_;
   Trace* trace_;
+  TraceEventSink* events_;
 
   std::deque<RobEntry> rob_;
   std::array<Word, kNumArchRegs> regfile_{};
@@ -118,6 +136,10 @@ class Core : public LsuHost, public LineEventObserver {
 
   std::uint64_t next_seq_ = 1;
   std::uint64_t retired_ = 0;
+
+  StallBreakdown stall_{};
+  StallCause episode_cause_ = StallCause::kBusy;
+  Cycle episode_start_ = 0;
 
   StatSet stats_;
 };

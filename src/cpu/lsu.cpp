@@ -31,16 +31,34 @@ const StatId spec_squash_rmw = StatNames::intern("spec_squash_rmw");
 const StatId store_gated = StatNames::intern("store_gated");
 const StatId store_issued = StatNames::intern("store_issued");
 const StatId store_latency = StatNames::intern("store_latency");
+const StatId store_release_latency = StatNames::intern("store_release_latency");
 }  // namespace stat
+
+// Trace categories and trace-event names likewise intern once; call
+// sites compare/pass integers so a disabled trace costs one branch.
+namespace cat {
+const Trace::Category sb = Trace::category("sb");
+const Trace::Category slb = Trace::category("slb");
+const Trace::Category lq = Trace::category("lq");
+const Trace::Category coherence = Trace::category("coherence");
+}  // namespace cat
+
+namespace ev {
+const TraceEventSink::NameId load = TraceEventSink::name_id("load");
+const TraceEventSink::NameId rmw_read = TraceEventSink::name_id("rmw-read");
+const TraceEventSink::NameId store = TraceEventSink::name_id("store");
+const TraceEventSink::NameId rmw = TraceEventSink::name_id("rmw");
+}  // namespace ev
 }  // namespace
 
 LoadStoreUnit::LoadStoreUnit(ProcId id, const SystemConfig& cfg, CoherentCache& cache,
-                             LsuHost& host, Trace* trace)
+                             LsuHost& host, Trace* trace, TraceEventSink* events)
     : id_(id),
       cfg_(cfg),
       cache_(cache),
       host_(host),
       trace_(trace),
+      events_(events),
       spec_buffer_(cfg.core.spec_load_buffer_entries),
       prefetch_(cfg.core.prefetch, cfg.mem.coherence, cfg.core.prefetch_buffer_entries),
       stats_("lsu" + std::to_string(id)) {
@@ -74,11 +92,13 @@ void LoadStoreUnit::on_producer_ready(std::uint64_t producer_seq, Word value) {
   }
 }
 
-void LoadStoreUnit::release_store(std::uint64_t seq) {
+void LoadStoreUnit::release_store(std::uint64_t seq, Cycle now) {
   StoreEntry* s = find_store(seq);
   assert(s != nullptr && "released store must have its address translated");
   s->released = true;
-  if (trace_) trace_->log(0, id_, "sb", "release seq=" + std::to_string(seq));
+  s->released_at = now;
+  if (trace_ != nullptr && trace_->enabled())
+    trace_->log(now, id_, cat::sb, "release seq=" + std::to_string(seq));
 }
 
 bool LoadStoreUnit::store_in_buffer(std::uint64_t seq) const {
@@ -91,6 +111,13 @@ bool LoadStoreUnit::load_retirable(std::uint64_t seq) const {
 
 LoadStoreUnit::LoadEntry* LoadStoreUnit::find_load(std::uint64_t seq) {
   for (LoadEntry& e : load_q_) {
+    if (e.seq == seq) return &e;
+  }
+  return nullptr;
+}
+
+const LoadStoreUnit::LoadEntry* LoadStoreUnit::find_load(std::uint64_t seq) const {
+  for (const LoadEntry& e : load_q_) {
     if (e.seq == seq) return &e;
   }
   return nullptr;
@@ -282,8 +309,8 @@ void LoadStoreUnit::insert_spec_entry(const LoadEntry& ld, Cycle now) {
   }
   spec_buffer_.insert(e);
   stats_.add(stat::spec_entries);
-  if (trace_)
-    trace_->log(now, id_, "slb",
+  if (trace_ != nullptr && trace_->enabled())
+    trace_->log(now, id_, cat::slb,
                 "insert seq=" + std::to_string(e.seq) + " addr=" + std::to_string(e.addr) +
                     " acq=" + (e.acq ? std::string("1") : std::string("0")));
 }
@@ -339,8 +366,8 @@ void LoadStoreUnit::issue_load(LoadEntry& ld, Cycle now) {
   ld.reissue = false;
   if (needs_entry) insert_spec_entry(ld, now);
   stats_.add(was_reissue ? stat::load_reissued : stat::load_issued);
-  if (trace_)
-    trace_->log(now, id_, "lq",
+  if (trace_ != nullptr && trace_->enabled())
+    trace_->log(now, id_, cat::lq,
                 std::string(was_reissue ? "reissue" : "issue") + " seq=" +
                     std::to_string(ld.seq) + " addr=" + std::to_string(ld.addr) +
                     (ld.is_rmw_read ? " rmw-read" : ""));
@@ -377,8 +404,8 @@ void LoadStoreUnit::issue_store(StoreEntry& st, Cycle now) {
       st.is_rmw ? TokenInfo::Kind::kRmw : TokenInfo::Kind::kStore, st.seq, 0};
   st.issued = true;
   stats_.add(st.is_rmw ? stat::rmw_issued : stat::store_issued);
-  if (trace_)
-    trace_->log(now, id_, "sb",
+  if (trace_ != nullptr && trace_->enabled())
+    trace_->log(now, id_, cat::sb,
                 "issue seq=" + std::to_string(st.seq) + " addr=" + std::to_string(st.addr));
 }
 
@@ -545,6 +572,8 @@ void LoadStoreUnit::drain_responses(Cycle now) {
         }
         record(info.seq, e->pc, e->addr, AccessKind::kLoad, e->sync, r.value, now);
         stats_.sample(stat::load_latency, now - e->ready_at);
+        if (events_ != nullptr && events_->enabled())
+          events_->complete(ev::load, static_cast<std::uint16_t>(id_), e->ready_at, now);
         erase_load(info.seq);
         spec_buffer_.mark_done(info.seq, r.value);
         host_.mem_completed(info.seq, r.value, now);
@@ -556,6 +585,8 @@ void LoadStoreUnit::drain_responses(Cycle now) {
           stats_.add(stat::response_dropped);
           break;
         }
+        if (events_ != nullptr && events_->enabled())
+          events_->complete(ev::rmw_read, static_cast<std::uint16_t>(id_), e->ready_at, now);
         erase_load(info.seq);
         spec_buffer_.mark_done(info.seq, r.value);
         host_.rmw_spec_value(info.seq, r.value, now);
@@ -566,11 +597,14 @@ void LoadStoreUnit::drain_responses(Cycle now) {
         assert(s != nullptr && "issued stores are never squashed");
         record(info.seq, s->pc, s->addr, AccessKind::kStore, s->sync, s->data.value, now);
         stats_.sample(stat::store_latency, now - s->ready_at);
+        stats_.sample(stat::store_release_latency, now - s->released_at);
+        if (events_ != nullptr && events_->enabled())
+          events_->complete(ev::store, static_cast<std::uint16_t>(id_), s->ready_at, now);
         erase_store(info.seq);
         spec_buffer_.nullify_store_tag(info.seq);
         host_.mem_completed(info.seq, 0, now);
-        if (trace_)
-          trace_->log(now, id_, "sb", "complete seq=" + std::to_string(info.seq));
+        if (trace_ != nullptr && trace_->enabled())
+          trace_->log(now, id_, cat::sb, "complete seq=" + std::to_string(info.seq));
         break;
       }
       case TokenInfo::Kind::kRmw: {
@@ -578,6 +612,9 @@ void LoadStoreUnit::drain_responses(Cycle now) {
         assert(s != nullptr && "issued RMWs are never squashed");
         record(info.seq, s->pc, s->addr, AccessKind::kRmw, s->sync, r.value, now);
         stats_.sample(stat::rmw_latency, now - s->ready_at);
+        if (s->released) stats_.sample(stat::store_release_latency, now - s->released_at);
+        if (events_ != nullptr && events_->enabled())
+          events_->complete(ev::rmw, static_cast<std::uint16_t>(id_), s->ready_at, now);
         erase_store(info.seq);
         // Drop a still-pending speculative read-exclusive for this RMW:
         // its return value must be ignored once the atomic has issued.
@@ -585,8 +622,8 @@ void LoadStoreUnit::drain_responses(Cycle now) {
         spec_buffer_.nullify_store_tag(info.seq);
         spec_buffer_.mark_done(info.seq, r.value);
         host_.mem_completed(info.seq, r.value, now);
-        if (trace_)
-          trace_->log(now, id_, "sb", "rmw complete seq=" + std::to_string(info.seq));
+        if (trace_ != nullptr && trace_->enabled())
+          trace_->log(now, id_, cat::sb, "rmw complete seq=" + std::to_string(info.seq));
         break;
       }
     }
@@ -597,7 +634,8 @@ void LoadStoreUnit::retire_spec_entries(Cycle now) {
   std::vector<std::uint64_t> retired = spec_buffer_.retire_ready();
   if (retired.empty()) return;
   stats_.add(stat::spec_retired, retired.size());
-  if (trace_) trace_->log(now, id_, "slb", "retired " + std::to_string(retired.size()));
+  if (trace_ != nullptr && trace_->enabled())
+    trace_->log(now, id_, cat::slb, "retired " + std::to_string(retired.size()));
   if (cfg_.record_accesses) {
     // Restamp loads to their retirement instant: that is when they
     // stop being speculative, and coherence monitoring guarantees the
@@ -612,8 +650,8 @@ void LoadStoreUnit::retire_spec_entries(Cycle now) {
 }
 
 void LoadStoreUnit::on_line_event(LineEventKind kind, Addr line, Cycle now) {
-  if (trace_)
-    trace_->log(now, id_, "coherence",
+  if (trace_ != nullptr && trace_->enabled())
+    trace_->log(now, id_, cat::coherence,
                 std::string(to_string(kind)) + " line=" + std::to_string(line));
   if (spec_buffer_.empty()) return;
   SpecLoadBuffer::MatchResult mr = spec_buffer_.on_line_event(kind, line);
@@ -624,7 +662,8 @@ void LoadStoreUnit::on_line_event(LineEventKind kind, Addr line, Cycle now) {
     e->reissue = true;
     spec_buffer_.mark_reissued(seq);
     stats_.add(stat::spec_reissue);
-    if (trace_) trace_->log(now, id_, "slb", "reissue seq=" + std::to_string(seq));
+    if (trace_ != nullptr && trace_->enabled())
+      trace_->log(now, id_, cat::slb, "reissue seq=" + std::to_string(seq));
   }
   if (!mr.squash) return;
 
@@ -671,6 +710,111 @@ void LoadStoreUnit::squash_from(std::uint64_t seq) {
     else
       ++it;
   }
+}
+
+StallCause LoadStoreUnit::classify_mem_wait(Addr addr) const {
+  if (cache_.mshr_active(addr)) {
+    return mem_classifier_ ? mem_classifier_(addr) : StallCause::kCacheMiss;
+  }
+  // No MSHR: the access rides the network without one (update-protocol
+  // word op) or the reply is already queued for delivery.
+  return StallCause::kNetwork;
+}
+
+StallCause LoadStoreUnit::classify_rs_block(std::uint64_t seq) const {
+  if (ls_rs_.empty() || ls_rs_.front().seq != seq) return StallCause::kExec;
+  const RsEntry& head = ls_rs_.front();
+  if (head.inst.is_fence()) return StallCause::kConsistency;
+  if (!head.addr_operands_ready()) return StallCause::kAddrGen;
+  // Address ready but the entry has not left the reservation station:
+  // the downstream structure (load queue / store buffer / software
+  // prefetch buffer) had no free slot this cycle.
+  return StallCause::kStoreBufferFull;
+}
+
+StallCause LoadStoreUnit::classify_load_wait(std::uint64_t seq) const {
+  const LoadEntry* e = find_load(seq);
+  if (e == nullptr) return StallCause::kExec;  // forwarded; completes shortly
+  if (e->issued && !e->reissue) return classify_mem_wait(e->addr);
+  if (e->reissue) return StallCause::kSpeculation;  // detection-forced replay
+  // Not yet issued. A matching earlier store whose value is unknown
+  // (RMW, or data operand pending) blocks forwarding: execution-side.
+  bool has_source = false;
+  if (!e->is_rmw_read) {
+    for (auto it = store_buf_.rbegin(); it != store_buf_.rend(); ++it) {
+      if (it->seq >= e->seq || it->addr != e->addr) continue;
+      if (it->is_rmw || !it->data.ready) return StallCause::kExec;
+      has_source = true;
+      break;
+    }
+  }
+  const bool spec_mode = cfg_.core.speculative_loads;
+  if (!load_may_issue(cfg_.model, context_for(e->seq, e->sync))) {
+    // Conventional enforcement gates the load outright; speculation
+    // ignores the gate except for forwarding (never speculative).
+    if (!spec_mode || has_source) return StallCause::kConsistency;
+  }
+  if (spec_mode && !e->reissue && spec_buffer_.full()) return StallCause::kSpeculation;
+  // Allowed and ready: lost port arbitration or the probe was rejected
+  // (MSHRs full) — memory-side occupancy either way.
+  return StallCause::kCacheMiss;
+}
+
+StallCause LoadStoreUnit::classify_store_wait(std::uint64_t seq) const {
+  const StoreEntry* st = find_store(seq);
+  if (st == nullptr) return StallCause::kExec;  // completion already queued
+  if (st->issued) return classify_mem_wait(st->addr);
+  if (!st->released) return StallCause::kExec;  // release lands this cycle
+  if (!st->data.ready || !st->cmp.ready) return StallCause::kExec;
+  IssueContext ctx = context_for(st->seq, st->sync);
+  const bool allowed = st->is_rmw ? rmw_may_issue(cfg_.model, ctx)
+                                  : store_may_issue(cfg_.model, ctx);
+  if (!allowed) return StallCause::kConsistency;
+  return StallCause::kCacheMiss;  // port/MSHR occupancy, or behind an older store
+}
+
+StallCause LoadStoreUnit::classify_drain() const {
+  if (!store_buf_.empty()) return classify_store_wait(store_buf_.front().seq);
+  if (!load_q_.empty()) return classify_load_wait(load_q_.front().seq);
+  return StallCause::kIdle;
+}
+
+Json LoadStoreUnit::snapshot_json() const {
+  Json out = Json::object();
+  Json rs = Json::array();
+  for (const RsEntry& e : ls_rs_) {
+    Json j = Json::object();
+    j.set("seq", Json::number(e.seq));
+    j.set("pc", Json::number(static_cast<std::uint64_t>(e.pc)));
+    j.set("addr_ready", Json::boolean(e.addr_operands_ready()));
+    rs.push_back(std::move(j));
+  }
+  out.set("ls_rs", std::move(rs));
+  Json lq = Json::array();
+  for (const LoadEntry& e : load_q_) {
+    Json j = Json::object();
+    j.set("seq", Json::number(e.seq));
+    j.set("addr", Json::number(static_cast<std::uint64_t>(e.addr)));
+    j.set("issued", Json::boolean(e.issued));
+    j.set("reissue", Json::boolean(e.reissue));
+    if (e.is_rmw_read) j.set("rmw_read", Json::boolean(true));
+    lq.push_back(std::move(j));
+  }
+  out.set("load_queue", std::move(lq));
+  Json sb = Json::array();
+  for (const StoreEntry& e : store_buf_) {
+    Json j = Json::object();
+    j.set("seq", Json::number(e.seq));
+    j.set("addr", Json::number(static_cast<std::uint64_t>(e.addr)));
+    j.set("rmw", Json::boolean(e.is_rmw));
+    j.set("released", Json::boolean(e.released));
+    j.set("issued", Json::boolean(e.issued));
+    j.set("data_ready", Json::boolean(e.data.ready));
+    sb.push_back(std::move(j));
+  }
+  out.set("store_buffer", std::move(sb));
+  out.set("spec_load_buffer", spec_buffer_.snapshot_json());
+  return out;
 }
 
 std::string LoadStoreUnit::store_buffer_dump() const {

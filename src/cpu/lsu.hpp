@@ -13,14 +13,18 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/access_record.hpp"
 #include "common/config.hpp"
+#include "common/json.hpp"
+#include "common/stall.hpp"
 #include "common/stats.hpp"
 #include "common/trace.hpp"
+#include "common/trace_event.hpp"
 #include "common/types.hpp"
 #include "coherence/cache.hpp"
 #include "consistency/policy.hpp"
@@ -48,7 +52,7 @@ class LsuHost {
 class LoadStoreUnit {
  public:
   LoadStoreUnit(ProcId id, const SystemConfig& cfg, CoherentCache& cache, LsuHost& host,
-                Trace* trace);
+                Trace* trace, TraceEventSink* events = nullptr);
 
   bool can_dispatch() const { return ls_rs_.size() < cfg_.core.ls_rs_entries; }
 
@@ -61,8 +65,9 @@ class LoadStoreUnit {
   void on_producer_ready(std::uint64_t producer_seq, Word value);
 
   /// The reorder buffer reached this store/RMW at its head (precise
-  /// interrupts): the store buffer may now issue it.
-  void release_store(std::uint64_t seq);
+  /// interrupts): the store buffer may now issue it. `now` stamps the
+  /// release instant for the store-release latency histogram.
+  void release_store(std::uint64_t seq, Cycle now);
 
   /// Is the store's address translated (entry left the reservation
   /// station)? The ROB retires stores only once this holds.
@@ -101,6 +106,29 @@ class LoadStoreUnit {
 
   const SpecLoadBuffer& spec_buffer() const { return spec_buffer_; }
   const PrefetchEngine& prefetch_engine() const { return prefetch_; }
+
+  // --- stall-cause classification (observability) --------------------
+  // Called by the core once per non-retiring cycle for the ROB head's
+  // blocked memory op; each is a cheap scan of the small queues.
+
+  /// Refines "access outstanding in the memory system" into
+  /// kDirPending/kCacheMiss; installed by Machine (it can see the
+  /// directory). Without one, every MSHR wait is kCacheMiss.
+  using MemStallClassifier = std::function<StallCause(Addr)>;
+  void set_mem_classifier(MemStallClassifier fn) { mem_classifier_ = std::move(fn); }
+
+  /// Head memory op still in the reservation station.
+  StallCause classify_rs_block(std::uint64_t seq) const;
+  /// Head load dispatched to the load queue but not yet completed.
+  StallCause classify_load_wait(std::uint64_t seq) const;
+  /// Head store/RMW released but not yet performed.
+  StallCause classify_store_wait(std::uint64_t seq) const;
+  /// Core halted with an empty ROB but buffers still draining: charge
+  /// the oldest remaining access; kIdle once everything has performed.
+  StallCause classify_drain() const;
+
+  /// Structured state snapshot for deadlock post-mortems.
+  Json snapshot_json() const;
 
   /// Architectural access log (cfg.record_accesses), program order.
   std::vector<AccessRecord> access_log() const;
@@ -147,6 +175,7 @@ class LoadStoreUnit {
     bool offered = false;
     bool spec_read_issued = false;  ///< Appendix-A read-exclusive in flight
     Cycle ready_at = 0;             ///< when the address became available
+    Cycle released_at = 0;          ///< when the ROB head released it
   };
 
   struct TokenInfo {
@@ -163,7 +192,9 @@ class LoadStoreUnit {
   };
 
   IssueContext context_for(std::uint64_t seq, SyncKind self_sync) const;
+  StallCause classify_mem_wait(Addr addr) const;
   LoadEntry* find_load(std::uint64_t seq);
+  const LoadEntry* find_load(std::uint64_t seq) const;
   StoreEntry* find_store(std::uint64_t seq);
   const StoreEntry* find_store(std::uint64_t seq) const;
   bool erase_load(std::uint64_t seq);
@@ -186,6 +217,8 @@ class LoadStoreUnit {
   CoherentCache& cache_;
   LsuHost& host_;
   Trace* trace_;
+  TraceEventSink* events_;
+  MemStallClassifier mem_classifier_;
 
   std::deque<RsEntry> ls_rs_;
   std::deque<LoadEntry> load_q_;

@@ -9,6 +9,9 @@ namespace {
 namespace stat {
 const StatId messages_delivered = StatNames::intern("messages_delivered");
 const StatId messages_sent = StatNames::intern("messages_sent");
+/// Send-to-delivery histogram; exceeds the base latency exactly when
+/// bandwidth limits queue the message at the destination.
+const StatId msg_latency = StatNames::intern("msg_latency");
 
 /// Per-type "sent.<msg>" ids, resolved on first use.
 StatId sent(MsgType t) {
@@ -34,7 +37,7 @@ void Network::send(Message msg, Cycle now, std::uint32_t extra_delay) {
   assert(msg.dst < inboxes_.size());
   stats_.add(stat::messages_sent);
   stats_.add(stat::sent(msg.type));
-  in_flight_.push(InFlight{now + latency_ + extra_delay, next_seq_++, std::move(msg)});
+  in_flight_.push(InFlight{now + latency_ + extra_delay, next_seq_++, now, std::move(msg)});
 }
 
 void Network::deliver(Cycle now) {
@@ -51,6 +54,7 @@ void Network::deliver(Cycle now) {
       continue;
     }
     ++delivered[f.msg.dst];
+    stats_.sample(stat::msg_latency, now - f.sent_at);
     inboxes_[f.msg.dst].push_back(std::move(f.msg));
     stats_.add(stat::messages_delivered);
   }
@@ -71,6 +75,30 @@ bool Network::idle() const {
     if (!box.empty()) return false;
   }
   return true;
+}
+
+Json Network::snapshot_json() const {
+  Json out = Json::object();
+  Json flight = Json::array();
+  auto copy = in_flight_;  // drain a copy in priority order (cold path)
+  while (!copy.empty()) {
+    const InFlight& f = copy.top();
+    Json j = Json::object();
+    j.set("type", Json::string(to_string(f.msg.type)));
+    j.set("src", Json::number(static_cast<std::uint64_t>(f.msg.src)));
+    j.set("dst", Json::number(static_cast<std::uint64_t>(f.msg.dst)));
+    j.set("line", Json::number(static_cast<std::uint64_t>(f.msg.line_addr)));
+    j.set("sent_at", Json::number(static_cast<std::uint64_t>(f.sent_at)));
+    j.set("deliver_at", Json::number(static_cast<std::uint64_t>(f.deliver_at)));
+    flight.push_back(std::move(j));
+    copy.pop();
+  }
+  out.set("in_flight", std::move(flight));
+  Json boxes = Json::array();
+  for (const auto& box : inboxes_)
+    boxes.push_back(Json::number(static_cast<std::uint64_t>(box.size())));
+  out.set("inbox_depths", std::move(boxes));
+  return out;
 }
 
 }  // namespace mcsim

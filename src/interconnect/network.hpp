@@ -12,6 +12,7 @@
 #include <queue>
 #include <vector>
 
+#include "common/json.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "interconnect/message.hpp"
@@ -43,6 +44,9 @@ class Network {
 
   bool idle() const;  ///< no messages in flight or undelivered
 
+  /// In-flight and undelivered messages, for deadlock post-mortems.
+  Json snapshot_json() const;
+
   const StatSet& stats() const { return stats_; }
   StatSet& stats() { return stats_; }
 
@@ -50,6 +54,7 @@ class Network {
   struct InFlight {
     Cycle deliver_at;
     std::uint64_t seq;  ///< injection order, for deterministic ties
+    Cycle sent_at;      ///< injection cycle, for the latency histogram
     Message msg;
     bool operator>(const InFlight& o) const {
       if (deliver_at != o.deliver_at) return deliver_at > o.deliver_at;

@@ -64,14 +64,18 @@ CellResult run_cell(const ExperimentCell& cell) {
     for (const auto& [proc, addr] : cell.workload.preload_shared) {
       m.preload_shared(proc, addr);
     }
+    if (!cell.trace_out.empty()) m.trace_events().enable();
     RunResult r = m.run();
 
     RunStats& s = out.stats;
     s.cycles = r.cycles;
+    s.ticks = r.ticks;
     s.drain_cycles = r.drain_cycle;
     s.retired = r.retired;
-    double load_sum = 0, store_sum = 0;
-    std::uint64_t load_n = 0, store_n = 0;
+    s.stall = r.stall;
+    auto merge_hist = [](LogHistogram& into, const StatSet& from, const char* name) {
+      if (const LogHistogram* h = from.histogram(name)) into.merge(*h);
+    };
     for (ProcId p = 0; p < cfg.num_procs; ++p) {
       s.squashes += m.core(p).stats().get("squashes");
       s.reissues += m.core(p).lsu().stats().get("spec_reissue");
@@ -80,19 +84,28 @@ CellResult run_cell(const ExperimentCell& cell) {
       s.prefetch_useful += m.cache(p).stats().get("prefetch_useful_hit") +
                            m.cache(p).stats().get("prefetch_useful_merge");
       const StatSet& ls = m.core(p).lsu().stats();
-      load_sum += ls.mean("load_latency") * static_cast<double>(ls.count_of("load_latency"));
-      load_n += ls.count_of("load_latency");
-      store_sum +=
-          ls.mean("store_latency") * static_cast<double>(ls.count_of("store_latency"));
-      store_n += ls.count_of("store_latency");
+      merge_hist(s.load_latency, ls, "load_latency");
+      merge_hist(s.store_latency, ls, "store_latency");
+      merge_hist(s.store_release_latency, ls, "store_release_latency");
+      merge_hist(s.prefetch_to_use, m.cache(p).stats(), "prefetch_to_use");
     }
-    s.load_latency_mean = load_n ? load_sum / static_cast<double>(load_n) : 0.0;
-    s.store_latency_mean = store_n ? store_sum / static_cast<double>(store_n) : 0.0;
+    merge_hist(s.net_latency, m.network().stats(), "msg_latency");
+    s.load_latency_mean = s.load_latency.mean();
+    s.store_latency_mean = s.store_latency.mean();
+
+    if (!cell.trace_out.empty()) {
+      out.trace_path = cell.trace_out;
+      out.trace_events = m.trace_events().event_count();
+      if (!m.trace_events().write(cell.trace_out)) {
+        out.error = out.cell_label + " failed to write trace: " + cell.trace_out;
+      }
+    }
 
     if (r.deadlocked) {
       out.status = CellStatus::kDeadlock;
       out.error = out.cell_label + " deadlocked after " + std::to_string(r.cycles) +
                   " cycles";
+      out.post_mortem = m.post_mortem();
     } else {
       out.status = CellStatus::kOk;
       for (const auto& [addr, value] : cell.workload.expected) {
@@ -156,10 +169,26 @@ std::vector<CellResult> ExperimentRunner::run(const ExperimentGrid& grid) {
   return results;
 }
 
+namespace {
+
+/// {count, mean, p50, p90, p99, max} for one latency distribution.
+Json histogram_to_json(const LogHistogram& h) {
+  Json j = Json::object();
+  j.set("count", Json::number(h.count()));
+  j.set("mean", Json::number(h.mean()));
+  j.set("p50", Json::number(h.p50()));
+  j.set("p90", Json::number(h.p90()));
+  j.set("p99", Json::number(h.p99()));
+  j.set("max", Json::number(h.max()));
+  return j;
+}
+
+}  // namespace
+
 Json results_to_json(const ExperimentGrid& grid, const std::vector<CellResult>& results,
                      const SweepInfo& sweep) {
   Json root = Json::object();
-  root.set("schema", Json::string("mcsim-bench-v1"));
+  root.set("schema", Json::string("mcsim-bench-v2"));
   root.set("bench", Json::string(grid.name()));
   root.set("workers", Json::number(static_cast<std::uint64_t>(sweep.workers)));
   root.set("wall_ms", Json::number(sweep.wall_ms));
@@ -185,6 +214,7 @@ Json results_to_json(const ExperimentGrid& grid, const std::vector<CellResult>& 
     c.set("status", Json::string(to_string(r.status)));
     if (!r.error.empty()) c.set("error", Json::string(r.error));
     c.set("cycles", Json::number(static_cast<std::uint64_t>(r.stats.cycles)));
+    c.set("ticks", Json::number(static_cast<std::uint64_t>(r.stats.ticks)));
     c.set("squashes", Json::number(r.stats.squashes));
     c.set("reissues", Json::number(r.stats.reissues));
     c.set("prefetches", Json::number(r.stats.prefetches));
@@ -199,6 +229,41 @@ Json results_to_json(const ExperimentGrid& grid, const std::vector<CellResult>& 
     Json retired = Json::array();
     for (std::uint64_t n : r.stats.retired) retired.push_back(Json::number(n));
     c.set("retired", std::move(retired));
+
+    // v2: cycle accounting. busy_cycles[p] + sum over stall_cycles
+    // arrays at p equals ticks for every processor.
+    Json busy = Json::array();
+    for (const StallBreakdown& b : r.stats.stall) {
+      busy.push_back(Json::number(b[static_cast<std::size_t>(StallCause::kBusy)]));
+    }
+    c.set("busy_cycles", std::move(busy));
+    Json stalls = Json::object();
+    for (std::size_t cause = 0; cause < kNumStallCauses; ++cause) {
+      if (cause == static_cast<std::size_t>(StallCause::kBusy)) continue;
+      std::uint64_t total = 0;
+      for (const StallBreakdown& b : r.stats.stall) total += b[cause];
+      if (total == 0) continue;  // keep the report small: nonzero causes only
+      Json per_proc = Json::array();
+      for (const StallBreakdown& b : r.stats.stall) {
+        per_proc.push_back(Json::number(b[cause]));
+      }
+      stalls.set(to_string(static_cast<StallCause>(cause)), std::move(per_proc));
+    }
+    c.set("stall_cycles", std::move(stalls));
+
+    // v2: latency distributions (log2-bucketed percentiles, exact max).
+    c.set("load_latency", histogram_to_json(r.stats.load_latency));
+    c.set("store_latency", histogram_to_json(r.stats.store_latency));
+    c.set("store_release_latency", histogram_to_json(r.stats.store_release_latency));
+    c.set("prefetch_to_use", histogram_to_json(r.stats.prefetch_to_use));
+    c.set("net_latency", histogram_to_json(r.stats.net_latency));
+
+    if (!r.trace_path.empty()) {
+      c.set("trace_out", Json::string(r.trace_path));
+      c.set("trace_events", Json::number(r.trace_events));
+    }
+    if (!r.post_mortem.is_null()) c.set("post_mortem", r.post_mortem);
+
     c.set("wall_ms", Json::number(r.wall_ms));
     c.set("sims_per_sec", Json::number(r.sims_per_sec));
     cells.push_back(std::move(c));

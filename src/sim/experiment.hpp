@@ -21,7 +21,9 @@
 #include <vector>
 
 #include "common/config.hpp"
+#include "common/histogram.hpp"
 #include "common/json.hpp"
+#include "common/stall.hpp"
 #include "sim/machine.hpp"
 #include "sim/workloads.hpp"
 
@@ -31,6 +33,7 @@ namespace mcsim {
 /// processors; per-processor vectors kept for deployment studies).
 struct RunStats {
   Cycle cycles = 0;
+  Cycle ticks = 0;  ///< machine cycles stepped; each stall breakdown sums to this
   std::uint64_t squashes = 0;
   std::uint64_t reissues = 0;
   std::uint64_t prefetches = 0;
@@ -39,15 +42,26 @@ struct RunStats {
   double store_latency_mean = 0.0;
   std::vector<Cycle> drain_cycles;        ///< per-processor completion time
   std::vector<std::uint64_t> retired;     ///< instructions per processor
+  std::vector<StallBreakdown> stall;      ///< per-processor cycles by cause
+  // Latency distributions, merged across processors (net_latency is
+  // machine-wide already). Empty (count()==0) when never sampled.
+  LogHistogram load_latency;
+  LogHistogram store_latency;
+  LogHistogram store_release_latency;
+  LogHistogram prefetch_to_use;
+  LogHistogram net_latency;
 };
 
 /// One simulation to run: a workload plus the machine to run it on.
 /// `technique` and `tags` are free-form labels that flow into the JSON
 /// report (model/workload names are derived from config/workload).
+/// A non-empty `trace_out` enables the Chrome trace-event sink for the
+/// run and writes the timeline to that path.
 struct ExperimentCell {
   Workload workload;
   SystemConfig config;
   std::string technique;
+  std::string trace_out;
   std::map<std::string, std::string> tags;
 };
 
@@ -69,6 +83,9 @@ struct CellResult {
   bool ok() const { return status == CellStatus::kOk; }
   /// "(workload, model, technique)" — for failure reports.
   std::string cell_label;
+  std::string trace_path;           ///< where the timeline was written ("" = off)
+  std::uint64_t trace_events = 0;   ///< timeline events recorded for this cell
+  Json post_mortem;                 ///< machine snapshot; non-null only on deadlock
 };
 
 /// A named list of cells; the name becomes the JSON report's "bench".
@@ -82,6 +99,8 @@ class ExperimentGrid {
 
   const std::string& name() const { return name_; }
   const std::vector<ExperimentCell>& cells() const { return cells_; }
+  /// Mutable access for post-add tweaks (e.g. per-cell trace_out paths).
+  ExperimentCell& cell(std::size_t i) { return cells_.at(i); }
   std::size_t size() const { return cells_.size(); }
 
  private:

@@ -27,7 +27,28 @@ Machine::Machine(const SystemConfig& cfg, std::vector<Program> programs)
                                                       net_, cfg_.num_procs));
   }
   for (ProcId p = 0; p < cfg_.num_procs; ++p) {
-    cores_.push_back(std::make_unique<Core>(p, cfg_, programs_[p], *caches_[p], &trace_));
+    cores_.push_back(
+        std::make_unique<Core>(p, cfg_, programs_[p], *caches_[p], &trace_, &events_));
+  }
+
+  // Trace-event tracks: tid 0..P-1 cores, P..2P-1 caches, 2P directory.
+  const std::uint16_t procs = static_cast<std::uint16_t>(cfg_.num_procs);
+  for (std::uint16_t p = 0; p < procs; ++p) {
+    events_.set_track(p, "core" + std::to_string(p));
+    events_.set_track(static_cast<std::uint16_t>(procs + p),
+                      "cache" + std::to_string(p));
+    caches_[p]->set_event_sink(&events_, static_cast<std::uint16_t>(procs + p));
+  }
+  events_.set_track(static_cast<std::uint16_t>(2 * procs), "directory");
+  dir_.set_event_sink(&events_, static_cast<std::uint16_t>(2 * procs));
+
+  // Stall attribution: the LSU can tell an outstanding miss apart from
+  // everything else, but only the directory knows whether the line is
+  // additionally held up by a pending coherence transaction.
+  for (ProcId p = 0; p < cfg_.num_procs; ++p) {
+    cores_[p]->lsu().set_mem_classifier([this](Addr a) {
+      return dir_.line_busy(a) ? StallCause::kDirPending : StallCause::kCacheMiss;
+    });
   }
 }
 
@@ -61,8 +82,11 @@ RunResult Machine::run() {
   RunResult r;
   r.deadlocked = !done();
   r.drain_cycle = drain_cycle_;
+  r.ticks = cycle_;
   for (ProcId p = 0; p < cfg_.num_procs; ++p) {
+    cores_[p]->flush_stall_episode(cycle_);
     r.retired.push_back(cores_[p]->instructions_retired());
+    r.stall.push_back(cores_[p]->stall_cycles());
     if (drain_cycle_[p] > r.cycles) r.cycles = drain_cycle_[p];
   }
   if (r.deadlocked) r.cycles = cycle_;
@@ -102,12 +126,32 @@ std::string Machine::stats_report() const {
   std::ostringstream os;
   for (ProcId p = 0; p < cfg_.num_procs; ++p) {
     os << cores_[p]->stats().report();
+    const StallBreakdown& stall = cores_[p]->stall_cycles();
+    for (std::size_t c = 0; c < kNumStallCauses; ++c) {
+      if (stall[c] == 0) continue;
+      os << "core" << p << ".stall." << to_string(static_cast<StallCause>(c)) << ' '
+         << stall[c] << '\n';
+    }
     os << cores_[p]->lsu().stats().report();
     os << caches_[p]->stats().report();
   }
   os << dir_.stats().report();
   os << net_.stats().report();
   return os.str();
+}
+
+Json Machine::post_mortem() const {
+  Json out = Json::object();
+  out.set("cycle", Json::number(static_cast<std::uint64_t>(cycle_)));
+  Json cores = Json::array();
+  for (ProcId p = 0; p < cfg_.num_procs; ++p) cores.push_back(cores_[p]->snapshot_json());
+  out.set("cores", std::move(cores));
+  Json caches = Json::array();
+  for (ProcId p = 0; p < cfg_.num_procs; ++p) caches.push_back(caches_[p]->snapshot_json());
+  out.set("caches", std::move(caches));
+  out.set("network", net_.snapshot_json());
+  out.set("directory", dir_.snapshot_json());
+  return out;
 }
 
 std::vector<std::vector<AccessRecord>> Machine::access_logs() const {

@@ -16,7 +16,10 @@
 #include <vector>
 
 #include "common/config.hpp"
+#include "common/json.hpp"
+#include "common/stall.hpp"
 #include "common/trace.hpp"
+#include "common/trace_event.hpp"
 #include "coherence/cache.hpp"
 #include "coherence/directory.hpp"
 #include "cpu/core.hpp"
@@ -27,9 +30,14 @@ namespace mcsim {
 
 struct RunResult {
   Cycle cycles = 0;        ///< cycle at which the last processor drained
+  Cycle ticks = 0;         ///< machine cycles actually stepped (>= cycles:
+                           ///< the clock runs on while memory quiesces)
   bool deadlocked = false; ///< hit cfg.max_cycles before completion
   std::vector<std::uint64_t> retired;     ///< instructions per processor
   std::vector<Cycle> drain_cycle;         ///< per-processor completion time
+  /// Per-processor cycles-by-cause; each entry sums to `ticks` exactly
+  /// (every core is ticked every machine cycle).
+  std::vector<StallBreakdown> stall;
 };
 
 class Machine {
@@ -54,6 +62,9 @@ class Machine {
   Directory& directory() { return dir_; }
   Network& network() { return net_; }
   Trace& trace() { return trace_; }
+  /// Chrome trace-event timeline; call .enable() before run() to record.
+  TraceEventSink& trace_events() { return events_; }
+  const TraceEventSink& trace_events() const { return events_; }
   const SystemConfig& config() const { return cfg_; }
 
   /// Coherent value of a word after (or during) a run: an exclusive
@@ -66,8 +77,13 @@ class Machine {
   void preload_shared(ProcId p, Addr a);
   void preload_exclusive(ProcId p, Addr a);
 
-  /// Aggregated stats from every component, one line per counter.
+  /// Aggregated stats from every component, one line per counter,
+  /// followed by per-core stall-cause breakdowns.
   std::string stats_report() const;
+
+  /// Structured snapshot of all in-flight state (ROBs, LSU queues,
+  /// network messages, directory transactions) for deadlock reports.
+  Json post_mortem() const;
 
   /// Per-processor architectural access logs (cfg.record_accesses).
   std::vector<std::vector<AccessRecord>> access_logs() const;
@@ -75,6 +91,7 @@ class Machine {
  private:
   SystemConfig cfg_;
   Trace trace_;
+  TraceEventSink events_;
   std::vector<Program> programs_;
   Network net_;
   Directory dir_;

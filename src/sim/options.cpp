@@ -85,6 +85,9 @@ OptionsResult parse_options(int argc, const char* const* argv) {
       if (!parse_u32(arg.substr(8), r.config.cache.mshrs)) return fail("bad --mshrs");
     } else if (starts_with(arg, "--max-cycles=")) {
       if (!parse_u64(arg.substr(13), r.config.max_cycles)) return fail("bad --max-cycles");
+    } else if (starts_with(arg, "--trace-out=")) {
+      r.trace_out = arg.substr(12);
+      if (r.trace_out.empty()) return fail("bad --trace-out: empty path");
     } else if (starts_with(arg, "--")) {
       return fail("unknown flag: " + arg);
     } else {
@@ -111,7 +114,12 @@ std::string options_help() {
       "  --protocol=inv|upd       coherence protocol (default inv)\n"
       "  --ideal / --realistic    front-end model (default realistic)\n"
       "  --rob=N --mshrs=N        capacity knobs\n"
-      "  --max-cycles=N           deadlock watchdog\n";
+      "  --max-cycles=N           deadlock watchdog\n"
+      "  --trace-out=PATH         write a Chrome trace-event timeline (open in\n"
+      "                           Perfetto / chrome://tracing; 1 cycle = 1 us)\n"
+      "environment:\n"
+      "  MCSIM_LOG_LEVEL=error|warn|info|debug   runtime log verbosity\n"
+      "  MCSIM_JOBS=N             worker threads for experiment sweeps\n";
 }
 
 }  // namespace mcsim

@@ -13,6 +13,7 @@ namespace mcsim {
 struct OptionsResult {
   SystemConfig config;
   std::vector<std::string> positional;  ///< non-flag arguments, in order
+  std::string trace_out;                ///< --trace-out=PATH (empty = no trace)
   bool show_help = false;               ///< --help/-h was given
   std::string error;                    ///< non-empty on a bad flag
   bool ok() const { return error.empty(); }
@@ -28,6 +29,7 @@ struct OptionsResult {
 ///   --ideal / --realistic      front-end model          (default realistic)
 ///   --rob=N --mshrs=N          common capacity knobs
 ///   --max-cycles=N             deadlock watchdog
+///   --trace-out=PATH           write a Chrome trace-event timeline
 ///   --help
 OptionsResult parse_options(int argc, const char* const* argv);
 

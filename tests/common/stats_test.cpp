@@ -102,7 +102,30 @@ TEST(StatSet, ReportUnchangedByInterning) {
             "core0.alpha 2\n"
             "core0.explicit_zero 0\n"
             "core0.zeta 1\n"
-            "core0.lat.mean 20 (n=2, max=30)\n");
+            "core0.lat.mean 20 (n=2, p50=15, p90=30, p99=30, max=30)\n");
+}
+
+TEST(StatSet, SamplesExposePercentilesAndHistogram) {
+  StatSet s("x");
+  s.sample("lat", 10);
+  s.sample("lat", 20);
+  s.sample("lat", 90);
+  // p50: 2nd of 3 obs lands in bucket [16,31] -> upper bound 31.
+  EXPECT_EQ(s.percentile_of("lat", 0.50), 31u);
+  // p90/p99: 3rd obs, bucket [64,127], clamped to the exact max.
+  EXPECT_EQ(s.percentile_of("lat", 0.90), 90u);
+  EXPECT_EQ(s.percentile_of("lat", 0.99), 90u);
+  ASSERT_NE(s.histogram("lat"), nullptr);
+  EXPECT_EQ(s.histogram("lat")->count(), 3u);
+  EXPECT_EQ(s.histogram("never_sampled"), nullptr);
+}
+
+TEST(StatSet, CountersPresizedToInternedNames) {
+  // Construction presizes the dense counter vector to every name
+  // interned so far, so hot-path add(id) never reallocates.
+  StatNames::intern("presize_probe");
+  StatSet s("x");
+  EXPECT_GE(s.counter_slots(), StatNames::count());
 }
 
 TEST(StatSet, UntouchedIdsStayOutOfReports) {

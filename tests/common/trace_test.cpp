@@ -20,10 +20,19 @@ TEST(Trace, RecordsWhenEnabled) {
   ASSERT_EQ(t.events().size(), 2u);
   EXPECT_EQ(t.events()[0].cycle, 5u);
   EXPECT_EQ(t.events()[0].proc, 1u);
-  EXPECT_EQ(t.events()[1].category, "sb");
+  EXPECT_EQ(t.events()[1].category, Trace::category("sb"));
 }
 
-TEST(Trace, FilterSelectsCategory) {
+TEST(Trace, CategoriesInternToStableIds) {
+  const Trace::Category a = Trace::category("intern-test-a");
+  const Trace::Category b = Trace::category("intern-test-b");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, Trace::category("intern-test-a"));  // idempotent
+  EXPECT_EQ(Trace::category_name(a), "intern-test-a");
+  EXPECT_EQ(Trace::category_name(b), "intern-test-b");
+}
+
+TEST(Trace, FilterReturnsIndicesOfCategory) {
   Trace t;
   t.enable();
   t.log(1, 0, "a", "1");
@@ -31,8 +40,19 @@ TEST(Trace, FilterSelectsCategory) {
   t.log(3, 0, "a", "3");
   auto a = t.filter("a");
   ASSERT_EQ(a.size(), 2u);
-  EXPECT_EQ(a[1].text, "3");
+  EXPECT_EQ(a[0], 0u);
+  EXPECT_EQ(a[1], 2u);
+  EXPECT_EQ(t.events()[a[1]].text, "3");
   EXPECT_TRUE(t.filter("zzz").empty());
+}
+
+TEST(Trace, FilterByInternedIdMatchesFilterByName) {
+  Trace t;
+  t.enable();
+  const Trace::Category cat = Trace::category("a");
+  t.log(1, 0, cat, "1");
+  t.log(2, 0, "a", "2");
+  EXPECT_EQ(t.filter(cat), t.filter("a"));
 }
 
 TEST(Trace, ClearEmpties) {

@@ -57,22 +57,25 @@ TEST(Fig5Scenario, DetectionAndCorrectionSequence) {
   // Event-kind sequence on P0 (paper events 1, 5, 6, 7/9 in order):
   // speculative inserts for A, D, E[old D]; the invalidation for D; the
   // squash; the re-insert of D; the re-insert of E at the NEW address.
+  const Trace::Category cat_coherence = Trace::category("coherence");
+  const Trace::Category cat_squash = Trace::category("squash");
+  const Trace::Category cat_slb = Trace::category("slb");
   std::vector<std::string> slb;
   bool saw_inval_d = false, saw_squash = false;
   Cycle inval_cycle = 0, squash_cycle = 0;
   for (const auto& e : m.trace().events()) {
     if (e.proc != 0) continue;
-    if (e.category == "coherence" &&
+    if (e.category == cat_coherence &&
         e.text.find("invalidate line=" + std::to_string(kD)) != std::string::npos) {
       saw_inval_d = true;
       inval_cycle = e.cycle;
     }
-    if (e.category == "squash") {
+    if (e.category == cat_squash) {
       saw_squash = true;
       squash_cycle = e.cycle;
       EXPECT_TRUE(saw_inval_d) << "squash must be caused by the invalidation";
     }
-    if (e.category == "slb" && e.text.rfind("insert", 0) == 0) slb.push_back(e.text);
+    if (e.category == cat_slb && e.text.rfind("insert", 0) == 0) slb.push_back(e.text);
   }
   EXPECT_TRUE(saw_inval_d);
   EXPECT_TRUE(saw_squash);

@@ -47,7 +47,7 @@ TEST(BenchSmoke, OneCellSweepEmitsValidJson) {
         "cells"}) {
     EXPECT_TRUE(report.contains(key)) << "missing root key: " << key;
   }
-  EXPECT_EQ(report["schema"].as_string(), "mcsim-bench-v1");
+  EXPECT_EQ(report["schema"].as_string(), "mcsim-bench-v2");
   EXPECT_EQ(report["bench"].as_string(), "smoke");
   EXPECT_GE(report["workers"].as_int(), 1);
   ASSERT_EQ(report["cells"].size(), 1u);
@@ -55,8 +55,11 @@ TEST(BenchSmoke, OneCellSweepEmitsValidJson) {
   const Json& cell = report["cells"][0];
   for (const char* key :
        {"workload", "model", "technique", "num_procs", "tags", "status", "cycles",
-        "squashes", "reissues", "prefetches", "prefetch_useful", "load_latency_mean",
-        "store_latency_mean", "drain_cycles", "retired", "wall_ms", "sims_per_sec"}) {
+        "ticks", "squashes", "reissues", "prefetches", "prefetch_useful",
+        "load_latency_mean", "store_latency_mean", "drain_cycles", "retired",
+        "busy_cycles", "stall_cycles", "load_latency", "store_latency",
+        "store_release_latency", "prefetch_to_use", "net_latency", "wall_ms",
+        "sims_per_sec"}) {
     EXPECT_TRUE(cell.contains(key)) << "missing cell key: " << key;
   }
   EXPECT_EQ(cell["status"].as_string(), "ok");
@@ -67,6 +70,74 @@ TEST(BenchSmoke, OneCellSweepEmitsValidJson) {
   EXPECT_EQ(cell["cycles"].as_uint(), results[0].stats.cycles);
   EXPECT_EQ(cell["drain_cycles"].size(), 2u);
   EXPECT_EQ(cell["retired"].size(), 2u);
+
+  // v2 cycle accounting: busy + every stall cause == ticks, per processor.
+  const std::uint64_t ticks = cell["ticks"].as_uint();
+  EXPECT_GE(ticks, cell["cycles"].as_uint());
+  ASSERT_EQ(cell["busy_cycles"].size(), 2u);
+  for (std::size_t p = 0; p < 2; ++p) {
+    std::uint64_t total = cell["busy_cycles"][p].as_uint();
+    for (const auto& [cause, per_proc] : cell["stall_cycles"].members()) {
+      (void)cause;
+      total += per_proc[p].as_uint();
+    }
+    EXPECT_EQ(total, ticks) << "proc " << p << " cycle accounting leak";
+  }
+
+  // v2 latency distributions: percentile fields present and ordered.
+  const Json& lat = cell["load_latency"];
+  for (const char* key : {"count", "mean", "p50", "p90", "p99", "max"}) {
+    EXPECT_TRUE(lat.contains(key)) << "missing load_latency key: " << key;
+  }
+  EXPECT_GT(lat["count"].as_uint(), 0u);
+  EXPECT_LE(lat["p50"].as_uint(), lat["p90"].as_uint());
+  EXPECT_LE(lat["p90"].as_uint(), lat["p99"].as_uint());
+  EXPECT_LE(lat["p99"].as_uint(), lat["max"].as_uint());
+}
+
+TEST(BenchSmoke, TraceOutWritesPerfettoLoadableJson) {
+  ExperimentGrid grid("smoke-trace");
+  SystemConfig cfg = SystemConfig::paper_default(2, ConsistencyModel::kSC);
+  cfg.core.prefetch = PrefetchMode::kNonBinding;
+  cfg.core.speculative_loads = true;
+  std::size_t i = grid.add(make_producer_consumer(2, 4), cfg, "+both");
+  const std::string trace_path = "BENCH_smoke_trace.json";
+  grid.cell(i).trace_out = trace_path;
+
+  ExperimentRunner runner(1);
+  std::vector<CellResult> results = runner.run(grid);
+  ASSERT_EQ(results.size(), 1u);
+  ASSERT_TRUE(results[0].ok()) << results[0].error;
+  EXPECT_EQ(results[0].trace_path, trace_path);
+  EXPECT_GT(results[0].trace_events, 0u);
+
+  std::ifstream in(trace_path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  in.close();
+  std::remove(trace_path.c_str());
+
+  std::string err;
+  Json trace = Json::parse(buf.str(), &err);
+  ASSERT_TRUE(err.empty()) << err;
+  ASSERT_TRUE(trace.contains("traceEvents"));
+
+  // Timeline events (phase X/i) must match the sink's counter exactly;
+  // metadata (M) rows name the tracks on top.
+  std::uint64_t timeline = 0, metadata = 0;
+  for (std::size_t e = 0; e < trace["traceEvents"].size(); ++e) {
+    const std::string ph = trace["traceEvents"][e]["ph"].as_string();
+    if (ph == "M") ++metadata;
+    else ++timeline;
+  }
+  EXPECT_EQ(timeline, results[0].trace_events);
+  EXPECT_GT(metadata, 0u);
+
+  // The JSON report carries the pointer to the timeline.
+  Json report = results_to_json(grid, results, runner.last_sweep());
+  EXPECT_EQ(report["cells"][0]["trace_out"].as_string(), trace_path);
+  EXPECT_EQ(report["cells"][0]["trace_events"].as_uint(), results[0].trace_events);
 }
 
 }  // namespace

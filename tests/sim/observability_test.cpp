@@ -1,0 +1,166 @@
+// Observability subsystem, end to end: stall-cause attribution must
+// account for every core cycle (no cycle left uncharged, none charged
+// twice), deadlocked runs must leave a usable post-mortem snapshot,
+// and the trace-event timeline must agree with its own counters.
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hpp"
+#include "sim/machine.hpp"
+#include "sim/workloads.hpp"
+
+namespace mcsim {
+namespace {
+
+std::uint64_t stall_sum(const StallBreakdown& b) {
+  std::uint64_t total = 0;
+  for (std::uint64_t v : b) total += v;
+  return total;
+}
+
+TEST(StallAccounting, EveryCycleChargedAcrossModelsAndTechniques) {
+  // The acceptance grid: every model x technique combination must
+  // satisfy sum(stall causes) == machine ticks for every processor.
+  const ConsistencyModel models[] = {ConsistencyModel::kSC, ConsistencyModel::kPC,
+                                     ConsistencyModel::kWC, ConsistencyModel::kRC};
+  for (ConsistencyModel model : models) {
+    for (int combo = 0; combo < 4; ++combo) {
+      const bool prefetch = (combo & 1) != 0;
+      const bool spec = (combo & 2) != 0;
+      Workload w = make_producer_consumer(2, 4);
+      SystemConfig cfg = SystemConfig::realistic(2, model);
+      cfg.core.prefetch = prefetch ? PrefetchMode::kNonBinding : PrefetchMode::kOff;
+      cfg.core.speculative_loads = spec;
+      Machine m(cfg, w.programs);
+      RunResult r = m.run();
+      ASSERT_FALSE(r.deadlocked) << to_string(model) << " combo " << combo;
+      ASSERT_EQ(r.stall.size(), 2u);
+      for (ProcId p = 0; p < 2; ++p) {
+        EXPECT_EQ(stall_sum(r.stall[p]), r.ticks)
+            << to_string(model) << " combo " << combo << " proc " << p;
+        // A completing core retired instructions, so it was busy some cycles.
+        EXPECT_GT(r.stall[p][static_cast<std::size_t>(StallCause::kBusy)], 0u);
+      }
+    }
+  }
+}
+
+TEST(StallAccounting, AccountingHoldsEvenWhenCutOffMidFlight) {
+  // A watchdog-terminated run stops with loads/stores in flight; the
+  // per-cycle attribution must still balance exactly.
+  Workload w = make_producer_consumer(2, 4);
+  SystemConfig cfg = SystemConfig::realistic(2, ConsistencyModel::kSC);
+  cfg.max_cycles = 50;  // well before completion
+  Machine m(cfg, w.programs);
+  RunResult r = m.run();
+  ASSERT_TRUE(r.deadlocked);
+  EXPECT_EQ(r.ticks, 50u);
+  for (ProcId p = 0; p < 2; ++p) EXPECT_EQ(stall_sum(r.stall[p]), r.ticks);
+}
+
+TEST(StallAccounting, StatsReportListsPerCoreCauses) {
+  Workload w = make_producer_consumer(2, 4);
+  SystemConfig cfg = SystemConfig::realistic(2, ConsistencyModel::kSC);
+  Machine m(cfg, w.programs);
+  (void)m.run();
+  std::string rep = m.stats_report();
+  EXPECT_NE(rep.find("core0.stall.busy"), std::string::npos) << rep;
+  EXPECT_NE(rep.find("core1.stall.busy"), std::string::npos);
+  // A blocking SC run of producer/consumer stalls on memory somewhere.
+  EXPECT_TRUE(rep.find("stall.cache_miss") != std::string::npos ||
+              rep.find("stall.dir_pending") != std::string::npos ||
+              rep.find("stall.consistency") != std::string::npos)
+      << rep;
+}
+
+TEST(PostMortem, DeadlockedCellCarriesMachineSnapshot) {
+  ExperimentGrid grid("postmortem");
+  SystemConfig cfg = SystemConfig::realistic(2, ConsistencyModel::kSC);
+  cfg.max_cycles = 50;
+  grid.add(make_producer_consumer(2, 4), cfg, "cutoff");
+
+  ExperimentRunner runner(1);
+  std::vector<CellResult> results = runner.run(grid);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].status, CellStatus::kDeadlock);
+
+  const Json& pm = results[0].post_mortem;
+  ASSERT_TRUE(pm.is_object());
+  for (const char* key : {"cycle", "cores", "caches", "network", "directory"}) {
+    EXPECT_TRUE(pm.contains(key)) << "missing post-mortem key: " << key;
+  }
+  EXPECT_EQ(pm["cycle"].as_uint(), 50u);
+  ASSERT_EQ(pm["cores"].size(), 2u);
+  for (std::size_t p = 0; p < 2; ++p) {
+    const Json& core = pm["cores"][p];
+    for (const char* key : {"proc", "halted", "retired", "rob", "lsu"}) {
+      EXPECT_TRUE(core.contains(key)) << "missing core key: " << key;
+    }
+  }
+  // Cut off mid-flight, at least one core is stuck on something and
+  // says what: a non-empty ROB reports its head's blocking cause.
+  bool any_stalled = false;
+  for (std::size_t p = 0; p < 2; ++p) {
+    if (pm["cores"][p]["rob"].size() > 0) {
+      EXPECT_TRUE(pm["cores"][p].contains("stalled_on"));
+      any_stalled = true;
+    }
+  }
+  EXPECT_TRUE(any_stalled) << pm.dump(2);
+
+  // The snapshot flows into the JSON report for deadlocked cells only.
+  Json report = results_to_json(grid, results, runner.last_sweep());
+  EXPECT_TRUE(report["cells"][0].contains("post_mortem"));
+}
+
+TEST(PostMortem, AbsentFromHealthyCells) {
+  ExperimentGrid grid("healthy");
+  grid.add(make_producer_consumer(2, 4),
+           SystemConfig::realistic(2, ConsistencyModel::kSC));
+  ExperimentRunner runner(1);
+  std::vector<CellResult> results = runner.run(grid);
+  ASSERT_TRUE(results[0].ok()) << results[0].error;
+  EXPECT_TRUE(results[0].post_mortem.is_null());
+  Json report = results_to_json(grid, results, runner.last_sweep());
+  EXPECT_FALSE(report["cells"][0].contains("post_mortem"));
+}
+
+TEST(TraceEvents, MachineTimelineAgreesWithItsCounter) {
+  Workload w = make_producer_consumer(2, 4);
+  SystemConfig cfg = SystemConfig::realistic(2, ConsistencyModel::kSC);
+  cfg.core.prefetch = PrefetchMode::kNonBinding;
+  cfg.core.speculative_loads = true;
+  Machine m(cfg, w.programs);
+  m.trace_events().enable();
+  RunResult r = m.run();
+  ASSERT_FALSE(r.deadlocked);
+
+  const TraceEventSink& sink = m.trace_events();
+  EXPECT_GT(sink.event_count(), 0u);
+  Json trace = sink.to_json();
+  const Json& ev = trace["traceEvents"];
+  std::uint64_t timeline = 0, metadata = 0;
+  for (std::size_t i = 0; i < ev.size(); ++i) {
+    if (ev[i]["ph"].as_string() == "M") ++metadata;
+    else ++timeline;
+  }
+  EXPECT_EQ(timeline, sink.event_count());
+  // One labelled track per core, per cache, plus the directory.
+  EXPECT_EQ(metadata, 2u * 2u + 1u);
+  // Every timeline event sits on a known track: 0..P-1 cores,
+  // P..2P-1 caches, 2P directory.
+  for (std::size_t i = 0; i < ev.size(); ++i) {
+    if (ev[i]["ph"].as_string() == "M") continue;
+    EXPECT_LE(ev[i]["tid"].as_uint(), 4u);
+  }
+}
+
+TEST(TraceEvents, DisabledSinkRecordsNothingDuringRun) {
+  Workload w = make_producer_consumer(2, 4);
+  SystemConfig cfg = SystemConfig::realistic(2, ConsistencyModel::kSC);
+  Machine m(cfg, w.programs);
+  (void)m.run();
+  EXPECT_EQ(m.trace_events().event_count(), 0u);
+}
+
+}  // namespace
+}  // namespace mcsim

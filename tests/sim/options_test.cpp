@@ -81,5 +81,20 @@ TEST(Options, HexValuesAccepted) {
   EXPECT_EQ(r.config.core.rob_entries, 64u);
 }
 
+TEST(Options, TraceOutCapturesPath) {
+  EXPECT_EQ(parse({}).trace_out, "");
+  OptionsResult r = parse({"--trace-out=out/trace.json"});
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.trace_out, "out/trace.json");
+  EXPECT_FALSE(parse({"--trace-out="}).ok());
+}
+
+TEST(Options, HelpDocumentsTraceAndEnvironment) {
+  std::string help = options_help();
+  EXPECT_NE(help.find("--trace-out"), std::string::npos);
+  EXPECT_NE(help.find("MCSIM_LOG_LEVEL"), std::string::npos);
+  EXPECT_NE(help.find("MCSIM_JOBS"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace mcsim
