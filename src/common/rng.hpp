@@ -9,6 +9,17 @@
 
 namespace mcsim {
 
+/// Derive a statistically independent child seed from a master seed and
+/// an index (splitmix64 of the pair). Sweeps that fan one seed out over
+/// many cells use this so cell i's stream depends only on (master, i) —
+/// never on worker count or completion order.
+inline std::uint64_t derive_child_seed(std::uint64_t master, std::uint64_t index) {
+  std::uint64_t z = master + 0x9e3779b97f4a7c15ULL * (index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 class Pcg32 {
  public:
   explicit Pcg32(std::uint64_t seed = 0x853c49e6748fea9bULL,

@@ -1,6 +1,20 @@
 #include "consistency/policy.hpp"
 
+#include <atomic>
+
 namespace mcsim {
+
+namespace {
+// Relaxed is enough: the fault is set once before a sweep and read by
+// worker threads; a plain load on every mainstream target.
+std::atomic<PolicyFault> g_policy_fault{PolicyFault::kNone};
+}  // namespace
+
+void set_policy_fault(PolicyFault f) {
+  g_policy_fault.store(f, std::memory_order_relaxed);
+}
+
+PolicyFault policy_fault() { return g_policy_fault.load(std::memory_order_relaxed); }
 
 const char* to_string(AccessClass c) {
   switch (c) {
@@ -50,6 +64,8 @@ bool requires_delay(ConsistencyModel m, AccessClass prev, AccessClass next) {
 bool load_may_issue(ConsistencyModel m, const IssueContext& ctx) {
   switch (m) {
     case ConsistencyModel::kSC:
+      if (policy_fault() == PolicyFault::kSCLoadIgnoresStores)
+        return !ctx.earlier_load_incomplete;  // injected bug: PC's load rule
       // A load performs only after every previous access has performed.
       return !ctx.earlier_load_incomplete && !ctx.earlier_store_incomplete;
     case ConsistencyModel::kPC:
@@ -78,8 +94,10 @@ bool store_may_issue(ConsistencyModel m, const IssueContext& ctx) {
         return !ctx.earlier_load_incomplete && !ctx.earlier_store_incomplete;
       return !ctx.earlier_sync_incomplete;
     case ConsistencyModel::kRC:
-      if (ctx.self_sync == SyncKind::kRelease)
+      if (ctx.self_sync == SyncKind::kRelease) {
+        if (policy_fault() == PolicyFault::kRCReleaseIgnoresStores) return true;
         return !ctx.earlier_store_incomplete;  // loads covered by ROB release
+      }
       // Ordinary stores (and acquire RMW writes) pipeline freely; the
       // reorder buffer's head-release already ordered them after any
       // earlier acquire.
@@ -107,9 +125,18 @@ bool spec_load_treated_as_acquire(ConsistencyModel m, SyncKind load_sync) {
   return true;
 }
 
+bool spec_retire_waits_for(ConsistencyModel m, AccessClass prev) {
+  if (m == ConsistencyModel::kSC && prev == AccessClass::kStore &&
+      policy_fault() == PolicyFault::kSCSpecIgnoresStoreTag)
+    return false;  // injected bug: retire past earlier stores
+  return requires_delay(m, prev, AccessClass::kAcquire);
+}
+
 StoreTagRule spec_load_store_tag_rule(ConsistencyModel m) {
   switch (m) {
     case ConsistencyModel::kSC:
+      if (policy_fault() == PolicyFault::kSCSpecIgnoresStoreTag)
+        return StoreTagRule::kNone;  // injected bug: retire before earlier stores
       return StoreTagRule::kAnyStore;
     case ConsistencyModel::kPC:
     case ConsistencyModel::kRC:

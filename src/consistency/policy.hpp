@@ -72,4 +72,30 @@ enum class StoreTagRule : std::uint8_t {
 };
 StoreTagRule spec_load_store_tag_rule(ConsistencyModel m);
 
+/// Must a speculative sync-load entry at the buffer head keep waiting
+/// because a program-order-earlier access of class `prev` has not
+/// performed? This is the LSU's retirement veto for delay conditions
+/// the buffer fields cannot encode (e.g. a WC sync load behind several
+/// outstanding plain stores, where a single store tag is not enough).
+/// Semantically it is requires_delay(m, prev, kAcquire); routed through
+/// here so enforcement stays in one place and fault injection can
+/// weaken it together with the store tag.
+bool spec_retire_waits_for(ConsistencyModel m, AccessClass prev);
+
+/// Test-only fault injection for the differential fuzzer: each fault
+/// deliberately weakens one ENFORCEMENT predicate while leaving
+/// requires_delay() — the axioms the sva checkers validate against —
+/// intact, so a healthy checker must flag the resulting executions.
+/// Never enable outside tests/bench; the knob is process-global (set it
+/// before spawning simulation workers, clear it after).
+enum class PolicyFault : std::uint8_t {
+  kNone,
+  kSCLoadIgnoresStores,     ///< SC loads no longer wait for earlier stores
+  kSCSpecIgnoresStoreTag,   ///< SC spec retirement ignores earlier stores
+                            ///< (drops the store tag AND the retire veto)
+  kRCReleaseIgnoresStores,  ///< RC releases no longer wait for earlier stores
+};
+void set_policy_fault(PolicyFault f);
+PolicyFault policy_fault();
+
 }  // namespace mcsim

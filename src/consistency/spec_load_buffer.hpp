@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -64,7 +65,11 @@ class SpecLoadBuffer {
   /// being speculative — coherence monitoring guarantees its value
   /// still equals the memory value now, which is what makes "as if it
   /// performed at retirement" the sound serialization point.
-  std::vector<std::uint64_t> retire_ready();
+  /// `may_retire` (optional) lets the owner veto a head entry whose
+  /// delay condition lives outside the buffer — e.g. a WC sync load
+  /// waiting on earlier plain accesses that hold no FIFO slot open.
+  std::vector<std::uint64_t> retire_ready(
+      const std::function<bool(const Entry&)>& may_retire = {});
 
   /// What the detection mechanism demands after a coherence transaction
   /// on `line`.

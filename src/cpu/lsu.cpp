@@ -237,6 +237,20 @@ IssueContext LoadStoreUnit::context_for(std::uint64_t seq, SyncKind self_sync) c
     if (e.sync != SyncKind::kNone) ctx.earlier_sync_incomplete = true;
     if (e.sync == SyncKind::kAcquire) ctx.earlier_acquire_incomplete = true;
   }
+  // A speculative sync load leaves the load queue when its value binds,
+  // but it has not *performed* until its buffer entry retires — that
+  // retirement is its serialization point. While the entry lingers
+  // (store tag pending, or vetoed behind earlier plain accesses), later
+  // accesses must still treat the sync as incomplete. Entries carry
+  // `acq` only for genuine sync loads under WC/RC; SC/PC set it on
+  // every load but their gates never read the sync flags. RMW read
+  // entries are skipped: the RMW still occupies the store buffer, which
+  // the scan above already accounts for with its true sync kind.
+  spec_buffer_.for_each([&](const SpecLoadBuffer::Entry& e) {
+    if (e.seq >= seq || e.is_rmw_read || !e.acq) return;
+    ctx.earlier_sync_incomplete = true;
+    ctx.earlier_acquire_incomplete = true;
+  });
   return ctx;
 }
 
@@ -631,7 +645,32 @@ void LoadStoreUnit::drain_responses(Cycle now) {
 }
 
 void LoadStoreUnit::retire_spec_entries(Cycle now) {
-  std::vector<std::uint64_t> retired = spec_buffer_.retire_ready();
+  // An acq entry (a sync load under WC, any load under SC/PC) may only
+  // stop being monitored once every earlier access the model orders
+  // before it has performed. The FIFO covers earlier entries that
+  // themselves hold a slot until done; earlier accesses that do NOT —
+  // WC plain loads (non-acq entries pop before performing) and WC
+  // plain stores (several may be outstanding, so one store tag cannot
+  // carry the dependence) — are vetoed here, via the policy so
+  // enforcement stays in one place. RC deliberately orders neither
+  // pair (RCpc), so this veto never fires there.
+  const bool wait_loads = spec_retire_waits_for(cfg_.model, AccessClass::kLoad);
+  const bool wait_stores = spec_retire_waits_for(cfg_.model, AccessClass::kStore);
+  auto may_retire = [&](const SpecLoadBuffer::Entry& e) {
+    if (!e.acq || e.is_rmw_read) return true;
+    if (wait_loads) {
+      for (const LoadEntry& ld : load_q_) {
+        if (ld.seq < e.seq) return false;  // earlier load still in flight
+      }
+    }
+    if (wait_stores) {
+      for (const StoreEntry& st : store_buf_) {
+        if (st.seq < e.seq) return false;  // earlier store still pending
+      }
+    }
+    return true;
+  };
+  std::vector<std::uint64_t> retired = spec_buffer_.retire_ready(may_retire);
   if (retired.empty()) return;
   stats_.add(stat::spec_retired, retired.size());
   if (trace_ != nullptr && trace_->enabled())

@@ -60,6 +60,7 @@ CellResult run_cell(const ExperimentCell& cell) {
   try {
     SystemConfig cfg = cell.config;
     cfg.num_procs = static_cast<std::uint32_t>(cell.workload.programs.size());
+    if (cell.record_accesses) cfg.record_accesses = true;
     Machine m(cfg, cell.workload.programs);
     for (const auto& [proc, addr] : cell.workload.preload_shared) {
       m.preload_shared(proc, addr);
@@ -92,6 +93,16 @@ CellResult run_cell(const ExperimentCell& cell) {
     merge_hist(s.net_latency, m.network().stats(), "msg_latency");
     s.load_latency_mean = s.load_latency.mean();
     s.store_latency_mean = s.store_latency.mean();
+
+    if (cell.record_accesses) {
+      out.access_logs = m.access_logs();
+      out.final_regs.resize(cfg.num_procs);
+      for (ProcId p = 0; p < cfg.num_procs; ++p) {
+        for (RegId i = 0; i < kNumArchRegs; ++i) out.final_regs[p][i] = m.core(p).reg(i);
+      }
+    }
+    out.watch_values.reserve(cell.watch.size());
+    for (Addr a : cell.watch) out.watch_values.push_back(m.read_word(a));
 
     if (!cell.trace_out.empty()) {
       out.trace_path = cell.trace_out;
@@ -211,6 +222,7 @@ Json results_to_json(const ExperimentGrid& grid, const std::vector<CellResult>& 
     Json tags = Json::object();
     for (const auto& [k, v] : cell.tags) tags.set(k, Json::string(v));
     c.set("tags", std::move(tags));
+    if (cell.seed != 0) c.set("seed", Json::number(cell.seed));
     c.set("status", Json::string(to_string(r.status)));
     if (!r.error.empty()) c.set("error", Json::string(r.error));
     c.set("cycles", Json::number(static_cast<std::uint64_t>(r.stats.cycles)));

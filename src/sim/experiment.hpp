@@ -15,11 +15,13 @@
 //   write_json("BENCH_models.json", grid, results, runner.last_sweep());
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "common/access_record.hpp"
 #include "common/config.hpp"
 #include "common/histogram.hpp"
 #include "common/json.hpp"
@@ -63,6 +65,17 @@ struct ExperimentCell {
   std::string technique;
   std::string trace_out;
   std::map<std::string, std::string> tags;
+  /// Capture per-processor architectural access logs and final register
+  /// files into the CellResult (the sva verification harness consumes
+  /// them; costs memory proportional to accesses — off for benches).
+  bool record_accesses = false;
+  /// Memory words whose final values the CellResult reports (in order).
+  std::vector<Addr> watch;
+  /// Per-cell child RNG seed, derived from the sweep's master seed and
+  /// the cell index (derive_child_seed) so a sweep's programs are
+  /// identical whatever the worker count. 0 = not seeded; flows into
+  /// the JSON report for replay.
+  std::uint64_t seed = 0;
 };
 
 enum class CellStatus : std::uint8_t {
@@ -86,6 +99,12 @@ struct CellResult {
   std::string trace_path;           ///< where the timeline was written ("" = off)
   std::uint64_t trace_events = 0;   ///< timeline events recorded for this cell
   Json post_mortem;                 ///< machine snapshot; non-null only on deadlock
+  // Architectural observation of the run, populated only when the cell
+  // asked for it (record_accesses / watch): what the sva checkers and
+  // the differential fuzzer compare across models and techniques.
+  std::vector<std::vector<AccessRecord>> access_logs;  ///< per processor
+  std::vector<Word> watch_values;                      ///< cell.watch order
+  std::vector<std::array<Word, kNumArchRegs>> final_regs;  ///< per processor
 };
 
 /// A named list of cells; the name becomes the JSON report's "bench".

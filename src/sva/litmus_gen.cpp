@@ -1,0 +1,108 @@
+#include "sva/litmus_gen.hpp"
+
+#include "common/rng.hpp"
+#include "isa/builder.hpp"
+
+namespace mcsim {
+namespace sva {
+
+namespace {
+
+// The pool lives on distinct cache lines (0x40 spacing covers every
+// supported line size) so accesses contend through coherence, not
+// through false sharing on one line.
+constexpr Addr kPoolBase = 0x1000;
+constexpr Addr kPoolStride = 0x40;
+
+// Scratch registers r1..r6 (r0 is hardwired zero).
+constexpr RegId kFirstReg = 1;
+constexpr RegId kNumRegs = 6;
+
+}  // namespace
+
+LitmusProgram generate_litmus(const LitmusGenConfig& cfg, std::uint64_t seed) {
+  Pcg32 rng(seed);
+  LitmusProgram lp;
+  lp.seed = seed;
+
+  const std::uint32_t span = cfg.max_threads - cfg.min_threads + 1;
+  const std::uint32_t nthreads = cfg.min_threads + rng.next_below(span);
+  for (std::uint32_t i = 0; i < cfg.addr_pool; ++i) {
+    lp.addrs.push_back(kPoolBase + i * kPoolStride);
+  }
+
+  auto reg = [&] { return static_cast<RegId>(kFirstReg + rng.next_below(kNumRegs)); };
+  auto addr = [&] { return lp.addrs[rng.next_below(cfg.addr_pool)]; };
+
+  // Unique-ish store values make the checker's reads-from analysis
+  // unambiguous: a load value identifies exactly one writer.
+  Word next_value = 1;
+
+  for (std::uint32_t t = 0; t < nthreads; ++t) {
+    ProgramBuilder b;
+    // Seed a couple of registers so the first stores have live values.
+    const std::uint32_t seeds = 1 + rng.next_below(2);
+    for (std::uint32_t i = 0; i < seeds; ++i) b.li(reg(), next_value++);
+
+    const std::uint32_t ispan = cfg.max_insts - cfg.min_insts + 1;
+    const std::uint32_t n = cfg.min_insts + rng.next_below(ispan);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const MemOperand m = ProgramBuilder::abs(addr());
+      if (rng.chance(cfg.rmw_pct, 100)) {
+        switch (rng.next_below(3)) {
+          case 0:  // lock-shaped acquire RMW
+            b.tas(reg(), m);
+            break;
+          case 1:
+            b.fetch_add(reg(), m, reg());
+            break;
+          default:
+            b.swap(reg(), m, reg());
+            break;
+        }
+      } else if (rng.chance(1, 2)) {
+        if (rng.chance(cfg.sync_pct, 100))
+          b.load_acq(reg(), m);
+        else
+          b.load(reg(), m);
+      } else {
+        RegId src = reg();
+        if (rng.chance(3, 5)) {  // fresh, globally unique store value
+          src = reg();
+          b.li(src, next_value++);
+        }
+        if (rng.chance(cfg.sync_pct, 100))
+          b.store_rel(src, m);
+        else
+          b.store(src, m);
+      }
+    }
+    b.halt();
+    lp.programs.push_back(b.build());
+  }
+
+  // Initial values and warm lines, drawn after the programs so the
+  // instruction stream for a seed never shifts when knobs change.
+  for (Addr a : lp.addrs) {
+    if (rng.chance(cfg.init_pct, 100)) {
+      lp.programs[0].add_data(a, next_value++);
+    }
+  }
+  for (ProcId p = 0; p < nthreads; ++p) {
+    for (Addr a : lp.addrs) {
+      if (rng.chance(cfg.warm_pct, 100)) lp.preload_shared.push_back({p, a});
+    }
+  }
+  return lp;
+}
+
+std::string describe(const LitmusProgram& lp) {
+  std::size_t insts = 0;
+  for (const Program& p : lp.programs) insts += p.size();
+  return std::to_string(lp.programs.size()) + " threads, " + std::to_string(insts) +
+         " insts, " + std::to_string(lp.addrs.size()) + " addrs, seed=" +
+         std::to_string(lp.seed);
+}
+
+}  // namespace sva
+}  // namespace mcsim

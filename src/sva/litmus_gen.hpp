@@ -1,0 +1,62 @@
+// Seeded random litmus-program generator for the differential fuzzer.
+//
+// Programs are straight-line (loop- and branch-free) multiprocessor
+// snippets over a small contended address pool, mixing plain loads and
+// stores with acquire loads, release stores, and RMWs at a tunable sync
+// density. Straight-line programs keep the SC enumeration oracle
+// bounded and make the greedy shrinker trivially sound (deleting any
+// instruction yields another valid program).
+//
+// Everything is exactly reproducible from the seed (Pcg32); the same
+// (config, seed) pair yields the same litmus test on every host.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/program.hpp"
+
+namespace mcsim {
+namespace sva {
+
+struct LitmusGenConfig {
+  // Thread count drawn uniformly from [min_threads, max_threads].
+  std::uint32_t min_threads = 2;
+  std::uint32_t max_threads = 3;
+  // Memory instructions per thread, drawn uniformly per thread.
+  std::uint32_t min_insts = 3;
+  std::uint32_t max_insts = 6;
+  // Address-contention knob: all accesses target this many distinct
+  // words. Fewer addresses = more conflicts = more interesting
+  // interleavings (and a smaller SC state space).
+  std::uint32_t addr_pool = 3;
+  // Sync density, in percent of memory instructions: chance that a
+  // load is an acquire / a store is a release.
+  std::uint32_t sync_pct = 20;
+  // RMW share, in percent of memory instructions (tas/fadd/swap mix).
+  std::uint32_t rmw_pct = 15;
+  // Chance (percent) that each (processor, address) pair starts with
+  // the line warm in that processor's cache — warm lines are the
+  // adversarial case for speculative early binding.
+  std::uint32_t warm_pct = 40;
+  // Chance (percent) that each address starts with a nonzero value.
+  std::uint32_t init_pct = 25;
+};
+
+struct LitmusProgram {
+  std::vector<Program> programs;  ///< one per processor
+  std::vector<Addr> addrs;        ///< the shared address pool (watch list)
+  /// Lines to warm before the run (Machine::preload_shared format).
+  std::vector<std::pair<ProcId, Addr>> preload_shared;
+  std::uint64_t seed = 0;  ///< the seed this litmus was generated from
+};
+
+/// Generate one litmus program set. Deterministic in (cfg, seed).
+LitmusProgram generate_litmus(const LitmusGenConfig& cfg, std::uint64_t seed);
+
+/// One-line summary ("3 threads, 14 insts, 3 addrs, seed=...") for logs.
+std::string describe(const LitmusProgram& lp);
+
+}  // namespace sva
+}  // namespace mcsim

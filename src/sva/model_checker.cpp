@@ -1,0 +1,311 @@
+#include "sva/model_checker.hpp"
+
+#include <algorithm>
+#include <array>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace mcsim {
+namespace sva {
+
+const char* to_string(CheckViolation::Kind k) {
+  switch (k) {
+    case CheckViolation::Kind::kReplayMismatch: return "replay-mismatch";
+    case CheckViolation::Kind::kDelayArc: return "delay-arc";
+    case CheckViolation::Kind::kReadValue: return "read-value";
+  }
+  return "?";
+}
+
+std::string CheckResult::describe() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < violations.size(); ++i) {
+    if (i != 0) os << '\n';
+    os << "[" << to_string(violations[i].kind) << "] P" << violations[i].proc
+       << " seq=" << violations[i].seq << ": " << violations[i].detail;
+  }
+  return os.str();
+}
+
+std::vector<AccessClass> classes_of(AccessKind kind, SyncKind sync) {
+  switch (kind) {
+    case AccessKind::kLoad:
+      return {sync == SyncKind::kAcquire ? AccessClass::kAcquire : AccessClass::kLoad};
+    case AccessKind::kStore:
+      return {sync == SyncKind::kRelease ? AccessClass::kRelease : AccessClass::kStore};
+    case AccessKind::kRmw: {
+      // An RMW is a read and a write performing atomically: its read
+      // side is an acquire when so flavored, its write side a release
+      // when so flavored (plain otherwise).
+      AccessClass rd = sync == SyncKind::kAcquire ? AccessClass::kAcquire : AccessClass::kLoad;
+      AccessClass wr = sync == SyncKind::kRelease ? AccessClass::kRelease : AccessClass::kStore;
+      return {rd, wr};
+    }
+  }
+  return {AccessClass::kLoad};
+}
+
+namespace {
+
+struct Checker {
+  ConsistencyModel model;
+  const std::vector<Program>& programs;
+  const std::vector<std::vector<AccessRecord>>& logs;
+  std::size_t max_violations;
+  CheckResult out;
+
+  /// Write value of each record (store value, or the RMW's new value
+  /// reconstructed by the replay). Aligned with logs; loads unused.
+  std::vector<std::vector<Word>> write_values;
+  bool replay_ok = true;
+
+  bool full() const { return out.violations.size() >= max_violations; }
+
+  void flag(CheckViolation::Kind kind, ProcId p, std::uint64_t seq, std::string detail) {
+    if (full()) return;
+    out.violations.push_back({kind, p, seq, std::move(detail)});
+  }
+
+  // ---- 1. uniprocessor replay ---------------------------------------
+  //
+  // Drive the reference instruction semantics (the same eval_* helpers
+  // the core and the interpreter share), taking every load/RMW-read
+  // value from the log. Any divergence — wrong address, wrong kind,
+  // wrong store value, an access the program cannot produce — is a
+  // core/LSU bug, and it also voids the RMW write values the
+  // reads-from check needs, so a failed replay skips that check.
+  void replay(ProcId p) {
+    const Program& prog = programs[p];
+    const std::vector<AccessRecord>& log = logs[p];
+    std::array<Word, kNumArchRegs> regs{};
+    std::size_t pc = 0;
+    std::size_t li = 0;  // next unconsumed log record
+    // Generous budget: every logged access plus slack for ALU/branch
+    // instructions (spin loops consume log records, so this bounds).
+    std::uint64_t budget = 64 * (log.size() + prog.size() + 16);
+
+    auto mismatch = [&](const std::string& what) {
+      flag(CheckViolation::Kind::kReplayMismatch, p, li < log.size() ? log[li].seq : li,
+           what + " at pc=" + std::to_string(pc));
+      replay_ok = false;
+    };
+
+    while (pc < prog.size()) {
+      if (budget-- == 0) return mismatch("replay did not terminate (budget exhausted)");
+      const Instruction& inst = prog.at(pc);
+      std::size_t next_pc = pc + 1;
+      switch (inst.op) {
+        case Opcode::kHalt:
+          if (li != log.size())
+            return mismatch("program halted with " + std::to_string(log.size() - li) +
+                            " unexplained log records");
+          return;
+        case Opcode::kNop:
+        case Opcode::kFence:
+        case Opcode::kPrefetch:
+        case Opcode::kPrefetchEx:
+          break;
+        case Opcode::kLoad: {
+          if (li >= log.size()) return mismatch("load has no log record");
+          const AccessRecord& r = log[li];
+          Addr ea = static_cast<Addr>(regs[inst.mem.base]) +
+                    (static_cast<Addr>(regs[inst.mem.index]) << inst.mem.scale_log2) +
+                    static_cast<Addr>(inst.mem.disp);
+          if (r.kind != AccessKind::kLoad || r.addr != ea || r.sync != inst.sync)
+            return mismatch("load record disagrees (addr/kind/sync)");
+          regs[inst.rd] = r.value;
+          ++li;
+          break;
+        }
+        case Opcode::kStore: {
+          if (li >= log.size()) return mismatch("store has no log record");
+          const AccessRecord& r = log[li];
+          Addr ea = static_cast<Addr>(regs[inst.mem.base]) +
+                    (static_cast<Addr>(regs[inst.mem.index]) << inst.mem.scale_log2) +
+                    static_cast<Addr>(inst.mem.disp);
+          if (r.kind != AccessKind::kStore || r.addr != ea || r.sync != inst.sync)
+            return mismatch("store record disagrees (addr/kind/sync)");
+          if (r.value != regs[inst.rs2])
+            return mismatch("store wrote " + std::to_string(r.value) + ", semantics say " +
+                            std::to_string(regs[inst.rs2]));
+          write_values[p][li] = r.value;
+          ++li;
+          break;
+        }
+        case Opcode::kRmw: {
+          if (li >= log.size()) return mismatch("rmw has no log record");
+          const AccessRecord& r = log[li];
+          Addr ea = static_cast<Addr>(regs[inst.mem.base]) +
+                    (static_cast<Addr>(regs[inst.mem.index]) << inst.mem.scale_log2) +
+                    static_cast<Addr>(inst.mem.disp);
+          if (r.kind != AccessKind::kRmw || r.addr != ea || r.sync != inst.sync)
+            return mismatch("rmw record disagrees (addr/kind/sync)");
+          const Word old = r.value;
+          write_values[p][li] = eval_rmw_new_value(inst, old, regs[inst.rs1], regs[inst.rs2]);
+          regs[inst.rd] = old;
+          ++li;
+          break;
+        }
+        case Opcode::kBeq:
+        case Opcode::kBne:
+        case Opcode::kBlt:
+        case Opcode::kBge:
+        case Opcode::kJmp:
+          if (eval_branch(inst.op, regs[inst.rs1], regs[inst.rs2]))
+            next_pc = static_cast<std::size_t>(inst.imm);
+          break;
+        default: {  // ALU
+          Word b = inst.has_imm_operand() ? static_cast<Word>(inst.imm) : regs[inst.rs2];
+          regs[inst.rd] = eval_alu(inst, regs[inst.rs1], b);
+          break;
+        }
+      }
+      regs[0] = 0;
+      pc = next_pc;
+    }
+    if (li != log.size()) mismatch("program ended with unexplained log records");
+  }
+
+  // ---- 2. delay arcs -------------------------------------------------
+  //
+  // For every program-order pair whose Figure-1 classes the model
+  // orders, the perform timestamps must be non-decreasing. Pairwise
+  // (not just adjacent) because requires_delay() is not transitive:
+  // under WC, load -> sync -> load orders both ends to the sync but the
+  // two plain loads only through it.
+  void check_arcs(ProcId p) {
+    const std::vector<AccessRecord>& log = logs[p];
+    for (std::size_t j = 1; j < log.size() && !full(); ++j) {
+      const std::vector<AccessClass> cj = classes_of(log[j].kind, log[j].sync);
+      for (std::size_t i = 0; i < j && !full(); ++i) {
+        const std::vector<AccessClass> ci = classes_of(log[i].kind, log[i].sync);
+        bool required = false;
+        for (AccessClass a : ci) {
+          for (AccessClass b : cj) required = required || requires_delay(model, a, b);
+        }
+        ++out.arcs_checked;
+        if (required && log[j].performed_at < log[i].performed_at) {
+          std::ostringstream os;
+          os << to_string(ci.front()) << " pc=" << log[i].pc << " @" << log[i].performed_at
+             << " -> " << to_string(cj.front()) << " pc=" << log[j].pc << " @"
+             << log[j].performed_at << " ran backwards under " << to_string(model);
+          flag(CheckViolation::Kind::kDelayArc, p, log[j].seq, os.str());
+        }
+      }
+    }
+  }
+
+  // ---- 3. reads-from -------------------------------------------------
+
+  struct Event {
+    Cycle at;
+    ProcId proc;
+    std::size_t idx;  ///< index into logs[proc]
+  };
+
+  void check_reads() {
+    // Initial memory image: later programs' data inits override (the
+    // Machine applies them in program order at construction).
+    std::map<Addr, Word> init;
+    for (const Program& prog : programs) {
+      for (const DataInit& d : prog.data())
+        init[d.addr & ~static_cast<Addr>(kWordBytes - 1)] = d.value;
+    }
+
+    std::vector<Event> events;
+    for (ProcId p = 0; p < logs.size(); ++p) {
+      for (std::size_t i = 0; i < logs[p].size(); ++i)
+        events.push_back({logs[p][i].performed_at, p, i});
+    }
+    std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+      if (a.at != b.at) return a.at < b.at;
+      if (a.proc != b.proc) return a.proc < b.proc;
+      return a.idx < b.idx;
+    });
+
+    for (const Event& e : events) {
+      if (full()) return;
+      const AccessRecord& r = logs[e.proc][e.idx];
+      if (r.kind == AccessKind::kStore) continue;
+      ++out.reads_checked;
+
+      // Collect every value the global perform order could justify.
+      std::set<Word> candidates;
+      Cycle best = 0;
+      bool have_store = false;
+      for (const Event& w : events) {
+        const AccessRecord& wr = logs[w.proc][w.idx];
+        if (wr.kind == AccessKind::kLoad || wr.addr != r.addr) continue;
+        if (w.proc == e.proc && wr.seq == r.seq) continue;  // the RMW itself
+        if (w.at < e.at) {
+          if (!have_store || w.at > best) best = w.at;
+          have_store = true;
+        }
+      }
+      for (const Event& w : events) {
+        const AccessRecord& wr = logs[w.proc][w.idx];
+        if (wr.kind == AccessKind::kLoad || wr.addr != r.addr) continue;
+        if (w.proc == e.proc && wr.seq == r.seq) continue;
+        // The latest performed write(s) before the read.
+        if (w.at < e.at && have_store && w.at == best)
+          candidates.insert(write_values[w.proc][w.idx]);
+        // Writes performing the same cycle: intra-cycle order is not
+        // observable, so either side of the race is legal — except this
+        // processor's own program-order-later accesses.
+        if (w.at == e.at && !(w.proc == e.proc && wr.seq > r.seq))
+          candidates.insert(write_values[w.proc][w.idx]);
+      }
+      if (!have_store) {
+        auto it = init.find(r.addr & ~static_cast<Addr>(kWordBytes - 1));
+        candidates.insert(it == init.end() ? 0 : it->second);
+      }
+      // Store-to-load forwarding: a plain program-order-earlier store of
+      // this processor may supply the value before it performs globally
+      // (the LSU only forwards when the model lets the load perform, so
+      // the ordering side is already covered by the arc check).
+      if (r.kind == AccessKind::kLoad) {
+        const std::vector<AccessRecord>& mylog = logs[e.proc];
+        for (std::size_t i = e.idx; i-- > 0;) {
+          const AccessRecord& wr = mylog[i];
+          if (wr.addr != r.addr || wr.kind == AccessKind::kLoad) continue;
+          if (wr.kind == AccessKind::kStore && wr.performed_at >= r.performed_at)
+            candidates.insert(write_values[e.proc][i]);
+          break;  // only the nearest earlier same-address write can forward
+        }
+      }
+
+      if (candidates.count(r.value) == 0) {
+        std::ostringstream os;
+        os << (r.kind == AccessKind::kRmw ? "rmw read" : "load") << " pc=" << r.pc
+           << " addr=0x" << std::hex << r.addr << std::dec << " @" << r.performed_at
+           << " returned " << r.value << "; justified values:";
+        for (Word v : candidates) os << ' ' << v;
+        flag(CheckViolation::Kind::kReadValue, e.proc, r.seq, os.str());
+      }
+    }
+  }
+};
+
+}  // namespace
+
+CheckResult check_execution(ConsistencyModel m, const std::vector<Program>& programs,
+                            const std::vector<std::vector<AccessRecord>>& logs,
+                            std::size_t max_violations) {
+  Checker c{m, programs, logs, max_violations, {}, {}, true};
+  c.write_values.resize(logs.size());
+  for (std::size_t p = 0; p < logs.size(); ++p) c.write_values[p].resize(logs[p].size(), 0);
+  if (programs.size() != logs.size()) {
+    c.flag(CheckViolation::Kind::kReplayMismatch, 0, 0,
+           "log has " + std::to_string(logs.size()) + " processors, program set " +
+               std::to_string(programs.size()));
+    return std::move(c.out);
+  }
+  for (ProcId p = 0; p < programs.size() && !c.full(); ++p) c.replay(p);
+  for (ProcId p = 0; p < programs.size() && !c.full(); ++p) c.check_arcs(p);
+  if (c.replay_ok && !c.full()) c.check_reads();
+  return std::move(c.out);
+}
+
+}  // namespace sva
+}  // namespace mcsim

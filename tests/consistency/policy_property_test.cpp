@@ -1,0 +1,209 @@
+// Property tests binding the two views of the consistency policy
+// together: requires_delay() is the Figure-1 ground truth, and every
+// enforcement predicate (issue gating, spec-buffer fields, retirement
+// veto) must agree with it — modulo the one structural carve-out, the
+// reorder buffer's head-release, which discharges read->write arcs
+// before a store ever reaches its issue predicate.
+#include <gtest/gtest.h>
+
+#include "consistency/policy.hpp"
+
+namespace mcsim {
+namespace {
+
+using CM = ConsistencyModel;
+
+constexpr CM kModels[] = {CM::kSC, CM::kPC, CM::kWC, CM::kRC};
+constexpr AccessClass kClasses[] = {AccessClass::kLoad, AccessClass::kStore,
+                                    AccessClass::kAcquire, AccessClass::kRelease};
+
+bool is_read(AccessClass c) {
+  return c == AccessClass::kLoad || c == AccessClass::kAcquire;
+}
+
+/// Context at the moment exactly one program-order-earlier access of
+/// class `prev` is still incomplete.
+IssueContext ctx_after(AccessClass prev, SyncKind self) {
+  IssueContext c;
+  c.self_sync = self;
+  c.earlier_load_incomplete = is_read(prev);
+  c.earlier_store_incomplete = !is_read(prev);
+  c.earlier_sync_incomplete =
+      prev == AccessClass::kAcquire || prev == AccessClass::kRelease;
+  c.earlier_acquire_incomplete = prev == AccessClass::kAcquire;
+  return c;
+}
+
+struct ClassedAccess {
+  AccessClass cls;
+  SyncKind sync;
+};
+constexpr ClassedAccess kLoadShapes[] = {{AccessClass::kLoad, SyncKind::kNone},
+                                         {AccessClass::kAcquire, SyncKind::kAcquire}};
+constexpr ClassedAccess kStoreShapes[] = {{AccessClass::kStore, SyncKind::kNone},
+                                          {AccessClass::kRelease, SyncKind::kRelease}};
+
+TEST(PolicyProperty, Figure1GroundTruths) {
+  // SC: every pair is ordered.
+  for (AccessClass p : kClasses)
+    for (AccessClass n : kClasses) EXPECT_TRUE(requires_delay(CM::kSC, p, n));
+  // PC relaxes exactly the write->read arcs.
+  for (AccessClass p : kClasses)
+    for (AccessClass n : kClasses)
+      EXPECT_EQ(requires_delay(CM::kPC, p, n), !(is_read(n) && !is_read(p)))
+          << to_string(p) << "->" << to_string(n);
+  // WC orders a pair iff either side is a sync access.
+  for (AccessClass p : kClasses)
+    for (AccessClass n : kClasses) {
+      const bool sync_involved = p == AccessClass::kAcquire ||
+                                 p == AccessClass::kRelease ||
+                                 n == AccessClass::kAcquire || n == AccessClass::kRelease;
+      EXPECT_EQ(requires_delay(CM::kWC, p, n), sync_involved)
+          << to_string(p) << "->" << to_string(n);
+    }
+  // RCpc: acquire->all and all->release, release->acquire NOT ordered.
+  for (AccessClass n : kClasses) EXPECT_TRUE(requires_delay(CM::kRC, AccessClass::kAcquire, n));
+  for (AccessClass p : kClasses) EXPECT_TRUE(requires_delay(CM::kRC, p, AccessClass::kRelease));
+  EXPECT_FALSE(requires_delay(CM::kRC, AccessClass::kRelease, AccessClass::kAcquire));
+  EXPECT_FALSE(requires_delay(CM::kRC, AccessClass::kLoad, AccessClass::kLoad));
+  EXPECT_FALSE(requires_delay(CM::kRC, AccessClass::kStore, AccessClass::kLoad));
+}
+
+TEST(PolicyProperty, WeakModelsOnlyEverRelaxSC) {
+  for (CM m : kModels)
+    for (AccessClass p : kClasses)
+      for (AccessClass n : kClasses)
+        if (requires_delay(m, p, n)) {
+          EXPECT_TRUE(requires_delay(CM::kSC, p, n));
+        }
+}
+
+TEST(PolicyProperty, LoadGateEnforcesEveryArcIntoALoad) {
+  for (CM m : kModels)
+    for (AccessClass prev : kClasses)
+      for (const ClassedAccess& ld : kLoadShapes) {
+        const IssueContext ctx = ctx_after(prev, ld.sync);
+        if (requires_delay(m, prev, ld.cls)) {
+          EXPECT_FALSE(load_may_issue(m, ctx))
+              << to_string(m) << ": " << to_string(prev) << "->" << to_string(ld.cls);
+        } else {
+          // ...and never blocks an arc the model does not require.
+          EXPECT_TRUE(load_may_issue(m, ctx))
+              << to_string(m) << ": " << to_string(prev) << "->" << to_string(ld.cls);
+        }
+      }
+}
+
+TEST(PolicyProperty, StoreGateEnforcesEveryArcModuloRobHeadRelease) {
+  for (CM m : kModels)
+    for (AccessClass prev : kClasses)
+      for (const ClassedAccess& st : kStoreShapes) {
+        const IssueContext ctx = ctx_after(prev, st.sync);
+        if (requires_delay(m, prev, st.cls)) {
+          // read->write arcs are discharged structurally: the reorder
+          // buffer releases a store only once every earlier load has
+          // performed, so the predicate may legitimately pass then.
+          EXPECT_TRUE(!store_may_issue(m, ctx) || is_read(prev))
+              << to_string(m) << ": " << to_string(prev) << "->" << to_string(st.cls);
+        } else {
+          EXPECT_TRUE(store_may_issue(m, ctx))
+              << to_string(m) << ": " << to_string(prev) << "->" << to_string(st.cls);
+        }
+      }
+}
+
+TEST(PolicyProperty, RmwGateIsTheConjunction) {
+  for (CM m : kModels)
+    for (AccessClass prev : kClasses)
+      for (SyncKind s : {SyncKind::kNone, SyncKind::kAcquire}) {
+        const IssueContext ctx = ctx_after(prev, s);
+        EXPECT_EQ(rmw_may_issue(m, ctx),
+                  load_may_issue(m, ctx) && store_may_issue(m, ctx));
+      }
+}
+
+TEST(PolicyProperty, SpecAcqBitMirrorsLoadLoadOrdering) {
+  // A spec-buffer entry must pin its slot until completion exactly when
+  // the model orders this load before a later plain load.
+  for (CM m : kModels)
+    for (const ClassedAccess& ld : kLoadShapes)
+      EXPECT_EQ(spec_load_treated_as_acquire(m, ld.sync),
+                requires_delay(m, ld.cls, AccessClass::kLoad))
+          << to_string(m) << " " << to_string(ld.cls);
+}
+
+TEST(PolicyProperty, StoreTagRuleMirrorsStoreLoadOrdering) {
+  for (CM m : kModels) {
+    StoreTagRule expect = StoreTagRule::kNone;
+    if (requires_delay(m, AccessClass::kStore, AccessClass::kLoad))
+      expect = StoreTagRule::kAnyStore;
+    else if (requires_delay(m, AccessClass::kRelease, AccessClass::kLoad))
+      expect = StoreTagRule::kSyncStore;
+    EXPECT_EQ(spec_load_store_tag_rule(m), expect) << to_string(m);
+  }
+}
+
+TEST(PolicyProperty, RetireVetoMirrorsArcsIntoSyncLoads) {
+  for (CM m : kModels)
+    for (AccessClass prev : {AccessClass::kLoad, AccessClass::kStore})
+      EXPECT_EQ(spec_retire_waits_for(m, prev),
+                requires_delay(m, prev, AccessClass::kAcquire))
+          << to_string(m) << " " << to_string(prev);
+}
+
+// ---- fault injection ---------------------------------------------------
+
+class PolicyFaultGuard : public ::testing::Test {
+ protected:
+  void TearDown() override { set_policy_fault(PolicyFault::kNone); }
+};
+
+TEST_F(PolicyFaultGuard, FaultsNeverTouchTheGroundTruthMatrix) {
+  for (PolicyFault f : {PolicyFault::kSCLoadIgnoresStores,
+                        PolicyFault::kSCSpecIgnoresStoreTag,
+                        PolicyFault::kRCReleaseIgnoresStores}) {
+    set_policy_fault(f);
+    // The checkers validate against requires_delay; a fault that bent
+    // it would be invisible to them by construction.
+    for (AccessClass p : kClasses)
+      for (AccessClass n : kClasses) EXPECT_TRUE(requires_delay(CM::kSC, p, n));
+    EXPECT_TRUE(requires_delay(CM::kRC, AccessClass::kStore, AccessClass::kRelease));
+    EXPECT_FALSE(requires_delay(CM::kPC, AccessClass::kStore, AccessClass::kLoad));
+  }
+}
+
+TEST_F(PolicyFaultGuard, ScLoadFaultOpensExactlyTheStoreLoadGate) {
+  const IssueContext ctx = ctx_after(AccessClass::kStore, SyncKind::kNone);
+  ASSERT_FALSE(load_may_issue(CM::kSC, ctx));
+  set_policy_fault(PolicyFault::kSCLoadIgnoresStores);
+  EXPECT_TRUE(load_may_issue(CM::kSC, ctx));  // the injected hole
+  // Load->load ordering survives, and other models are untouched.
+  EXPECT_FALSE(load_may_issue(CM::kSC, ctx_after(AccessClass::kLoad, SyncKind::kNone)));
+  EXPECT_FALSE(load_may_issue(CM::kRC, ctx_after(AccessClass::kAcquire, SyncKind::kNone)));
+}
+
+TEST_F(PolicyFaultGuard, ScSpecTagFaultDropsTagAndRetireVetoTogether) {
+  ASSERT_EQ(spec_load_store_tag_rule(CM::kSC), StoreTagRule::kAnyStore);
+  ASSERT_TRUE(spec_retire_waits_for(CM::kSC, AccessClass::kStore));
+  set_policy_fault(PolicyFault::kSCSpecIgnoresStoreTag);
+  // Both store-side retirement mechanisms must open, or the other one
+  // silently repairs the hole and the fuzzer has nothing to find.
+  EXPECT_EQ(spec_load_store_tag_rule(CM::kSC), StoreTagRule::kNone);
+  EXPECT_FALSE(spec_retire_waits_for(CM::kSC, AccessClass::kStore));
+  // The load side of the veto and the WC tag rule stay intact.
+  EXPECT_TRUE(spec_retire_waits_for(CM::kSC, AccessClass::kLoad));
+  EXPECT_EQ(spec_load_store_tag_rule(CM::kWC), StoreTagRule::kSyncStore);
+}
+
+TEST_F(PolicyFaultGuard, RcReleaseFaultOpensExactlyTheStoreReleaseGate) {
+  const IssueContext ctx = ctx_after(AccessClass::kStore, SyncKind::kRelease);
+  ASSERT_FALSE(store_may_issue(CM::kRC, ctx));
+  set_policy_fault(PolicyFault::kRCReleaseIgnoresStores);
+  EXPECT_TRUE(store_may_issue(CM::kRC, ctx));
+  // SC/WC release gating is untouched.
+  EXPECT_FALSE(store_may_issue(CM::kSC, ctx_after(AccessClass::kStore, SyncKind::kNone)));
+  EXPECT_FALSE(store_may_issue(CM::kWC, ctx_after(AccessClass::kStore, SyncKind::kRelease)));
+}
+
+}  // namespace
+}  // namespace mcsim

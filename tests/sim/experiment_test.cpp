@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/rng.hpp"
 #include "sim/workloads.hpp"
 
 namespace mcsim {
@@ -45,6 +46,57 @@ TEST(ExperimentRunner, ParallelSweepIsBitIdenticalToSerial) {
     EXPECT_TRUE(serial[i].ok()) << serial[i].cell_label << ": " << serial[i].error;
     expect_identical(serial[i], parallel[i], i);
   }
+}
+
+TEST(ExperimentRunner, ObservationAndChildSeedsAreWorkerCountInvariant) {
+  // Satellite of the differential fuzzer: cells that record access logs,
+  // watch memory words, and carry derive_child_seed() seeds must produce
+  // bit-identical observations from a 1-worker and a 4-worker sweep —
+  // the fuzz campaign's per-cell programs depend only on (master, index).
+  const std::uint64_t master = 0xfeedbeefULL;
+  auto build = [&] {
+    ExperimentGrid grid = small_grid();
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      ExperimentCell& c = grid.cell(i);
+      c.record_accesses = true;
+      c.watch = {c.workload.expected.empty() ? Addr{0}
+                                             : c.workload.expected[0].first};
+      c.seed = derive_child_seed(master, i);
+    }
+    return grid;
+  };
+  ExperimentGrid grid = build();
+  // Child seeds depend only on (master, index), never on scheduling.
+  for (std::size_t i = 0; i < grid.size(); ++i)
+    EXPECT_EQ(grid.cells()[i].seed, derive_child_seed(master, i)) << i;
+  std::vector<CellResult> serial = ExperimentRunner(1).run(grid);
+  std::vector<CellResult> parallel = ExperimentRunner(4).run(build());
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_TRUE(serial[i].ok()) << serial[i].cell_label << ": " << serial[i].error;
+    expect_identical(serial[i], parallel[i], i);
+    EXPECT_EQ(serial[i].watch_values, parallel[i].watch_values) << "cell " << i;
+    EXPECT_EQ(serial[i].final_regs, parallel[i].final_regs) << "cell " << i;
+    ASSERT_EQ(serial[i].access_logs.size(), parallel[i].access_logs.size());
+    EXPECT_FALSE(serial[i].access_logs.empty()) << "cell " << i;
+    for (std::size_t p = 0; p < serial[i].access_logs.size(); ++p) {
+      const auto& sa = serial[i].access_logs[p];
+      const auto& pa = parallel[i].access_logs[p];
+      ASSERT_EQ(sa.size(), pa.size()) << "cell " << i << " proc " << p;
+      for (std::size_t k = 0; k < sa.size(); ++k) {
+        EXPECT_EQ(sa[k].addr, pa[k].addr);
+        EXPECT_EQ(sa[k].value, pa[k].value);
+        EXPECT_EQ(sa[k].performed_at, pa[k].performed_at);
+      }
+    }
+  }
+  // The seed a cell ran with flows into the JSON report for replay.
+  ExperimentRunner runner(1);
+  std::vector<CellResult> results = runner.run(grid);
+  Json report = results_to_json(grid, results, runner.last_sweep());
+  ASSERT_GE(report["cells"].size(), 1u);
+  EXPECT_TRUE(report["cells"][0].contains("seed"));
+  EXPECT_EQ(report["cells"][0]["seed"].as_uint(), derive_child_seed(master, 0));
 }
 
 TEST(ExperimentRunner, ResultsArriveInSubmissionOrder) {

@@ -1,0 +1,121 @@
+// End-to-end tests of the differential fuzz harness: a clean machine
+// yields a violation-free campaign; an injected policy fault is caught
+// and shrunk to a tiny reproducer; partial SC enumeration is reported
+// as inconclusive rather than passing; and the report is identical
+// whatever the worker count.
+#include <gtest/gtest.h>
+
+#include "consistency/policy.hpp"
+#include "sva/fuzz_harness.hpp"
+
+namespace mcsim {
+namespace {
+
+using namespace sva;
+
+FuzzConfig small_config() {
+  FuzzConfig cfg;
+  cfg.programs = 4;
+  cfg.seed = 1;
+  cfg.workers = 2;
+  cfg.repro_dir.clear();  // keep reproducers in memory
+  return cfg;
+}
+
+class FuzzHarness : public ::testing::Test {
+ protected:
+  void TearDown() override { set_policy_fault(PolicyFault::kNone); }
+};
+
+TEST_F(FuzzHarness, CleanMachinePassesEveryCell) {
+  FuzzConfig cfg = small_config();
+  FuzzReport rep = run_fuzz(cfg);
+  EXPECT_TRUE(rep.ok()) << rep.summary();
+  EXPECT_EQ(rep.programs, cfg.programs);
+  EXPECT_EQ(rep.cells, cfg.programs * cfg.models.size() * cfg.techniques.size());
+  EXPECT_GT(rep.arcs_checked, 0u);
+  EXPECT_GT(rep.reads_checked, 0u);
+  EXPECT_GT(rep.sc_outcomes_checked, 0u);
+  EXPECT_EQ(rep.inconclusive_sc, 0u);
+}
+
+TEST_F(FuzzHarness, InjectedFaultIsCaughtAndShrunkSmall) {
+  // The acceptance loop: weaken SC's load gate, fuzz SC only, and the
+  // harness must find it AND shrink the reproducer to a handful of
+  // instructions.
+  set_policy_fault(PolicyFault::kSCLoadIgnoresStores);
+  FuzzConfig cfg = small_config();
+  cfg.programs = 30;
+  cfg.models = {ConsistencyModel::kSC};
+  cfg.max_failures = 1;  // stop at the first catch
+  FuzzReport rep = run_fuzz(cfg);
+  ASSERT_FALSE(rep.ok()) << "the fuzzer missed an injected SC hole";
+  const FuzzViolation& v = rep.violations.front();
+  EXPECT_EQ(v.cell.model, ConsistencyModel::kSC);
+  EXPECT_LE(v.shrunk_insts, 8u) << "shrinker left a bloated reproducer";
+  EXPECT_GE(v.shrunk_insts, 1u);
+  EXPECT_FALSE(v.repro.note.empty());
+  EXPECT_EQ(v.repro.litmus.seed, v.seed);
+  // The shrunk reproducer still fails while the fault is active...
+  CellCheck still = verify_litmus_cell(v.repro.litmus, v.cell, nullptr);
+  EXPECT_TRUE(still.failed) << "shrunk reproducer no longer reproduces";
+  // ...and is clean once the machine is healthy again.
+  set_policy_fault(PolicyFault::kNone);
+  CellCheck healthy = verify_litmus_cell(v.repro.litmus, v.cell, nullptr);
+  EXPECT_FALSE(healthy.failed) << healthy.detail;
+}
+
+TEST_F(FuzzHarness, PartialScEnumerationIsInconclusiveNotPassing) {
+  FuzzConfig cfg = small_config();
+  cfg.programs = 2;
+  cfg.models = {ConsistencyModel::kSC};
+  cfg.sc_max_states = 4;  // guaranteed to truncate
+  FuzzReport rep = run_fuzz(cfg);
+  EXPECT_EQ(rep.inconclusive_sc, cfg.programs)
+      << "a truncated enumeration must be counted, never silently passed";
+  EXPECT_EQ(rep.sc_outcomes_checked, 0u);
+  // Inconclusive is not a failure either: the delay-arc/reads checkers
+  // still ran and the machine is healthy.
+  EXPECT_TRUE(rep.ok()) << rep.summary();
+  EXPECT_GT(rep.arcs_checked, 0u);
+}
+
+TEST_F(FuzzHarness, ReportIsIdenticalWhateverTheWorkerCount) {
+  FuzzConfig cfg = small_config();
+  cfg.models = {ConsistencyModel::kSC, ConsistencyModel::kWC};
+  cfg.workers = 1;
+  FuzzReport serial = run_fuzz(cfg);
+  cfg.workers = 4;
+  FuzzReport parallel = run_fuzz(cfg);
+  EXPECT_EQ(serial.cells, parallel.cells);
+  EXPECT_EQ(serial.arcs_checked, parallel.arcs_checked);
+  EXPECT_EQ(serial.reads_checked, parallel.reads_checked);
+  EXPECT_EQ(serial.sc_outcomes_checked, parallel.sc_outcomes_checked);
+  EXPECT_EQ(serial.divergences, parallel.divergences);
+  EXPECT_EQ(serial.violations.size(), parallel.violations.size());
+}
+
+TEST_F(FuzzHarness, CountInstsIgnoresHaltAndCountsEveryThread) {
+  LitmusProgram lp = generate_litmus(LitmusGenConfig{}, 11);
+  std::size_t manual = 0;
+  for (const Program& p : lp.programs) {
+    for (const Instruction& inst : p.instructions())
+      if (inst.op != Opcode::kHalt) ++manual;
+  }
+  EXPECT_EQ(count_insts(lp), manual);
+  EXPECT_GT(manual, 0u);
+}
+
+TEST_F(FuzzHarness, CellAndTechniqueLabelsAreStable) {
+  EXPECT_EQ((FuzzCell{ConsistencyModel::kSC, {PrefetchMode::kOff, false}}).label(),
+            "SC/base");
+  EXPECT_EQ((FuzzCell{ConsistencyModel::kWC, {PrefetchMode::kNonBinding, false}}).label(),
+            "WC/pf");
+  EXPECT_EQ((FuzzCell{ConsistencyModel::kRC, {PrefetchMode::kOff, true}}).label(),
+            "RC/sp");
+  EXPECT_EQ((FuzzCell{ConsistencyModel::kPC, {PrefetchMode::kNonBinding, true}}).label(),
+            "PC/both");
+}
+
+}  // namespace
+}  // namespace mcsim

@@ -74,6 +74,42 @@ TEST(ScEnumerator, StateBudgetReportsIncompleteness) {
   EXPECT_FALSE(r.complete);
 }
 
+TEST(ScEnumerator, PartialResultIsASubsetOfTheFullSet) {
+  // A truncated enumeration must degrade soundly: whatever outcomes it
+  // did reach are genuine SC outcomes (so a consumer may still use a
+  // partial set for "is this outcome known-legal" — just never for
+  // "this outcome is illegal", which needs complete == true).
+  ProgramBuilder p0;
+  p0.li(1, 1);
+  p0.store(1, ProgramBuilder::abs(0x10));
+  p0.load(2, ProgramBuilder::abs(0x14));
+  p0.store(2, ProgramBuilder::abs(0x18));
+  p0.halt();
+  ProgramBuilder p1;
+  p1.li(1, 1);
+  p1.store(1, ProgramBuilder::abs(0x14));
+  p1.load(2, ProgramBuilder::abs(0x10));
+  p1.store(2, ProgramBuilder::abs(0x1c));
+  p1.halt();
+  const std::vector<Program> progs = {p0.build(), p1.build()};
+  const std::vector<Addr> watch = {0x10, 0x14, 0x18, 0x1c};
+  auto full = enumerate_sc_outcomes(progs, 1 << 12, watch);
+  ASSERT_TRUE(full.complete);
+  ASSERT_GT(full.outcomes.size(), 1u);
+  bool saw_partial = false;
+  for (std::uint64_t budget : {2ull, 8ull, 32ull, 128ull}) {
+    auto part = enumerate_sc_outcomes(progs, 1 << 12, watch, budget);
+    EXPECT_LE(part.states_explored, budget + 1);
+    if (part.complete) continue;
+    saw_partial = true;
+    EXPECT_LT(part.outcomes.size(), full.outcomes.size() + 1);
+    for (const ScOutcome& o : part.outcomes)
+      EXPECT_TRUE(full.outcomes.count(o))
+          << "a truncated enumeration fabricated a non-SC outcome";
+  }
+  EXPECT_TRUE(saw_partial) << "budgets never truncated; test proves nothing";
+}
+
 // ---- the oracle applied to the detailed machine -----------------------
 
 constexpr Addr kShared[3] = {0x1000, 0x2000, 0x3000};
