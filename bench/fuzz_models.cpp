@@ -51,6 +51,10 @@ void usage() {
       "  --insts=N        max memory instructions per thread (default 6)\n"
       "  --sync=PCT       acquire/release density percent (default 20)\n"
       "  --rmw=PCT        RMW density percent (default 15)\n"
+      "  --topology=T     interconnect for every cell: crossbar|ring|mesh2d\n"
+      "                   (default crossbar; ring/mesh add link contention\n"
+      "                   as a timing adversary for the same checkers)\n"
+      "  --link-bw=N      ring/mesh per-link bandwidth (default 1)\n"
       "  --sc-states=N    SC enumeration state budget (default 2000000)\n"
       "  --repro-dir=DIR  write shrunk reproducers here (default .)\n"
       "  --no-shrink      keep failing programs unshrunk\n"
@@ -125,6 +129,21 @@ int main(int argc, char** argv) {
       cfg.gen.rmw_pct = static_cast<std::uint32_t>(u);
       continue;
     }
+    if (parse_u64(a, "--link-bw", &u)) {
+      cfg.link_bw = static_cast<std::uint32_t>(u);
+      continue;
+    }
+    std::string topo;
+    if (parse_str(a, "--topology", &topo)) {
+      if (topo == "crossbar") cfg.topology = Topology::kCrossbar;
+      else if (topo == "ring") cfg.topology = Topology::kRing;
+      else if (topo == "mesh2d") cfg.topology = Topology::kMesh2D;
+      else {
+        std::fprintf(stderr, "unknown --topology=%s\n", topo.c_str());
+        return 2;
+      }
+      continue;
+    }
     if (parse_u64(a, "--sc-states", &cfg.sc_max_states)) continue;
     if (parse_str(a, "--repro-dir", &cfg.repro_dir)) continue;
     if (parse_str(a, "--fault", &fault)) continue;
@@ -167,7 +186,7 @@ int main(int argc, char** argv) {
        {ConsistencyModel::kSC, ConsistencyModel::kPC, ConsistencyModel::kWC,
         ConsistencyModel::kRC}) {
     for (const TechniqueKnobs& t : cfg.techniques) {
-      FuzzCell c{m, t};
+      FuzzCell c{m, t, cfg.topology, cfg.link_bw};
       std::printf("%-10s %10llu %12zu\n", c.label().c_str(),
                   static_cast<unsigned long long>(rep.programs),
                   per_cell.count(c.label()) ? per_cell[c.label()] : 0);
@@ -178,6 +197,7 @@ int main(int argc, char** argv) {
   Json j = Json::object();
   j.set("bench", Json::string("fuzz"));
   j.set("fault", Json::string(fault));
+  j.set("topology", Json::string(to_string(cfg.topology)));
   j.set("seed", Json::number(cfg.seed));
   j.set("programs", Json::number(rep.programs));
   j.set("cells", Json::number(rep.cells));

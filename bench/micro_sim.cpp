@@ -54,6 +54,64 @@ void BM_NetworkSendDeliver(benchmark::State& state) {
 }
 BENCHMARK(BM_NetworkSendDeliver);
 
+// The dominant Network call in a real run: deliver() on an EMPTY
+// network (most machine cycles have nothing in flight). Must be a
+// couple of branches — no allocation, no scan.
+void BM_NetworkDeliverIdle(benchmark::State& state) {
+  Network net(4, 10);
+  Cycle now = 0;
+  for (auto _ : state) {
+    net.deliver(now++);
+    benchmark::DoNotOptimize(net.idle());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NetworkDeliverIdle);
+
+// Sustained per-endpoint back-pressure: 32 messages to one endpoint
+// draining at 1/cycle. The stall queues keep this O(drained) per cycle
+// instead of re-heapifying every deferred message.
+void BM_NetworkBackpressureDrain(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    Network net(4, 1, /*deliver_bw=*/1);
+    for (int i = 0; i < 32; ++i) {
+      Message m;
+      m.type = MsgType::kReadReq;
+      m.src = 0;
+      m.dst = 3;
+      net.send(std::move(m), 0);
+    }
+    Message out;
+    state.ResumeTiming();
+    for (Cycle c = 1; !net.idle(); ++c) {
+      net.deliver(c);
+      while (net.recv(3, out)) benchmark::DoNotOptimize(out.line_addr);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_NetworkBackpressureDrain);
+
+// Routed-fabric hot path: one message crossing a 4x4-ish mesh per
+// burst, exercising link advance + injection bookkeeping.
+void BM_NetworkMeshTraversal(benchmark::State& state) {
+  Network net(16, 1, 0, Topology::kMesh2D);
+  Cycle now = 0;
+  Message out;
+  for (auto _ : state) {
+    Message m;
+    m.type = MsgType::kReadReq;
+    m.src = 0;
+    m.dst = 15;
+    net.send(std::move(m), now);
+    while (!net.recv(15, out)) net.deliver(++now);
+    benchmark::DoNotOptimize(out.line_addr);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NetworkMeshTraversal);
+
 void BM_InterpreterThroughput(benchmark::State& state) {
   ProgramBuilder b;
   b.li(1, 0);

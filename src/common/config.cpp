@@ -40,6 +40,15 @@ const char* to_string(PrefetchMode m) {
   return "?";
 }
 
+const char* to_string(Topology t) {
+  switch (t) {
+    case Topology::kCrossbar: return "crossbar";
+    case Topology::kRing: return "ring";
+    case Topology::kMesh2D: return "mesh2d";
+  }
+  return "?";
+}
+
 SystemConfig& SystemConfig::with_clean_miss_latency(std::uint32_t cycles) {
   // probe(0) + net + dir + net = cycles, with dir picked to absorb parity.
   mem.dir_latency = 2 + (cycles % 2);
@@ -84,6 +93,8 @@ std::string SystemConfig::validate() const {
   if (core.fetch_width == 0 || core.decode_width == 0 || core.commit_width == 0)
     err << "pipeline widths must be >= 1; ";
   if (mem.net_latency == 0) err << "net_latency must be >= 1; ";
+  if (mem.topology != Topology::kCrossbar && mem.link_queue == 0)
+    err << "ring/mesh topologies need link_queue >= 1; ";
   if (mem.mem_bytes % cache.line_bytes != 0)
     err << "mem_bytes must be a multiple of the cache line size; ";
   if (core.prefetch != PrefetchMode::kOff && core.prefetch_buffer_entries == 0)

@@ -37,9 +37,21 @@ enum class PrefetchMode : std::uint8_t {
                 ///< allowed to perform — modeled for the ablation bench
 };
 
+/// Interconnect topology. The paper evaluates a fixed-latency,
+/// unlimited-bandwidth network (crossbar here, the default); ring and
+/// 2D mesh route hop-by-hop through per-link FIFO queues with finite
+/// link bandwidth and back-pressure, so delivery latency becomes
+/// hop-count plus queuing instead of a constant.
+enum class Topology : std::uint8_t {
+  kCrossbar,  ///< flat point-to-point, fixed one-way latency (paper §5)
+  kRing,      ///< bidirectional ring, shortest-direction routing
+  kMesh2D,    ///< 2D mesh, deterministic XY routing
+};
+
 const char* to_string(ConsistencyModel m);
 const char* to_string(CoherenceKind k);
 const char* to_string(PrefetchMode m);
+const char* to_string(Topology t);
 
 /// Per-core microarchitecture parameters (paper Figures 3 and 4).
 struct CoreConfig {
@@ -84,6 +96,15 @@ struct MemConfig {
   /// paper's assumption — §3.2 notes the techniques need "a
   /// high-bandwidth pipelined memory system").
   std::uint32_t deliver_bw = 0;
+  /// Interconnect topology; crossbar (default) is the paper's
+  /// fixed-latency network and ignores link_bw/link_queue.
+  Topology topology = Topology::kCrossbar;
+  /// Ring/mesh: messages a link may forward per cycle (0 = unlimited).
+  std::uint32_t link_bw = 1;
+  /// Ring/mesh: per-link FIFO capacity; a full downstream queue
+  /// back-pressures the upstream link (injection queues are unbounded
+  /// so send() never fails).
+  std::uint32_t link_queue = 8;
   CoherenceKind coherence = CoherenceKind::kInvalidation;
   std::uint64_t mem_bytes = 1u << 20;  ///< simulated physical memory size
 };

@@ -8,7 +8,8 @@
 // Strings are only materialised at export time (to_json/write).
 //
 // Track convention (set up by Machine): tid 0..P-1 are cores, P..2P-1
-// their private caches, 2P the directory. Cycles are written 1:1 as
+// their private caches, 2P the directory, 2P+1 onward one track per
+// interconnect link (ring/mesh only). Cycles are written 1:1 as
 // microseconds — Perfetto has no "cycles" unit, and 1 cycle == 1 us
 // keeps the timeline readable and exact.
 #pragma once

@@ -1,6 +1,8 @@
 #include "interconnect/network.hpp"
 
 #include <cassert>
+#include <cmath>
+#include <string>
 
 namespace mcsim {
 
@@ -10,8 +12,17 @@ namespace stat {
 const StatId messages_delivered = StatNames::intern("messages_delivered");
 const StatId messages_sent = StatNames::intern("messages_sent");
 /// Send-to-delivery histogram; exceeds the base latency exactly when
-/// bandwidth limits queue the message at the destination.
+/// bandwidth limits or link queuing delay the message.
 const StatId msg_latency = StatNames::intern("msg_latency");
+/// Links traversed per delivered message (ring/mesh only).
+const StatId msg_hops = StatNames::intern("msg_hops");
+/// Cycles a delivered message spent queued beyond its contention-free
+/// latency (ring/mesh only; 0 on an idle fabric).
+const StatId msg_queuing = StatNames::intern("msg_queuing");
+/// Queue depth observed on each link entry (ring/mesh only).
+const StatId link_occupancy = StatNames::intern("link_occupancy");
+/// Total link traversals started (ring/mesh only).
+const StatId link_forwarded = StatNames::intern("link_forwarded");
 
 /// Per-type "sent.<msg>" ids, resolved on first use.
 StatId sent(MsgType t) {
@@ -24,41 +35,280 @@ StatId sent(MsgType t) {
   }();
   return ids[static_cast<std::size_t>(t)];
 }
+
+/// Per-type trace-event span names, resolved on first use.
+TraceEventSink::NameId span_name(MsgType t) {
+  static const std::vector<TraceEventSink::NameId> ids = [] {
+    std::vector<TraceEventSink::NameId> v;
+    for (int i = 0; i <= static_cast<int>(MsgType::kRmwReply); ++i)
+      v.push_back(TraceEventSink::name_id(to_string(static_cast<MsgType>(i))));
+    return v;
+  }();
+  return ids[static_cast<std::size_t>(t)];
+}
 }  // namespace stat
 }  // namespace
 
-Network::Network(std::uint32_t endpoints, std::uint32_t latency, std::uint32_t deliver_bw)
-    : latency_(latency), deliver_bw_(deliver_bw), inboxes_(endpoints), stats_("net") {
+Network::Network(std::uint32_t endpoints, std::uint32_t latency,
+                 std::uint32_t deliver_bw, Topology topology, std::uint32_t link_bw,
+                 std::uint32_t link_queue)
+    : latency_(latency),
+      deliver_bw_(deliver_bw),
+      topology_(topology),
+      link_bw_(link_bw),
+      link_queue_(link_queue),
+      inboxes_(endpoints),
+      stats_("net") {
   assert(endpoints >= 2);
   assert(latency >= 1);
+  if (topology_ == Topology::kCrossbar) {
+    stalled_.resize(endpoints);
+  } else {
+    assert(link_queue_ >= 1);
+    if (topology_ == Topology::kRing) build_ring(endpoints);
+    else build_mesh(endpoints);
+    inject_.resize(num_routers_);
+    link_used_.resize(links_.size());
+  }
+  delivered_.resize(endpoints);
+}
+
+void Network::add_link(std::uint32_t from, std::uint32_t to) {
+  Link l;
+  l.from = from;
+  l.to = to;
+  l.fwd_stat = StatNames::intern("link." + std::to_string(from) + "->" +
+                                 std::to_string(to));
+  links_.push_back(std::move(l));
+}
+
+template <typename NextRouterFn>
+void Network::build_routes(NextRouterFn next_router) {
+  // Dense (from, to) -> link-index lookup for route building (cold).
+  std::vector<std::uint32_t> by_pair(
+      static_cast<std::size_t>(num_routers_) * num_routers_, kNoLink);
+  for (std::size_t i = 0; i < links_.size(); ++i)
+    by_pair[links_[i].from * num_routers_ + links_[i].to] =
+        static_cast<std::uint32_t>(i);
+  next_link_.assign(static_cast<std::size_t>(num_routers_) * num_routers_, kNoLink);
+  for (std::uint32_t r = 0; r < num_routers_; ++r) {
+    for (std::uint32_t d = 0; d < num_routers_; ++d) {
+      if (r == d) continue;
+      std::uint32_t n = next_router(r, d);
+      next_link_[r * num_routers_ + d] = by_pair[r * num_routers_ + n];
+      assert(next_link_[r * num_routers_ + d] != kNoLink);
+    }
+  }
+}
+
+void Network::build_ring(std::uint32_t endpoints) {
+  num_routers_ = endpoints;
+  const std::uint32_t n = num_routers_;
+  for (std::uint32_t r = 0; r < n; ++r) {
+    add_link(r, (r + 1) % n);            // clockwise
+    if (n > 2) add_link(r, (r + n - 1) % n);  // counter-clockwise
+  }
+  build_routes([n](std::uint32_t r, std::uint32_t d) {
+    const std::uint32_t fwd = (d + n - r) % n;   // clockwise distance
+    const std::uint32_t bwd = n - fwd;           // counter-clockwise
+    return fwd <= bwd ? (r + 1) % n : (r + n - 1) % n;
+  });
+}
+
+void Network::build_mesh(std::uint32_t endpoints) {
+  // Smallest near-square grid covering every endpoint; grid positions
+  // past the last endpoint are plain routers without an attached
+  // endpoint (XY routes may pass through them).
+  mesh_w_ = static_cast<std::uint32_t>(
+      std::ceil(std::sqrt(static_cast<double>(endpoints))));
+  mesh_h_ = (endpoints + mesh_w_ - 1) / mesh_w_;
+  num_routers_ = mesh_w_ * mesh_h_;
+  for (std::uint32_t r = 0; r < num_routers_; ++r) {
+    const std::uint32_t x = r % mesh_w_, y = r / mesh_w_;
+    if (x + 1 < mesh_w_) add_link(r, r + 1);
+    if (x > 0) add_link(r, r - 1);
+    if (y + 1 < mesh_h_) add_link(r, r + mesh_w_);
+    if (y > 0) add_link(r, r - mesh_w_);
+  }
+  const std::uint32_t w = mesh_w_;
+  build_routes([w](std::uint32_t r, std::uint32_t d) {
+    const std::uint32_t rx = r % w, dx = d % w;
+    if (rx < dx) return r + 1;       // X first (deterministic XY)
+    if (rx > dx) return r - 1;
+    return r / w < d / w ? r + w : r - w;
+  });
+}
+
+std::uint32_t Network::route_hops(EndpointId src, EndpointId dst) const {
+  if (topology_ == Topology::kCrossbar) return 1;
+  std::uint32_t hops = 0, r = src;
+  while (r != dst) {
+    r = links_[next_link(r, dst)].to;
+    ++hops;
+  }
+  return hops;
+}
+
+void Network::set_event_sink(TraceEventSink* sink, std::uint16_t first_track) {
+  events_ = sink;
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    links_[i].track = static_cast<std::uint16_t>(first_track + i);
+    sink->set_track(links_[i].track, "link " + std::to_string(links_[i].from) +
+                                         "->" + std::to_string(links_[i].to));
+  }
 }
 
 void Network::send(Message msg, Cycle now, std::uint32_t extra_delay) {
   assert(msg.dst < inboxes_.size());
+  assert(msg.src != msg.dst);
   stats_.add(stat::messages_sent);
   stats_.add(stat::sent(msg.type));
-  in_flight_.push(InFlight{now + latency_ + extra_delay, next_seq_++, now, std::move(msg)});
+  ++undelivered_;
+  if (topology_ == Topology::kCrossbar) {
+    in_flight_.push(InFlight{now + latency_ + extra_delay, next_seq_++, now,
+                             std::move(msg)});
+    return;
+  }
+  Transit t;
+  // The configured latency is charged up front as injection delay (wire
+  // + serialization), so one-way latency = latency + hops + queuing and
+  // a --miss sweep stays meaningful across topologies. latency >= 1
+  // also keeps the contract that nothing delivers on its send cycle.
+  t.ready_at = now + latency_ + extra_delay;
+  t.entered_at = now;
+  t.sent_at = now;
+  t.seq = next_seq_++;
+  t.dst_router = msg.dst;
+  t.base_delay = latency_ + extra_delay;
+  const std::uint32_t src_router = msg.src;
+  t.msg = std::move(msg);
+  inject_[src_router].push_back(std::move(t));
+  ++in_fabric_;
 }
 
 void Network::deliver(Cycle now) {
-  std::vector<std::uint32_t> delivered(inboxes_.size(), 0);
-  // Bandwidth-limited endpoints leave excess messages queued; they are
-  // re-examined next cycle (deliver_at is in the past then, still pops
-  // first by priority order).
-  std::vector<InFlight> deferred;
+  if (topology_ == Topology::kCrossbar) deliver_crossbar(now);
+  else deliver_routed(now);
+}
+
+void Network::deliver_to_inbox(Cycle now, Cycle sent_at, Message&& msg) {
+  stats_.sample(stat::msg_latency, now - sent_at);
+  ++delivered_[msg.dst];
+  inboxes_[msg.dst].push_back(std::move(msg));
+  stats_.add(stat::messages_delivered);
+}
+
+void Network::deliver_crossbar(Cycle now) {
+  if (in_flight_.empty() && stalled_total_ == 0) return;  // hot idle path
+
+  if (deliver_bw_ == 0) {
+    // Unlimited bandwidth: nothing ever stalls, no per-endpoint counts.
+    while (!in_flight_.empty() && in_flight_.top().deliver_at <= now) {
+      InFlight f = in_flight_.top();
+      in_flight_.pop();
+      deliver_to_inbox(now, f.sent_at, std::move(f.msg));
+    }
+    return;
+  }
+
+  delivered_.assign(delivered_.size(), 0);
+  // Previously-deferred messages first: they were popped from the heap
+  // in (deliver_at, seq) order on earlier cycles, and everything still
+  // heaped has deliver_at > their deferral cycle, so stall-queue-first
+  // delivery reproduces the old pop-and-repush order exactly.
+  if (stalled_total_ != 0) {
+    for (EndpointId ep = 0; ep < stalled_.size(); ++ep) {
+      auto& q = stalled_[ep];
+      while (!q.empty() && delivered_[ep] < deliver_bw_) {
+        InFlight f = std::move(q.front());
+        q.pop_front();
+        --stalled_total_;
+        deliver_to_inbox(now, f.sent_at, std::move(f.msg));
+      }
+    }
+  }
   while (!in_flight_.empty() && in_flight_.top().deliver_at <= now) {
     InFlight f = in_flight_.top();
     in_flight_.pop();
-    if (deliver_bw_ != 0 && delivered[f.msg.dst] >= deliver_bw_) {
-      deferred.push_back(std::move(f));
+    if (delivered_[f.msg.dst] >= deliver_bw_) {
+      ++stalled_total_;
+      stalled_[f.msg.dst].push_back(std::move(f));
       continue;
     }
-    ++delivered[f.msg.dst];
-    stats_.sample(stat::msg_latency, now - f.sent_at);
-    inboxes_[f.msg.dst].push_back(std::move(f.msg));
-    stats_.add(stat::messages_delivered);
+    deliver_to_inbox(now, f.sent_at, std::move(f.msg));
   }
-  for (InFlight& f : deferred) in_flight_.push(std::move(f));
+}
+
+bool Network::enter_link(Cycle now, std::size_t li, Transit& t) {
+  Link& l = links_[li];
+  if (link_bw_ != 0 && link_used_[li] >= link_bw_) return false;
+  if (l.q.size() >= link_queue_) return false;
+  ++link_used_[li];
+  ++t.hops;
+  t.entered_at = now;
+  t.ready_at = now + 1;
+  stats_.add(stat::link_forwarded);
+  stats_.add(l.fwd_stat);
+  l.q.push_back(std::move(t));
+  stats_.sample(stat::link_occupancy, l.q.size());
+  return true;
+}
+
+bool Network::advance_head(Cycle now, std::size_t li) {
+  Link& l = links_[li];
+  Transit& t = l.q.front();
+  if (t.ready_at > now) return false;
+  if (l.to == t.dst_router) {
+    // Final hop: eject into the endpoint inbox (per-endpoint delivery
+    // bandwidth applies; a capped endpoint back-pressures this link).
+    if (deliver_bw_ != 0 && delivered_[t.msg.dst] >= deliver_bw_) return false;
+    if (events_ != nullptr && events_->enabled())
+      events_->complete(stat::span_name(t.msg.type), l.track, t.entered_at, now);
+    stats_.sample(stat::msg_hops, t.hops);
+    stats_.sample(stat::msg_queuing, (now - t.sent_at) - (t.base_delay + t.hops));
+    deliver_to_inbox(now, t.sent_at, std::move(t.msg));
+    l.q.pop_front();
+    --in_fabric_;
+    return true;
+  }
+  const std::uint32_t nl = next_link(l.to, t.dst_router);
+  Transit moved = std::move(t);
+  const Cycle entered = moved.entered_at;
+  if (!enter_link(now, nl, moved)) {
+    t = std::move(moved);  // blocked: put the head back untouched
+    return false;
+  }
+  if (events_ != nullptr && events_->enabled())
+    events_->complete(stat::span_name(links_[nl].q.back().msg.type), l.track,
+                      entered, now);
+  l.q.pop_front();
+  return true;
+}
+
+void Network::deliver_routed(Cycle now) {
+  if (in_fabric_ == 0) return;  // hot idle path
+  link_used_.assign(link_used_.size(), 0);
+  delivered_.assign(delivered_.size(), 0);
+
+  // Phase 1: drain link heads in fixed link order — traffic already on
+  // the fabric has priority over new injections, and a message that
+  // advances gets ready_at = now + 1, so it moves at most one hop per
+  // cycle regardless of processing order.
+  for (std::size_t li = 0; li < links_.size(); ++li) {
+    while (!links_[li].q.empty() && advance_head(now, li)) {
+    }
+  }
+  // Phase 2: inject new messages onto their first link, per source
+  // router in send order (head-of-line blocking keeps per-pair FIFO:
+  // one deterministic path per pair, every queue FIFO).
+  for (std::uint32_t r = 0; r < num_routers_; ++r) {
+    auto& q = inject_[r];
+    while (!q.empty() && q.front().ready_at <= now) {
+      Transit& t = q.front();
+      if (!enter_link(now, next_link(r, t.dst_router), t)) break;
+      q.pop_front();
+    }
+  }
 }
 
 bool Network::recv(EndpointId ep, Message& out) {
@@ -66,19 +316,26 @@ bool Network::recv(EndpointId ep, Message& out) {
   if (box.empty()) return false;
   out = std::move(box.front());
   box.pop_front();
+  --undelivered_;
   return true;
 }
 
+std::uint64_t Network::debug_scan_undelivered() const {
+  std::uint64_t n = in_flight_.size() + stalled_total_ + in_fabric_;
+  for (const auto& box : inboxes_) n += box.size();
+  return n;
+}
+
 bool Network::idle() const {
-  if (!in_flight_.empty()) return false;
-  for (const auto& box : inboxes_) {
-    if (!box.empty()) return false;
-  }
-  return true;
+#ifdef MCSIM_NET_AUDIT
+  assert(undelivered_ == debug_scan_undelivered());
+#endif
+  return undelivered_ == 0;
 }
 
 Json Network::snapshot_json() const {
   Json out = Json::object();
+  out.set("topology", Json::string(to_string(topology_)));
   Json flight = Json::array();
   auto copy = in_flight_;  // drain a copy in priority order (cold path)
   while (!copy.empty()) {
@@ -93,7 +350,46 @@ Json Network::snapshot_json() const {
     flight.push_back(std::move(j));
     copy.pop();
   }
+  for (const auto& q : stalled_) {
+    for (const InFlight& f : q) {
+      Json j = Json::object();
+      j.set("type", Json::string(to_string(f.msg.type)));
+      j.set("src", Json::number(static_cast<std::uint64_t>(f.msg.src)));
+      j.set("dst", Json::number(static_cast<std::uint64_t>(f.msg.dst)));
+      j.set("line", Json::number(static_cast<std::uint64_t>(f.msg.line_addr)));
+      j.set("sent_at", Json::number(static_cast<std::uint64_t>(f.sent_at)));
+      j.set("stalled", Json::boolean(true));
+      flight.push_back(std::move(j));
+    }
+  }
   out.set("in_flight", std::move(flight));
+  if (topology_ != Topology::kCrossbar) {
+    Json links = Json::array();
+    for (const Link& l : links_) {
+      if (l.q.empty()) continue;  // post-mortems only need the busy ones
+      Json j = Json::object();
+      j.set("from", Json::number(static_cast<std::uint64_t>(l.from)));
+      j.set("to", Json::number(static_cast<std::uint64_t>(l.to)));
+      j.set("depth", Json::number(static_cast<std::uint64_t>(l.q.size())));
+      Json msgs = Json::array();
+      for (const Transit& t : l.q) {
+        Json m = Json::object();
+        m.set("type", Json::string(to_string(t.msg.type)));
+        m.set("src", Json::number(static_cast<std::uint64_t>(t.msg.src)));
+        m.set("dst", Json::number(static_cast<std::uint64_t>(t.msg.dst)));
+        m.set("sent_at", Json::number(static_cast<std::uint64_t>(t.sent_at)));
+        m.set("hops", Json::number(static_cast<std::uint64_t>(t.hops)));
+        msgs.push_back(std::move(m));
+      }
+      j.set("messages", std::move(msgs));
+      links.push_back(std::move(j));
+    }
+    out.set("links", std::move(links));
+    Json inj = Json::array();
+    for (const auto& q : inject_)
+      inj.push_back(Json::number(static_cast<std::uint64_t>(q.size())));
+    out.set("inject_depths", std::move(inj));
+  }
   Json boxes = Json::array();
   for (const auto& box : inboxes_)
     boxes.push_back(Json::number(static_cast<std::uint64_t>(box.size())));

@@ -1,10 +1,25 @@
-// Deterministic interconnect: point-to-point messages with a fixed
-// one-way latency and optional per-endpoint delivery bandwidth.
+// Deterministic interconnect behind one delivery contract: messages
+// between any ordered (src, dst) pair are delivered FIFO, which the
+// coherence protocol relies on — a directory reply never overtakes a
+// later invalidation for the same line.
 //
-// Delivery between any ordered pair of endpoints is FIFO (fixed
-// latency + stable sequence tie-break), which the coherence protocol
-// relies on: a directory reply never overtakes a later invalidation
-// for the same line.
+// Three topologies implement that contract (common/config.hpp):
+//
+//  * crossbar (default): point-to-point with a fixed one-way latency
+//    and an optional per-endpoint delivery bandwidth — the paper's
+//    fixed-latency, unlimited-bandwidth memory system;
+//  * ring: bidirectional ring, shortest-direction routing (clockwise
+//    on ties), one cycle per hop;
+//  * mesh2d: 2D mesh of routers, deterministic XY (x first) routing,
+//    one cycle per hop.
+//
+// Ring and mesh route hop-by-hop through per-link FIFO queues with a
+// finite per-cycle link bandwidth (`link_bw`) and a finite queue depth
+// (`link_queue`): a full or saturated downstream link back-pressures
+// the upstream one, so delivery latency is hop count plus queuing
+// instead of a constant. Per-pair FIFO holds by construction: routing
+// is deterministic (one path per pair), every queue is FIFO, and
+// injection is in send order.
 #pragma once
 
 #include <cstdint>
@@ -12,8 +27,10 @@
 #include <queue>
 #include <vector>
 
+#include "common/config.hpp"
 #include "common/json.hpp"
 #include "common/stats.hpp"
+#include "common/trace_event.hpp"
 #include "common/types.hpp"
 #include "interconnect/message.hpp"
 
@@ -23,26 +40,49 @@ class Network {
  public:
   /// `endpoints` = number of processors + 1 (the directory).
   /// `deliver_bw` caps messages delivered per endpoint per cycle
-  /// (0 = unlimited, the paper's assumption).
-  Network(std::uint32_t endpoints, std::uint32_t latency, std::uint32_t deliver_bw = 0);
+  /// (0 = unlimited, the paper's assumption). `link_bw`/`link_queue`
+  /// only apply to the ring/mesh topologies (see MemConfig).
+  Network(std::uint32_t endpoints, std::uint32_t latency, std::uint32_t deliver_bw = 0,
+          Topology topology = Topology::kCrossbar, std::uint32_t link_bw = 1,
+          std::uint32_t link_queue = 8);
 
   static EndpointId directory_endpoint(std::uint32_t num_procs) { return num_procs; }
 
   std::uint32_t latency() const { return latency_; }
+  Topology topology() const { return topology_; }
+  /// Directed links in the topology (0 for the crossbar).
+  std::size_t num_links() const { return links_.size(); }
+  /// Hops a message from `src` to `dst` traverses (1 for the crossbar).
+  std::uint32_t route_hops(EndpointId src, EndpointId dst) const;
 
   /// Inject a message at cycle `now`; it becomes visible to the
-  /// destination's inbox at `now + latency + extra_delay`. The
+  /// destination's inbox at `now + latency + extra_delay` (crossbar)
+  /// or after `latency + extra_delay + hops` plus queuing (ring/mesh —
+  /// the configured latency is charged as injection delay). The
   /// directory uses `extra_delay` to model its service time.
   void send(Message msg, Cycle now, std::uint32_t extra_delay = 0);
 
   /// Move messages whose delivery time has arrived into per-endpoint
-  /// inboxes. Call once per cycle before endpoints tick.
+  /// inboxes (crossbar), or advance every link by one cycle and eject
+  /// arrivals (ring/mesh). Call once per cycle before endpoints tick.
   void deliver(Cycle now);
 
   /// Drain one delivered message for `ep`; returns false when empty.
   bool recv(EndpointId ep, Message& out);
 
-  bool idle() const;  ///< no messages in flight or undelivered
+  /// O(1): no messages in flight or undelivered (counter updated in
+  /// send/deliver/recv; audited against the scanned truth in debug
+  /// builds and by debug_scan_undelivered()).
+  bool idle() const;
+
+  /// The scanned ground truth behind idle()'s counter: every message
+  /// currently inside the network (tests assert it equals the counter).
+  std::uint64_t debug_scan_undelivered() const;
+
+  /// Per-link trace-event spans (one complete event per message per
+  /// link residence) on tracks `first_track .. first_track+num_links-1`.
+  /// Track names are registered on the sink immediately.
+  void set_event_sink(TraceEventSink* sink, std::uint16_t first_track);
 
   /// In-flight and undelivered messages, for deadlock post-mortems.
   Json snapshot_json() const;
@@ -62,11 +102,79 @@ class Network {
     }
   };
 
+  /// A message inside the routed (ring/mesh) fabric: in a router's
+  /// injection queue or a link's FIFO.
+  struct Transit {
+    Cycle ready_at;    ///< earliest deliver() cycle that may advance it
+    Cycle entered_at;  ///< cycle it entered the current queue (spans)
+    Cycle sent_at;
+    std::uint64_t seq;
+    std::uint32_t dst_router;
+    std::uint32_t hops = 0;       ///< links traversed so far
+    std::uint32_t base_delay;     ///< 1 + extra_delay: contention-free
+                                  ///< latency minus the hop count
+    Message msg;
+  };
+
+  /// One directed channel between adjacent routers.
+  struct Link {
+    std::uint32_t from = 0, to = 0;  ///< router ids
+    std::deque<Transit> q;
+    StatId fwd_stat;                 ///< per-link "link.A->B" counter
+    std::uint16_t track = 0;         ///< trace-event track (sink set)
+  };
+
+  static constexpr std::uint32_t kNoLink = 0xffffffffu;
+
+  void build_ring(std::uint32_t endpoints);
+  void build_mesh(std::uint32_t endpoints);
+  void add_link(std::uint32_t from, std::uint32_t to);
+  /// Fill next_link_ from a per-router next-router rule.
+  template <typename NextRouterFn>
+  void build_routes(NextRouterFn next_router);
+
+  void deliver_crossbar(Cycle now);
+  void deliver_routed(Cycle now);
+  void deliver_to_inbox(Cycle now, Cycle sent_at, Message&& msg);
+  /// Eject or forward one link-head transit; false = head blocked.
+  bool advance_head(Cycle now, std::size_t li);
+  /// Try to admit `t` onto link `li` (bandwidth + queue-depth checks);
+  /// moves from `t` only on success.
+  bool enter_link(Cycle now, std::size_t li, Transit& t);
+
+  std::uint32_t next_link(std::uint32_t router, std::uint32_t dst_router) const {
+    return next_link_[router * num_routers_ + dst_router];
+  }
+
   std::uint32_t latency_;
   std::uint32_t deliver_bw_;
+  Topology topology_;
+  std::uint32_t link_bw_;
+  std::uint32_t link_queue_;
   std::uint64_t next_seq_ = 0;
+  /// Messages inside the network or an inbox; send ++, recv --.
+  std::uint64_t undelivered_ = 0;
+
+  // --- crossbar state ------------------------------------------------
   std::priority_queue<InFlight, std::vector<InFlight>, std::greater<InFlight>> in_flight_;
+  /// Bandwidth-deferred messages parked per endpoint in delivery order
+  /// (heap pop order = (deliver_at, seq)), re-tried before the heap
+  /// next cycle — no per-cycle heap churn under sustained back-pressure.
+  std::vector<std::deque<InFlight>> stalled_;
+  std::uint64_t stalled_total_ = 0;
+
+  // --- ring/mesh state ----------------------------------------------
+  std::uint32_t num_routers_ = 0;
+  std::uint32_t mesh_w_ = 0, mesh_h_ = 0;
+  std::vector<Link> links_;
+  std::vector<std::uint32_t> next_link_;        ///< [router][dst_router]
+  std::vector<std::deque<Transit>> inject_;     ///< per source router
+  std::uint64_t in_fabric_ = 0;                 ///< inject + link queues
+  std::vector<std::uint32_t> link_used_;        ///< per-cycle entries, scratch
+
+  std::vector<std::uint32_t> delivered_;        ///< per-endpoint scratch
   std::vector<std::deque<Message>> inboxes_;
+  TraceEventSink* events_ = nullptr;
   StatSet stats_;
 };
 

@@ -91,6 +91,8 @@ CellResult run_cell(const ExperimentCell& cell) {
       merge_hist(s.prefetch_to_use, m.cache(p).stats(), "prefetch_to_use");
     }
     merge_hist(s.net_latency, m.network().stats(), "msg_latency");
+    merge_hist(s.net_hops, m.network().stats(), "msg_hops");
+    merge_hist(s.net_queuing, m.network().stats(), "msg_queuing");
     s.load_latency_mean = s.load_latency.mean();
     s.store_latency_mean = s.store_latency.mean();
 
@@ -199,7 +201,7 @@ Json histogram_to_json(const LogHistogram& h) {
 Json results_to_json(const ExperimentGrid& grid, const std::vector<CellResult>& results,
                      const SweepInfo& sweep) {
   Json root = Json::object();
-  root.set("schema", Json::string("mcsim-bench-v2"));
+  root.set("schema", Json::string("mcsim-bench-v3"));
   root.set("bench", Json::string(grid.name()));
   root.set("workers", Json::number(static_cast<std::uint64_t>(sweep.workers)));
   root.set("wall_ms", Json::number(sweep.wall_ms));
@@ -269,6 +271,12 @@ Json results_to_json(const ExperimentGrid& grid, const std::vector<CellResult>& 
     c.set("store_release_latency", histogram_to_json(r.stats.store_release_latency));
     c.set("prefetch_to_use", histogram_to_json(r.stats.prefetch_to_use));
     c.set("net_latency", histogram_to_json(r.stats.net_latency));
+
+    // v3: interconnect topology + contention distributions (additive;
+    // hop/queuing counts are 0 on the crossbar, which has no links).
+    c.set("topology", Json::string(to_string(cell.config.mem.topology)));
+    c.set("net_hops", histogram_to_json(r.stats.net_hops));
+    c.set("net_queuing", histogram_to_json(r.stats.net_queuing));
 
     if (!r.trace_path.empty()) {
       c.set("trace_out", Json::string(r.trace_path));

@@ -52,6 +52,11 @@ struct RunStats {
   LogHistogram store_release_latency;
   LogHistogram prefetch_to_use;
   LogHistogram net_latency;
+  // Interconnect contention (ring/mesh topologies; empty on the
+  // crossbar, which has no links): links traversed per message and
+  // cycles spent queued beyond the contention-free latency.
+  LogHistogram net_hops;
+  LogHistogram net_queuing;
 };
 
 /// One simulation to run: a workload plus the machine to run it on.

@@ -8,7 +8,8 @@ namespace mcsim {
 Machine::Machine(const SystemConfig& cfg, std::vector<Program> programs)
     : cfg_(cfg),
       programs_(std::move(programs)),
-      net_(cfg.num_procs + 1, cfg.mem.net_latency, cfg.mem.deliver_bw),
+      net_(cfg.num_procs + 1, cfg.mem.net_latency, cfg.mem.deliver_bw,
+           cfg.mem.topology, cfg.mem.link_bw, cfg.mem.link_queue),
       dir_(cfg.num_procs, cfg.cache, cfg.mem, net_),
       drain_cycle_(cfg.num_procs, 0),
       drained_(cfg.num_procs, false) {
@@ -41,6 +42,9 @@ Machine::Machine(const SystemConfig& cfg, std::vector<Program> programs)
   }
   events_.set_track(static_cast<std::uint16_t>(2 * procs), "directory");
   dir_.set_event_sink(&events_, static_cast<std::uint16_t>(2 * procs));
+  // Ring/mesh link tracks follow the directory (2P+1 ..); the crossbar
+  // has no links, so this only registers tracks for routed topologies.
+  net_.set_event_sink(&events_, static_cast<std::uint16_t>(2 * procs + 1));
 
   // Stall attribution: the LSU can tell an outstanding miss apart from
   // everything else, but only the directory knows whether the line is

@@ -70,6 +70,17 @@ OptionsResult parse_options(int argc, const char* const* argv) {
       else return fail("unknown prefetch mode: " + v);
     } else if (starts_with(arg, "--miss=")) {
       if (!parse_u32(arg.substr(7), miss) || miss < 4) return fail("bad --miss");
+    } else if (starts_with(arg, "--topology=")) {
+      std::string v = arg.substr(11);
+      if (v == "crossbar") r.config.mem.topology = Topology::kCrossbar;
+      else if (v == "ring") r.config.mem.topology = Topology::kRing;
+      else if (v == "mesh2d") r.config.mem.topology = Topology::kMesh2D;
+      else return fail("unknown topology: " + v);
+    } else if (starts_with(arg, "--link-bw=")) {
+      if (!parse_u32(arg.substr(10), r.config.mem.link_bw)) return fail("bad --link-bw");
+    } else if (starts_with(arg, "--link-queue=")) {
+      if (!parse_u32(arg.substr(13), r.config.mem.link_queue))
+        return fail("bad --link-queue");
     } else if (starts_with(arg, "--protocol=")) {
       std::string v = arg.substr(11);
       if (v == "inv") r.config.mem.coherence = CoherenceKind::kInvalidation;
@@ -112,6 +123,12 @@ std::string options_help() {
       "  --prefetch[=off|nonbinding|binding]  hardware prefetch (paper <section> 3)\n"
       "  --miss=N                 clean-miss latency in cycles (default 100)\n"
       "  --protocol=inv|upd       coherence protocol (default inv)\n"
+      "  --topology=crossbar|ring|mesh2d  interconnect (default crossbar:\n"
+      "                           fixed latency; ring/mesh2d route hop-by-hop\n"
+      "                           with link contention and back-pressure)\n"
+      "  --link-bw=N              ring/mesh: messages per link per cycle\n"
+      "                           (default 1, 0 = unlimited)\n"
+      "  --link-queue=N           ring/mesh: per-link FIFO depth (default 8)\n"
       "  --ideal / --realistic    front-end model (default realistic)\n"
       "  --rob=N --mshrs=N        capacity knobs\n"
       "  --max-cycles=N           deadlock watchdog\n"

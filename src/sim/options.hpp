@@ -26,6 +26,8 @@ struct OptionsResult {
 ///   --prefetch[=off|nonbinding|binding]   §3 technique; bare = nonbinding
 ///   --miss=N                   clean-miss latency in cycles (default 100)
 ///   --protocol=inv|upd         coherence protocol
+///   --topology=crossbar|ring|mesh2d   interconnect     (default crossbar)
+///   --link-bw=N --link-queue=N        ring/mesh link contention knobs
 ///   --ideal / --realistic      front-end model          (default realistic)
 ///   --rob=N --mshrs=N          common capacity knobs
 ///   --max-cycles=N             deadlock watchdog

@@ -21,7 +21,9 @@ std::string TechniqueKnobs::label() const {
 }
 
 std::string FuzzCell::label() const {
-  return std::string(to_string(model)) + "/" + tech.label();
+  std::string l = std::string(to_string(model)) + "/" + tech.label();
+  if (topology != Topology::kCrossbar) l += std::string("@") + to_string(topology);
+  return l;
 }
 
 const char* to_string(FuzzFailureKind k) {
@@ -50,6 +52,8 @@ SystemConfig config_for(const LitmusProgram& lp, const FuzzCell& cell) {
       static_cast<std::uint32_t>(lp.programs.size()), cell.model);
   cfg.core.prefetch = cell.tech.prefetch;
   cfg.core.speculative_loads = cell.tech.speculative_loads;
+  cfg.mem.topology = cell.topology;
+  cfg.mem.link_bw = cell.link_bw;
   // Litmus programs finish in a few thousand cycles; a tight watchdog
   // turns a deadlock bug into a fast cell failure instead of a hang.
   cfg.max_cycles = 1'000'000;
@@ -238,7 +242,8 @@ FuzzReport run_fuzz(const FuzzConfig& cfg) {
 
   std::vector<FuzzCell> cells;
   for (ConsistencyModel m : cfg.models) {
-    for (const TechniqueKnobs& t : cfg.techniques) cells.push_back({m, t});
+    for (const TechniqueKnobs& t : cfg.techniques)
+      cells.push_back({m, t, cfg.topology, cfg.link_bw});
   }
 
   for (std::uint64_t i = 0; i < cfg.programs; ++i) {
@@ -316,6 +321,10 @@ FuzzReport run_fuzz(const FuzzConfig& cfg) {
       v.repro = cfg.shrink ? shrink_failure(lp, *first_cell, cfg.sc_max_states)
                            : make_repro(lp, *first_cell);
       v.repro.note = std::string(to_string(v.kind)) + ": " + first_check->detail;
+      if (v.cell.topology != Topology::kCrossbar) {
+        v.repro.note += " [topology=" + std::string(to_string(v.cell.topology)) +
+                        " link_bw=" + std::to_string(v.cell.link_bw) + "]";
+      }
       v.shrunk_insts = count_insts(v.repro.litmus);
       if (!cfg.repro_dir.empty()) {
         v.repro_path = cfg.repro_dir + "/repro-" + std::to_string(child) + "-" +

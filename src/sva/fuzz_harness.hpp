@@ -43,11 +43,15 @@ struct TechniqueKnobs {
   std::string label() const;
 };
 
-/// One (model, techniques) grid cell.
+/// One (model, techniques, topology) grid cell. The topology is part
+/// of the cell so shrinking and reproducers replay a failure under the
+/// exact interconnect timing that exposed it.
 struct FuzzCell {
   ConsistencyModel model = ConsistencyModel::kSC;
   TechniqueKnobs tech;
-  std::string label() const;  ///< "SC/base", "RC/both", ...
+  Topology topology = Topology::kCrossbar;
+  std::uint32_t link_bw = 1;  ///< ring/mesh per-link bandwidth
+  std::string label() const;  ///< "SC/base", "RC/both@mesh2d", ...
 };
 
 enum class FuzzFailureKind : std::uint8_t {
@@ -88,6 +92,11 @@ struct FuzzConfig {
       {PrefetchMode::kOff, true},
       {PrefetchMode::kNonBinding, true},
   };
+  /// Interconnect every cell runs under. The consistency axioms must
+  /// hold for ANY memory-system timing, so a contended ring/mesh is a
+  /// new adversary for the same checkers, not a different oracle.
+  Topology topology = Topology::kCrossbar;
+  std::uint32_t link_bw = 1;  ///< ring/mesh per-link bandwidth
 };
 
 struct FuzzReport {

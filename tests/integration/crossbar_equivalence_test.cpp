@@ -1,0 +1,138 @@
+// Pins that --topology=crossbar (the default) reproduces the
+// fixed-latency network's cycle counts on the litmus corpus, and that
+// the routed topologies are deterministic and worker-count-invariant
+// through the ExperimentRunner.
+//
+// The golden numbers below are the corpus cycle counts of the original
+// single-path Network (fixed one-way latency, unlimited bandwidth). The
+// topology-aware rewrite keeps the crossbar cycle-identical — any drift
+// here is a timing regression in the default interconnect, not an
+// "update the constants" situation.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hpp"
+#include "sim/machine.hpp"
+#include "sim/options.hpp"
+#include "sva/reproducer.hpp"
+
+namespace mcsim {
+namespace {
+
+using sva::Reproducer;
+using sva::load_reproducer;
+
+struct Golden {
+  const char* litmus;
+  ConsistencyModel model;
+  Cycle cycles;
+};
+
+// Captured from the pre-topology Network on the paper-default machine
+// (100-cycle clean miss, base techniques).
+const Golden kGolden[] = {
+    {"dekker.litmus", ConsistencyModel::kSC, 401u},
+    {"dekker.litmus", ConsistencyModel::kPC, 201u},
+    {"dekker.litmus", ConsistencyModel::kWC, 201u},
+    {"dekker.litmus", ConsistencyModel::kRC, 201u},
+    {"iriw_lite.litmus", ConsistencyModel::kSC, 201u},
+    {"iriw_lite.litmus", ConsistencyModel::kPC, 201u},
+    {"iriw_lite.litmus", ConsistencyModel::kWC, 201u},
+    {"iriw_lite.litmus", ConsistencyModel::kRC, 201u},
+    {"lock_handoff.litmus", ConsistencyModel::kSC, 600u},
+    {"lock_handoff.litmus", ConsistencyModel::kPC, 600u},
+    {"lock_handoff.litmus", ConsistencyModel::kWC, 600u},
+    {"lock_handoff.litmus", ConsistencyModel::kRC, 600u},
+    {"message_passing.litmus", ConsistencyModel::kSC, 401u},
+    {"message_passing.litmus", ConsistencyModel::kPC, 401u},
+    {"message_passing.litmus", ConsistencyModel::kWC, 401u},
+    {"message_passing.litmus", ConsistencyModel::kRC, 401u},
+    {"store_buffering.litmus", ConsistencyModel::kSC, 401u},
+    {"store_buffering.litmus", ConsistencyModel::kPC, 201u},
+    {"store_buffering.litmus", ConsistencyModel::kWC, 401u},
+    {"store_buffering.litmus", ConsistencyModel::kRC, 201u},
+};
+
+Cycle run_corpus_cycles(const Reproducer& r, ConsistencyModel model,
+                        Topology topology) {
+  SystemConfig cfg = SystemConfig::paper_default(
+      static_cast<std::uint32_t>(r.litmus.programs.size()), model);
+  cfg.mem.topology = topology;
+  cfg.max_cycles = 1'000'000;
+  Machine m(cfg, r.litmus.programs);
+  for (const auto& [p, a] : r.litmus.preload_shared) m.preload_shared(p, a);
+  RunResult rr = m.run();
+  EXPECT_FALSE(rr.deadlocked) << r.litmus.seed;
+  return rr.cycles;
+}
+
+TEST(CrossbarEquivalence, LitmusCorpusCycleCountsArePinned) {
+  std::string dir = MCSIM_CORPUS_DIR;
+  std::string last;
+  Reproducer r;
+  for (const Golden& g : kGolden) {
+    if (last != g.litmus) {
+      r = load_reproducer(dir + "/" + g.litmus);
+      last = g.litmus;
+    }
+    EXPECT_EQ(run_corpus_cycles(r, g.model, Topology::kCrossbar), g.cycles)
+        << g.litmus << " under " << to_string(g.model)
+        << ": crossbar timing drifted from the pre-topology network";
+  }
+}
+
+TEST(CrossbarEquivalence, ExplicitTopologyFlagMatchesDefault) {
+  // `--topology=crossbar` through the options parser configures the
+  // same network a flag-less run gets.
+  const char* argv[] = {"prog", "--topology=crossbar"};
+  OptionsResult with_flag = parse_options(2, argv);
+  ASSERT_TRUE(with_flag.ok()) << with_flag.error;
+  const char* argv0[] = {"prog"};
+  OptionsResult plain = parse_options(1, argv0);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(with_flag.config.mem.topology, plain.config.mem.topology);
+  EXPECT_EQ(plain.config.mem.topology, Topology::kCrossbar);
+}
+
+TEST(CrossbarEquivalence, RoutedTopologiesAreDeterministic) {
+  // Same corpus program, mesh2d/ring: two runs agree cycle for cycle.
+  Reproducer r = load_reproducer(std::string(MCSIM_CORPUS_DIR) + "/dekker.litmus");
+  for (Topology topo : {Topology::kRing, Topology::kMesh2D}) {
+    const Cycle first = run_corpus_cycles(r, ConsistencyModel::kSC, topo);
+    EXPECT_GT(first, 0u);
+    EXPECT_EQ(run_corpus_cycles(r, ConsistencyModel::kSC, topo), first)
+        << to_string(topo) << " run-to-run nondeterminism";
+  }
+}
+
+TEST(CrossbarEquivalence, RoutedSweepIsWorkerCountInvariant) {
+  // mesh2d/ring cells through the ExperimentRunner: a serial and a
+  // 4-worker sweep must report identical cycles and hop statistics.
+  ExperimentGrid grid("routed-invariance");
+  for (Topology topo : {Topology::kRing, Topology::kMesh2D}) {
+    for (ConsistencyModel m : {ConsistencyModel::kSC, ConsistencyModel::kRC}) {
+      SystemConfig cfg = SystemConfig::paper_default(4, m);
+      cfg.mem.topology = topo;
+      grid.add(make_producer_consumer(4, 4), cfg, "base",
+               {{"topology", to_string(topo)}});
+    }
+  }
+  std::vector<CellResult> serial = ExperimentRunner(1).run(grid);
+  std::vector<CellResult> parallel = ExperimentRunner(4).run(grid);
+  ASSERT_EQ(serial.size(), grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    ASSERT_TRUE(serial[i].ok()) << serial[i].cell_label << ": " << serial[i].error;
+    ASSERT_TRUE(parallel[i].ok()) << parallel[i].error;
+    EXPECT_EQ(serial[i].stats.cycles, parallel[i].stats.cycles) << i;
+    EXPECT_EQ(serial[i].stats.ticks, parallel[i].stats.ticks) << i;
+    EXPECT_EQ(serial[i].stats.net_hops.count(), parallel[i].stats.net_hops.count());
+    EXPECT_EQ(serial[i].stats.net_queuing.count(),
+              parallel[i].stats.net_queuing.count());
+    EXPECT_GT(serial[i].stats.net_hops.count(), 0u) << "no routed traffic?";
+  }
+}
+
+}  // namespace
+}  // namespace mcsim

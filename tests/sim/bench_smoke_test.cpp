@@ -47,7 +47,7 @@ TEST(BenchSmoke, OneCellSweepEmitsValidJson) {
         "cells"}) {
     EXPECT_TRUE(report.contains(key)) << "missing root key: " << key;
   }
-  EXPECT_EQ(report["schema"].as_string(), "mcsim-bench-v2");
+  EXPECT_EQ(report["schema"].as_string(), "mcsim-bench-v3");
   EXPECT_EQ(report["bench"].as_string(), "smoke");
   EXPECT_GE(report["workers"].as_int(), 1);
   ASSERT_EQ(report["cells"].size(), 1u);
@@ -58,10 +58,14 @@ TEST(BenchSmoke, OneCellSweepEmitsValidJson) {
         "ticks", "squashes", "reissues", "prefetches", "prefetch_useful",
         "load_latency_mean", "store_latency_mean", "drain_cycles", "retired",
         "busy_cycles", "stall_cycles", "load_latency", "store_latency",
-        "store_release_latency", "prefetch_to_use", "net_latency", "wall_ms",
-        "sims_per_sec"}) {
+        "store_release_latency", "prefetch_to_use", "net_latency", "topology",
+        "net_hops", "net_queuing", "wall_ms", "sims_per_sec"}) {
     EXPECT_TRUE(cell.contains(key)) << "missing cell key: " << key;
   }
+  // v3: crossbar cells report the topology and empty hop/queuing
+  // distributions (no links to traverse).
+  EXPECT_EQ(cell["topology"].as_string(), "crossbar");
+  EXPECT_EQ(cell["net_hops"]["count"].as_uint(), 0u);
   EXPECT_EQ(cell["status"].as_string(), "ok");
   EXPECT_EQ(cell["model"].as_string(), "SC");
   EXPECT_EQ(cell["technique"].as_string(), "+both");

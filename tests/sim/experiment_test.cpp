@@ -164,14 +164,15 @@ TEST(ExperimentJson, ReportRoundTripsWithRequiredKeys) {
   std::string err;
   Json parsed = Json::parse(report.dump(2), &err);
   ASSERT_TRUE(err.empty()) << err;
-  EXPECT_EQ(parsed["schema"].as_string(), "mcsim-bench-v2");
+  EXPECT_EQ(parsed["schema"].as_string(), "mcsim-bench-v3");
   EXPECT_EQ(parsed["bench"].as_string(), "json");
   EXPECT_GE(parsed["workers"].as_int(), 1);
   ASSERT_EQ(parsed["cells"].size(), 1u);
   const Json& cell = parsed["cells"][0];
   for (const char* key : {"workload", "model", "technique", "num_procs", "status",
                           "cycles", "squashes", "reissues", "prefetches",
-                          "prefetch_useful", "wall_ms", "sims_per_sec"}) {
+                          "prefetch_useful", "wall_ms", "sims_per_sec",
+                          "topology", "net_hops", "net_queuing"}) {
     EXPECT_TRUE(cell.contains(key)) << key;
   }
   EXPECT_EQ(cell["status"].as_string(), "ok");

@@ -47,6 +47,29 @@ TEST(Options, PrefetchModes) {
   EXPECT_FALSE(parse({"--prefetch=bogus"}).ok());
 }
 
+TEST(Options, TopologyFlagSelectsInterconnect) {
+  OptionsResult r = parse({});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.config.mem.topology, Topology::kCrossbar);  // paper default
+  EXPECT_EQ(r.config.mem.link_bw, 1u);
+  EXPECT_EQ(r.config.mem.link_queue, 8u);
+
+  r = parse({"--topology=mesh2d", "--link-bw=2", "--link-queue=4"});
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.config.mem.topology, Topology::kMesh2D);
+  EXPECT_EQ(r.config.mem.link_bw, 2u);
+  EXPECT_EQ(r.config.mem.link_queue, 4u);
+
+  EXPECT_EQ(parse({"--topology=ring"}).config.mem.topology, Topology::kRing);
+  EXPECT_EQ(parse({"--topology=crossbar"}).config.mem.topology,
+            Topology::kCrossbar);
+  EXPECT_FALSE(parse({"--topology=torus"}).ok());
+  // validate() rejects a routed topology with no queue space.
+  EXPECT_FALSE(parse({"--topology=ring", "--link-queue=0"}).ok());
+  // ...but the crossbar ignores the link knobs entirely.
+  EXPECT_TRUE(parse({"--topology=crossbar", "--link-queue=0"}).ok());
+}
+
 TEST(Options, LaterFlagsWin) {
   OptionsResult r = parse({"--spec", "--no-spec", "--model=PC", "--model=WC"});
   ASSERT_TRUE(r.ok());

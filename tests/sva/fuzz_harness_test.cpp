@@ -95,6 +95,37 @@ TEST_F(FuzzHarness, ReportIsIdenticalWhateverTheWorkerCount) {
   EXPECT_EQ(serial.violations.size(), parallel.violations.size());
 }
 
+TEST_F(FuzzHarness, Mesh2dSliceHoldsTheAxiomsUnderContention) {
+  // The consistency axioms must hold for ANY memory-system timing
+  // (Taming Weak Memory Models): re-run a slice of the grid on a
+  // contended 2D mesh with 1-msg/cycle links and assert the same
+  // checkers stay green.
+  FuzzConfig cfg = small_config();
+  cfg.topology = Topology::kMesh2D;
+  cfg.link_bw = 1;
+  cfg.models = {ConsistencyModel::kSC, ConsistencyModel::kRC};
+  FuzzReport rep = run_fuzz(cfg);
+  EXPECT_TRUE(rep.ok()) << rep.summary();
+  EXPECT_EQ(rep.cells, cfg.programs * cfg.models.size() * cfg.techniques.size());
+  EXPECT_GT(rep.arcs_checked, 0u);
+  EXPECT_GT(rep.sc_outcomes_checked, 0u);
+}
+
+TEST_F(FuzzHarness, Mesh2dSliceReportIsWorkerCountInvariant) {
+  FuzzConfig cfg = small_config();
+  cfg.topology = Topology::kMesh2D;
+  cfg.models = {ConsistencyModel::kSC};
+  cfg.workers = 1;
+  FuzzReport serial = run_fuzz(cfg);
+  cfg.workers = 4;
+  FuzzReport parallel = run_fuzz(cfg);
+  EXPECT_EQ(serial.cells, parallel.cells);
+  EXPECT_EQ(serial.arcs_checked, parallel.arcs_checked);
+  EXPECT_EQ(serial.reads_checked, parallel.reads_checked);
+  EXPECT_EQ(serial.divergences, parallel.divergences);
+  EXPECT_EQ(serial.violations.size(), parallel.violations.size());
+}
+
 TEST_F(FuzzHarness, CountInstsIgnoresHaltAndCountsEveryThread) {
   LitmusProgram lp = generate_litmus(LitmusGenConfig{}, 11);
   std::size_t manual = 0;
