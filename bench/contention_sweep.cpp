@@ -13,7 +13,7 @@
 //   contention_sweep [--smoke] [--trace-out=PATH]
 //
 // --smoke shrinks the workload and grid for the CTest wiring; the JSON
-// report (BENCH_contention_sweep.json) is mcsim-bench-v3 either way.
+// report (BENCH_contention_sweep.json) is mcsim-bench-v4 either way.
 #include <cstdio>
 #include <cstring>
 #include <string>

@@ -142,6 +142,7 @@ CoherentCache::Mshr* CoherentCache::alloc_mshr(Addr line, Cycle now) {
       m.valid = true;
       m.line = line;
       m.alloc_at = now;
+      busy_inc();
       return &m;
     }
   }
@@ -156,6 +157,22 @@ void CoherentCache::close_mshr(Mshr& m, Cycle now) {
     events_->complete(name, track_, m.alloc_at, now);
   }
   m.valid = false;
+  busy_dec();
+}
+
+void CoherentCache::busy_inc() {
+  if (busy_++ == 0 && quiesce_ != nullptr) ++*quiesce_;
+}
+
+void CoherentCache::busy_dec() {
+  assert(busy_ > 0 && "cache busy counter underflow");
+  if (--busy_ == 0 && quiesce_ != nullptr) --*quiesce_;
+}
+
+void CoherentCache::set_quiescence_counter(std::uint64_t* counter) {
+  if (quiesce_ != nullptr && busy_ != 0) --*quiesce_;
+  quiesce_ = counter;
+  if (quiesce_ != nullptr && busy_ != 0) ++*quiesce_;
 }
 
 std::size_t CoherentCache::mshrs_in_use() const {
@@ -171,6 +188,7 @@ void CoherentCache::use_port(Cycle now) {
 void CoherentCache::push_response(std::uint64_t token, Word value, Cycle ready, bool hit) {
   if (token == 0) return;  // prefetch: nobody waits for a reply
   responses_.push_back(CacheResponse{token, value, ready, hit});
+  busy_inc();
 }
 
 void CoherentCache::notify(LineEventKind kind, Addr line, Cycle now) {
@@ -249,6 +267,7 @@ ProbeResult CoherentCache::probe(const CacheRequest& req, Cycle now) {
         // cannot partially service a write).
         word_ops_[req.token] =
             WordOp{req.token, false, RmwOp::kTestAndSet, 0, 0, req.addr};
+        busy_inc();
         Message msg = make_request(MsgType::kUpdateReq, id_, dir_, line);
         msg.word_addr = req.addr;
         msg.word_value = req.store_value;
@@ -324,6 +343,7 @@ ProbeResult CoherentCache::probe(const CacheRequest& req, Cycle now) {
         stats_.add(stat::rmw_update);
         word_ops_[req.token] =
             WordOp{req.token, true, req.rmw_op, req.rmw_cmp, req.rmw_src, req.addr};
+        busy_inc();
         Message msg = make_request(MsgType::kRmwReq, id_, dir_, line);
         msg.word_addr = req.addr;
         msg.rmw_op = static_cast<std::uint8_t>(req.rmw_op);
@@ -507,6 +527,7 @@ void CoherentCache::handle_message(const Message& msg, Cycle now) {
       Way* way = fill_line(msg.line_addr, LineState::kShared, msg.data, now);
       if (way == nullptr) {
         retry_fills_.push_back(msg);
+        busy_inc();
         return;
       }
       // Loads complete off the shared copy; store/RMW waiters forced an
@@ -537,6 +558,7 @@ void CoherentCache::handle_message(const Message& msg, Cycle now) {
       Way* way = fill_line(msg.line_addr, LineState::kExclusive, msg.data, now);
       if (way == nullptr) {
         retry_fills_.push_back(msg);
+        busy_inc();
         return;
       }
       // All invalidations were acknowledged before the directory sent
@@ -613,6 +635,7 @@ void CoherentCache::handle_message(const Message& msg, Cycle now) {
       assert(it != word_ops_.end() && "UpdateDone without pending store");
       push_response(it->second.token, 0, now, false);
       word_ops_.erase(it);
+      busy_dec();
       break;
     }
 
@@ -627,6 +650,7 @@ void CoherentCache::handle_message(const Message& msg, Cycle now) {
       }
       push_response(op.token, msg.word_value, now, false);
       word_ops_.erase(it);
+      busy_dec();
       break;
     }
 
@@ -640,7 +664,10 @@ void CoherentCache::tick(Cycle now) {
   if (!retry_fills_.empty()) {
     std::deque<Message> retry;
     retry.swap(retry_fills_);
-    for (const Message& m : retry) handle_message(m, now);
+    for (const Message& m : retry) {
+      busy_dec();  // re-handled; a still-blocked fill re-queues (busy_inc)
+      handle_message(m, now);
+    }
   }
   Message msg;
   while (net_.recv(id_, msg)) handle_message(msg, now);
@@ -653,6 +680,7 @@ bool CoherentCache::pop_response(Cycle now, CacheResponse& out) {
     if (it->ready_at <= now) {
       out = *it;
       responses_.erase(it);
+      busy_dec();
       return true;
     }
   }
@@ -670,9 +698,24 @@ std::optional<Word> CoherentCache::peek_word(Addr a) const {
   return read_word(*way, a);
 }
 
+std::uint64_t CoherentCache::debug_scan_busy() const {
+  return mshrs_in_use() + responses_.size() + retry_fills_.size() + word_ops_.size();
+}
+
 bool CoherentCache::idle() const {
-  if (!responses_.empty() || !retry_fills_.empty() || !word_ops_.empty()) return false;
-  return mshrs_in_use() == 0;
+#ifdef MCSIM_FF_AUDIT
+  assert(busy_ == debug_scan_busy());
+#endif
+  return busy_ == 0;
+}
+
+Cycle CoherentCache::next_event(Cycle now) const {
+  if (!retry_fills_.empty()) return now;
+  Cycle ne = kCycleNever;
+  for (const CacheResponse& r : responses_) {
+    if (r.ready_at < ne) ne = r.ready_at;
+  }
+  return ne;
 }
 
 Json CoherentCache::snapshot_json() const {

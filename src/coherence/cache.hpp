@@ -69,6 +69,19 @@ class CoherentCache {
   /// Pop the next completion whose ready_at <= now.
   bool pop_response(Cycle now, CacheResponse& out);
 
+  /// Earliest future cycle at which this cache can act on its own
+  /// (fast-forward scheduler); kCycleNever when it can only react to
+  /// network traffic (MSHRs and word ops complete via messages, which
+  /// the network's next_event covers). Deferred fills retry on the
+  /// next tick; queued responses mature at their ready_at.
+  Cycle next_event(Cycle now) const;
+
+  /// Register the machine-wide count of non-idle caches: this cache
+  /// bumps it on every idle->busy transition and drops it on
+  /// busy->idle, making Machine::done() O(1). Pass nullptr to detach
+  /// (standalone caches in unit tests never register).
+  void set_quiescence_counter(std::uint64_t* counter);
+
   /// Install a line directly (no messages, no timing): experiment
   /// setup for "assume the location is initially cached" scenarios like
   /// the paper's `read D (hit)`. The directory must be preloaded to
@@ -81,7 +94,12 @@ class CoherentCache {
   std::optional<Word> peek_word(Addr a) const;
   bool mshr_active(Addr a) const { return find_mshr(line_of(a)) != nullptr; }
   std::size_t mshrs_in_use() const;
+  /// O(1): pending-work counter kept in sync at every MSHR/response/
+  /// retry-fill/word-op mutation; audited against the full scan under
+  /// MCSIM_FF_AUDIT.
   bool idle() const;
+  /// The scanned ground truth behind idle()'s counter.
+  std::uint64_t debug_scan_busy() const;
 
   /// Visit every resident line (used to flush final state into memory
   /// when a run ends).
@@ -151,6 +169,10 @@ class CoherentCache {
   void close_mshr(Mshr& m, Cycle now);
 
   void use_port(Cycle now);
+  /// Pending-work accounting (valid MSHRs + responses + retry fills +
+  /// word ops); 0<->nonzero transitions update the machine counter.
+  void busy_inc();
+  void busy_dec();
   void push_response(std::uint64_t token, Word value, Cycle ready, bool hit);
   void notify(LineEventKind kind, Addr line, Cycle now);
 
@@ -181,6 +203,9 @@ class CoherentCache {
 
   bool port_used_valid_ = false;
   Cycle port_used_at_ = 0;
+
+  std::uint64_t busy_ = 0;            ///< pending work items (idle() == 0)
+  std::uint64_t* quiesce_ = nullptr;  ///< machine-wide busy-cache count
 
   StatSet stats_;
 };

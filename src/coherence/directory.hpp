@@ -42,6 +42,13 @@ class Directory {
 
   bool idle() const { return busy_.empty(); }
 
+  /// Fast-forward contract: the directory is purely reactive — tick()
+  /// only drains its network inbox, and pending transactions advance
+  /// solely via messages. Undrained inbox traffic is reported by
+  /// Network::next_event (it counts inboxed messages), so on its own
+  /// the directory never schedules a wake-up.
+  Cycle next_event(Cycle /*now*/) const { return kCycleNever; }
+
   /// Timeline sink for transaction-duration events, rendered on `track`.
   void set_event_sink(TraceEventSink* sink, std::uint16_t track) {
     events_ = sink;

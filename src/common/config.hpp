@@ -127,6 +127,15 @@ struct SystemConfig {
   }
   std::uint64_t max_cycles = 10'000'000;  ///< watchdog against deadlock bugs
 
+  /// Event-driven fast-forward: Machine::run() skips spans of cycles
+  /// in which no component can make progress (next_event() sweep),
+  /// crediting the skipped cycles to the same stall causes the naive
+  /// loop would have charged. Cycle-identical to stepping one cycle at
+  /// a time (pinned by tests/integration/fastforward_equivalence_test
+  /// and the Debug MCSIM_FF_AUDIT lockstep audit); disable to force
+  /// the naive loop (--no-fastforward).
+  bool fastforward = true;
+
   /// Record every performed (and committed) memory access per
   /// processor, for the sva race/SC-violation analysis and for tests.
   bool record_accesses = false;

@@ -1,6 +1,7 @@
 #include "common/stats.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <mutex>
 #include <sstream>
 #include <unordered_map>
@@ -55,6 +56,11 @@ std::size_t StatNames::count() {
 }
 
 void StatSet::sample(StatId id, std::uint64_t value) {
+  // A histogram observation marks a completion — something performed,
+  // arrived, or drained. The fast-forward scheduler only scales stats
+  // while replaying a provably progress-free tick, so a sample under a
+  // scaled set means the quiescence proof was wrong.
+  assert(charge_scale_ == 1 && "sample during a fast-forwarded quiescent span");
   sample_slot(id).record(value);
 }
 

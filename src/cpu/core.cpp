@@ -106,6 +106,8 @@ void Core::broadcast(std::uint64_t seq, Word value) {
 }
 
 void Core::tick(Cycle now) {
+  progress_ = false;
+  lsu_.clear_progress();
   const std::uint64_t retired_before = retired_;
   lsu_.drain_responses(now);
   lsu_.retire_spec_entries(now);
@@ -115,17 +117,36 @@ void Core::tick(Cycle now) {
   do_dispatch(now);
   lsu_.tick_issue(now);
   do_fetch(now);
+  if (retired_ != retired_before) note_progress();
   account_cycle(retired_ != retired_before, now);
 }
 
 void Core::account_cycle(bool retired_any, Cycle now) {
   const StallCause c = retired_any ? StallCause::kBusy : classify_stall();
-  ++stall_[static_cast<std::size_t>(c)];
+  stall_[static_cast<std::size_t>(c)] += stall_scale_;
   if (events_ != nullptr && events_->enabled() && c != episode_cause_) {
     flush_stall_episode(now);
     episode_cause_ = c;
     episode_start_ = now;
   }
+}
+
+void Core::tick_quiescent(Cycle now, std::uint64_t span) {
+  // The skipped ticks are all identical no-ops, so one live tick with
+  // every per-tick charge multiplied by the span reproduces them: the
+  // stall cause is frozen (classify_stall is pure over frozen state),
+  // and the only stat deltas a quiescent tick produces are per-cycle
+  // retries (gated issues, fence/addr stalls, rejected probes,
+  // prefetch retries), which add() multiplies under the charge scale.
+  stats_.set_charge_scale(span);
+  lsu_.stats().set_charge_scale(span);
+  stall_scale_ = span;
+  tick(now);
+  stall_scale_ = 1;
+  lsu_.stats().set_charge_scale(1);
+  stats_.set_charge_scale(1);
+  assert(!progress_ && !lsu_.progressed() &&
+         "fast-forward quiescence proof violated: a skipped tick made progress");
 }
 
 void Core::flush_stall_episode(Cycle now) {
@@ -174,6 +195,7 @@ void Core::do_commit(Cycle now) {
       halt_cycle_ = now;
       rob_.pop_front();
       ++retired_;
+      note_progress();
       stats_.set(stat::halt_cycle, now);
       break;
     }
@@ -183,6 +205,7 @@ void Core::do_commit(Cycle now) {
         if (!lsu_.store_in_buffer(e.seq)) break;  // address not translated
         lsu_.release_store(e.seq, now);
         e.released = true;
+        note_progress();
       }
       if (!e.performed) break;
       if (!lsu_.load_retirable(e.seq)) break;  // spec entry still live
@@ -198,6 +221,7 @@ void Core::do_commit(Cycle now) {
         if (!lsu_.store_in_buffer(e.seq)) break;
         lsu_.release_store(e.seq, now);
         e.released = true;
+        note_progress();
       }
       // SC keeps the store at the head until it performs, so the store
       // buffer issues one store at a time (§4.2); the other models
@@ -264,6 +288,7 @@ void Core::do_execute(Cycle now) {
       }
     }
   }
+  if (used > 0) note_progress();
   // Results become visible at the end of the cycle (1-cycle ALU latency).
   for (auto& [seq, value] : results) {
     RobEntry* e = rob_find(seq);
@@ -317,10 +342,13 @@ void Core::do_dispatch(Cycle now) {
     stats_.add(stat::dispatched);
     ++n;
   }
+  if (n > 0) note_progress();
 }
 
 void Core::do_fetch(Cycle now) {
   (void)now;
+  const std::size_t buffered_before = fetch_buf_.size();
+  const bool stopped_before = fetch_stopped_;
   const std::size_t width =
       cfg_.core.ideal_frontend ? kUnlimited : cfg_.core.fetch_width;
   const std::size_t cap =
@@ -349,10 +377,13 @@ void Core::do_fetch(Cycle now) {
     if (cfg_.core.ideal_frontend && n > 100000)
       break;  // safety valve for pathological predicted loops
   }
+  if (fetch_buf_.size() != buffered_before || fetch_stopped_ != stopped_before)
+    note_progress();
 }
 
 void Core::squash_from(std::uint64_t seq, std::size_t refetch_pc, Cycle now,
                        const char* why) {
+  note_progress();
   std::size_t dropped = 0;
   while (!rob_.empty() && rob_.back().seq >= seq) {
     rob_.pop_back();
@@ -380,6 +411,7 @@ void Core::squash_from(std::uint64_t seq, std::size_t refetch_pc, Cycle now,
 void Core::mem_completed(std::uint64_t seq, Word value, Cycle now) {
   RobEntry* e = rob_find(seq);
   if (e == nullptr) return;  // e.g. a store already retired under RC/WC/PC
+  note_progress();
   const Instruction& in = e->inst;
   if (in.is_rmw()) {
     if (e->spec_value && e->value_ready && e->result != value) {
@@ -416,6 +448,7 @@ void Core::rmw_spec_value(std::uint64_t seq, Word value, Cycle now) {
   (void)now;
   RobEntry* e = rob_find(seq);
   if (e == nullptr || e->performed || e->value_ready) return;
+  note_progress();
   e->value_ready = true;
   e->spec_value = true;
   e->result = value;

@@ -40,6 +40,25 @@ class Core : public LsuHost, public LineEventObserver {
   /// Advance one cycle. The cache must have ticked already.
   void tick(Cycle now);
 
+  /// Earliest future cycle at which tick() could change any state,
+  /// for the fast-forward scheduler. `now` when the previous tick made
+  /// progress (the pipeline is live, so the next tick may act too);
+  /// otherwise the core is frozen until either a pending store-to-load
+  /// forwarding result matures (its ready_at) or an external event
+  /// arrives (cache response or coherence transaction — covered by the
+  /// cache's and network's own next_event). kCycleNever when neither.
+  Cycle next_event(Cycle now) const {
+    if (progress_ || lsu_.progressed()) return now;
+    return lsu_.next_local_completion();
+  }
+
+  /// Replay one provably quiescent tick on behalf of `span` identical
+  /// skipped ticks: every stat delta (core, LSU, and this core's cache
+  /// set — scaled by the caller) and the stall-cause charge land
+  /// `span` times, exactly as the naive loop would have charged them.
+  /// Asserts that the tick indeed made no progress.
+  void tick_quiescent(Cycle now, std::uint64_t span);
+
   bool halted() const { return halted_; }
   /// Halted and every buffered access has performed.
   bool drained() const { return halted_ && rob_.empty() && lsu_.empty(); }
@@ -109,6 +128,8 @@ class Core : public LsuHost, public LineEventObserver {
   Operand resolve(RegId reg);
   void writeback(const RobEntry& e);
   void broadcast(std::uint64_t seq, Word value);
+  /// Mark an in-tick state mutation (see next_event()).
+  void note_progress() { progress_ = true; }
 
   ProcId id_;
   /// This core's resolved configuration: the machine-wide settings
@@ -136,6 +157,12 @@ class Core : public LsuHost, public LineEventObserver {
 
   std::uint64_t next_seq_ = 1;
   std::uint64_t retired_ = 0;
+
+  /// Core state mutated this tick; starts armed (the constructor may
+  /// pre-fill the pipeline, and the first tick must always run live).
+  bool progress_ = true;
+  /// Cycles charged per account_cycle() call (fast-forward spans).
+  std::uint64_t stall_scale_ = 1;
 
   StallBreakdown stall_{};
   StallCause episode_cause_ = StallCause::kBusy;

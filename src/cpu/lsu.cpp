@@ -77,6 +77,7 @@ void LoadStoreUnit::dispatch(std::uint64_t seq, std::size_t pc, const Instructio
   e.data = data;
   e.cmp = cmp;
   ls_rs_.push_back(std::move(e));
+  note_progress();
 }
 
 void LoadStoreUnit::on_producer_ready(std::uint64_t producer_seq, Word value) {
@@ -97,6 +98,7 @@ void LoadStoreUnit::release_store(std::uint64_t seq, Cycle now) {
   assert(s != nullptr && "released store must have its address translated");
   s->released = true;
   s->released_at = now;
+  note_progress();
   if (trace_ != nullptr && trace_->enabled())
     trace_->log(now, id_, cat::sb, "release seq=" + std::to_string(seq));
 }
@@ -150,6 +152,7 @@ void LoadStoreUnit::tick_addr_unit(Cycle now) {
       host_.mem_completed(head.seq, 0, now);
       ls_rs_.pop_front();
       stats_.add(stat::fence_done);
+      note_progress();
     } else {
       stats_.add(stat::fence_stall);
     }
@@ -169,6 +172,7 @@ void LoadStoreUnit::tick_addr_unit(Cycle now) {
     if (prefetch_.offer_software(cache_.line_of(ea), exclusive, stats_)) {
       host_.mem_completed(head.seq, 0, now);
       ls_rs_.pop_front();
+      note_progress();
     }
     return;
   }
@@ -183,6 +187,7 @@ void LoadStoreUnit::tick_addr_unit(Cycle now) {
     e.ready_at = now;
     load_q_.push_back(e);
     ls_rs_.pop_front();
+    note_progress();
     return;
   }
 
@@ -219,6 +224,7 @@ void LoadStoreUnit::tick_addr_unit(Cycle now) {
     load_q_.push_back(le);
   }
   ls_rs_.pop_front();
+  note_progress();
 }
 
 IssueContext LoadStoreUnit::context_for(std::uint64_t seq, SyncKind self_sync) const {
@@ -350,6 +356,7 @@ void LoadStoreUnit::issue_load(LoadEntry& ld, Cycle now) {
       ld.issued = true;
       stats_.add(stat::load_forwarded);
       demand_issued_this_cycle_ = true;
+      note_progress();
       return;
     }
   }
@@ -375,6 +382,7 @@ void LoadStoreUnit::issue_load(LoadEntry& ld, Cycle now) {
     if (StoreEntry* st = find_store(ld.seq)) st->spec_read_issued = true;
   }
   demand_issued_this_cycle_ = true;
+  note_progress();
   const bool was_reissue = ld.reissue;
   ld.issued = true;
   ld.reissue = false;
@@ -417,6 +425,7 @@ void LoadStoreUnit::issue_store(StoreEntry& st, Cycle now) {
   tokens_[req.token] = TokenInfo{
       st.is_rmw ? TokenInfo::Kind::kRmw : TokenInfo::Kind::kStore, st.seq, 0};
   st.issued = true;
+  note_progress();
   stats_.add(st.is_rmw ? stat::rmw_issued : stat::store_issued);
   if (trace_ != nullptr && trace_->enabled())
     trace_->log(now, id_, cat::sb,
@@ -438,8 +447,10 @@ void LoadStoreUnit::offer_prefetches(Cycle now) {
       IssueContext ctx = context_for(e.seq, e.sync);
       bool allowed = load_may_issue(cfg_.model, ctx);
       if (allowed) continue;
-      if (prefetch_.offer(cache_.line_of(e.addr), /*exclusive=*/false, allowed, stats_))
+      if (prefetch_.offer(cache_.line_of(e.addr), /*exclusive=*/false, allowed, stats_)) {
         e.offered = true;
+        note_progress();
+      }
     }
   }
   for (StoreEntry& e : store_buf_) {
@@ -451,8 +462,10 @@ void LoadStoreUnit::offer_prefetches(Cycle now) {
     bool allowed = e.released && (e.is_rmw ? rmw_may_issue(cfg_.model, ctx)
                                            : store_may_issue(cfg_.model, ctx));
     if (allowed) continue;
-    if (prefetch_.offer(cache_.line_of(e.addr), /*exclusive=*/true, allowed, stats_))
+    if (prefetch_.offer(cache_.line_of(e.addr), /*exclusive=*/true, allowed, stats_)) {
       e.offered = true;
+      note_progress();
+    }
   }
 }
 
@@ -516,7 +529,13 @@ void LoadStoreUnit::tick_issue(Cycle now) {
   if (scand != nullptr && !store_merges_free) issue_store(*scand, now);
 
   offer_prefetches(now);
-  if (cache_.port_free(now)) prefetch_.drain(cache_, now, stats_);
+  if (cache_.port_free(now)) {
+    const std::size_t queued_before = prefetch_.size();
+    prefetch_.drain(cache_, now, stats_);
+    // A rejected drain leaves the queue untouched (pure retry); any
+    // pop — issued or dropped — is a state change.
+    if (prefetch_.size() != queued_before) note_progress();
+  }
 }
 
 bool LoadStoreUnit::erase_load(std::uint64_t seq) {
@@ -564,6 +583,7 @@ void LoadStoreUnit::drain_responses(Cycle now) {
   while (!local_completions_.empty() && local_completions_.front().ready_at <= now) {
     LocalCompletion lc = local_completions_.front();
     local_completions_.pop_front();
+    note_progress();
     LoadEntry* le = find_load(lc.seq);
     if (le == nullptr) continue;  // squashed
     record(lc.seq, le->pc, le->addr, AccessKind::kLoad, le->sync, lc.value, now);
@@ -573,6 +593,7 @@ void LoadStoreUnit::drain_responses(Cycle now) {
 
   CacheResponse r;
   while (cache_.pop_response(now, r)) {
+    note_progress();  // the response pop itself mutates cache state
     auto it = tokens_.find(r.token);
     if (it == tokens_.end()) continue;
     TokenInfo info = it->second;
@@ -672,6 +693,7 @@ void LoadStoreUnit::retire_spec_entries(Cycle now) {
   };
   std::vector<std::uint64_t> retired = spec_buffer_.retire_ready(may_retire);
   if (retired.empty()) return;
+  note_progress();
   stats_.add(stat::spec_retired, retired.size());
   if (trace_ != nullptr && trace_->enabled())
     trace_->log(now, id_, cat::slb, "retired " + std::to_string(retired.size()));
@@ -729,6 +751,7 @@ void LoadStoreUnit::on_line_event(LineEventKind kind, Addr line, Cycle now) {
 }
 
 void LoadStoreUnit::squash_from(std::uint64_t seq) {
+  note_progress();
   while (!ls_rs_.empty() && ls_rs_.back().seq >= seq) ls_rs_.pop_back();
   while (!load_q_.empty() && load_q_.back().seq >= seq) load_q_.pop_back();
   while (!store_buf_.empty() && store_buf_.back().seq >= seq) {

@@ -104,6 +104,23 @@ class LoadStoreUnit {
     return ls_rs_.empty() && load_q_.empty() && store_buf_.empty() && spec_buffer_.empty();
   }
 
+  // --- fast-forward support ------------------------------------------
+  /// Did any LSU state mutate since clear_progress()? The core clears
+  /// the flag at the top of its tick and reads it afterwards: a tick
+  /// that left both core and LSU untouched proves all following ticks
+  /// no-op until an external event (cache response / line event), so
+  /// the scheduler may skip them.
+  bool progressed() const { return progress_; }
+  void clear_progress() { progress_ = false; }
+
+  /// Earliest ready_at of a pending store-to-load forwarding result
+  /// (the only LSU-internal event with a future timestamp); kCycleNever
+  /// when none. The deque is pushed with nondecreasing ready_at, so the
+  /// front is the minimum.
+  Cycle next_local_completion() const {
+    return local_completions_.empty() ? kCycleNever : local_completions_.front().ready_at;
+  }
+
   const SpecLoadBuffer& spec_buffer() const { return spec_buffer_; }
   const PrefetchEngine& prefetch_engine() const { return prefetch_; }
 
@@ -211,6 +228,11 @@ class LoadStoreUnit {
   void issue_store(StoreEntry& st, Cycle now);
   void insert_spec_entry(const LoadEntry& ld, Cycle now);
   void offer_prefetches(Cycle now);
+  /// Mark an in-tick state mutation (see progressed()). Every site
+  /// that changes persistent LSU state during the core's tick must
+  /// call this; missing one breaks the fast-forward quiescence proof
+  /// (caught by the MCSIM_FF_AUDIT lockstep and the equivalence tests).
+  void note_progress() { progress_ = true; }
 
   ProcId id_;
   const SystemConfig& cfg_;
@@ -229,6 +251,7 @@ class LoadStoreUnit {
   std::deque<LocalCompletion> local_completions_;
   std::uint64_t next_token_ = 1;
   bool demand_issued_this_cycle_ = false;
+  bool progress_ = true;  ///< state mutated this tick (starts armed)
   std::vector<AccessRecord> records_;
 
   StatSet stats_;

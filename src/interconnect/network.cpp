@@ -250,6 +250,7 @@ bool Network::enter_link(Cycle now, std::size_t li, Transit& t) {
   stats_.add(stat::link_forwarded);
   stats_.add(l.fwd_stat);
   l.q.push_back(std::move(t));
+  ++in_links_;
   stats_.sample(stat::link_occupancy, l.q.size());
   return true;
 }
@@ -269,6 +270,7 @@ bool Network::advance_head(Cycle now, std::size_t li) {
     deliver_to_inbox(now, t.sent_at, std::move(t.msg));
     l.q.pop_front();
     --in_fabric_;
+    --in_links_;
     return true;
   }
   const std::uint32_t nl = next_link(l.to, t.dst_router);
@@ -282,6 +284,7 @@ bool Network::advance_head(Cycle now, std::size_t li) {
     events_->complete(stat::span_name(links_[nl].q.back().msg.type), l.track,
                       entered, now);
   l.q.pop_front();
+  --in_links_;
   return true;
 }
 
@@ -331,6 +334,35 @@ bool Network::idle() const {
   assert(undelivered_ == debug_scan_undelivered());
 #endif
   return undelivered_ == 0;
+}
+
+Cycle Network::next_event(Cycle now) const {
+#ifdef MCSIM_NET_AUDIT
+  std::uint64_t scanned_links = 0;
+  for (const Link& l : links_) scanned_links += l.q.size();
+  assert(in_links_ == scanned_links);
+#endif
+  // Undrained inbox messages are actionable by their endpoint already.
+  const std::uint64_t inboxed =
+      undelivered_ - in_flight_.size() - stalled_total_ - in_fabric_;
+  if (inboxed != 0) return now;
+  if (topology_ == Topology::kCrossbar) {
+    // Bandwidth-deferred messages deliver on the very next deliver()
+    // (their due time has passed; only the per-cycle cap parked them).
+    if (stalled_total_ != 0) return now;
+    return in_flight_.empty() ? kCycleNever : in_flight_.top().deliver_at;
+  }
+  // Routed fabric: anything on a link either moves next cycle or is
+  // blocked by other link traffic, which is itself on a link — so a
+  // non-empty link means "actionable now". With empty links, only the
+  // injection-queue fronts can act (head-of-line FIFO injection; a
+  // blocked front implies a non-empty downstream link, covered above).
+  if (in_links_ != 0) return now;
+  Cycle ne = kCycleNever;
+  for (const auto& q : inject_) {
+    if (!q.empty() && q.front().ready_at < ne) ne = q.front().ready_at;
+  }
+  return ne;
 }
 
 Json Network::snapshot_json() const {

@@ -75,6 +75,18 @@ class Network {
   /// builds and by debug_scan_undelivered()).
   bool idle() const;
 
+  /// Earliest future cycle at which deliver() can move a message, for
+  /// the fast-forward scheduler; kCycleNever when fully quiescent.
+  /// Returns `now` whenever anything is already actionable: an inbox
+  /// holds undrained messages, a bandwidth-deferred message is parked
+  /// in a stall deque, or a routed message sits on a link (hop-by-hop
+  /// movement can be gated only by other on-fabric traffic, which is
+  /// itself actionable). Otherwise the crossbar's answer is the heap
+  /// top's deliver_at and the routed fabric's is the min ready_at over
+  /// injection-queue fronts (injection is head-of-line FIFO, so only
+  /// fronts can act). O(1) for the crossbar, O(routers) for ring/mesh.
+  Cycle next_event(Cycle now) const;
+
   /// The scanned ground truth behind idle()'s counter: every message
   /// currently inside the network (tests assert it equals the counter).
   std::uint64_t debug_scan_undelivered() const;
@@ -170,6 +182,7 @@ class Network {
   std::vector<std::uint32_t> next_link_;        ///< [router][dst_router]
   std::vector<std::deque<Transit>> inject_;     ///< per source router
   std::uint64_t in_fabric_ = 0;                 ///< inject + link queues
+  std::uint64_t in_links_ = 0;                  ///< link queues only
   std::vector<std::uint32_t> link_used_;        ///< per-cycle entries, scratch
 
   std::vector<std::uint32_t> delivered_;        ///< per-endpoint scratch

@@ -138,9 +138,15 @@ CellResult run_cell(const ExperimentCell& cell) {
     out.error = out.cell_label + " " + e.what();
   }
   const auto t1 = clock::now();
+  out.wall_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
   out.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
   if (out.wall_ms > 0.0) {
     out.sims_per_sec = static_cast<double>(out.stats.cycles) / (out.wall_ms / 1000.0);
+  }
+  if (out.wall_ns > 0) {
+    out.sim_cycles_per_sec =
+        static_cast<double>(out.stats.ticks) / (static_cast<double>(out.wall_ns) / 1e9);
   }
   return out;
 }
@@ -201,7 +207,7 @@ Json histogram_to_json(const LogHistogram& h) {
 Json results_to_json(const ExperimentGrid& grid, const std::vector<CellResult>& results,
                      const SweepInfo& sweep) {
   Json root = Json::object();
-  root.set("schema", Json::string("mcsim-bench-v3"));
+  root.set("schema", Json::string("mcsim-bench-v4"));
   root.set("bench", Json::string(grid.name()));
   root.set("workers", Json::number(static_cast<std::uint64_t>(sweep.workers)));
   root.set("wall_ms", Json::number(sweep.wall_ms));
@@ -286,6 +292,8 @@ Json results_to_json(const ExperimentGrid& grid, const std::vector<CellResult>& 
 
     c.set("wall_ms", Json::number(r.wall_ms));
     c.set("sims_per_sec", Json::number(r.sims_per_sec));
+    c.set("wall_ns", Json::number(r.wall_ns));
+    c.set("sim_cycles_per_sec", Json::number(r.sim_cycles_per_sec));
     cells.push_back(std::move(c));
   }
   root.set("cells", std::move(cells));

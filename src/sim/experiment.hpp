@@ -97,7 +97,14 @@ struct CellResult {
   std::string error;     ///< human-readable detail for non-kOk cells
   RunStats stats;
   double wall_ms = 0.0;  ///< host wall-clock spent simulating this cell
-  double sims_per_sec = 0.0;  ///< simulated guest cycles per host second
+  double sims_per_sec = 0.0;  ///< guest cycles (to drain) per host second
+  /// Same wall clock at nanosecond resolution: fast-forwarded cells
+  /// can finish in well under a millisecond, where wall_ms rounds the
+  /// perf trajectory in BENCH_*.json away.
+  std::uint64_t wall_ns = 0;
+  /// Ticks (machine cycles actually simulated, the scheduler's real
+  /// workload) per host second — the speedup metric for fast-forward.
+  double sim_cycles_per_sec = 0.0;
   bool ok() const { return status == CellStatus::kOk; }
   /// "(workload, model, technique)" — for failure reports.
   std::string cell_label;

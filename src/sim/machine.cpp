@@ -3,6 +3,11 @@
 #include <sstream>
 #include <stdexcept>
 
+#ifdef MCSIM_FF_AUDIT
+#include <cassert>
+#include <iostream>
+#endif
+
 namespace mcsim {
 
 Machine::Machine(const SystemConfig& cfg, std::vector<Program> programs)
@@ -12,7 +17,8 @@ Machine::Machine(const SystemConfig& cfg, std::vector<Program> programs)
            cfg.mem.topology, cfg.mem.link_bw, cfg.mem.link_queue),
       dir_(cfg.num_procs, cfg.cache, cfg.mem, net_),
       drain_cycle_(cfg.num_procs, 0),
-      drained_(cfg.num_procs, false) {
+      drained_(cfg.num_procs, false),
+      undrained_cores_(cfg.num_procs) {
   std::string err = cfg_.validate();
   if (!err.empty()) throw std::invalid_argument("invalid SystemConfig: " + err);
   if (programs_.size() != cfg_.num_procs)
@@ -26,6 +32,7 @@ Machine::Machine(const SystemConfig& cfg, std::vector<Program> programs)
   for (ProcId p = 0; p < cfg_.num_procs; ++p) {
     caches_.push_back(std::make_unique<CoherentCache>(p, cfg_.cache, cfg_.mem.coherence,
                                                       net_, cfg_.num_procs));
+    caches_.back()->set_quiescence_counter(&busy_caches_);
   }
   for (ProcId p = 0; p < cfg_.num_procs; ++p) {
     cores_.push_back(
@@ -65,12 +72,22 @@ void Machine::step() {
     if (!drained_[p] && cores_[p]->drained()) {
       drained_[p] = true;
       drain_cycle_[p] = cycle_;
+      --undrained_cores_;
     }
   }
   ++cycle_;
 }
 
 bool Machine::done() const {
+  const bool fast =
+      undrained_cores_ == 0 && busy_caches_ == 0 && net_.idle() && dir_.idle();
+#ifdef MCSIM_FF_AUDIT
+  assert(fast == done_scan() && "O(1) done() diverged from the full scan");
+#endif
+  return fast;
+}
+
+bool Machine::done_scan() const {
   for (ProcId p = 0; p < cfg_.num_procs; ++p) {
     if (!drained_[p]) return false;
   }
@@ -81,8 +98,108 @@ bool Machine::done() const {
   return true;
 }
 
+Cycle Machine::next_event_cycle() const {
+  Cycle ne = net_.next_event(cycle_);
+  if (ne <= cycle_) return ne;
+  Cycle t = dir_.next_event(cycle_);
+  if (t < ne) ne = t;
+  for (const auto& c : caches_) {
+    t = c->next_event(cycle_);
+    if (t < ne) ne = t;
+    if (ne <= cycle_) return ne;
+  }
+  for (const auto& c : cores_) {
+    t = c->next_event(cycle_);
+    if (t < ne) ne = t;
+    if (ne <= cycle_) return ne;
+  }
+  return ne;
+}
+
+void Machine::skip_to(Cycle target) {
+  const std::uint64_t span = static_cast<std::uint64_t>(target - cycle_);
+  // Network, directory, and cache ticks across the span are proven
+  // no-ops (nothing inboxed, no matured response, no deferred fill)
+  // and are elided outright. Each core replays one quiescent tick on
+  // behalf of all `span` skipped ones: its own, its LSU's, and its
+  // cache's stat deltas (probe-rejection counters and the like) plus
+  // the stall-cause charge are scaled by the span, so per-core
+  // cycles-by-cause still sums to ticks and every counter matches the
+  // naive loop exactly.
+  for (ProcId p = 0; p < cfg_.num_procs; ++p) {
+    caches_[p]->stats().set_charge_scale(span);
+    cores_[p]->tick_quiescent(cycle_, span);
+    caches_[p]->stats().set_charge_scale(1);
+  }
+  cycle_ = target;
+}
+
+#ifdef MCSIM_FF_AUDIT
+std::string Machine::audit_fingerprint() const {
+  std::ostringstream os;
+  os << "cycle=" << cycle_ << '\n';
+  for (ProcId p = 0; p < cfg_.num_procs; ++p) {
+    os << "core" << p << " retired=" << cores_[p]->instructions_retired()
+       << " halted=" << cores_[p]->halted() << " drained=" << (drained_[p] ? 1 : 0)
+       << " drain_cycle=" << drain_cycle_[p] << " regs=";
+    for (RegId r = 0; r < kNumArchRegs; ++r) os << cores_[p]->reg(r) << ',';
+    os << '\n';
+  }
+  os << stats_report();
+  return os.str();
+}
+#endif
+
 RunResult Machine::run() {
-  while (!done() && cycle_ < cfg_.max_cycles) step();
+#ifdef MCSIM_FF_AUDIT
+  // Lockstep audit: run a naive-loop twin from the same initial state
+  // and assert bit-identical architectural state + stats at every jump
+  // target. The twin has fastforward forced off, so it never recurses.
+  std::unique_ptr<Machine> shadow;
+  if (cfg_.fastforward) {
+    SystemConfig shadow_cfg = cfg_;
+    shadow_cfg.fastforward = false;
+    shadow = std::make_unique<Machine>(shadow_cfg, programs_);
+    for (const PreloadRecord& rec : preload_log_) {
+      if (rec.shared) {
+        shadow->preload_shared(rec.proc, rec.addr);
+      } else {
+        shadow->preload_exclusive(rec.proc, rec.addr);
+      }
+    }
+  }
+  auto audit_check = [&]() {
+    if (shadow == nullptr) return;
+    while (shadow->cycle_ < cycle_) shadow->step();
+    const std::string mine = audit_fingerprint();
+    const std::string ref = shadow->audit_fingerprint();
+    if (mine != ref) {
+      std::cerr << "MCSIM_FF_AUDIT divergence at cycle " << cycle_
+                << "\n--- fast-forward ---\n"
+                << mine << "--- naive ---\n"
+                << ref;
+      assert(false && "fast-forward diverged from the naive loop");
+    }
+  };
+#endif
+  if (cfg_.fastforward) {
+    while (!done() && cycle_ < cfg_.max_cycles) {
+      const Cycle ne = next_event_cycle();
+      if (ne > cycle_) {
+        skip_to(ne < cfg_.max_cycles ? ne : cfg_.max_cycles);
+#ifdef MCSIM_FF_AUDIT
+        audit_check();
+#endif
+      } else {
+        step();
+      }
+    }
+  } else {
+    while (!done() && cycle_ < cfg_.max_cycles) step();
+  }
+#ifdef MCSIM_FF_AUDIT
+  audit_check();
+#endif
   RunResult r;
   r.deadlocked = !done();
   r.drain_cycle = drain_cycle_;
@@ -106,6 +223,7 @@ std::vector<Word> line_from_memory(const FlatMemory& mem, Addr line, std::uint32
 }  // namespace
 
 void Machine::preload_shared(ProcId p, Addr a) {
+  preload_log_.push_back(PreloadRecord{true, p, a});
   Addr line = caches_.at(p)->line_of(a);
   caches_[p]->preload_line(line, LineState::kShared,
                            line_from_memory(dir_.memory(), line, cfg_.cache.line_bytes));
@@ -113,6 +231,7 @@ void Machine::preload_shared(ProcId p, Addr a) {
 }
 
 void Machine::preload_exclusive(ProcId p, Addr a) {
+  preload_log_.push_back(PreloadRecord{false, p, a});
   Addr line = caches_.at(p)->line_of(a);
   caches_[p]->preload_line(line, LineState::kExclusive,
                            line_from_memory(dir_.memory(), line, cfg_.cache.line_bytes));

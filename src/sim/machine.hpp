@@ -47,12 +47,26 @@ class Machine {
   Machine(const SystemConfig& cfg, std::vector<Program> programs);
 
   /// Run to completion (all processors drained, memory system quiet).
+  /// With cfg.fastforward (the default) quiescent spans are skipped via
+  /// next_event_cycle(); the result is cycle-identical to the naive
+  /// per-cycle loop (pinned by tests/integration/fastforward_equivalence
+  /// and, in Debug builds, the MCSIM_FF_AUDIT lockstep shadow machine).
   RunResult run();
 
   /// Advance a single cycle (benches and the Figure-5 trace use this).
   void step();
 
+  /// Earliest cycle at which any component can make progress: the min
+  /// of every component's next_event(). A value <= now() means the
+  /// next tick must run live; a larger value proves every tick before
+  /// it is a no-op; kCycleNever means the machine is permanently
+  /// quiescent (done, or deadlocked until max_cycles).
+  Cycle next_event_cycle() const;
+
   Cycle now() const { return cycle_; }
+  /// O(1): undrained-core and busy-cache counters plus the network's
+  /// and directory's own O(1) idle checks. Audited against the full
+  /// scan under MCSIM_FF_AUDIT.
   bool done() const;
 
   Core& core(ProcId p) { return *cores_.at(p); }
@@ -89,6 +103,25 @@ class Machine {
   std::vector<std::vector<AccessRecord>> access_logs() const;
 
  private:
+  /// Replayed preload_* call, so the MCSIM_FF_AUDIT shadow machine can
+  /// be constructed into the same initial state.
+  struct PreloadRecord {
+    bool shared = false;
+    ProcId proc = 0;
+    Addr addr = 0;
+  };
+
+  /// Jump the clock to `target` (> cycle_): every skipped network/
+  /// directory/cache tick is a proven no-op and is elided; each core
+  /// replays one quiescent tick with all stat and stall charges scaled
+  /// by the span, so accounting is identical to ticking naively.
+  void skip_to(Cycle target);
+  /// Ground truth behind done()'s counters (audit + cold paths).
+  bool done_scan() const;
+#ifdef MCSIM_FF_AUDIT
+  std::string audit_fingerprint() const;
+#endif
+
   SystemConfig cfg_;
   Trace trace_;
   TraceEventSink events_;
@@ -99,6 +132,9 @@ class Machine {
   std::vector<std::unique_ptr<Core>> cores_;
   std::vector<Cycle> drain_cycle_;
   std::vector<bool> drained_;
+  std::vector<PreloadRecord> preload_log_;
+  std::uint64_t undrained_cores_ = 0;  ///< cores with drained_[p] false
+  std::uint64_t busy_caches_ = 0;      ///< caches with pending work
   Cycle cycle_ = 0;
 };
 

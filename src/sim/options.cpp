@@ -86,6 +86,10 @@ OptionsResult parse_options(int argc, const char* const* argv) {
       if (v == "inv") r.config.mem.coherence = CoherenceKind::kInvalidation;
       else if (v == "upd") r.config.mem.coherence = CoherenceKind::kUpdate;
       else return fail("unknown protocol: " + v);
+    } else if (arg == "--fastforward") {
+      r.config.fastforward = true;
+    } else if (arg == "--no-fastforward") {
+      r.config.fastforward = false;
     } else if (arg == "--ideal") {
       ideal = true;
     } else if (arg == "--realistic") {
@@ -130,6 +134,9 @@ std::string options_help() {
       "                           (default 1, 0 = unlimited)\n"
       "  --link-queue=N           ring/mesh: per-link FIFO depth (default 8)\n"
       "  --ideal / --realistic    front-end model (default realistic)\n"
+      "  --no-fastforward         tick every cycle instead of skipping\n"
+      "                           quiescent spans (debugging; results are\n"
+      "                           cycle-identical either way)\n"
       "  --rob=N --mshrs=N        capacity knobs\n"
       "  --max-cycles=N           deadlock watchdog\n"
       "  --trace-out=PATH         write a Chrome trace-event timeline (open in\n"

@@ -29,6 +29,8 @@ struct OptionsResult {
 ///   --topology=crossbar|ring|mesh2d   interconnect     (default crossbar)
 ///   --link-bw=N --link-queue=N        ring/mesh link contention knobs
 ///   --ideal / --realistic      front-end model          (default realistic)
+///   --fastforward / --no-fastforward  skip quiescent cycles (default on;
+///                              cycle-identical either way)
 ///   --rob=N --mshrs=N          common capacity knobs
 ///   --max-cycles=N             deadlock watchdog
 ///   --trace-out=PATH           write a Chrome trace-event timeline

@@ -1,0 +1,225 @@
+// Pins that the event-driven fast-forward scheduler (cfg.fastforward,
+// the default) is CYCLE-IDENTICAL to the naive tick-every-cycle loop:
+// same RunResult, same final registers and memory, same stats report —
+// on the litmus corpus, across every consistency model and topology,
+// and through the parallel experiment runner.
+//
+// The golden numbers are the same constants crossbar_equivalence_test
+// pins for the naive loop; running them here under fast-forward means
+// any scheduler shortcut that drops or duplicates a cycle fails two
+// independent tests in two different ways.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hpp"
+#include "sim/machine.hpp"
+#include "sim/options.hpp"
+#include "sim/workloads.hpp"
+#include "sva/reproducer.hpp"
+
+namespace mcsim {
+namespace {
+
+using sva::Reproducer;
+using sva::load_reproducer;
+
+struct Golden {
+  const char* litmus;
+  ConsistencyModel model;
+  Cycle cycles;
+};
+
+// Captured from the naive per-cycle loop on the paper-default machine
+// (100-cycle clean miss, base techniques, crossbar).
+const Golden kGolden[] = {
+    {"dekker.litmus", ConsistencyModel::kSC, 401u},
+    {"dekker.litmus", ConsistencyModel::kPC, 201u},
+    {"dekker.litmus", ConsistencyModel::kWC, 201u},
+    {"dekker.litmus", ConsistencyModel::kRC, 201u},
+    {"iriw_lite.litmus", ConsistencyModel::kSC, 201u},
+    {"iriw_lite.litmus", ConsistencyModel::kPC, 201u},
+    {"iriw_lite.litmus", ConsistencyModel::kWC, 201u},
+    {"iriw_lite.litmus", ConsistencyModel::kRC, 201u},
+    {"lock_handoff.litmus", ConsistencyModel::kSC, 600u},
+    {"lock_handoff.litmus", ConsistencyModel::kPC, 600u},
+    {"lock_handoff.litmus", ConsistencyModel::kWC, 600u},
+    {"lock_handoff.litmus", ConsistencyModel::kRC, 600u},
+    {"message_passing.litmus", ConsistencyModel::kSC, 401u},
+    {"message_passing.litmus", ConsistencyModel::kPC, 401u},
+    {"message_passing.litmus", ConsistencyModel::kWC, 401u},
+    {"message_passing.litmus", ConsistencyModel::kRC, 401u},
+    {"store_buffering.litmus", ConsistencyModel::kSC, 401u},
+    {"store_buffering.litmus", ConsistencyModel::kPC, 201u},
+    {"store_buffering.litmus", ConsistencyModel::kWC, 401u},
+    {"store_buffering.litmus", ConsistencyModel::kRC, 201u},
+};
+
+/// Everything a run can observably produce, for exact diffing between
+/// the two schedulers.
+struct Fingerprint {
+  RunResult result;
+  std::string stats;
+  std::vector<Word> regs;  ///< all processors' register files, flattened
+  std::vector<Word> mem;   ///< watched addresses, in `watch` order
+};
+
+bool operator==(const Fingerprint& a, const Fingerprint& b) {
+  return a.result.cycles == b.result.cycles && a.result.ticks == b.result.ticks &&
+         a.result.deadlocked == b.result.deadlocked &&
+         a.result.retired == b.result.retired &&
+         a.result.drain_cycle == b.result.drain_cycle &&
+         a.result.stall == b.result.stall && a.stats == b.stats && a.regs == b.regs &&
+         a.mem == b.mem;
+}
+
+Fingerprint run_one(const std::vector<Program>& programs,
+                    const std::vector<std::pair<ProcId, Addr>>& preload_shared,
+                    SystemConfig cfg, const std::vector<Addr>& watch,
+                    bool fastforward) {
+  cfg.fastforward = fastforward;
+  Machine m(cfg, programs);
+  for (const auto& [p, a] : preload_shared) m.preload_shared(p, a);
+  Fingerprint fp;
+  fp.result = m.run();
+  fp.stats = m.stats_report();
+  for (ProcId p = 0; p < cfg.num_procs; ++p) {
+    for (RegId r = 0; r < kNumArchRegs; ++r) fp.regs.push_back(m.core(p).reg(r));
+  }
+  for (Addr a : watch) fp.mem.push_back(m.read_word(a));
+  return fp;
+}
+
+void expect_identical(const Fingerprint& ff, const Fingerprint& naive,
+                      const std::string& what) {
+  EXPECT_EQ(ff.result.cycles, naive.result.cycles) << what;
+  EXPECT_EQ(ff.result.ticks, naive.result.ticks) << what;
+  EXPECT_EQ(ff.result.deadlocked, naive.result.deadlocked) << what;
+  EXPECT_EQ(ff.result.retired, naive.result.retired) << what;
+  EXPECT_EQ(ff.result.drain_cycle, naive.result.drain_cycle) << what;
+  EXPECT_EQ(ff.result.stall, naive.result.stall) << what;
+  EXPECT_EQ(ff.regs, naive.regs) << what;
+  EXPECT_EQ(ff.mem, naive.mem) << what;
+  EXPECT_EQ(ff.stats, naive.stats) << what << " (stats report diverged)";
+}
+
+TEST(FastForwardEquivalence, IsTheDefaultAndFlagsParse) {
+  SystemConfig cfg;
+  EXPECT_TRUE(cfg.fastforward);
+  const char* off[] = {"prog", "--no-fastforward"};
+  OptionsResult r = parse_options(2, off);
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_FALSE(r.config.fastforward);
+  const char* on[] = {"prog", "--no-fastforward", "--fastforward"};
+  r = parse_options(3, on);
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_TRUE(r.config.fastforward);
+}
+
+TEST(FastForwardEquivalence, LitmusCorpusCycleCountsArePinned) {
+  // The naive loop's golden cycle counts, reproduced with skipping on.
+  std::string dir = MCSIM_CORPUS_DIR;
+  std::string last;
+  Reproducer r;
+  for (const Golden& g : kGolden) {
+    if (last != g.litmus) {
+      r = load_reproducer(dir + "/" + g.litmus);
+      last = g.litmus;
+    }
+    SystemConfig cfg = SystemConfig::paper_default(
+        static_cast<std::uint32_t>(r.litmus.programs.size()), g.model);
+    cfg.max_cycles = 1'000'000;
+    ASSERT_TRUE(cfg.fastforward);
+    Machine m(cfg, r.litmus.programs);
+    for (const auto& [p, a] : r.litmus.preload_shared) m.preload_shared(p, a);
+    RunResult rr = m.run();
+    EXPECT_FALSE(rr.deadlocked);
+    EXPECT_EQ(rr.cycles, g.cycles)
+        << g.litmus << " under " << to_string(g.model)
+        << ": fast-forward drifted from the naive loop's golden timing";
+  }
+}
+
+TEST(FastForwardEquivalence, CorpusMatchesNaiveOnEveryModelAndTopology) {
+  std::string dir = MCSIM_CORPUS_DIR;
+  for (const char* name : {"dekker.litmus", "iriw_lite.litmus", "lock_handoff.litmus",
+                           "message_passing.litmus", "store_buffering.litmus"}) {
+    Reproducer r = load_reproducer(dir + "/" + std::string(name));
+    for (ConsistencyModel model : {ConsistencyModel::kSC, ConsistencyModel::kPC,
+                                   ConsistencyModel::kWC, ConsistencyModel::kRC}) {
+      for (Topology topo :
+           {Topology::kCrossbar, Topology::kRing, Topology::kMesh2D}) {
+        SystemConfig cfg = SystemConfig::paper_default(
+            static_cast<std::uint32_t>(r.litmus.programs.size()), model);
+        cfg.mem.topology = topo;
+        cfg.max_cycles = 1'000'000;
+        const std::string what = std::string(name) + " " + to_string(model) + " " +
+                                 to_string(topo);
+        expect_identical(run_one(r.litmus.programs, r.litmus.preload_shared, cfg,
+                                 r.litmus.addrs, true),
+                         run_one(r.litmus.programs, r.litmus.preload_shared, cfg,
+                                 r.litmus.addrs, false),
+                         what);
+      }
+    }
+  }
+}
+
+TEST(FastForwardEquivalence, MissHeavyWorkloadMatchesAndStallSumsToTicks) {
+  // Long clean-miss latency maximizes quiescent spans — the case the
+  // scheduler exists for, and the one where a skip-accounting bug
+  // would distort the stall breakdowns most.
+  Workload w = make_producer_consumer(2, 6);
+  SystemConfig cfg = SystemConfig::realistic(2, ConsistencyModel::kSC);
+  cfg.with_clean_miss_latency(400);
+  Fingerprint ff = run_one(w.programs, w.preload_shared, cfg, {}, true);
+  Fingerprint naive = run_one(w.programs, w.preload_shared, cfg, {}, false);
+  expect_identical(ff, naive, "producer_consumer miss=400");
+  ASSERT_FALSE(ff.result.deadlocked);
+  for (std::size_t p = 0; p < ff.result.stall.size(); ++p) {
+    std::uint64_t sum = 0;
+    for (std::uint64_t c : ff.result.stall[p]) sum += c;
+    EXPECT_EQ(sum, static_cast<std::uint64_t>(ff.result.ticks))
+        << "core " << p << ": skipped spans not fully charged to stall causes";
+  }
+}
+
+TEST(FastForwardEquivalence, DeadlockTimingIsIdentical) {
+  // Truncated run: max_cycles lands mid-flight, so the scheduler must
+  // clamp its final jump to the watchdog and charge the tail spans.
+  Workload w = make_producer_consumer(2, 6);
+  SystemConfig cfg = SystemConfig::realistic(2, ConsistencyModel::kSC);
+  cfg.with_clean_miss_latency(400);
+  cfg.max_cycles = 900;
+  Fingerprint ff = run_one(w.programs, w.preload_shared, cfg, {}, true);
+  Fingerprint naive = run_one(w.programs, w.preload_shared, cfg, {}, false);
+  EXPECT_TRUE(ff.result.deadlocked);
+  expect_identical(ff, naive, "truncated producer_consumer");
+  EXPECT_EQ(ff.result.ticks, 900u);
+}
+
+TEST(FastForwardEquivalence, SweepIsWorkerCountInvariant) {
+  // Fast-forwarded cells through the ExperimentRunner: serial and
+  // 4-worker sweeps bit-identical, and cell wall-clock fields filled.
+  ExperimentGrid grid("fastforward-invariance");
+  for (ConsistencyModel m : {ConsistencyModel::kSC, ConsistencyModel::kRC}) {
+    SystemConfig cfg = SystemConfig::paper_default(4, m);
+    grid.add(make_producer_consumer(4, 4), cfg, "base");
+  }
+  std::vector<CellResult> serial = ExperimentRunner(1).run(grid);
+  std::vector<CellResult> parallel = ExperimentRunner(4).run(grid);
+  ASSERT_EQ(serial.size(), grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    ASSERT_TRUE(serial[i].ok()) << serial[i].cell_label << ": " << serial[i].error;
+    ASSERT_TRUE(parallel[i].ok()) << parallel[i].error;
+    EXPECT_EQ(serial[i].stats.cycles, parallel[i].stats.cycles) << i;
+    EXPECT_EQ(serial[i].stats.ticks, parallel[i].stats.ticks) << i;
+    EXPECT_EQ(serial[i].stats.retired, parallel[i].stats.retired) << i;
+    EXPECT_GT(serial[i].wall_ns, 0u) << "per-cell wall_ns not recorded";
+    EXPECT_GT(serial[i].sim_cycles_per_sec, 0.0) << i;
+  }
+}
+
+}  // namespace
+}  // namespace mcsim
