@@ -176,6 +176,31 @@ void BM_MachineFastForwardMissHeavy(benchmark::State& state) {
 }
 BENCHMARK(BM_MachineFastForwardMissHeavy)->Arg(0)->Arg(1);
 
+// Profiler cost guard: the same miss-heavy cell as the fast-forward
+// bench, with the technique-efficacy profiler off (arg 0) vs on
+// (arg 1). The off case is the one that matters — --profile is opt-in
+// and the hooks must be a single dead branch when disabled, so Off must
+// track BM_MachineFastForwardMissHeavy/1 to within noise (<2%).
+void run_profiler_cell(benchmark::State& state, bool profile) {
+  std::uint64_t guest_cycles = 0;
+  for (auto _ : state) {
+    Workload w = make_dependent_chain(2, 32, 2);
+    SystemConfig cfg = SystemConfig::realistic(2, ConsistencyModel::kSC);
+    cfg.with_clean_miss_latency(400);
+    cfg.profile = profile;
+    Machine m(cfg, w.programs);
+    RunResult r = m.run();
+    guest_cycles += r.ticks;
+    benchmark::DoNotOptimize(r.cycles);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(guest_cycles));
+  state.SetLabel("items = simulated guest cycles");
+}
+void BM_MachineProfilerOff(benchmark::State& state) { run_profiler_cell(state, false); }
+void BM_MachineProfilerOn(benchmark::State& state) { run_profiler_cell(state, true); }
+BENCHMARK(BM_MachineProfilerOff);
+BENCHMARK(BM_MachineProfilerOn);
+
 // Cost of one next_event_cycle() sweep — the price the fast-forward
 // scheduler pays per machine cycle on top of the naive loop. Probed on
 // a fully drained machine, the worst case: no component reports `now`,

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "common/log.hpp"
+#include "common/profile.hpp"
 
 namespace mcsim {
 
@@ -87,6 +88,7 @@ const TraceEventSink::NameId miss = TraceEventSink::name_id("miss");
 const TraceEventSink::NameId miss_ex = TraceEventSink::name_id("miss-ex");
 const TraceEventSink::NameId prefetch = TraceEventSink::name_id("prefetch");
 const TraceEventSink::NameId prefetch_ex = TraceEventSink::name_id("prefetch-ex");
+const TraceEventSink::NameId pf_pending = TraceEventSink::name_id("pf-pending");
 }  // namespace ev
 }  // namespace
 
@@ -204,6 +206,74 @@ void CoherentCache::write_word(Way& way, Addr addr, Word v) {
   way.data[(addr - way.line) / kWordBytes] = v;
 }
 
+// --- prefetch outcome attribution (profiling) ------------------------
+
+void CoherentCache::pf_counter_event(Cycle now) {
+  if (events_ != nullptr && events_->enabled())
+    events_->counter(ev::pf_pending, track_, now, pf_tags_.size());
+}
+
+void CoherentCache::pf_issue(Addr line, bool ex, Cycle now) {
+  // A PrefetchEx can land on a line whose earlier read prefetch is
+  // resident but still unresolved; that older prefetch was superseded
+  // without a demand use, so it resolves as useless — keeping
+  // issued == resolved + pending exact with one tag per line.
+  auto [it, fresh] = pf_tags_.try_emplace(line);
+  if (!fresh) stats_.add(prof::pf_useless);
+  it->second = PfTag{false, ex, now, 0};
+  stats_.add(prof::pf_issued);
+  pf_counter_event(now);
+}
+
+void CoherentCache::pf_demand_touch(Addr line, Cycle now) {
+  auto it = pf_tags_.find(line);
+  if (it == pf_tags_.end()) return;
+  if (it->second.resident) {
+    // The §3.2 win: the fill landed before any demand needed it.
+    stats_.add(prof::pf_useful);
+    stats_.sample(prof::pf_use_distance, now - it->second.fill_at);
+  } else {
+    // Demand merged into the in-flight prefetch: partial hiding. The
+    // head start is how much of the miss the prefetch already paid.
+    stats_.add(prof::pf_late);
+    stats_.sample(prof::pf_head_start, now - it->second.issue_at);
+  }
+  pf_tags_.erase(it);
+  pf_counter_event(now);
+}
+
+void CoherentCache::pf_fill(Addr line, Cycle now) {
+  // Fill closed with no demand having merged: the line is now resident
+  // and untouched. Resolution happens later (touch / evict / kill).
+  auto it = pf_tags_.find(line);
+  if (it != pf_tags_.end() && !it->second.resident) {
+    it->second.resident = true;
+    it->second.fill_at = now;
+  }
+}
+
+void CoherentCache::pf_kill(Addr line, bool update, Cycle now) {
+  // The §3.1 failure mode: coherence took the line (or rewrote it)
+  // before any demand use, resident or still in flight.
+  auto it = pf_tags_.find(line);
+  if (it == pf_tags_.end()) return;
+  stats_.add(update ? prof::pf_killed_update : prof::pf_killed_inval);
+  pf_tags_.erase(it);
+  pf_counter_event(now);
+}
+
+void CoherentCache::pf_evict(Addr line, Cycle now) {
+  // Replacement chose a prefetched-but-never-used line: pure waste.
+  // Only resident tags can be evicted (a line with an outstanding MSHR
+  // is never a victim — footnote 3).
+  auto it = pf_tags_.find(line);
+  if (it == pf_tags_.end()) return;
+  assert(it->second.resident && "evicted a line with an in-flight prefetch");
+  stats_.add(prof::pf_useless);
+  pf_tags_.erase(it);
+  pf_counter_event(now);
+}
+
 namespace {
 Message make_request(MsgType type, ProcId src, EndpointId dst, Addr line) {
   Message msg;
@@ -232,6 +302,7 @@ ProbeResult CoherentCache::probe(const CacheRequest& req, Cycle now) {
           stats_.add(stat::prefetch_useful_hit);
           stats_.sample(stat::prefetch_to_use, now - way->fill_at);
         }
+        if (profile_) pf_demand_touch(line, now);
         stats_.add(stat::load_hit);
         push_response(req.token, read_word(*way, req.addr), now + 1, true);
         return ProbeResult::kHit;
@@ -239,6 +310,7 @@ ProbeResult CoherentCache::probe(const CacheRequest& req, Cycle now) {
       if (mshr != nullptr) {
         stats_.add(stat::load_merged);
         if (mshr->prefetch_initiated) stats_.add(stat::prefetch_useful_merge);
+        if (profile_) pf_demand_touch(line, now);
         mshr->waiters.push_back(Waiter{req.token, CacheOp::kLoad, req.addr, 0,
                                        RmwOp::kTestAndSet, 0, 0});
         return ProbeResult::kMerged;
@@ -261,6 +333,7 @@ ProbeResult CoherentCache::probe(const CacheRequest& req, Cycle now) {
         if (way != nullptr) {
           way->last_use = now;
           write_word(*way, req.addr, req.store_value);
+          if (profile_) pf_demand_touch(line, now);
         }
         // The store performs only when the directory confirms every
         // sharer saw the new value (paper §3.1: an update protocol
@@ -282,6 +355,7 @@ ProbeResult CoherentCache::probe(const CacheRequest& req, Cycle now) {
           stats_.add(stat::prefetch_useful_hit);
           stats_.sample(stat::prefetch_to_use, now - way->fill_at);
         }
+        if (profile_) pf_demand_touch(line, now);
         stats_.add(stat::store_hit);
         write_word(*way, req.addr, req.store_value);
         push_response(req.token, 0, now + 1, true);
@@ -290,6 +364,7 @@ ProbeResult CoherentCache::probe(const CacheRequest& req, Cycle now) {
       if (mshr != nullptr) {
         stats_.add(stat::store_merged);
         if (mshr->prefetch_initiated) stats_.add(stat::prefetch_useful_merge);
+        if (profile_) pf_demand_touch(line, now);
         if (!mshr->want_ex) mshr->upgrade_after_fill = true;
         mshr->waiters.push_back(Waiter{req.token, CacheOp::kStore, req.addr,
                                        req.store_value, RmwOp::kTestAndSet, 0, 0});
@@ -301,6 +376,7 @@ ProbeResult CoherentCache::probe(const CacheRequest& req, Cycle now) {
         return ProbeResult::kRejected;
       }
       stats_.add(way != nullptr ? stat::store_upgrade_miss : stat::store_miss);
+      if (profile_) pf_demand_touch(line, now);  // upgrade of a prefetched copy
       m->want_ex = true;
       m->waiters.push_back(Waiter{req.token, CacheOp::kStore, req.addr, req.store_value,
                                   RmwOp::kTestAndSet, 0, 0});
@@ -314,12 +390,14 @@ ProbeResult CoherentCache::probe(const CacheRequest& req, Cycle now) {
       assert(!update_proto);
       if (way != nullptr && way->state == LineState::kExclusive) {
         way->last_use = now;
+        if (profile_) pf_demand_touch(line, now);
         stats_.add(stat::loadex_hit);
         push_response(req.token, read_word(*way, req.addr), now + 1, true);
         return ProbeResult::kHit;
       }
       if (mshr != nullptr) {
         stats_.add(stat::loadex_merged);
+        if (profile_) pf_demand_touch(line, now);
         if (!mshr->want_ex) mshr->upgrade_after_fill = true;
         mshr->waiters.push_back(Waiter{req.token, CacheOp::kLoadEx, req.addr, 0,
                                        RmwOp::kTestAndSet, 0, 0});
@@ -331,6 +409,7 @@ ProbeResult CoherentCache::probe(const CacheRequest& req, Cycle now) {
         return ProbeResult::kRejected;
       }
       stats_.add(stat::loadex_miss);
+      if (profile_) pf_demand_touch(line, now);  // upgrade of a prefetched copy
       m->want_ex = true;
       m->waiters.push_back(Waiter{req.token, CacheOp::kLoadEx, req.addr, 0,
                                   RmwOp::kTestAndSet, 0, 0});
@@ -341,6 +420,7 @@ ProbeResult CoherentCache::probe(const CacheRequest& req, Cycle now) {
     case CacheOp::kRmw: {
       if (update_proto) {
         stats_.add(stat::rmw_update);
+        if (profile_ && way != nullptr) pf_demand_touch(line, now);
         word_ops_[req.token] =
             WordOp{req.token, true, req.rmw_op, req.rmw_cmp, req.rmw_src, req.addr};
         busy_inc();
@@ -360,6 +440,7 @@ ProbeResult CoherentCache::probe(const CacheRequest& req, Cycle now) {
           stats_.add(stat::prefetch_useful_hit);
           stats_.sample(stat::prefetch_to_use, now - way->fill_at);
         }
+        if (profile_) pf_demand_touch(line, now);
         stats_.add(stat::rmw_hit);
         Word old = read_word(*way, req.addr);
         write_word(*way, req.addr, apply_rmw(req.rmw_op, old, req.rmw_cmp, req.rmw_src));
@@ -369,6 +450,7 @@ ProbeResult CoherentCache::probe(const CacheRequest& req, Cycle now) {
       if (mshr != nullptr) {
         stats_.add(stat::rmw_merged);
         if (mshr->prefetch_initiated) stats_.add(stat::prefetch_useful_merge);
+        if (profile_) pf_demand_touch(line, now);
         if (!mshr->want_ex) mshr->upgrade_after_fill = true;
         mshr->waiters.push_back(Waiter{req.token, CacheOp::kRmw, req.addr, 0, req.rmw_op,
                                        req.rmw_cmp, req.rmw_src});
@@ -380,6 +462,7 @@ ProbeResult CoherentCache::probe(const CacheRequest& req, Cycle now) {
         return ProbeResult::kRejected;
       }
       stats_.add(stat::rmw_miss);
+      if (profile_) pf_demand_touch(line, now);  // upgrade of a prefetched copy
       m->want_ex = true;
       m->waiters.push_back(Waiter{req.token, CacheOp::kRmw, req.addr, 0, req.rmw_op,
                                   req.rmw_cmp, req.rmw_src});
@@ -400,6 +483,7 @@ ProbeResult CoherentCache::probe(const CacheRequest& req, Cycle now) {
         return ProbeResult::kRejected;
       }
       stats_.add(stat::prefetch_read_issued);
+      if (profile_) pf_issue(line, false, now);
       m->prefetch_initiated = true;
       net_.send(make_request(MsgType::kReadReq, id_, dir_, line), now);
       return ProbeResult::kMiss;
@@ -428,6 +512,7 @@ ProbeResult CoherentCache::probe(const CacheRequest& req, Cycle now) {
         return ProbeResult::kRejected;
       }
       stats_.add(stat::prefetch_ex_issued);
+      if (profile_) pf_issue(line, true, now);
       m->prefetch_initiated = true;
       m->want_ex = true;
       net_.send(make_request(MsgType::kReadExReq, id_, dir_, line), now);
@@ -474,6 +559,7 @@ void CoherentCache::evict(Way& way, Cycle now) {
     net_.send(make_request(MsgType::kReplaceNotify, id_, dir_, way.line), now);
     stats_.add(stat::replace_clean);
   }
+  if (profile_) pf_evict(way.line, now);
   notify(LineEventKind::kReplacement, way.line, now);
   way.state = LineState::kInvalid;
   way.prefetched = false;
@@ -530,6 +616,9 @@ void CoherentCache::handle_message(const Message& msg, Cycle now) {
         busy_inc();
         return;
       }
+      // No-op unless a still-unresolved prefetch tag is waiting on this
+      // line (i.e. no demand merged into the MSHR before the fill).
+      if (profile_) pf_fill(msg.line_addr, now);
       // Loads complete off the shared copy; store/RMW waiters forced an
       // upgrade and keep waiting for the exclusive reply.
       std::vector<Waiter> remaining;
@@ -561,6 +650,7 @@ void CoherentCache::handle_message(const Message& msg, Cycle now) {
         busy_inc();
         return;
       }
+      if (profile_) pf_fill(msg.line_addr, now);
       // All invalidations were acknowledged before the directory sent
       // this reply, so stores applied here are performed at `now`.
       for (const Waiter& w : m->waiters) {
@@ -595,6 +685,7 @@ void CoherentCache::handle_message(const Message& msg, Cycle now) {
         way->state = LineState::kInvalid;
         way->prefetched = false;
       }
+      if (profile_) pf_kill(msg.line_addr, /*update=*/false, now);
       // Notify even when the line is already gone: a speculative-load
       // entry may still reference this address (conservative, §4.2).
       notify(LineEventKind::kInvalidate, msg.line_addr, now);
@@ -613,6 +704,7 @@ void CoherentCache::handle_message(const Message& msg, Cycle now) {
       ack.data = way->data;
       net_.send(std::move(ack), now);
       if (msg.recall_exclusive) {
+        if (profile_) pf_kill(msg.line_addr, /*update=*/false, now);
         way->state = LineState::kInvalid;
         way->prefetched = false;
         notify(LineEventKind::kInvalidate, msg.line_addr, now);
@@ -625,6 +717,7 @@ void CoherentCache::handle_message(const Message& msg, Cycle now) {
     case MsgType::kUpdate: {
       Way* way = find_way(msg.line_addr);
       if (way != nullptr) write_word(*way, msg.word_addr, msg.word_value);
+      if (profile_) pf_kill(msg.line_addr, /*update=*/true, now);
       notify(LineEventKind::kUpdate, msg.line_addr, now);
       net_.send(make_request(MsgType::kUpdateAck, id_, dir_, msg.line_addr), now);
       break;

@@ -118,6 +118,16 @@ class CoherentCache {
   const StatSet& stats() const { return stats_; }
   StatSet& stats() { return stats_; }
 
+  // --- technique-efficacy profiling (--profile) ----------------------
+  /// Per-prefetch outcome attribution: every prefetch-installed tag is
+  /// resolved exactly once as useful / late / useless / killed (see
+  /// common/profile.hpp). One branch per probe path when off.
+  void set_profiling(bool on) { profile_ = on; }
+  bool profiling() const { return profile_; }
+  /// Prefetches issued but not yet resolved — the `pending_at_end`
+  /// term of the conservation invariant when read after a run.
+  std::size_t profile_pending() const { return pf_tags_.size(); }
+
  private:
   struct Way {
     LineState state = LineState::kInvalid;
@@ -186,6 +196,29 @@ class CoherentCache {
   Word read_word(const Way& way, Addr addr) const;
   void write_word(Way& way, Addr addr, Word v);
 
+  /// One unresolved prefetch (profiling only). Decoupled from
+  /// Way::prefetched so the legacy counters are untouched by
+  /// profiling. Invariant: a tag is `resident` iff its line is in the
+  /// cache with no demand use since the prefetch fill; otherwise its
+  /// prefetch-initiated MSHR is still outstanding.
+  struct PfTag {
+    bool resident = false;
+    bool exclusive = false;
+    Cycle issue_at = 0;
+    Cycle fill_at = 0;
+  };
+  // All pf_* helpers fire only on progress sites (probe successes,
+  // message handling, evictions) — never on rejected/gated paths that
+  // fast-forward replays with a charge scale — so profiler counters
+  // stay cycle-identical under fast-forward (MCSIM_FF_AUDIT covers
+  // them via stats_report()).
+  void pf_issue(Addr line, bool ex, Cycle now);
+  void pf_demand_touch(Addr line, Cycle now);
+  void pf_fill(Addr line, Cycle now);
+  void pf_kill(Addr line, bool update, Cycle now);
+  void pf_evict(Addr line, Cycle now);
+  void pf_counter_event(Cycle now);
+
   ProcId id_;
   CacheConfig cfg_;
   CoherenceKind protocol_;
@@ -206,6 +239,9 @@ class CoherentCache {
 
   std::uint64_t busy_ = 0;            ///< pending work items (idle() == 0)
   std::uint64_t* quiesce_ = nullptr;  ///< machine-wide busy-cache count
+
+  bool profile_ = false;
+  std::unordered_map<Addr, PfTag> pf_tags_;  ///< unresolved prefetches
 
   StatSet stats_;
 };

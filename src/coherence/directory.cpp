@@ -1,5 +1,6 @@
 #include "coherence/directory.hpp"
 
+#include <bit>
 #include <cassert>
 
 #include "isa/instruction.hpp"  // apply_rmw
@@ -40,6 +41,11 @@ TraceEventSink::NameId txn_event_name(int kind) {
   };
   return ids[kind];
 }
+
+namespace ev {
+const TraceEventSink::NameId inv_fanout = TraceEventSink::name_id("inv-fanout");
+const TraceEventSink::NameId upd_fanout = TraceEventSink::name_id("upd-fanout");
+}  // namespace ev
 }  // namespace
 
 Directory::Directory(std::uint32_t num_procs, const CacheConfig& cache_cfg,
@@ -113,6 +119,12 @@ void Directory::reply_read(const Message& req, Cycle now) {
   e.state = State::kShared;
   e.sharers |= (1ull << req.src);
   e.owner = kNoProc;
+  if (profile_) {
+    const std::uint32_t degree =
+        static_cast<std::uint32_t>(std::popcount(e.sharers));
+    ledger_.on_read_share(req.line_addr, degree);
+    stats_.sample(prof::sh_read_share, degree);
+  }
 }
 
 void Directory::reply_read_ex(const Message& req, Cycle now) {
@@ -127,6 +139,7 @@ void Directory::reply_read_ex(const Message& req, Cycle now) {
   e.state = State::kDirty;
   e.sharers = 0;
   e.owner = req.src;
+  if (profile_) ledger_.on_exclusive_grant(req.line_addr, static_cast<ProcId>(req.src));
 }
 
 void Directory::handle(const Message& msg, Cycle now) {
@@ -231,6 +244,12 @@ void Directory::handle_request(const Message& msg, Cycle now) {
               send(std::move(inv), now);
             }
           }
+          if (profile_) {
+            ledger_.on_invalidation_round(line, txn.acks_left);
+            stats_.sample(prof::sh_inv_fanout, txn.acks_left);
+            if (events_ != nullptr && events_->enabled())
+              events_->counter(ev::inv_fanout, track_, now, txn.acks_left);
+          }
           busy_.emplace(line, std::move(txn));
           break;
         }
@@ -245,6 +264,14 @@ void Directory::handle_request(const Message& msg, Cycle now) {
           txn.kind = Txn::Kind::kRecallForEx;
           txn.request = msg;
           txn.started_at = now;
+          if (profile_) {
+            // A recall-for-exclusive is a fan-out-1 invalidation round
+            // aimed at the current owner.
+            ledger_.on_invalidation_round(line, 1);
+            stats_.sample(prof::sh_inv_fanout, 1);
+            if (events_ != nullptr && events_->enabled())
+              events_->counter(ev::inv_fanout, track_, now, 1);
+          }
           busy_.emplace(line, std::move(txn));
           Message recall;
           recall.type = MsgType::kRecall;
@@ -317,6 +344,12 @@ void Directory::handle_request(const Message& msg, Cycle now) {
           send(std::move(upd), now);
         }
       }
+      if (profile_) {
+        ledger_.on_update_round(line, txn.acks_left);
+        stats_.sample(prof::sh_upd_fanout, txn.acks_left);
+        if (events_ != nullptr && events_->enabled())
+          events_->counter(ev::upd_fanout, track_, now, txn.acks_left);
+      }
       busy_.emplace(line, std::move(txn));
       break;
     }
@@ -357,6 +390,12 @@ void Directory::handle_request(const Message& msg, Cycle now) {
           upd.word_value = newval;
           send(std::move(upd), now);
         }
+      }
+      if (profile_) {
+        ledger_.on_update_round(line, txn.acks_left);
+        stats_.sample(prof::sh_upd_fanout, txn.acks_left);
+        if (events_ != nullptr && events_->enabled())
+          events_->counter(ev::upd_fanout, track_, now, txn.acks_left);
       }
       busy_.emplace(line, std::move(txn));
       break;

@@ -22,6 +22,7 @@
 #include "common/config.hpp"
 #include "common/flat_memory.hpp"
 #include "common/json.hpp"
+#include "common/profile.hpp"
 #include "common/stats.hpp"
 #include "common/trace_event.hpp"
 #include "common/types.hpp"
@@ -60,6 +61,14 @@ class Directory {
 
   const StatSet& stats() const { return stats_; }
   StatSet& stats() { return stats_; }
+
+  // --- technique-efficacy profiling (--profile) ----------------------
+  /// Per-line sharing ledger: invalidation/update fan-outs, ping-pong
+  /// ownership transfers, and read-sharing degree per line, feeding the
+  /// contended-lines table (see common/profile.hpp).
+  void set_profiling(bool on) { profile_ = on; }
+  bool profiling() const { return profile_; }
+  const SharingLedger& ledger() const { return ledger_; }
 
   enum class State : std::uint8_t { kUncached, kShared, kDirty };
 
@@ -120,6 +129,8 @@ class Directory {
   std::unordered_map<Addr, Txn> busy_;
   TraceEventSink* events_ = nullptr;
   std::uint16_t track_ = 0;
+  bool profile_ = false;
+  SharingLedger ledger_;
   StatSet stats_;
 };
 

@@ -140,6 +140,16 @@ struct SystemConfig {
   /// processor, for the sva race/SC-violation analysis and for tests.
   bool record_accesses = false;
 
+  /// Technique-efficacy profiler (--profile): per-prefetch outcome
+  /// attribution, rollback-cause breakdown, and the directory's
+  /// per-line sharing ledger (src/common/profile.hpp). Off by default;
+  /// when off every hook is a single branch. Results are
+  /// cycle-identical either way and identical under fast-forward.
+  bool profile = false;
+  /// Rows in the contended-lines table (--profile-top-lines=N) emitted
+  /// by Machine::post_mortem and the bench JSON.
+  std::uint32_t profile_top_lines = 8;
+
   /// Clean-miss latency implied by the timing parameters: probe cycle
   /// + request flight + directory service + reply flight, with the
   /// access completing on reply arrival.

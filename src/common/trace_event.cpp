@@ -75,11 +75,19 @@ Json TraceEventSink::to_json() const {
     Json j = Json::object();
     j.set("name", Json::string(name_of(e->name)));
     j.set("cat", Json::string("sim"));
-    j.set("ph", Json::string(e->phase == kPhaseComplete ? "X" : "i"));
-    j.set("ts", Json::number(static_cast<std::uint64_t>(e->ts)));
     if (e->phase == kPhaseComplete) {
+      j.set("ph", Json::string("X"));
+      j.set("ts", Json::number(static_cast<std::uint64_t>(e->ts)));
       j.set("dur", Json::number(static_cast<std::uint64_t>(e->dur)));
+    } else if (e->phase == kPhaseCounter) {
+      j.set("ph", Json::string("C"));
+      j.set("ts", Json::number(static_cast<std::uint64_t>(e->ts)));
+      Json args = Json::object();
+      args.set("value", Json::number(static_cast<std::uint64_t>(e->dur)));
+      j.set("args", std::move(args));
     } else {
+      j.set("ph", Json::string("i"));
+      j.set("ts", Json::number(static_cast<std::uint64_t>(e->ts)));
       j.set("s", Json::string("t"));  // instant scope: thread
     }
     j.set("pid", Json::number(std::uint64_t{0}));

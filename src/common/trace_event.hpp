@@ -51,6 +51,14 @@ class TraceEventSink {
     if (!enabled_) return;
     events_.push_back(Event{ts, 0, name, track, kPhaseInstant});
   }
+  /// Counter ("C") sample: the named counter track on `track` takes
+  /// `value` at `ts`. Perfetto renders these as stepped area charts —
+  /// the profiler uses them for pending-prefetch and fan-out series.
+  /// The value rides in the Event's `dur` field (unused for "C").
+  void counter(NameId name, std::uint16_t track, Cycle ts, std::uint64_t value) {
+    if (!enabled_) return;
+    events_.push_back(Event{ts, value, name, track, kPhaseCounter});
+  }
 
   /// Recorded timeline events (excludes track-name metadata).
   std::size_t event_count() const { return events_.size(); }
@@ -67,10 +75,11 @@ class TraceEventSink {
  private:
   static constexpr std::uint8_t kPhaseComplete = 0;
   static constexpr std::uint8_t kPhaseInstant = 1;
+  static constexpr std::uint8_t kPhaseCounter = 2;
 
   struct Event {
     Cycle ts;
-    Cycle dur;
+    Cycle dur;  ///< duration ("X") or counter value ("C")
     NameId name;
     std::uint16_t track;
     std::uint8_t phase;

@@ -4,12 +4,13 @@
 
 namespace mcsim {
 
-void SpecLoadBuffer::mark_done(std::uint64_t seq, Word value) {
+void SpecLoadBuffer::mark_done(std::uint64_t seq, Word value, Cycle now) {
   for (std::size_t i = 0; i < entries_.size(); ++i) {
     Entry& e = entries_.at(i);
     if (e.seq == seq) {
       e.done = true;
       e.value = value;
+      e.done_at = now;
       return;
     }
   }
@@ -59,12 +60,14 @@ SpecLoadBuffer::MatchResult SpecLoadBuffer::on_line_event(LineEventKind /*kind*/
   return r;
 }
 
-void SpecLoadBuffer::squash_from(std::uint64_t seq) {
+std::size_t SpecLoadBuffer::squash_from(std::uint64_t seq) {
   // Entries are inserted in program order, so doomed entries are a
   // suffix of the FIFO.
   std::size_t keep = 0;
   while (keep < entries_.size() && entries_.at(keep).seq < seq) ++keep;
-  entries_.pop_back_n(entries_.size() - keep);
+  const std::size_t dropped = entries_.size() - keep;
+  entries_.pop_back_n(dropped);
+  return dropped;
 }
 
 void SpecLoadBuffer::mark_reissued(std::uint64_t seq) {

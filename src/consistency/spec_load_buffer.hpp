@@ -44,6 +44,7 @@ class SpecLoadBuffer {
     std::uint64_t store_tag = kNoTag;  ///< seq of the gating store, or kNoTag
     bool is_rmw_read = false;     ///< Appendix A read-exclusive entry
     Word value = 0;               ///< speculated value once done
+    Cycle done_at = 0;            ///< cycle the value bound (profiling: wasted work)
   };
 
   explicit SpecLoadBuffer(std::size_t capacity) : entries_(capacity) {}
@@ -54,8 +55,8 @@ class SpecLoadBuffer {
 
   void insert(const Entry& e) { entries_.push(e); }
 
-  /// The load (or RMW read) completed with `value`.
-  void mark_done(std::uint64_t seq, Word value);
+  /// The load (or RMW read) completed with `value` at cycle `now`.
+  void mark_done(std::uint64_t seq, Word value, Cycle now = 0);
 
   /// A store with dynamic id `store_seq` performed: null out matching tags.
   void nullify_store_tag(std::uint64_t store_seq);
@@ -80,8 +81,9 @@ class SpecLoadBuffer {
   };
   MatchResult on_line_event(LineEventKind kind, Addr line) const;
 
-  /// Remove every entry with seq >= `seq` (pipeline squash).
-  void squash_from(std::uint64_t seq);
+  /// Remove every entry with seq >= `seq` (pipeline squash). Returns
+  /// how many entries were dropped.
+  std::size_t squash_from(std::uint64_t seq);
 
   /// Reset a reissued load's entry: done cleared, value dropped.
   void mark_reissued(std::uint64_t seq);

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <sstream>
 
+#include "common/profile.hpp"
+
 namespace mcsim {
 
 namespace {
@@ -382,14 +384,15 @@ void Core::do_fetch(Cycle now) {
 }
 
 void Core::squash_from(std::uint64_t seq, std::size_t refetch_pc, Cycle now,
-                       const char* why) {
+                       const char* why, SquashOrigin origin) {
   note_progress();
   std::size_t dropped = 0;
   while (!rob_.empty() && rob_.back().seq >= seq) {
     rob_.pop_back();
     ++dropped;
   }
-  lsu_.squash_from(seq);
+  lsu_.squash_from(seq, origin);
+  if (cfg_.profile) stats_.sample(prof::rb_squash_depth, dropped);
   fetch_buf_.clear();
   fetch_pc_ = refetch_pc;
   fetch_stopped_ = false;
@@ -464,7 +467,7 @@ void Core::request_squash_refetch(std::uint64_t seq, Cycle now, const char* reas
   // nothing to discard.
   RobEntry* e = rob_find(seq);
   if (e == nullptr) return;
-  squash_from(e->seq, e->pc, now, reason);
+  squash_from(e->seq, e->pc, now, reason, SquashOrigin::kCoherence);
 }
 
 void Core::on_line_event(LineEventKind kind, Addr line, Cycle now) {

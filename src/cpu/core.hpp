@@ -122,7 +122,8 @@ class Core : public LsuHost, public LineEventObserver {
   /// Why is the ROB head not retiring this cycle? (const; no side effects)
   StallCause classify_stall() const;
   void account_cycle(bool retired_any, Cycle now);
-  void squash_from(std::uint64_t seq, std::size_t refetch_pc, Cycle now, const char* why);
+  void squash_from(std::uint64_t seq, std::size_t refetch_pc, Cycle now, const char* why,
+                   SquashOrigin origin = SquashOrigin::kPipeline);
 
   RobEntry* rob_find(std::uint64_t seq);
   Operand resolve(RegId reg);

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <sstream>
 
+#include "common/profile.hpp"
+
 namespace mcsim {
 
 namespace {
@@ -610,7 +612,7 @@ void LoadStoreUnit::drain_responses(Cycle now) {
         if (events_ != nullptr && events_->enabled())
           events_->complete(ev::load, static_cast<std::uint16_t>(id_), e->ready_at, now);
         erase_load(info.seq);
-        spec_buffer_.mark_done(info.seq, r.value);
+        spec_buffer_.mark_done(info.seq, r.value, now);
         host_.mem_completed(info.seq, r.value, now);
         break;
       }
@@ -623,7 +625,7 @@ void LoadStoreUnit::drain_responses(Cycle now) {
         if (events_ != nullptr && events_->enabled())
           events_->complete(ev::rmw_read, static_cast<std::uint16_t>(id_), e->ready_at, now);
         erase_load(info.seq);
-        spec_buffer_.mark_done(info.seq, r.value);
+        spec_buffer_.mark_done(info.seq, r.value, now);
         host_.rmw_spec_value(info.seq, r.value, now);
         break;
       }
@@ -655,7 +657,7 @@ void LoadStoreUnit::drain_responses(Cycle now) {
         // its return value must be ignored once the atomic has issued.
         erase_load(info.seq);
         spec_buffer_.nullify_store_tag(info.seq);
-        spec_buffer_.mark_done(info.seq, r.value);
+        spec_buffer_.mark_done(info.seq, r.value, now);
         host_.mem_completed(info.seq, r.value, now);
         if (trace_ != nullptr && trace_->enabled())
           trace_->log(now, id_, cat::sb, "rmw complete seq=" + std::to_string(info.seq));
@@ -730,6 +732,17 @@ void LoadStoreUnit::on_line_event(LineEventKind kind, Addr line, Cycle now) {
 
   const SpecLoadBuffer::Entry* se = spec_buffer_.find(mr.squash_seq);
   assert(se != nullptr);
+  if (cfg_.profile) {
+    // Rollback-cause attribution: exactly one cause per squash event,
+    // named by the coherence transaction that triggered it. The wasted
+    // work is how long the doomed value had been bound (and feeding
+    // dependents) before detection caught it.
+    const StatId cause = kind == LineEventKind::kInvalidate ? prof::rb_invalidate
+                         : kind == LineEventKind::kUpdate  ? prof::rb_update
+                                                           : prof::rb_replacement;
+    stats_.add(cause);
+    stats_.sample(prof::rb_wasted, now - se->done_at);
+  }
   if (se->is_rmw_read) {
     // Appendix A: if the atomic has not been issued yet, discard the
     // RMW and everything after it; if it has, only the computation
@@ -750,7 +763,7 @@ void LoadStoreUnit::on_line_event(LineEventKind kind, Addr line, Cycle now) {
   }
 }
 
-void LoadStoreUnit::squash_from(std::uint64_t seq) {
+void LoadStoreUnit::squash_from(std::uint64_t seq, SquashOrigin origin) {
   note_progress();
   while (!ls_rs_.empty() && ls_rs_.back().seq >= seq) ls_rs_.pop_back();
   while (!load_q_.empty() && load_q_.back().seq >= seq) load_q_.pop_back();
@@ -758,7 +771,12 @@ void LoadStoreUnit::squash_from(std::uint64_t seq) {
     assert(!store_buf_.back().issued && "issued stores are architecturally committed");
     store_buf_.pop_back();
   }
-  spec_buffer_.squash_from(seq);
+  const std::size_t dropped = spec_buffer_.squash_from(seq);
+  // Coherence-origin squashes were already attributed to their line-
+  // event kind in on_line_event; a pipeline redirect that discards live
+  // speculative-load entries is the remaining cause (context flush).
+  if (cfg_.profile && origin == SquashOrigin::kPipeline && dropped > 0)
+    stats_.add(prof::rb_flush);
   for (auto it = local_completions_.begin(); it != local_completions_.end();) {
     if (it->seq >= seq)
       it = local_completions_.erase(it);

@@ -49,6 +49,13 @@ class LsuHost {
   virtual void request_squash_refetch(std::uint64_t seq, Cycle now, const char* reason) = 0;
 };
 
+/// Why a squash reached the LSU — profiling splits coherence-triggered
+/// rollbacks (the §4.2 correction mechanism, attributed to the
+/// triggering line-event kind in on_line_event) from ordinary pipeline
+/// redirects (branch / RMW-value mispredicts, counted as
+/// rb.cause.flush when they drop live speculative-load entries).
+enum class SquashOrigin : std::uint8_t { kPipeline, kCoherence };
+
 class LoadStoreUnit {
  public:
   LoadStoreUnit(ProcId id, const SystemConfig& cfg, CoherentCache& cache, LsuHost& host,
@@ -98,7 +105,7 @@ class LoadStoreUnit {
   void on_line_event(LineEventKind kind, Addr line, Cycle now);
 
   /// Pipeline squash: drop every entry with seq >= `seq`.
-  void squash_from(std::uint64_t seq);
+  void squash_from(std::uint64_t seq, SquashOrigin origin = SquashOrigin::kPipeline);
 
   bool empty() const {
     return ls_rs_.empty() && load_q_.empty() && store_buf_.empty() && spec_buffer_.empty();

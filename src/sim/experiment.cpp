@@ -96,6 +96,38 @@ CellResult run_cell(const ExperimentCell& cell) {
     s.load_latency_mean = s.load_latency.mean();
     s.store_latency_mean = s.store_latency.mean();
 
+    if (cfg.profile) {
+      ProfileStats& ps = s.profile;
+      ps.enabled = true;
+      auto merge_id = [](LogHistogram& into, const StatSet& from, StatId id) {
+        if (const LogHistogram* h = from.histogram(id)) into.merge(*h);
+      };
+      for (ProcId p = 0; p < cfg.num_procs; ++p) {
+        const StatSet& cs = m.cache(p).stats();
+        ps.prefetch.issued += cs.get(prof::pf_issued);
+        ps.prefetch.useful += cs.get(prof::pf_useful);
+        ps.prefetch.late += cs.get(prof::pf_late);
+        ps.prefetch.useless += cs.get(prof::pf_useless);
+        ps.prefetch.killed_inval += cs.get(prof::pf_killed_inval);
+        ps.prefetch.killed_update += cs.get(prof::pf_killed_update);
+        ps.prefetch.pending_at_end += m.cache(p).profile_pending();
+        merge_id(ps.pf_head_start, cs, prof::pf_head_start);
+        merge_id(ps.pf_use_distance, cs, prof::pf_use_distance);
+        const StatSet& lsu = m.core(p).lsu().stats();
+        ps.rollbacks.invalidate += lsu.get(prof::rb_invalidate);
+        ps.rollbacks.update += lsu.get(prof::rb_update);
+        ps.rollbacks.replacement += lsu.get(prof::rb_replacement);
+        ps.rollbacks.flush += lsu.get(prof::rb_flush);
+        merge_id(ps.rb_wasted, lsu, prof::rb_wasted);
+        merge_id(ps.squash_depth, m.core(p).stats(), prof::rb_squash_depth);
+      }
+      const StatSet& ds = m.directory().stats();
+      merge_id(ps.inv_fanout, ds, prof::sh_inv_fanout);
+      merge_id(ps.upd_fanout, ds, prof::sh_upd_fanout);
+      merge_id(ps.read_share, ds, prof::sh_read_share);
+      ps.top_lines = m.directory().ledger().top(cfg.profile_top_lines);
+    }
+
     if (cell.record_accesses) {
       out.access_logs = m.access_logs();
       out.final_regs.resize(cfg.num_procs);
@@ -184,7 +216,16 @@ std::vector<CellResult> ExperimentRunner::run(const ExperimentGrid& grid) {
   last_sweep_.workers = nthreads == 0 ? 1 : nthreads;
   last_sweep_.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
   last_sweep_.guest_cycles = 0;
-  for (const CellResult& r : results) last_sweep_.guest_cycles += r.stats.cycles;
+  last_sweep_.agg_load_latency = LogHistogram{};
+  last_sweep_.agg_store_latency = LogHistogram{};
+  last_sweep_.agg_net_latency = LogHistogram{};
+  for (const CellResult& r : results) {
+    last_sweep_.guest_cycles += r.stats.cycles;
+    if (!r.ok()) continue;  // failed cells would skew the campaign view
+    last_sweep_.agg_load_latency.merge(r.stats.load_latency);
+    last_sweep_.agg_store_latency.merge(r.stats.store_latency);
+    last_sweep_.agg_net_latency.merge(r.stats.net_latency);
+  }
   return results;
 }
 
@@ -202,12 +243,56 @@ Json histogram_to_json(const LogHistogram& h) {
   return j;
 }
 
+//// v5: the per-cell "profile" object (cells run with cfg.profile).
+Json profile_to_json(const ProfileStats& ps) {
+  Json j = Json::object();
+  Json pf = Json::object();
+  pf.set("issued", Json::number(ps.prefetch.issued));
+  pf.set("useful", Json::number(ps.prefetch.useful));
+  pf.set("late", Json::number(ps.prefetch.late));
+  pf.set("useless", Json::number(ps.prefetch.useless));
+  pf.set("killed_inval", Json::number(ps.prefetch.killed_inval));
+  pf.set("killed_update", Json::number(ps.prefetch.killed_update));
+  pf.set("pending_at_end", Json::number(ps.prefetch.pending_at_end));
+  pf.set("head_start", histogram_to_json(ps.pf_head_start));
+  pf.set("use_distance", histogram_to_json(ps.pf_use_distance));
+  j.set("prefetch", std::move(pf));
+  Json rb = Json::object();
+  rb.set("invalidate", Json::number(ps.rollbacks.invalidate));
+  rb.set("update", Json::number(ps.rollbacks.update));
+  rb.set("replacement", Json::number(ps.rollbacks.replacement));
+  rb.set("flush", Json::number(ps.rollbacks.flush));
+  rb.set("total", Json::number(ps.rollbacks.total()));
+  rb.set("wasted", histogram_to_json(ps.rb_wasted));
+  rb.set("squash_depth", histogram_to_json(ps.squash_depth));
+  j.set("rollbacks", std::move(rb));
+  j.set("inv_fanout", histogram_to_json(ps.inv_fanout));
+  j.set("upd_fanout", histogram_to_json(ps.upd_fanout));
+  j.set("read_share", histogram_to_json(ps.read_share));
+  Json top = Json::array();
+  for (const SharingLedger::TopEntry& e : ps.top_lines) {
+    Json t = Json::object();
+    t.set("line", Json::number(static_cast<std::uint64_t>(e.line)));
+    t.set("score", Json::number(e.s.contention_score()));
+    t.set("inv_rounds", Json::number(e.s.inv_rounds));
+    t.set("inv_sent", Json::number(e.s.inv_sent));
+    t.set("upd_rounds", Json::number(e.s.upd_rounds));
+    t.set("upd_sent", Json::number(e.s.upd_sent));
+    t.set("ping_pong", Json::number(e.s.ping_pong));
+    t.set("reads", Json::number(e.s.reads));
+    t.set("max_sharers", Json::number(static_cast<std::uint64_t>(e.s.max_sharers)));
+    top.push_back(std::move(t));
+  }
+  j.set("top_lines", std::move(top));
+  return j;
+}
+
 }  // namespace
 
 Json results_to_json(const ExperimentGrid& grid, const std::vector<CellResult>& results,
                      const SweepInfo& sweep) {
   Json root = Json::object();
-  root.set("schema", Json::string("mcsim-bench-v4"));
+  root.set("schema", Json::string("mcsim-bench-v5"));
   root.set("bench", Json::string(grid.name()));
   root.set("workers", Json::number(static_cast<std::uint64_t>(sweep.workers)));
   root.set("wall_ms", Json::number(sweep.wall_ms));
@@ -216,6 +301,13 @@ Json results_to_json(const ExperimentGrid& grid, const std::vector<CellResult>& 
       sweep.wall_ms > 0.0 ? static_cast<double>(sweep.guest_cycles) / (sweep.wall_ms / 1000.0)
                           : 0.0;
   root.set("sims_per_sec", Json::number(sweep_sims));
+
+  // v5: campaign-level latency distributions merged across ok cells.
+  Json agg = Json::object();
+  agg.set("load_latency", histogram_to_json(sweep.agg_load_latency));
+  agg.set("store_latency", histogram_to_json(sweep.agg_store_latency));
+  agg.set("net_latency", histogram_to_json(sweep.agg_net_latency));
+  root.set("aggregate", std::move(agg));
 
   Json cells = Json::array();
   for (std::size_t i = 0; i < results.size() && i < grid.cells().size(); ++i) {
@@ -284,6 +376,9 @@ Json results_to_json(const ExperimentGrid& grid, const std::vector<CellResult>& 
     c.set("net_hops", histogram_to_json(r.stats.net_hops));
     c.set("net_queuing", histogram_to_json(r.stats.net_queuing));
 
+    // v5: technique-efficacy profiler breakdown (profiled cells only).
+    if (r.stats.profile.enabled) c.set("profile", profile_to_json(r.stats.profile));
+
     if (!r.trace_path.empty()) {
       c.set("trace_out", Json::string(r.trace_path));
       c.set("trace_events", Json::number(r.trace_events));
@@ -298,6 +393,114 @@ Json results_to_json(const ExperimentGrid& grid, const std::vector<CellResult>& 
   }
   root.set("cells", std::move(cells));
   return root;
+}
+
+namespace {
+
+/// One {count, mean, p50, p90, p99, max} block: keys present, counters
+/// numeric, percentiles nondecreasing and capped by max.
+std::string check_histogram(const Json& h, const std::string& where) {
+  if (!h.is_object()) return where + ": histogram is not an object";
+  for (const char* key : {"count", "mean", "p50", "p90", "p99", "max"}) {
+    const Json* v = h.find(key);
+    if (v == nullptr) return where + ": missing key '" + key + "'";
+    if (!v->is_number()) return where + ": '" + key + "' is not a number";
+  }
+  const std::uint64_t p50 = h["p50"].as_uint(), p90 = h["p90"].as_uint();
+  const std::uint64_t p99 = h["p99"].as_uint(), mx = h["max"].as_uint();
+  if (h["count"].as_uint() == 0) {
+    if (mx != 0) return where + ": empty histogram with nonzero max";
+    return "";
+  }
+  if (p50 > p90 || p90 > p99 || p99 > mx)
+    return where + ": percentiles not ordered (p50<=p90<=p99<=max)";
+  return "";
+}
+
+}  // namespace
+
+std::string validate_bench_json(const Json& report) {
+  if (!report.is_object()) return "report is not a JSON object";
+  for (const char* key :
+       {"schema", "bench", "workers", "wall_ms", "guest_cycles", "sims_per_sec",
+        "aggregate", "cells"}) {
+    if (!report.contains(key)) return std::string("missing root key '") + key + "'";
+  }
+  if (report["schema"].as_string() != "mcsim-bench-v5")
+    return "schema is '" + report["schema"].as_string() + "', expected 'mcsim-bench-v5'";
+  const Json& agg = report["aggregate"];
+  for (const char* key : {"load_latency", "store_latency", "net_latency"}) {
+    const Json* h = agg.find(key);
+    if (h == nullptr) return std::string("aggregate: missing '") + key + "'";
+    std::string err = check_histogram(*h, std::string("aggregate.") + key);
+    if (!err.empty()) return err;
+  }
+  if (!report["cells"].is_array()) return "'cells' is not an array";
+
+  for (std::size_t i = 0; i < report["cells"].size(); ++i) {
+    const Json& c = report["cells"][i];
+    const std::string where = "cells[" + std::to_string(i) + "]";
+    for (const char* key : {"workload", "model", "status", "cycles", "ticks",
+                            "num_procs", "busy_cycles", "stall_cycles", "retired"}) {
+      if (!c.contains(key)) return where + ": missing key '" + key + "'";
+    }
+    for (const char* key :
+         {"load_latency", "store_latency", "net_latency", "net_hops", "net_queuing"}) {
+      const Json* h = c.find(key);
+      if (h == nullptr) return where + ": missing histogram '" + key + "'";
+      std::string err = check_histogram(*h, where + "." + key);
+      if (!err.empty()) return err;
+    }
+    if (c["status"].as_string() != "ok") continue;  // failed cells may be partial
+
+    // v2 cycle accounting: busy + every stall cause sums to ticks, per
+    // processor.
+    const std::uint64_t ticks = c["ticks"].as_uint();
+    const Json& busy = c["busy_cycles"];
+    const Json& stalls = c["stall_cycles"];
+    for (std::size_t p = 0; p < busy.size(); ++p) {
+      std::uint64_t total = busy[p].as_uint();
+      for (const auto& [cause, arr] : stalls.members()) {
+        (void)cause;
+        if (p < arr.size()) total += arr[p].as_uint();
+      }
+      if (total != ticks)
+        return where + ": cycle accounting off for proc " + std::to_string(p) + " (" +
+               std::to_string(total) + " != ticks " + std::to_string(ticks) + ")";
+    }
+
+    // v5 conservation sums for profiled cells.
+    if (const Json* prof = c.find("profile")) {
+      const Json* pf = prof->find("prefetch");
+      if (pf == nullptr) return where + ".profile: missing 'prefetch'";
+      std::uint64_t resolved = 0;
+      for (const char* key : {"useful", "late", "useless", "killed_inval",
+                              "killed_update", "pending_at_end"}) {
+        const Json* v = pf->find(key);
+        if (v == nullptr) return where + ".profile.prefetch: missing '" + key + "'";
+        resolved += v->as_uint();
+      }
+      if (pf->find("issued") == nullptr) return where + ".profile.prefetch: missing 'issued'";
+      if ((*pf)["issued"].as_uint() != resolved)
+        return where + ".profile.prefetch: conservation broken (issued " +
+               std::to_string((*pf)["issued"].as_uint()) + " != resolved+pending " +
+               std::to_string(resolved) + ")";
+      const Json* rb = prof->find("rollbacks");
+      if (rb == nullptr) return where + ".profile: missing 'rollbacks'";
+      std::uint64_t causes = 0;
+      for (const char* key : {"invalidate", "update", "replacement", "flush"}) {
+        const Json* v = rb->find(key);
+        if (v == nullptr) return where + ".profile.rollbacks: missing '" + key + "'";
+        causes += v->as_uint();
+      }
+      if (rb->find("total") == nullptr) return where + ".profile.rollbacks: missing 'total'";
+      if ((*rb)["total"].as_uint() != causes)
+        return where + ".profile.rollbacks: total != sum of causes";
+      if (prof->find("top_lines") == nullptr || !(*prof)["top_lines"].is_array())
+        return where + ".profile: missing 'top_lines' array";
+    }
+  }
+  return "";
 }
 
 bool write_json(const std::string& path, const ExperimentGrid& grid,

@@ -25,6 +25,7 @@
 #include "common/config.hpp"
 #include "common/histogram.hpp"
 #include "common/json.hpp"
+#include "common/profile.hpp"
 #include "common/stall.hpp"
 #include "sim/machine.hpp"
 #include "sim/workloads.hpp"
@@ -57,6 +58,9 @@ struct RunStats {
   // cycles spent queued beyond the contention-free latency.
   LogHistogram net_hops;
   LogHistogram net_queuing;
+  /// Technique-efficacy profiler output (cfg.profile only; enabled is
+  /// false — and every field empty — when the cell ran unprofiled).
+  ProfileStats profile;
 };
 
 /// One simulation to run: a workload plus the machine to run it on.
@@ -139,11 +143,17 @@ class ExperimentGrid {
   std::vector<ExperimentCell> cells_;
 };
 
-/// Aggregate timing of one runner.run() sweep.
+/// Aggregate timing of one runner.run() sweep, plus campaign-level
+/// latency distributions merged across every ok cell (LogHistogram
+/// merge is exact — identical to sampling the union, pinned by
+/// stats_test) so a sweep's headline percentiles need no re-run.
 struct SweepInfo {
   unsigned workers = 0;
   double wall_ms = 0.0;          ///< whole-sweep host wall clock
   std::uint64_t guest_cycles = 0;///< sum of per-cell simulated cycles
+  LogHistogram agg_load_latency;
+  LogHistogram agg_store_latency;
+  LogHistogram agg_net_latency;
 };
 
 /// Run one cell synchronously (no validation skipping, no exit()):
@@ -176,5 +186,12 @@ Json results_to_json(const ExperimentGrid& grid, const std::vector<CellResult>& 
 /// results_to_json + write to `path`. Returns false on I/O failure.
 bool write_json(const std::string& path, const ExperimentGrid& grid,
                 const std::vector<CellResult>& results, const SweepInfo& sweep);
+
+/// Structural validation of a bench report against the mcsim-bench-v5
+/// schema: required root/cell keys, percentile ordering, per-processor
+/// cycle accounting, and the profiler conservation sums. Returns an
+/// empty string when valid, else a description of the first violation.
+/// Used by bench_smoke_test and the CI bench-smoke step.
+std::string validate_bench_json(const Json& report);
 
 }  // namespace mcsim

@@ -38,6 +38,10 @@ Machine::Machine(const SystemConfig& cfg, std::vector<Program> programs)
     cores_.push_back(
         std::make_unique<Core>(p, cfg_, programs_[p], *caches_[p], &trace_, &events_));
   }
+  if (cfg_.profile) {
+    for (auto& c : caches_) c->set_profiling(true);
+    dir_.set_profiling(true);
+  }
 
   // Trace-event tracks: tid 0..P-1 cores, P..2P-1 caches, 2P directory.
   const std::uint16_t procs = static_cast<std::uint16_t>(cfg_.num_procs);
@@ -144,6 +148,14 @@ std::string Machine::audit_fingerprint() const {
        << " drain_cycle=" << drain_cycle_[p] << " regs=";
     for (RegId r = 0; r < kNumArchRegs; ++r) os << cores_[p]->reg(r) << ',';
     os << '\n';
+  }
+  if (cfg_.profile) {
+    // Profiler counters already flow in via stats_report(); the ledger
+    // and the unresolved-prefetch tag counts are the profiler state
+    // outside any StatSet, so fingerprint them explicitly.
+    for (ProcId p = 0; p < cfg_.num_procs; ++p)
+      os << "cache" << p << ".pf_pending " << caches_[p]->profile_pending() << '\n';
+    os << dir_.ledger().fingerprint();
   }
   os << stats_report();
   return os.str();
@@ -274,6 +286,8 @@ Json Machine::post_mortem() const {
   out.set("caches", std::move(caches));
   out.set("network", net_.snapshot_json());
   out.set("directory", dir_.snapshot_json());
+  if (cfg_.profile)
+    out.set("contended_lines", dir_.ledger().top_json(cfg_.profile_top_lines));
   return out;
 }
 

@@ -90,6 +90,12 @@ OptionsResult parse_options(int argc, const char* const* argv) {
       r.config.fastforward = true;
     } else if (arg == "--no-fastforward") {
       r.config.fastforward = false;
+    } else if (arg == "--profile") {
+      r.config.profile = true;
+    } else if (starts_with(arg, "--profile-top-lines=")) {
+      if (!parse_u32(arg.substr(20), r.config.profile_top_lines))
+        return fail("bad --profile-top-lines");
+      r.config.profile = true;  // asking for the table implies profiling
     } else if (arg == "--ideal") {
       ideal = true;
     } else if (arg == "--realistic") {
@@ -138,6 +144,11 @@ std::string options_help() {
       "                           quiescent spans (debugging; results are\n"
       "                           cycle-identical either way)\n"
       "  --rob=N --mshrs=N        capacity knobs\n"
+      "  --profile                technique-efficacy profiler: per-prefetch\n"
+      "                           outcome attribution, rollback causes, and\n"
+      "                           the per-line sharing ledger\n"
+      "  --profile-top-lines=N    rows in the contended-lines table\n"
+      "                           (default 8; implies --profile)\n"
       "  --max-cycles=N           deadlock watchdog\n"
       "  --trace-out=PATH         write a Chrome trace-event timeline (open in\n"
       "                           Perfetto / chrome://tracing; 1 cycle = 1 us)\n"

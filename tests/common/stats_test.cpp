@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/histogram.hpp"
+
 namespace mcsim {
 namespace {
 
@@ -126,6 +128,42 @@ TEST(StatSet, CountersPresizedToInternedNames) {
   StatNames::intern("presize_probe");
   StatSet s("x");
   EXPECT_GE(s.counter_slots(), StatNames::count());
+}
+
+TEST(LogHistogram, MergeEqualsSamplingTheUnion) {
+  // Campaign-level aggregation (SweepInfo agg_* and the profiler's
+  // cross-core folds) relies on merge being exact: merging two
+  // histograms must be indistinguishable from having recorded every
+  // observation into a single one — buckets, count, sum, max, and
+  // therefore every derived percentile.
+  const std::uint64_t vals_a[] = {0, 1, 3, 7, 120, 120, 4096};
+  const std::uint64_t vals_b[] = {2, 63, 64, 65, 9999, std::uint64_t{1} << 40};
+  LogHistogram a, b, united;
+  for (std::uint64_t v : vals_a) {
+    a.record(v);
+    united.record(v);
+  }
+  for (std::uint64_t v : vals_b) {
+    b.record(v);
+    united.record(v);
+  }
+  LogHistogram merged = a;
+  merged.merge(b);
+  EXPECT_EQ(merged.count(), united.count());
+  EXPECT_EQ(merged.sum(), united.sum());
+  EXPECT_EQ(merged.max(), united.max());
+  EXPECT_EQ(merged.mean(), united.mean());
+  for (std::size_t bk = 0; bk < LogHistogram::kBuckets; ++bk) {
+    EXPECT_EQ(merged.bucket_count(bk), united.bucket_count(bk)) << "bucket " << bk;
+  }
+  EXPECT_EQ(merged.p50(), united.p50());
+  EXPECT_EQ(merged.p90(), united.p90());
+  EXPECT_EQ(merged.p99(), united.p99());
+  // Merging an empty histogram is the identity.
+  LogHistogram empty;
+  merged.merge(empty);
+  EXPECT_EQ(merged.count(), united.count());
+  EXPECT_EQ(merged.p99(), united.p99());
 }
 
 TEST(StatSet, UntouchedIdsStayOutOfReports) {

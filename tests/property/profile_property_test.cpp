@@ -1,0 +1,183 @@
+// Randomized property campaign for the technique-efficacy profiler:
+// seeded litmus_gen programs with both paper techniques enabled, across
+// all four consistency models and all three topologies, checking the
+// profiler's structural invariants on every run:
+//
+//  * prefetch conservation — every issued prefetch resolves to exactly
+//    one outcome class: issued == useful + late + useless +
+//    killed_inval + killed_update + pending_at_end;
+//  * rollback-cause attribution — every coherence-origin squash is
+//    named by exactly one cause, so the LSU's squash counters equal
+//    invalidate + update + replacement (flush counts pipeline-origin
+//    redirects, which the squash counters exclude);
+//  * fast-forward transparency — the full stats report (profiler
+//    counters and histograms included) and the sharing ledger are
+//    bit-identical between the naive and event-driven schedulers.
+//
+// Any failure prints the (seed, model, topology) triple, so it is
+// reproducible with generate_litmus(cfg, seed).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "coherence/directory.hpp"
+#include "common/profile.hpp"
+#include "sim/experiment.hpp"
+#include "sim/machine.hpp"
+#include "sva/litmus_gen.hpp"
+
+namespace mcsim {
+namespace {
+
+using sva::LitmusGenConfig;
+using sva::LitmusProgram;
+using sva::generate_litmus;
+
+SystemConfig profiled_config(std::uint32_t procs, ConsistencyModel model) {
+  SystemConfig cfg = SystemConfig::paper_default(procs, model);
+  cfg.profile = true;
+  cfg.core.speculative_loads = true;
+  cfg.core.prefetch = PrefetchMode::kNonBinding;
+  cfg.max_cycles = 200'000;
+  return cfg;
+}
+
+/// Sum a named counter over every processor's LSU.
+std::uint64_t lsu_total(const Machine& m, std::uint32_t procs, const char* name) {
+  std::uint64_t total = 0;
+  for (ProcId p = 0; p < procs; ++p) total += m.core(p).lsu().stats().get(name);
+  return total;
+}
+
+void check_invariants(const Machine& m, const SystemConfig& cfg,
+                      const std::string& what) {
+  // Prefetch conservation, per cache: nothing double-counted, nothing
+  // lost. pending_at_end is whatever tags were never resolved because
+  // the program drained first.
+  for (ProcId p = 0; p < cfg.num_procs; ++p) {
+    const StatSet& cs = m.cache(p).stats();
+    const std::uint64_t issued = cs.get(prof::pf_issued);
+    const std::uint64_t resolved = cs.get(prof::pf_useful) + cs.get(prof::pf_late) +
+                                   cs.get(prof::pf_useless) +
+                                   cs.get(prof::pf_killed_inval) +
+                                   cs.get(prof::pf_killed_update);
+    ASSERT_EQ(issued, resolved + m.cache(p).profile_pending())
+        << what << " cache " << p << ": prefetch conservation broken";
+  }
+
+  // Rollback-cause attribution: each coherence-origin squash increments
+  // exactly one of the three coherence causes AND exactly one of the
+  // LSU's squash counters, in the same call.
+  const std::uint64_t squashes = lsu_total(m, cfg.num_procs, "spec_squash") +
+                                 lsu_total(m, cfg.num_procs, "spec_squash_rmw") +
+                                 lsu_total(m, cfg.num_procs, "spec_squash_after_rmw");
+  std::uint64_t causes = 0;
+  for (ProcId p = 0; p < cfg.num_procs; ++p) {
+    const StatSet& ls = m.core(p).lsu().stats();
+    causes += ls.get(prof::rb_invalidate) + ls.get(prof::rb_update) +
+              ls.get(prof::rb_replacement);
+  }
+  ASSERT_EQ(squashes, causes) << what << ": rollback-cause sum broken";
+}
+
+TEST(ProfileProperty, ConservationAcrossModelsAndTopologies) {
+  LitmusGenConfig gen;
+  gen.max_threads = 4;
+  gen.sync_pct = 30;
+  gen.rmw_pct = 20;
+  const ConsistencyModel models[] = {ConsistencyModel::kSC, ConsistencyModel::kPC,
+                                     ConsistencyModel::kWC, ConsistencyModel::kRC};
+  std::uint64_t runs = 0;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const LitmusProgram lp = generate_litmus(gen, seed);
+    for (ConsistencyModel model : models) {
+      for (Topology topo :
+           {Topology::kCrossbar, Topology::kRing, Topology::kMesh2D}) {
+        SystemConfig cfg = profiled_config(
+            static_cast<std::uint32_t>(lp.programs.size()), model);
+        cfg.mem.topology = topo;
+        const std::string what = "seed=" + std::to_string(seed) + " " +
+                                 to_string(model) + " " + to_string(topo);
+        Machine m(cfg, lp.programs);
+        for (const auto& [p, a] : lp.preload_shared) m.preload_shared(p, a);
+        RunResult r = m.run();
+        ASSERT_FALSE(r.deadlocked) << what;
+        check_invariants(m, cfg, what);
+        ++runs;
+      }
+    }
+  }
+  EXPECT_GE(runs, 90u) << "campaign shrank below the acceptance floor";
+}
+
+TEST(ProfileProperty, FastForwardIdenticalWithProfilerOn) {
+  // The profiler must not perturb fast-forward: with profiling enabled,
+  // the naive and event-driven schedulers produce bit-identical stats
+  // reports (profiler counters and histograms flow through StatSet, so
+  // the report covers them) and identical sharing ledgers.
+  LitmusGenConfig gen;
+  gen.sync_pct = 35;
+  gen.rmw_pct = 25;
+  for (std::uint64_t seed = 50; seed < 60; ++seed) {
+    const LitmusProgram lp = generate_litmus(gen, seed);
+    SystemConfig cfg = profiled_config(
+        static_cast<std::uint32_t>(lp.programs.size()), ConsistencyModel::kRC);
+    const std::string what = "profiled ff seed=" + std::to_string(seed);
+
+    SystemConfig ff_cfg = cfg;
+    ff_cfg.fastforward = true;
+    Machine ff(ff_cfg, lp.programs);
+    for (const auto& [p, a] : lp.preload_shared) ff.preload_shared(p, a);
+    RunResult ff_r = ff.run();
+
+    SystemConfig naive_cfg = cfg;
+    naive_cfg.fastforward = false;
+    Machine naive(naive_cfg, lp.programs);
+    for (const auto& [p, a] : lp.preload_shared) naive.preload_shared(p, a);
+    RunResult naive_r = naive.run();
+
+    ASSERT_EQ(ff_r.cycles, naive_r.cycles) << what;
+    ASSERT_EQ(ff_r.ticks, naive_r.ticks) << what;
+    ASSERT_EQ(ff.stats_report(), naive.stats_report()) << what;
+    ASSERT_EQ(ff.directory().ledger().fingerprint(),
+              naive.directory().ledger().fingerprint())
+        << what;
+    check_invariants(ff, cfg, what);
+  }
+}
+
+TEST(ProfileProperty, RunnerCellsConserveAndMatchAtAnyWorkerCount) {
+  // Through the ExperimentRunner: every profiled cell's collected
+  // ProfileStats obeys the conservation sums, and a 4-worker sweep
+  // collects exactly the same profile as a serial one.
+  LitmusGenConfig gen;
+  ExperimentGrid grid("profiled");
+  for (std::uint64_t seed = 300; seed < 306; ++seed) {
+    const LitmusProgram lp = generate_litmus(gen, seed);
+    Workload w;
+    w.name = "litmus-" + std::to_string(seed);
+    w.programs = lp.programs;
+    w.preload_shared = lp.preload_shared;
+    grid.add(w, profiled_config(
+                    static_cast<std::uint32_t>(lp.programs.size()),
+                    ConsistencyModel::kSC));
+  }
+  const std::vector<CellResult> serial = ExperimentRunner(1).run(grid);
+  const std::vector<CellResult> parallel4 = ExperimentRunner(4).run(grid);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_TRUE(serial[i].ok()) << serial[i].cell_label << ": " << serial[i].error;
+    const ProfileStats& ps = serial[i].stats.profile;
+    ASSERT_TRUE(ps.enabled) << i;
+    EXPECT_TRUE(ps.prefetch.conserved()) << i << ": issued=" << ps.prefetch.issued;
+    const ProfileStats& pp = parallel4[i].stats.profile;
+    EXPECT_EQ(ps.prefetch.issued, pp.prefetch.issued) << i;
+    EXPECT_EQ(ps.prefetch.useful, pp.prefetch.useful) << i;
+    EXPECT_EQ(ps.rollbacks.total(), pp.rollbacks.total()) << i;
+    EXPECT_EQ(ps.rb_wasted.count(), pp.rb_wasted.count()) << i;
+    EXPECT_EQ(ps.inv_fanout.count(), pp.inv_fanout.count()) << i;
+  }
+}
+
+}  // namespace
+}  // namespace mcsim

@@ -20,6 +20,7 @@ TEST(BenchSmoke, OneCellSweepEmitsValidJson) {
   SystemConfig cfg = SystemConfig::paper_default(2, ConsistencyModel::kSC);
   cfg.core.prefetch = PrefetchMode::kNonBinding;
   cfg.core.speculative_loads = true;
+  cfg.profile = true;  // v5: the report must carry the profiler block
   grid.add(make_producer_consumer(2, 4), cfg, "+both", {{"suite", "smoke"}});
 
   ExperimentRunner runner;
@@ -42,12 +43,17 @@ TEST(BenchSmoke, OneCellSweepEmitsValidJson) {
   Json report = Json::parse(buf.str(), &err);
   ASSERT_TRUE(err.empty()) << err;
 
+  // The schema validator (shared with the CI bench-smoke step) accepts
+  // the freshly written report — root keys, percentile ordering, cycle
+  // accounting, and the profiler conservation sums all in one call.
+  EXPECT_EQ(validate_bench_json(report), "");
+
   for (const char* key :
        {"schema", "bench", "workers", "wall_ms", "guest_cycles", "sims_per_sec",
-        "cells"}) {
+        "aggregate", "cells"}) {
     EXPECT_TRUE(report.contains(key)) << "missing root key: " << key;
   }
-  EXPECT_EQ(report["schema"].as_string(), "mcsim-bench-v4");
+  EXPECT_EQ(report["schema"].as_string(), "mcsim-bench-v5");
   EXPECT_EQ(report["bench"].as_string(), "smoke");
   EXPECT_GE(report["workers"].as_int(), 1);
   ASSERT_EQ(report["cells"].size(), 1u);
@@ -97,6 +103,78 @@ TEST(BenchSmoke, OneCellSweepEmitsValidJson) {
   EXPECT_LE(lat["p50"].as_uint(), lat["p90"].as_uint());
   EXPECT_LE(lat["p90"].as_uint(), lat["p99"].as_uint());
   EXPECT_LE(lat["p99"].as_uint(), lat["max"].as_uint());
+
+  // v5: campaign-level aggregate histograms at the root.
+  for (const char* key : {"load_latency", "store_latency", "net_latency"}) {
+    EXPECT_TRUE(report["aggregate"].contains(key)) << "missing aggregate: " << key;
+  }
+  // One ok cell: the aggregate IS that cell's distribution.
+  EXPECT_EQ(report["aggregate"]["load_latency"]["count"].as_uint(),
+            lat["count"].as_uint());
+
+  // v5: the profiled cell carries the profiler block with conserved sums.
+  ASSERT_TRUE(cell.contains("profile"));
+  const Json& prof = cell["profile"];
+  const Json& pf = prof["prefetch"];
+  EXPECT_GT(pf["issued"].as_uint(), 0u) << "+both cell issued no prefetches";
+  EXPECT_EQ(pf["issued"].as_uint(),
+            pf["useful"].as_uint() + pf["late"].as_uint() + pf["useless"].as_uint() +
+                pf["killed_inval"].as_uint() + pf["killed_update"].as_uint() +
+                pf["pending_at_end"].as_uint());
+  const Json& rb = prof["rollbacks"];
+  EXPECT_EQ(rb["total"].as_uint(),
+            rb["invalidate"].as_uint() + rb["update"].as_uint() +
+                rb["replacement"].as_uint() + rb["flush"].as_uint());
+  EXPECT_TRUE(prof["top_lines"].is_array());
+}
+
+TEST(BenchSmoke, ValidatorRejectsCorruptedReports) {
+  // The validator must actually bite: corrupt a valid report in the
+  // ways schema drift would, and expect a non-empty diagnosis naming
+  // the violation.
+  ExperimentGrid grid("reject");
+  SystemConfig cfg = SystemConfig::paper_default(2, ConsistencyModel::kSC);
+  cfg.profile = true;
+  grid.add(make_producer_consumer(2, 4), cfg);
+  ExperimentRunner runner(1);
+  std::vector<CellResult> results = runner.run(grid);
+  ASSERT_TRUE(results[0].ok()) << results[0].error;
+  const Json good = results_to_json(grid, results, runner.last_sweep());
+  ASSERT_EQ(validate_bench_json(good), "");
+
+  // Root-level drift (Json only mutates at the level you hold).
+  Json wrong_schema = good;
+  wrong_schema.set("schema", Json::string("mcsim-bench-v4"));
+  EXPECT_NE(validate_bench_json(wrong_schema), "");
+
+  Json missing_aggregate = good;
+  missing_aggregate.set("aggregate", Json::object());
+  EXPECT_NE(validate_bench_json(missing_aggregate), "");
+
+  // Nested drift: rewrite the number after a key in the serialized
+  // text and reparse (the value tree is immutable below the root).
+  auto corrupt_number = [&](const std::string& key, const std::string& num) {
+    std::string text = good.dump();
+    const std::string needle = "\"" + key + "\":";
+    std::size_t pos = text.find(needle);
+    EXPECT_NE(pos, std::string::npos) << key;
+    pos += needle.size();
+    while (pos < text.size() && text[pos] == ' ') ++pos;
+    std::size_t end = pos;
+    while (end < text.size() && text[end] != ',' && text[end] != '}') ++end;
+    text.replace(pos, end - pos, num);
+    std::string err;
+    Json j = Json::parse(text, &err);
+    EXPECT_EQ(err, "") << key;
+    return j;
+  };
+  // Prefetch conservation sum broken.
+  EXPECT_NE(validate_bench_json(corrupt_number("issued", "12345")), "");
+  // Per-processor cycle accounting broken ("ticks" first occurs in the
+  // cell; the root carries guest_cycles instead).
+  EXPECT_NE(validate_bench_json(corrupt_number("ticks", "1")), "");
+  // Rollback cause sum broken.
+  EXPECT_NE(validate_bench_json(corrupt_number("total", "999999")), "");
 }
 
 TEST(BenchSmoke, TraceOutWritesPerfettoLoadableJson) {

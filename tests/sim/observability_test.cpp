@@ -110,6 +110,45 @@ TEST(PostMortem, DeadlockedCellCarriesMachineSnapshot) {
   // The snapshot flows into the JSON report for deadlocked cells only.
   Json report = results_to_json(grid, results, runner.last_sweep());
   EXPECT_TRUE(report["cells"][0].contains("post_mortem"));
+
+  // Unprofiled runs carry no contended-lines table.
+  EXPECT_FALSE(pm.contains("contended_lines"));
+}
+
+TEST(PostMortem, ProfiledDeadlockNamesTheContendedLines) {
+  // With the profiler on, a deadlock snapshot includes the sharing
+  // ledger's top-N table, so the post-mortem names the hot line
+  // directly instead of leaving it to be inferred from queue contents.
+  ExperimentGrid grid("postmortem_profiled");
+  SystemConfig cfg = SystemConfig::realistic(2, ConsistencyModel::kSC);
+  cfg.profile = true;
+  cfg.profile_top_lines = 4;
+  cfg.max_cycles = 400;  // enough for coherence traffic, well before completion
+  grid.add(make_producer_consumer(2, 4), cfg, "cutoff");
+
+  ExperimentRunner runner(1);
+  std::vector<CellResult> results = runner.run(grid);
+  ASSERT_EQ(results.size(), 1u);
+  ASSERT_EQ(results[0].status, CellStatus::kDeadlock) << results[0].error;
+
+  const Json& pm = results[0].post_mortem;
+  ASSERT_TRUE(pm.is_object());
+  ASSERT_TRUE(pm.contains("contended_lines")) << pm.dump(2);
+  const Json& lines = pm["contended_lines"];
+  ASSERT_TRUE(lines.is_array());
+  EXPECT_LE(lines.size(), 4u);  // honors --profile-top-lines
+  ASSERT_GT(lines.size(), 0u) << "producer/consumer shares lines; ledger empty";
+  std::uint64_t prev_score = ~std::uint64_t{0};
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const Json& row = lines[i];
+    for (const char* key : {"line", "score", "inv_rounds", "inv_sent", "upd_rounds",
+                            "upd_sent", "ping_pong", "reads", "max_sharers"}) {
+      EXPECT_TRUE(row.contains(key)) << "missing contended-line key: " << key;
+    }
+    // Rows arrive hottest-first.
+    EXPECT_LE(row["score"].as_uint(), prev_score) << "row " << i;
+    prev_score = row["score"].as_uint();
+  }
 }
 
 TEST(PostMortem, AbsentFromHealthyCells) {
@@ -151,6 +190,50 @@ TEST(TraceEvents, MachineTimelineAgreesWithItsCounter) {
   for (std::size_t i = 0; i < ev.size(); ++i) {
     if (ev[i]["ph"].as_string() == "M") continue;
     EXPECT_LE(ev[i]["tid"].as_uint(), 4u);
+  }
+}
+
+TEST(TraceEvents, ProfilerEmitsCounterTracks) {
+  // With the profiler on and the trace sink enabled, the timeline
+  // carries Perfetto counter ("C") samples: pending-prefetch depth on
+  // each cache's track and invalidation/update fan-out on the
+  // directory's. Off by default: an unprofiled trace has no "C" events.
+  Workload w = make_producer_consumer(2, 4);
+  SystemConfig cfg = SystemConfig::realistic(2, ConsistencyModel::kSC);
+  cfg.core.prefetch = PrefetchMode::kNonBinding;
+  cfg.core.speculative_loads = true;
+  cfg.profile = true;
+  Machine m(cfg, w.programs);
+  m.trace_events().enable();
+  RunResult r = m.run();
+  ASSERT_FALSE(r.deadlocked);
+
+  Json trace = m.trace_events().to_json();
+  const Json& ev = trace["traceEvents"];
+  std::uint64_t counters = 0;
+  bool saw_pf_pending = false, saw_inv_fanout = false;
+  for (std::size_t i = 0; i < ev.size(); ++i) {
+    if (ev[i]["ph"].as_string() != "C") continue;
+    ++counters;
+    ASSERT_TRUE(ev[i].contains("args"));
+    ASSERT_TRUE(ev[i]["args"].contains("value"));
+    const std::string name = ev[i]["name"].as_string();
+    if (name == "pf-pending") saw_pf_pending = true;
+    if (name == "inv-fanout") saw_inv_fanout = true;
+  }
+  EXPECT_GT(counters, 0u);
+  EXPECT_TRUE(saw_pf_pending) << "no pending-prefetch counter samples";
+  EXPECT_TRUE(saw_inv_fanout) << "no invalidation fan-out counter samples";
+
+  // Same run, profiler off: no counter phase events at all.
+  cfg.profile = false;
+  Machine plain(cfg, w.programs);
+  plain.trace_events().enable();
+  (void)plain.run();
+  Json plain_trace = plain.trace_events().to_json();
+  const Json& pe = plain_trace["traceEvents"];
+  for (std::size_t i = 0; i < pe.size(); ++i) {
+    EXPECT_NE(pe[i]["ph"].as_string(), "C");
   }
 }
 
