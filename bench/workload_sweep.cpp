@@ -1,0 +1,150 @@
+// workload_sweep: run the generated large-workload suite across the
+// model grid — the §5 "extensive simulation experiments" driver, fed by
+// the trace frontend instead of hand-written litmus programs.
+//
+//   workload_sweep [--smoke | --million] [--seed=N] [--workers=N]
+//                  [--trace=FILE]... [--trace-dir=DIR] [--out=PATH]
+//
+// Default: every generator kind x every model x {baseline, +both} at
+// ~2*10^4 ops per trace. --smoke shrinks that to CI scale (~2*10^3 ops,
+// +both only); --million is the acceptance campaign: a 10^6-op
+// producer/consumer trace on 8 processors across all four models with
+// fast-forward on. --trace / --trace-dir run external trace files
+// instead of the generated suite (a malformed file fails its cell, not
+// the sweep). JSON report: BENCH_workload_sweep.json (mcsim-bench-v6,
+// per-cell "trace" provenance).
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "trace/trace_core.hpp"
+#include "trace/workload_gen.hpp"
+
+using namespace mcsim;
+using namespace mcsim::bench;
+
+namespace {
+
+const ConsistencyModel kModels[] = {ConsistencyModel::kSC, ConsistencyModel::kPC,
+                                    ConsistencyModel::kWC, ConsistencyModel::kRC};
+
+unsigned long long ull(std::uint64_t v) { return static_cast<unsigned long long>(v); }
+
+SystemConfig cell_config(ConsistencyModel m, bool both, std::uint64_t total_ops) {
+  SystemConfig cfg = tech_config(m, both, both);
+  // Large traces outgrow the 10M-cycle deadlock watchdog: give every
+  // cell generous headroom scaled to its op count (fast-forward makes
+  // the quiescent spans free, so this only guards real deadlock).
+  const std::uint64_t bound = 1000 * total_ops + (10u << 20);
+  if (bound > cfg.max_cycles) cfg.max_cycles = bound;
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false, million = false;
+  std::uint64_t seed = 1;
+  unsigned workers = 0;
+  std::string out_path = "BENCH_workload_sweep.json";
+  std::vector<std::string> trace_in;
+  std::string trace_dir;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") smoke = true;
+    else if (arg == "--million") million = true;
+    else if (arg.rfind("--seed=", 0) == 0) seed = std::strtoull(argv[i] + 7, nullptr, 0);
+    else if (arg.rfind("--workers=", 0) == 0)
+      workers = static_cast<unsigned>(std::strtoul(argv[i] + 10, nullptr, 0));
+    else if (arg.rfind("--out=", 0) == 0) out_path = arg.substr(6);
+    else if (arg.rfind("--trace=", 0) == 0) trace_in.push_back(arg.substr(8));
+    else if (arg.rfind("--trace-dir=", 0) == 0) trace_dir = arg.substr(12);
+    else {
+      std::fprintf(stderr,
+                   "usage: workload_sweep [--smoke|--million] [--seed=N] "
+                   "[--workers=N] [--trace=FILE]... [--trace-dir=DIR] [--out=PATH]\n");
+      return 1;
+    }
+  }
+
+  ExperimentGrid grid("workload_sweep");
+
+  if (!trace_dir.empty()) {
+    try {
+      for (std::string& path : list_trace_files(trace_dir))
+        trace_in.push_back(std::move(path));
+    } catch (const TraceError& e) {
+      std::fprintf(stderr, "workload_sweep: %s\n", e.what());
+      return 1;
+    }
+  }
+
+  if (!trace_in.empty()) {
+    // External traces: lazy-loaded per cell so a malformed file is a
+    // per-cell error, and the sweep still reports every other cell.
+    for (const std::string& path : trace_in) {
+      for (ConsistencyModel m : kModels) {
+        Workload w;
+        w.name = "trace-file";
+        w.trace_path = path;
+        grid.add(std::move(w), cell_config(m, true, 0), "+both",
+                 {{"table", "external"}, {"trace_file", path}});
+      }
+    }
+  } else if (million) {
+    WorkloadGenSpec spec;
+    spec.kind = WorkloadKind::kProducerConsumer;
+    spec.nprocs = 8;
+    spec.ops = 1000000;
+    spec.seed = seed;
+    const TraceFile t = generate_trace(spec);
+    std::printf("million campaign: %s, %u procs, %llu ops\n", t.kind.c_str(),
+                t.num_procs(), ull(t.total_ops()));
+    for (ConsistencyModel m : kModels) {
+      Workload w = trace_to_workload(t);
+      grid.add(std::move(w), cell_config(m, true, t.total_ops()), "+both",
+               {{"table", "million"}});
+    }
+  } else {
+    const std::uint64_t ops = smoke ? 2000 : 20000;
+    const std::uint32_t nprocs = smoke ? 4 : 8;
+    for (WorkloadKind kind : all_workload_kinds()) {
+      WorkloadGenSpec spec;
+      spec.kind = kind;
+      spec.nprocs = nprocs;
+      spec.ops = ops;
+      spec.seed = seed;
+      const TraceFile t = generate_trace(spec);
+      const Workload w = trace_to_workload(t);
+      for (ConsistencyModel m : kModels) {
+        if (!smoke)
+          grid.add(w, cell_config(m, false, t.total_ops()), "baseline",
+                   {{"table", "suite"}});
+        grid.add(w, cell_config(m, true, t.total_ops()), "+both",
+                 {{"table", "suite"}});
+      }
+    }
+  }
+
+  ExperimentRunner runner(workers);
+  std::vector<CellResult> results = runner.run(grid);
+
+  std::printf("%-28s %-6s %-9s %-10s %14s %12s\n", "workload", "model", "tech",
+              "status", "cycles", "wall_ms");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ExperimentCell& cell = grid.cells()[i];
+    const CellResult& r = results[i];
+    std::printf("%-28s %-6s %-9s %-10s %14llu %12.1f\n", cell.workload.name.c_str(),
+                to_string(cell.config.model), cell.technique.c_str(),
+                to_string(r.status), ull(r.stats.cycles), r.wall_ms);
+  }
+
+  if (!write_json(out_path, grid, results, runner.last_sweep())) {
+    std::fprintf(stderr, "workload_sweep: cannot write '%s'\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s (%zu cells)\n", out_path.c_str(), results.size());
+  return report_failures(results) == 0 ? 0 : 1;
+}

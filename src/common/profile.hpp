@@ -150,7 +150,7 @@ class SharingLedger {
 };
 
 /// Everything the profiler measured in one cell, aggregated across
-/// processors by ExperimentRunner::run_cell (schema mcsim-bench-v5).
+/// processors by ExperimentRunner::run_cell (schema mcsim-bench-v6).
 struct ProfileStats {
   bool enabled = false;
   PrefetchOutcomes prefetch;

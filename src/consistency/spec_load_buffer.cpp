@@ -46,6 +46,7 @@ SpecLoadBuffer::MatchResult SpecLoadBuffer::on_line_event(LineEventKind /*kind*/
   for (std::size_t i = 0; i < entries_.size(); ++i) {
     const Entry& e = entries_.at(i);
     if (e.line != line) continue;
+    if (e.nonspec) continue;  // performs at a model-legal point; immune
     if (e.done) {
       // Oldest done match: the speculated value may have been consumed
       // by later instructions; squash from the load itself.
@@ -76,6 +77,16 @@ void SpecLoadBuffer::mark_reissued(std::uint64_t seq) {
     if (e.seq == seq) {
       e.done = false;
       e.value = 0;
+      return;
+    }
+  }
+}
+
+void SpecLoadBuffer::mark_nonspec(std::uint64_t seq) {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    Entry& e = entries_.at(i);
+    if (e.seq == seq) {
+      e.nonspec = true;
       return;
     }
   }

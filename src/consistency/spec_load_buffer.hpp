@@ -43,6 +43,7 @@ class SpecLoadBuffer {
     bool done = false;
     std::uint64_t store_tag = kNoTag;  ///< seq of the gating store, or kNoTag
     bool is_rmw_read = false;     ///< Appendix A read-exclusive entry
+    bool nonspec = false;         ///< (re)issued with the issue gate open
     Word value = 0;               ///< speculated value once done
     Cycle done_at = 0;            ///< cycle the value bound (profiling: wasted work)
   };
@@ -87,6 +88,14 @@ class SpecLoadBuffer {
 
   /// Reset a reissued load's entry: done cleared, value dropped.
   void mark_reissued(std::uint64_t seq);
+
+  /// The load (re)issued at a moment the consistency model already
+  /// allowed it to perform: it is no longer speculative, so the
+  /// detection mechanism must leave it alone (its next return value
+  /// binds exactly as a conventional blocking load's would). Without
+  /// this, a contended line can starve the oldest load forever — every
+  /// fill is discarded by a concurrent invalidation and reissued.
+  void mark_nonspec(std::uint64_t seq);
 
   const Entry* find(std::uint64_t seq) const;
 

@@ -1,5 +1,6 @@
 #include "cpu/core.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <sstream>
 
@@ -353,11 +354,17 @@ void Core::do_fetch(Cycle now) {
   const bool stopped_before = fetch_stopped_;
   const std::size_t width =
       cfg_.core.ideal_frontend ? kUnlimited : cfg_.core.fetch_width;
-  const std::size_t cap =
-      cfg_.core.ideal_frontend ? kUnlimited : 2 * cfg_.core.fetch_width;
+  // Even an ideal frontend cannot usefully run further ahead than the
+  // ROB can drain in one cycle: fetch happens after dispatch in the
+  // tick, so next cycle's dispatch consumes at most rob_entries slots.
+  // An unlimited cap would chase a predicted-taken spin loop for the
+  // whole safety-valve budget every single tick.
+  const std::size_t cap = cfg_.core.ideal_frontend
+                              ? std::max<std::size_t>(cfg_.core.rob_entries,
+                                                      2 * cfg_.core.fetch_width)
+                              : 2 * cfg_.core.fetch_width;
   std::size_t n = 0;
-  while (n < width && !fetch_stopped_ &&
-         (cap == kUnlimited || fetch_buf_.size() < cap)) {
+  while (n < width && !fetch_stopped_ && fetch_buf_.size() < cap) {
     if (fetch_pc_ >= program_.size()) {
       // Programs must end in halt; stop cleanly if control fell off.
       fetch_stopped_ = true;

@@ -389,6 +389,16 @@ void LoadStoreUnit::issue_load(LoadEntry& ld, Cycle now) {
   ld.issued = true;
   ld.reissue = false;
   if (needs_entry) insert_spec_entry(ld, now);
+  if (spec_mode && !ld.is_rmw_read &&
+      load_may_issue(cfg_.model, context_for(ld.seq, ld.sync))) {
+    // The issue gate is already open, so this (re)issue performs at a
+    // point the model permits — the load is not speculative and its
+    // return value binds unconditionally, like a conventional blocking
+    // load's. This is also the forward-progress guarantee: the oldest
+    // load's fill can no longer be discarded by a concurrent
+    // invalidation of a hot line (which otherwise reissues it forever).
+    spec_buffer_.mark_nonspec(ld.seq);
+  }
   stats_.add(was_reissue ? stat::load_reissued : stat::load_issued);
   if (trace_ != nullptr && trace_->enabled())
     trace_->log(now, id_, cat::lq,

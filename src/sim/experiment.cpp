@@ -8,6 +8,8 @@
 #include <exception>
 #include <thread>
 
+#include "trace/trace_core.hpp"
+
 namespace mcsim {
 
 const char* to_string(CellStatus s) {
@@ -58,11 +60,28 @@ CellResult run_cell(const ExperimentCell& cell) {
   out.cell_label = label_of(cell);
   const auto t0 = clock::now();
   try {
+    // Trace-frontend cells carry a path instead of programs; loading +
+    // compiling inside the try block turns a malformed trace file into
+    // a per-cell kError instead of killing the sweep.
+    const Workload* wl = &cell.workload;
+    Workload lazy;
+    if (!cell.workload.trace_path.empty() && cell.workload.programs.empty()) {
+      lazy = load_trace_workload(cell.workload.trace_path);
+      if (!cell.workload.name.empty()) lazy.name = cell.workload.name;
+      wl = &lazy;
+    }
+    out.num_procs = static_cast<std::uint32_t>(wl->programs.size());
+    out.trace_meta = wl->trace_meta;
+
     SystemConfig cfg = cell.config;
-    cfg.num_procs = static_cast<std::uint32_t>(cell.workload.programs.size());
+    cfg.num_procs = out.num_procs;
+    if (wl->min_mem_bytes > cfg.mem.mem_bytes) {
+      const std::uint64_t line = cfg.cache.line_bytes;
+      cfg.mem.mem_bytes = (wl->min_mem_bytes + line - 1) / line * line;
+    }
     if (cell.record_accesses) cfg.record_accesses = true;
-    Machine m(cfg, cell.workload.programs);
-    for (const auto& [proc, addr] : cell.workload.preload_shared) {
+    Machine m(cfg, wl->programs);
+    for (const auto& [proc, addr] : wl->preload_shared) {
       m.preload_shared(proc, addr);
     }
     if (!cell.trace_out.empty()) m.trace_events().enable();
@@ -153,7 +172,7 @@ CellResult run_cell(const ExperimentCell& cell) {
       out.post_mortem = m.post_mortem();
     } else {
       out.status = CellStatus::kOk;
-      for (const auto& [addr, value] : cell.workload.expected) {
+      for (const auto& [addr, value] : wl->expected) {
         Word got = m.read_word(addr);
         if (got != value) {
           out.status = CellStatus::kValidationFailed;
@@ -292,7 +311,7 @@ Json profile_to_json(const ProfileStats& ps) {
 Json results_to_json(const ExperimentGrid& grid, const std::vector<CellResult>& results,
                      const SweepInfo& sweep) {
   Json root = Json::object();
-  root.set("schema", Json::string("mcsim-bench-v5"));
+  root.set("schema", Json::string("mcsim-bench-v6"));
   root.set("bench", Json::string(grid.name()));
   root.set("workers", Json::number(static_cast<std::uint64_t>(sweep.workers)));
   root.set("wall_ms", Json::number(sweep.wall_ms));
@@ -318,7 +337,19 @@ Json results_to_json(const ExperimentGrid& grid, const std::vector<CellResult>& 
     c.set("model", Json::string(to_string(cell.config.model)));
     c.set("technique", Json::string(cell.technique));
     c.set("num_procs",
-          Json::number(static_cast<std::uint64_t>(cell.workload.programs.size())));
+          Json::number(static_cast<std::uint64_t>(
+              r.num_procs != 0 ? r.num_procs : cell.workload.programs.size())));
+    // v6: trace-frontend provenance — workload kind, generator params,
+    // seed and op count — so any cell can be regenerated and replayed.
+    const auto& tmeta =
+        !r.trace_meta.empty() ? r.trace_meta : cell.workload.trace_meta;
+    if (!tmeta.empty()) {
+      Json tr = Json::object();
+      for (const auto& [k, v] : tmeta) tr.set(k, Json::string(v));
+      if (!cell.workload.trace_path.empty())
+        tr.set("path", Json::string(cell.workload.trace_path));
+      c.set("trace", std::move(tr));
+    }
     Json tags = Json::object();
     for (const auto& [k, v] : cell.tags) tags.set(k, Json::string(v));
     c.set("tags", std::move(tags));
@@ -426,8 +457,8 @@ std::string validate_bench_json(const Json& report) {
         "aggregate", "cells"}) {
     if (!report.contains(key)) return std::string("missing root key '") + key + "'";
   }
-  if (report["schema"].as_string() != "mcsim-bench-v5")
-    return "schema is '" + report["schema"].as_string() + "', expected 'mcsim-bench-v5'";
+  if (report["schema"].as_string() != "mcsim-bench-v6")
+    return "schema is '" + report["schema"].as_string() + "', expected 'mcsim-bench-v6'";
   const Json& agg = report["aggregate"];
   for (const char* key : {"load_latency", "store_latency", "net_latency"}) {
     const Json* h = agg.find(key);
@@ -450,6 +481,15 @@ std::string validate_bench_json(const Json& report) {
       if (h == nullptr) return where + ": missing histogram '" + key + "'";
       std::string err = check_histogram(*h, where + "." + key);
       if (!err.empty()) return err;
+    }
+    // v6: the per-cell "trace" object (trace-frontend cells only) must
+    // at least name the workload kind and carry the op count.
+    if (const Json* tr = c.find("trace")) {
+      if (!tr->is_object()) return where + ": 'trace' is not an object";
+      for (const char* key : {"kind", "ops"}) {
+        if (tr->find(key) == nullptr)
+          return where + ".trace: missing key '" + key + "'";
+      }
     }
     if (c["status"].as_string() != "ok") continue;  // failed cells may be partial
 

@@ -112,6 +112,12 @@ struct CellResult {
   bool ok() const { return status == CellStatus::kOk; }
   /// "(workload, model, technique)" — for failure reports.
   std::string cell_label;
+  /// Processors the cell actually ran with (trace cells resolve this at
+  /// run time; 0 on cells that errored before the workload existed).
+  std::uint32_t num_procs = 0;
+  /// v6: trace provenance (kind/params/seed/op count) for the per-cell
+  /// "trace" JSON object; empty for ordinary program workloads.
+  std::map<std::string, std::string> trace_meta;
   std::string trace_path;           ///< where the timeline was written ("" = off)
   std::uint64_t trace_events = 0;   ///< timeline events recorded for this cell
   Json post_mortem;                 ///< machine snapshot; non-null only on deadlock
@@ -157,7 +163,8 @@ struct SweepInfo {
 };
 
 /// Run one cell synchronously (no validation skipping, no exit()):
-/// deadlock and wrong final state fail the CELL, not the sweep.
+/// deadlock, wrong final state and malformed trace files fail the
+/// CELL, not the sweep.
 CellResult run_cell(const ExperimentCell& cell);
 
 class ExperimentRunner {
@@ -187,9 +194,10 @@ Json results_to_json(const ExperimentGrid& grid, const std::vector<CellResult>& 
 bool write_json(const std::string& path, const ExperimentGrid& grid,
                 const std::vector<CellResult>& results, const SweepInfo& sweep);
 
-/// Structural validation of a bench report against the mcsim-bench-v5
+/// Structural validation of a bench report against the mcsim-bench-v6
 /// schema: required root/cell keys, percentile ordering, per-processor
-/// cycle accounting, and the profiler conservation sums. Returns an
+/// cycle accounting, the per-cell trace object, and the profiler
+/// conservation sums. Returns an
 /// empty string when valid, else a description of the first violation.
 /// Used by bench_smoke_test and the CI bench-smoke step.
 std::string validate_bench_json(const Json& report);

@@ -109,6 +109,13 @@ OptionsResult parse_options(int argc, const char* const* argv) {
     } else if (starts_with(arg, "--trace-out=")) {
       r.trace_out = arg.substr(12);
       if (r.trace_out.empty()) return fail("bad --trace-out: empty path");
+    } else if (starts_with(arg, "--trace-dir=")) {
+      r.trace_dir = arg.substr(12);
+      if (r.trace_dir.empty()) return fail("bad --trace-dir: empty path");
+    } else if (starts_with(arg, "--trace=")) {
+      std::string v = arg.substr(8);
+      if (v.empty()) return fail("bad --trace: empty path");
+      r.trace_in.push_back(std::move(v));
     } else if (starts_with(arg, "--")) {
       return fail("unknown flag: " + arg);
     } else {
@@ -152,6 +159,9 @@ std::string options_help() {
       "  --max-cycles=N           deadlock watchdog\n"
       "  --trace-out=PATH         write a Chrome trace-event timeline (open in\n"
       "                           Perfetto / chrome://tracing; 1 cycle = 1 us)\n"
+      "  --trace=FILE             run a memory-op trace workload (text .mct or\n"
+      "                           binary .mctb; repeatable, one cell per file)\n"
+      "  --trace-dir=DIR          run every *.mct / *.mctb trace under DIR\n"
       "environment:\n"
       "  MCSIM_LOG_LEVEL=error|warn|info|debug   runtime log verbosity\n"
       "  MCSIM_JOBS=N             worker threads for experiment sweeps\n";

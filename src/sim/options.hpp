@@ -14,6 +14,10 @@ struct OptionsResult {
   SystemConfig config;
   std::vector<std::string> positional;  ///< non-flag arguments, in order
   std::string trace_out;                ///< --trace-out=PATH (empty = no trace)
+  /// Trace-frontend inputs: --trace=FILE may repeat (one cell per file);
+  /// --trace-dir=DIR runs every *.mct / *.mctb under DIR.
+  std::vector<std::string> trace_in;
+  std::string trace_dir;
   bool show_help = false;               ///< --help/-h was given
   std::string error;                    ///< non-empty on a bad flag
   bool ok() const { return error.empty(); }
@@ -34,6 +38,8 @@ struct OptionsResult {
 ///   --rob=N --mshrs=N          common capacity knobs
 ///   --max-cycles=N             deadlock watchdog
 ///   --trace-out=PATH           write a Chrome trace-event timeline
+///   --trace=FILE               run a memory-op trace (repeatable)
+///   --trace-dir=DIR            run every *.mct/*.mctb trace under DIR
 ///   --help
 OptionsResult parse_options(int argc, const char* const* argv);
 

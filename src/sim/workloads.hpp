@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -24,6 +25,16 @@ struct Workload {
   /// Lines to warm into caches before the run (Machine::preload_shared),
   /// for workloads whose point is a mix of hits and misses.
   std::vector<std::pair<ProcId, Addr>> preload_shared;
+  /// Trace-frontend cells: when set (and `programs` is empty), run_cell
+  /// loads+compiles the trace lazily inside its try block, so a
+  /// malformed trace file becomes a per-cell kError — never a crash.
+  std::string trace_path;
+  /// Minimum data-memory size this workload addresses (0 = whatever the
+  /// Config says). run_cell raises cfg.mem.mem_bytes to at least this.
+  std::uint64_t min_mem_bytes = 0;
+  /// Trace provenance (kind/params/seed/op count) carried into bench
+  /// JSON as the per-cell "trace" object. Empty for program workloads.
+  std::map<std::string, std::string> trace_meta;
 };
 
 /// Producer/consumer pairs (the paper's Figure 2 workloads, scaled):

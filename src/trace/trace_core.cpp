@@ -1,0 +1,122 @@
+#include "trace/trace_core.hpp"
+
+#include "isa/builder.hpp"
+
+namespace mcsim {
+
+namespace {
+
+// Register plan (r0 is hardwired zero):
+//   r1..r8   rotating load destinations (fresh renames, no WAW chains)
+//   r9       store value
+//   r10/r11  RMW addend / old value
+//   r28      compute-delay dependency chain
+//   r30/r31  spin scratch (ProgramBuilder lock/spin defaults)
+constexpr RegId kLoadRegBase = 1;
+constexpr std::uint32_t kLoadRegs = 8;
+constexpr RegId kStoreVal = 9;
+constexpr RegId kRmwAddend = 10;
+constexpr RegId kRmwOld = 11;
+constexpr RegId kDelayChain = 28;
+
+void emit_delay(ProgramBuilder& b, std::uint32_t d) {
+  // A dependent addi chain executes one per cycle regardless of issue
+  // width: `d` instructions model ~d cycles of local compute.
+  for (std::uint32_t i = 0; i < d; ++i) b.addi(kDelayChain, kDelayChain, 1);
+}
+
+}  // namespace
+
+std::size_t TraceCore::lowered_size(const TraceOp& op) {
+  std::size_t n = op.delay;
+  switch (op.kind) {
+    case TraceOpKind::kLoad:
+    case TraceOpKind::kLoadAcquire:
+    case TraceOpKind::kUnlock:
+    case TraceOpKind::kFence:
+      return n + 1;
+    case TraceOpKind::kStore:
+    case TraceOpKind::kStoreRelease:
+    case TraceOpKind::kRmw:
+    case TraceOpKind::kRmwAcquire:
+    case TraceOpKind::kLock:
+      return n + 2;
+    case TraceOpKind::kWait:
+      return n + 3;
+  }
+  return n + 1;
+}
+
+Program TraceCore::compile(const TraceFile& t, std::uint32_t p) {
+  if (p >= t.num_procs())
+    throw TraceError("trace: compile for processor " + std::to_string(p) +
+                     " of a " + std::to_string(t.num_procs()) + "-processor trace");
+  ProgramBuilder b;
+  std::uint32_t load_rot = 0;
+  for (const TraceOp& op : t.ops[p]) {
+    if (op.delay != 0) emit_delay(b, op.delay);
+    switch (op.kind) {
+      case TraceOpKind::kLoad:
+        b.load(static_cast<RegId>(kLoadRegBase + (load_rot++ % kLoadRegs)),
+               ProgramBuilder::abs(op.addr));
+        break;
+      case TraceOpKind::kLoadAcquire:
+        b.load_acq(static_cast<RegId>(kLoadRegBase + (load_rot++ % kLoadRegs)),
+                   ProgramBuilder::abs(op.addr));
+        break;
+      case TraceOpKind::kStore:
+        b.li(kStoreVal, op.value);
+        b.store(kStoreVal, ProgramBuilder::abs(op.addr));
+        break;
+      case TraceOpKind::kStoreRelease:
+        b.li(kStoreVal, op.value);
+        b.store_rel(kStoreVal, ProgramBuilder::abs(op.addr));
+        break;
+      case TraceOpKind::kRmw:
+      case TraceOpKind::kRmwAcquire:
+        b.li(kRmwAddend, op.value);
+        b.fetch_add(kRmwOld, ProgramBuilder::abs(op.addr), kRmwAddend,
+                    op.kind == TraceOpKind::kRmwAcquire ? SyncKind::kAcquire
+                                                        : SyncKind::kNone);
+        break;
+      case TraceOpKind::kLock:
+        b.lock(op.addr);
+        break;
+      case TraceOpKind::kUnlock:
+        b.unlock(op.addr);
+        break;
+      case TraceOpKind::kWait:
+        b.spin_until_eq(op.addr, op.value);
+        break;
+      case TraceOpKind::kFence:
+        b.fence();
+        break;
+    }
+  }
+  b.halt();
+  if (p == 0) {
+    for (const auto& [a, v] : t.init) b.data(a, v);
+  }
+  return b.build();
+}
+
+Workload trace_to_workload(const TraceFile& t) {
+  t.validate();
+  Workload w;
+  w.name = t.kind.empty() ? std::string("trace") : "trace:" + t.kind;
+  w.programs.reserve(t.num_procs());
+  for (std::uint32_t p = 0; p < t.num_procs(); ++p)
+    w.programs.push_back(TraceCore::compile(t, p));
+  w.expected = t.expect;
+  w.min_mem_bytes = t.mem_bytes;
+  w.trace_meta["kind"] = t.kind.empty() ? "external" : t.kind;
+  w.trace_meta["ops"] = std::to_string(t.total_ops());
+  for (const auto& [k, v] : t.params) w.trace_meta[k] = v;
+  return w;
+}
+
+Workload load_trace_workload(const std::string& path) {
+  return trace_to_workload(read_trace(path));
+}
+
+}  // namespace mcsim

@@ -1,0 +1,57 @@
+// TraceCore: the trace-driven frontend's per-processor driver. It
+// lowers one TraceFile op stream onto the mcsim ISA and hands the
+// result to the ordinary dynamically-scheduled Core, so a trace
+// workload exercises exactly the same LSU / speculative-load-buffer /
+// prefetch-engine / consistency-policy path as a hand-written program —
+// the paper's two techniques apply to trace workloads unchanged.
+//
+// Lowering (one trace op -> a handful of ISA instructions):
+//
+//   ld a          ld   rK, [a]          (rK rotates r1..r8 so loads rename freely)
+//   ld.acq a      ld.acq rK, [a]
+//   st a v        li r9, v; st r9, [a]
+//   st.rel a v    li r9, v; st.rel r9, [a]
+//   rmw a v       li r10, v; fetch&add r11, [a], r10
+//   rmw.acq a v   ... with acquire flavor
+//   lock a        test&set-acquire spin (ProgramBuilder::lock)
+//   unlock a      st.rel r0, [a]
+//   wait a v      acquire-load spin until mem[a] == v (spin_until_eq)
+//   fence         fence
+//   +d            d-deep dependent addi chain on r28 (~d cycles of compute)
+//
+// Blocking ops (lock/wait) are what lets a fixed op stream express real
+// synchronization: the stream records WHAT synchronizes, the machine
+// decides WHEN it succeeds, under the consistency model being measured.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "isa/program.hpp"
+#include "sim/workloads.hpp"
+#include "trace/trace_format.hpp"
+
+namespace mcsim {
+
+class TraceCore {
+ public:
+  /// Lower processor `p`'s op stream of `t` to an executable Program.
+  /// Data initializers land on processor 0's program (they are applied
+  /// machine-wide before the run). Throws TraceError on invalid ops.
+  static Program compile(const TraceFile& t, std::uint32_t p);
+
+  /// ISA instructions the lowering of `op` will emit (program-size
+  /// estimation for the generators' op budgeting).
+  static std::size_t lowered_size(const TraceOp& op);
+};
+
+/// Compile every processor of `t` into a runnable Workload: programs,
+/// expected final state, minimum memory size and the trace metadata
+/// (kind/params/op count) that results_to_json reports per cell.
+/// Throws TraceError on a malformed trace.
+Workload trace_to_workload(const TraceFile& t);
+
+/// read_trace + trace_to_workload. Throws TraceError.
+Workload load_trace_workload(const std::string& path);
+
+}  // namespace mcsim

@@ -1,0 +1,386 @@
+#include "trace/workload_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/rng.hpp"
+
+namespace mcsim {
+
+namespace {
+
+// Address-space layout (16-byte lines; 0x40 strides avoid false
+// sharing, matching sim/workloads.cpp conventions).
+constexpr Addr kLockBase = 0x10000;     // lock_convoy locks
+constexpr Addr kCounterBase = 0x20000;  // lock_convoy counters
+constexpr Addr kSharedBase = 0x30000;   // lock_convoy read regions
+constexpr Addr kRegionBase = 0x40000;   // per-pair / per-deque / slice regions
+constexpr Addr kRegionStride = 0x10000;
+constexpr Addr kArriveBase = 0x400000;  // barrier_tree arrive flags (per level)
+constexpr Addr kArriveLevelStride = 0x8000;
+constexpr Addr kReleaseBase = 0x480000; // barrier_tree release flags
+
+std::uint32_t clamp_or_default(std::uint32_t v, std::uint32_t def, std::uint32_t lo,
+                               std::uint32_t hi) {
+  if (v == 0) v = def;
+  return std::min(std::max(v, lo), hi);
+}
+
+[[noreturn]] void bad_spec(const std::string& what) {
+  throw TraceError("workload_gen: " + what);
+}
+
+/// Seeded jitter in [0, 2*mean]: the per-op compute-delay knob.
+std::uint32_t jitter(Pcg32& rng, std::uint32_t mean) {
+  return mean == 0 ? 0 : rng.next_below(2 * mean + 1);
+}
+
+void push_op(TraceFile& t, std::uint32_t p, TraceOpKind k, Addr a, Word v = 0,
+             std::uint32_t delay = 0) {
+  t.ops[p].push_back(TraceOp{k, a, v, delay});
+}
+
+void finish(TraceFile& t, const WorkloadGenSpec& spec, std::uint32_t sharing,
+            std::uint32_t sync_period) {
+  t.kind = to_string(spec.kind);
+  t.params["procs"] = std::to_string(spec.nprocs);
+  t.params["ops"] = std::to_string(spec.ops);
+  t.params["seed"] = std::to_string(spec.seed);
+  t.params["sharing"] = std::to_string(sharing);
+  if (sync_period != 0) t.params["sync_period"] = std::to_string(sync_period);
+  if (spec.delay != 0) t.params["delay"] = std::to_string(spec.delay);
+
+  Addr max_addr = 0;
+  for (const auto& stream : t.ops)
+    for (const TraceOp& op : stream)
+      if (op.has_addr()) max_addr = std::max(max_addr, op.addr);
+  for (const auto& [a, v] : t.init) max_addr = std::max(max_addr, a), (void)v;
+  for (const auto& [a, v] : t.expect) max_addr = std::max(max_addr, a), (void)v;
+  const Addr need = (max_addr + 0x10040) & ~static_cast<Addr>(0xffff);
+  t.mem_bytes = std::max<Addr>(need, 1u << 20);
+  t.validate();
+}
+
+// ---- producer/consumer ------------------------------------------------
+//
+// Even processors produce, odd processors consume, in pairs, through a
+// per-pair ring of `sharing` slots with full/empty flags: the producer
+// waits for a slot to drain (flag 0), writes the value, release-stores
+// flag 1; the consumer waits for flag 1, loads the value,
+// release-stores flag 0. FIFO handoff per slot is enforced purely by
+// the flag protocol, so the trace validates end to end under every
+// model (final flags all 0, final slot values = last item written).
+TraceFile gen_producer_consumer(const WorkloadGenSpec& spec) {
+  if (spec.nprocs < 2 || spec.nprocs % 2 != 0)
+    bad_spec("producer_consumer needs an even processor count >= 2");
+  const std::uint32_t slots = clamp_or_default(spec.sharing, 8, 1, 256);
+  const std::uint32_t pairs = spec.nprocs / 2;
+  const std::uint64_t items =
+      std::max<std::uint64_t>(1, spec.ops / (6ull * pairs));
+
+  TraceFile t;
+  t.ops.resize(spec.nprocs);
+  for (std::uint32_t pair = 0; pair < pairs; ++pair) {
+    Pcg32 rng(derive_child_seed(spec.seed, pair));
+    const std::uint32_t prod = 2 * pair, cons = 2 * pair + 1;
+    const Addr region = kRegionBase + pair * kRegionStride;
+    auto buf = [&](std::uint64_t s) { return region + 0x40 * s; };
+    auto flag = [&](std::uint64_t s) { return region + 0x8000 + 0x40 * s; };
+    auto value = [&](std::uint64_t i) {
+      return static_cast<Word>((pair + 1) * 1000003u +
+                               static_cast<Word>(i) * 2654435761u);
+    };
+    for (std::uint64_t i = 0; i < items; ++i) {
+      const std::uint64_t s = i % slots;
+      if (i >= slots) push_op(t, prod, TraceOpKind::kWait, flag(s), 0);
+      push_op(t, prod, TraceOpKind::kStore, buf(s), value(i), jitter(rng, spec.delay));
+      push_op(t, prod, TraceOpKind::kStoreRelease, flag(s), 1);
+      push_op(t, cons, TraceOpKind::kWait, flag(s), 1);
+      push_op(t, cons, TraceOpKind::kLoad, buf(s), 0, jitter(rng, spec.delay));
+      push_op(t, cons, TraceOpKind::kStoreRelease, flag(s), 0);
+    }
+    for (std::uint64_t s = 0; s < std::min<std::uint64_t>(slots, items); ++s) {
+      const std::uint64_t last = s + ((items - 1 - s) / slots) * slots;
+      t.expect.emplace_back(buf(s), value(last));
+      t.expect.emplace_back(flag(s), 0);
+    }
+  }
+  t.params["items_per_pair"] = std::to_string(items);
+  finish(t, spec, slots, 0);
+  return t;
+}
+
+// ---- work-stealing deques ---------------------------------------------
+//
+// Each worker owns a deque (task slots + bottom/top counters + a steal
+// lock): it pushes tasks (plain stores — owner-only words), pops from
+// the bottom (fetch&add), and periodically steals from a random victim
+// under the victim's lock (test&set convoy + fetch&add on `top` + a
+// racy task read — the cross-processor sharing this pattern exists
+// for). Final counter values are replayed at generation time, so the
+// trace validates despite the races on task slots.
+TraceFile gen_work_stealing(const WorkloadGenSpec& spec) {
+  if (spec.nprocs < 1) bad_spec("work_stealing needs at least one processor");
+  const std::uint32_t slots = clamp_or_default(spec.sharing, 64, 1, 256);
+  const std::uint64_t pushes =
+      std::max<std::uint64_t>(2, spec.ops / (5ull * spec.nprocs));
+
+  TraceFile t;
+  t.ops.resize(spec.nprocs);
+  auto tasks = [&](std::uint32_t d, std::uint64_t j) {
+    return kRegionBase + d * kRegionStride + 0x40 * j;
+  };
+  auto bottom = [&](std::uint32_t d) { return kRegionBase + d * kRegionStride + 0x8000; };
+  auto top = [&](std::uint32_t d) { return kRegionBase + d * kRegionStride + 0x8040; };
+  auto lock = [&](std::uint32_t d) { return kRegionBase + d * kRegionStride + 0x8080; };
+
+  std::vector<std::uint64_t> steals_on(spec.nprocs, 0);
+  std::vector<Word> bottom_final(spec.nprocs, 0);
+  for (std::uint32_t p = 0; p < spec.nprocs; ++p) {
+    Pcg32 rng(derive_child_seed(spec.seed, p));
+    Word cur_bottom = 0;
+    for (std::uint64_t i = 0; i < pushes; ++i) {
+      const Word task_val = static_cast<Word>((p + 1) * 7001u + i * 97u + 1);
+      push_op(t, p, TraceOpKind::kStore, tasks(p, i % slots), task_val,
+              jitter(rng, spec.delay));
+      cur_bottom = static_cast<Word>(i + 1);
+      push_op(t, p, TraceOpKind::kStore, bottom(p), cur_bottom);
+      if (i % 2 == 1) {  // local pop: fetch&add -1 + a task read
+        push_op(t, p, TraceOpKind::kRmw, bottom(p), static_cast<Word>(-1));
+        cur_bottom = static_cast<Word>(cur_bottom - 1);
+        push_op(t, p, TraceOpKind::kLoad, tasks(p, rng.next_below(slots)));
+      }
+      if (i % 4 == 3 && spec.nprocs > 1) {  // steal from a random victim
+        std::uint32_t v = rng.next_below(spec.nprocs - 1);
+        const std::uint32_t victim = v >= p ? v + 1 : v;
+        ++steals_on[victim];
+        push_op(t, p, TraceOpKind::kLock, lock(victim));
+        push_op(t, p, TraceOpKind::kRmwAcquire, top(victim), 1);
+        push_op(t, p, TraceOpKind::kLoad, tasks(victim, rng.next_below(slots)));
+        push_op(t, p, TraceOpKind::kUnlock, lock(victim));
+      }
+    }
+    bottom_final[p] = cur_bottom;
+  }
+  for (std::uint32_t p = 0; p < spec.nprocs; ++p) {
+    t.expect.emplace_back(bottom(p), bottom_final[p]);
+    t.expect.emplace_back(top(p), static_cast<Word>(steals_on[p]));
+    t.expect.emplace_back(lock(p), 0);
+  }
+  t.params["pushes_per_worker"] = std::to_string(pushes);
+  finish(t, spec, slots, 0);
+  return t;
+}
+
+// ---- lock convoy ------------------------------------------------------
+//
+// A few hot locks acquired round-robin by every processor; the critical
+// section reads the lock's shared region and fetch&adds its counter, so
+// final counter values pin exactly how many critical sections ran.
+TraceFile gen_lock_convoy(const WorkloadGenSpec& spec) {
+  if (spec.nprocs < 1) bad_spec("lock_convoy needs at least one processor");
+  const std::uint32_t nlocks = clamp_or_default(spec.sharing, 2, 1, 64);
+  const std::uint64_t iters =
+      std::max<std::uint64_t>(1, spec.ops / (5ull * spec.nprocs));
+
+  TraceFile t;
+  t.ops.resize(spec.nprocs);
+  auto lock = [&](std::uint32_t l) { return kLockBase + 0x40 * l; };
+  auto counter = [&](std::uint32_t l) { return kCounterBase + 0x40 * l; };
+  auto shared = [&](std::uint32_t l, std::uint32_t j) {
+    return kSharedBase + l * 0x1000 + 0x40 * j;
+  };
+  for (std::uint32_t l = 0; l < nlocks; ++l)
+    for (std::uint32_t j = 0; j < 16; ++j)
+      t.init.emplace_back(shared(l, j), (l + 1) * 100 + j);
+
+  std::vector<std::uint64_t> acquisitions(nlocks, 0);
+  for (std::uint32_t p = 0; p < spec.nprocs; ++p) {
+    Pcg32 rng(derive_child_seed(spec.seed, p));
+    for (std::uint64_t i = 0; i < iters; ++i) {
+      const std::uint32_t l = static_cast<std::uint32_t>((p + i) % nlocks);
+      ++acquisitions[l];
+      push_op(t, p, TraceOpKind::kLock, lock(l));
+      push_op(t, p, TraceOpKind::kLoad, shared(l, rng.next_below(16)));
+      push_op(t, p, TraceOpKind::kLoad, shared(l, rng.next_below(16)), 0,
+              jitter(rng, spec.delay));
+      push_op(t, p, TraceOpKind::kRmw, counter(l), 1);
+      push_op(t, p, TraceOpKind::kUnlock, lock(l));
+    }
+  }
+  for (std::uint32_t l = 0; l < nlocks; ++l) {
+    t.expect.emplace_back(counter(l), static_cast<Word>(acquisitions[l]));
+    t.expect.emplace_back(lock(l), 0);
+  }
+  t.params["iters_per_proc"] = std::to_string(iters);
+  finish(t, spec, nlocks, 0);
+  return t;
+}
+
+// ---- barrier tree -----------------------------------------------------
+//
+// Tournament barrier with statically-assigned winners (the only barrier
+// a fixed op stream can express): in level k, the loser (lowest set bit
+// of its id) release-stores its arrive flag and blocks on its release
+// flag; the winner blocks on the loser's flag. Processor 0 wins every
+// level and then releases everyone. Flag values are the (monotonic)
+// round tag, so no flag ever needs resetting. Between barriers every
+// processor writes its slice and reads its neighbour's.
+TraceFile gen_barrier_tree(const WorkloadGenSpec& spec) {
+  if (spec.nprocs < 2) bad_spec("barrier_tree needs at least two processors");
+  if (spec.nprocs > 512) bad_spec("barrier_tree supports at most 512 processors");
+  const std::uint32_t words = clamp_or_default(spec.sharing, 4, 1, 64);
+  const std::uint64_t per_round = 2ull * words + 4;
+  const std::uint64_t rounds =
+      std::max<std::uint64_t>(1, spec.ops / (per_round * spec.nprocs));
+  std::uint32_t levels = 0;
+  while ((1u << levels) < spec.nprocs) ++levels;
+
+  TraceFile t;
+  t.ops.resize(spec.nprocs);
+  auto slice = [&](std::uint32_t p, std::uint32_t j) {
+    return kRegionBase + p * 0x2000 + 0x40 * j;
+  };
+  auto arrive = [&](std::uint32_t level, std::uint32_t p) {
+    return kArriveBase + level * kArriveLevelStride + 0x40 * p;
+  };
+  auto release = [&](std::uint32_t p) { return kReleaseBase + 0x40 * p; };
+  auto value = [&](std::uint32_t p, std::uint64_t r, std::uint32_t j) {
+    return static_cast<Word>((p + 1) * 100000u + static_cast<Word>(r + 1) * 100u + j);
+  };
+
+  for (std::uint64_t r = 0; r < rounds; ++r) {
+    const Word tag = static_cast<Word>(r + 1);
+    for (std::uint32_t p = 0; p < spec.nprocs; ++p) {
+      for (std::uint32_t j = 0; j < words; ++j)
+        push_op(t, p, TraceOpKind::kStore, slice(p, j), value(p, r, j));
+      if (p == 0) {
+        for (std::uint32_t k = 0; k < levels; ++k)
+          if ((1u << k) < spec.nprocs)
+            push_op(t, 0, TraceOpKind::kWait, arrive(k, 1u << k), tag);
+        for (std::uint32_t q = 1; q < spec.nprocs; ++q)
+          push_op(t, 0, TraceOpKind::kStoreRelease, release(q), tag);
+      } else {
+        std::uint32_t lose = 0;  // index of p's lowest set bit
+        while ((p & (1u << lose)) == 0) ++lose;
+        for (std::uint32_t k = 0; k < lose; ++k)
+          if (p + (1u << k) < spec.nprocs)
+            push_op(t, p, TraceOpKind::kWait, arrive(k, p + (1u << k)), tag);
+        push_op(t, p, TraceOpKind::kStoreRelease, arrive(lose, p), tag);
+        push_op(t, p, TraceOpKind::kWait, release(p), tag);
+      }
+      const std::uint32_t nb = (p + 1) % spec.nprocs;
+      for (std::uint32_t j = 0; j < words; ++j)
+        push_op(t, p, TraceOpKind::kLoad, slice(nb, j), 0,
+                p == 0 ? 0 : 0);  // neighbour read-back after the barrier
+    }
+  }
+  for (std::uint32_t p = 0; p < spec.nprocs; ++p) {
+    for (std::uint32_t j = 0; j < words; ++j)
+      t.expect.emplace_back(slice(p, j), value(p, rounds - 1, j));
+    if (p != 0) t.expect.emplace_back(release(p), static_cast<Word>(rounds));
+  }
+  t.params["rounds"] = std::to_string(rounds);
+  finish(t, spec, words, 0);
+  return t;
+}
+
+// ---- zipfian sharing --------------------------------------------------
+//
+// Every processor issues loads (7/8) and fetch&add writes (1/8) over a
+// pool of `sharing` lines with zipf(s)-distributed ranks, plus a fence
+// every `sync_period` ops. Hot lines emerge naturally from the skew
+// (rank r drawn with weight 1/(r+1)^s); expected finals are the per-line
+// increment totals counted at generation time.
+TraceFile gen_zipfian(const WorkloadGenSpec& spec) {
+  if (spec.nprocs < 1) bad_spec("zipfian needs at least one processor");
+  if (spec.zipf_s < 0.0 || spec.zipf_s > 8.0)
+    bad_spec("zipfian skew must be in [0, 8]");
+  const std::uint32_t pool = clamp_or_default(spec.sharing, 64, 1, 4096);
+  const std::uint32_t sync_period =
+      spec.sync_period == 0 ? 32 : std::max<std::uint32_t>(spec.sync_period, 2);
+  const std::uint64_t per_proc = std::max<std::uint64_t>(1, spec.ops / spec.nprocs);
+
+  std::vector<double> cum(pool);
+  double total = 0.0;
+  for (std::uint32_t r = 0; r < pool; ++r) {
+    total += std::pow(static_cast<double>(r + 1), -spec.zipf_s);
+    cum[r] = total;
+  }
+
+  TraceFile t;
+  t.ops.resize(spec.nprocs);
+  auto line = [&](std::uint32_t r) { return kRegionBase + 0x40 * r; };
+  std::vector<std::uint64_t> adds(pool, 0);
+  for (std::uint32_t p = 0; p < spec.nprocs; ++p) {
+    Pcg32 rng(derive_child_seed(spec.seed, p));
+    for (std::uint64_t i = 0; i < per_proc; ++i) {
+      if (i % sync_period == sync_period - 1) {
+        push_op(t, p, TraceOpKind::kFence, 0);
+        continue;
+      }
+      const double u = rng.next_double() * total;
+      const std::uint32_t rank = static_cast<std::uint32_t>(
+          std::lower_bound(cum.begin(), cum.end(), u) - cum.begin());
+      const std::uint32_t r = std::min(rank, pool - 1);
+      if (rng.chance(1, 8)) {
+        ++adds[r];
+        push_op(t, p, TraceOpKind::kRmw, line(r), 1);
+      } else {
+        push_op(t, p, TraceOpKind::kLoad, line(r), 0, jitter(rng, spec.delay));
+      }
+    }
+  }
+  for (std::uint32_t r = 0; r < pool; ++r)
+    if (adds[r] != 0) t.expect.emplace_back(line(r), static_cast<Word>(adds[r]));
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", spec.zipf_s);
+  t.params["zipf_s"] = buf;
+  finish(t, spec, pool, sync_period);
+  return t;
+}
+
+}  // namespace
+
+const char* to_string(WorkloadKind k) {
+  switch (k) {
+    case WorkloadKind::kProducerConsumer: return "producer_consumer";
+    case WorkloadKind::kWorkStealing: return "work_stealing";
+    case WorkloadKind::kLockConvoy: return "lock_convoy";
+    case WorkloadKind::kBarrierTree: return "barrier_tree";
+    case WorkloadKind::kZipfian: return "zipfian";
+  }
+  return "?";
+}
+
+bool workload_kind_from_string(const std::string& s, WorkloadKind& out) {
+  for (WorkloadKind k : all_workload_kinds()) {
+    if (s == to_string(k)) {
+      out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+const std::vector<WorkloadKind>& all_workload_kinds() {
+  static const std::vector<WorkloadKind> kinds = {
+      WorkloadKind::kProducerConsumer, WorkloadKind::kWorkStealing,
+      WorkloadKind::kLockConvoy, WorkloadKind::kBarrierTree, WorkloadKind::kZipfian};
+  return kinds;
+}
+
+TraceFile generate_trace(const WorkloadGenSpec& spec) {
+  if (spec.nprocs == 0) bad_spec("nprocs must be >= 1");
+  switch (spec.kind) {
+    case WorkloadKind::kProducerConsumer: return gen_producer_consumer(spec);
+    case WorkloadKind::kWorkStealing: return gen_work_stealing(spec);
+    case WorkloadKind::kLockConvoy: return gen_lock_convoy(spec);
+    case WorkloadKind::kBarrierTree: return gen_barrier_tree(spec);
+    case WorkloadKind::kZipfian: return gen_zipfian(spec);
+  }
+  bad_spec("unknown workload kind");
+}
+
+}  // namespace mcsim

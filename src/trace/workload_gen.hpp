@@ -1,0 +1,58 @@
+// Seeded, parameterized large-workload generator: emits TraceFiles for
+// five multiprocessor sharing patterns at any op count (10^3..10^6+),
+// the simulation inputs the paper's §5 calls for beyond hand-written
+// litmus programs.
+//
+// Every generator is a pure function of (kind, params, seed): the same
+// spec produces a byte-identical trace whatever the host, worker count
+// or call order (Pcg32 streams only, derive_child_seed per processor),
+// and every trace carries its own expected final state so run_cell
+// validates the workload end to end.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace_format.hpp"
+
+namespace mcsim {
+
+enum class WorkloadKind : std::uint8_t {
+  kProducerConsumer,  ///< paired FIFO handoff through per-slot full/empty flags
+  kWorkStealing,      ///< per-worker deques: local push/pop + locked remote steals
+  kLockConvoy,        ///< few hot test&set locks, round-robin acquisition order
+  kBarrierTree,       ///< tournament-barrier phases over private slices
+  kZipfian,           ///< zipf-skewed reads + fetch&add writes over a shared pool
+};
+
+const char* to_string(WorkloadKind k);
+bool workload_kind_from_string(const std::string& s, WorkloadKind& out);
+const std::vector<WorkloadKind>& all_workload_kinds();
+
+struct WorkloadGenSpec {
+  WorkloadKind kind = WorkloadKind::kProducerConsumer;
+  std::uint32_t nprocs = 4;
+  /// Target TOTAL trace-op count across all processors; generators
+  /// round down to whole items/rounds, never below one per processor.
+  std::uint64_t ops = 1000;
+  std::uint64_t seed = 1;
+  /// Sharing degree, per kind (0 = default): producer_consumer FIFO
+  /// slots (8), work_stealing deque task slots (64), lock_convoy lock
+  /// count (2), barrier_tree slice words (4), zipfian pool lines (64).
+  std::uint32_t sharing = 0;
+  /// Sync density: ops between extra sync points (0 = kind default;
+  /// zipfian inserts a fence every `sync_period` ops).
+  std::uint32_t sync_period = 0;
+  /// Mean compute delay attached to data ops (0 = none); actual delays
+  /// are seeded jitter in [0, 2*delay].
+  std::uint32_t delay = 0;
+  /// Zipfian skew exponent (zipfian kind only; 0 = uniform).
+  double zipf_s = 1.2;
+};
+
+/// Generate the trace for `spec`. Deterministic; throws TraceError on
+/// an invalid spec (e.g. odd nprocs for producer_consumer).
+TraceFile generate_trace(const WorkloadGenSpec& spec);
+
+}  // namespace mcsim

@@ -18,6 +18,8 @@
 #include "sim/options.hpp"
 #include "sim/workloads.hpp"
 #include "sva/reproducer.hpp"
+#include "trace/trace_core.hpp"
+#include "trace/workload_gen.hpp"
 
 namespace mcsim {
 namespace {
@@ -102,6 +104,7 @@ void expect_identical(const Fingerprint& ff, const Fingerprint& naive,
   EXPECT_EQ(ff.regs, naive.regs) << what;
   EXPECT_EQ(ff.mem, naive.mem) << what;
   EXPECT_EQ(ff.stats, naive.stats) << what << " (stats report diverged)";
+  EXPECT_TRUE(ff == naive) << what << " (aggregate fingerprint diverged)";
 }
 
 TEST(FastForwardEquivalence, IsTheDefaultAndFlagsParse) {
@@ -218,6 +221,82 @@ TEST(FastForwardEquivalence, SweepIsWorkerCountInvariant) {
     EXPECT_EQ(serial[i].stats.retired, parallel[i].stats.retired) << i;
     EXPECT_GT(serial[i].wall_ns, 0u) << "per-cell wall_ns not recorded";
     EXPECT_GT(serial[i].sim_cycles_per_sec, 0.0) << i;
+  }
+}
+
+// ---- trace-frontend campaigns -----------------------------------------
+
+// 10^5 trace ops in Release; the Debug slice (which also runs under
+// MCSIM_FF_AUDIT's lockstep shadow machine in CI) keeps the same shape
+// at a size the audited naive loop can afford.
+#ifdef NDEBUG
+constexpr std::uint64_t kCampaignOps = 100'000;
+#else
+constexpr std::uint64_t kCampaignOps = 4'000;
+#endif
+
+Workload campaign_workload() {
+  WorkloadGenSpec spec;
+  spec.kind = WorkloadKind::kProducerConsumer;
+  spec.nprocs = 4;
+  spec.ops = kCampaignOps;
+  spec.seed = 17;
+  return trace_to_workload(generate_trace(spec));
+}
+
+std::vector<Addr> expect_addrs(const Workload& w) {
+  std::vector<Addr> addrs;
+  for (const auto& [a, v] : w.expected) addrs.push_back(a);
+  return addrs;
+}
+
+TEST(FastForwardEquivalence, LargeTraceWorkloadMatchesNaive) {
+  // The acceptance campaign's determinism half: a generated trace at
+  // campaign scale is cycle-identical between the fast-forward
+  // scheduler and the naive per-cycle loop, on the paper's crossbar
+  // and on the contended mesh.
+  const Workload w = campaign_workload();
+  const std::vector<Addr> watch = expect_addrs(w);
+  for (Topology topo : {Topology::kCrossbar, Topology::kMesh2D}) {
+    SystemConfig cfg = SystemConfig::realistic(4, ConsistencyModel::kRC);
+    cfg.core.speculative_loads = true;
+    cfg.core.prefetch = PrefetchMode::kNonBinding;
+    cfg.mem.topology = topo;
+    cfg.mem.mem_bytes = std::max<std::uint64_t>(cfg.mem.mem_bytes, w.min_mem_bytes);
+    cfg.max_cycles = 1'000'000'000;
+    Fingerprint ff = run_one(w.programs, w.preload_shared, cfg, watch, true);
+    Fingerprint naive = run_one(w.programs, w.preload_shared, cfg, watch, false);
+    ASSERT_FALSE(ff.result.deadlocked) << to_string(topo);
+    expect_identical(ff, naive, std::string("trace campaign ") + to_string(topo));
+  }
+}
+
+TEST(FastForwardEquivalence, TraceSweepIsWorkerCountInvariant) {
+  // The other half: the same campaign trace through the
+  // ExperimentRunner is bit-identical with 1 and 4 workers, across the
+  // whole model grid.
+  const Workload w = campaign_workload();
+  ExperimentGrid grid("trace-campaign-invariance");
+  for (ConsistencyModel m : {ConsistencyModel::kSC, ConsistencyModel::kPC,
+                             ConsistencyModel::kWC, ConsistencyModel::kRC}) {
+    SystemConfig cfg = SystemConfig::realistic(4, m);
+    cfg.core.speculative_loads = true;
+    cfg.core.prefetch = PrefetchMode::kNonBinding;
+    cfg.max_cycles = 1'000'000'000;
+    grid.add(w, cfg, "+both");
+    grid.cell(grid.size() - 1).watch = expect_addrs(w);
+  }
+  std::vector<CellResult> serial = ExperimentRunner(1).run(grid);
+  std::vector<CellResult> parallel = ExperimentRunner(4).run(grid);
+  ASSERT_EQ(serial.size(), grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    ASSERT_TRUE(serial[i].ok()) << serial[i].cell_label << ": " << serial[i].error;
+    ASSERT_TRUE(parallel[i].ok()) << parallel[i].error;
+    EXPECT_EQ(serial[i].stats.cycles, parallel[i].stats.cycles) << i;
+    EXPECT_EQ(serial[i].stats.ticks, parallel[i].stats.ticks) << i;
+    EXPECT_EQ(serial[i].stats.retired, parallel[i].stats.retired) << i;
+    EXPECT_EQ(serial[i].watch_values, parallel[i].watch_values) << i;
+    EXPECT_EQ(serial[i].trace_meta, parallel[i].trace_meta) << i;
   }
 }
 
