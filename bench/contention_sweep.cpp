@@ -10,10 +10,13 @@
 // benefit survive when latency is hop-count + queuing instead of a
 // constant?
 //
-//   contention_sweep [--smoke] [--trace-out=PATH]
+//   contention_sweep [--smoke] [--procs=N] [--dir-scheme=...] [--dir-banks=N]
+//                    [--trace-out=PATH]
 //
-// --smoke shrinks the workload and grid for the CTest wiring; the JSON
-// report (BENCH_contention_sweep.json) is mcsim-bench-v4 either way.
+// --smoke shrinks the workload and grid for the CTest wiring; --procs
+// (even, >= 2) scales the producer/consumer machine for the P=64..256
+// campaign, and the directory flags apply to every cell. The JSON
+// report (BENCH_contention_sweep.json) is mcsim-bench-v7 either way.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -34,11 +37,17 @@ const Tech kTechs[] = {{false, "baseline"}, {true, "+both"}};
 const Topology kTopologies[] = {Topology::kCrossbar, Topology::kRing,
                                 Topology::kMesh2D};
 
+MemConfig g_mem;  // --dir-scheme/--dir-banks/... applied to every cell
+
 SystemConfig cell_config(ConsistencyModel m, bool both, Topology topo,
                          std::uint32_t miss) {
   SystemConfig cfg = tech_config(m, both, both);
   cfg.with_clean_miss_latency(miss);
   cfg.mem.topology = topo;  // link_bw=1, link_queue=8 defaults
+  cfg.mem.dir_scheme = g_mem.dir_scheme;
+  cfg.mem.dir_pointers = g_mem.dir_pointers;
+  cfg.mem.dir_cluster = g_mem.dir_cluster;
+  cfg.mem.dir_banks = g_mem.dir_banks;
   return cfg;
 }
 
@@ -48,13 +57,26 @@ unsigned long long ull(std::uint64_t v) { return static_cast<unsigned long long>
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  std::uint32_t procs = 0;  // 0 = mode default
+  std::string flag_err;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    const std::string arg = argv[i];
+    if (arg == "--smoke") smoke = true;
+    else if (arg.rfind("--procs=", 0) == 0)
+      procs = static_cast<std::uint32_t>(std::strtoul(argv[i] + 8, nullptr, 0));
+    else if (parse_dir_flag(arg, g_mem, flag_err) && !flag_err.empty()) {
+      std::fprintf(stderr, "contention_sweep: %s\n", flag_err.c_str());
+      return 1;
+    }
+  }
+  if (procs != 0 && (procs < 2 || procs % 2 != 0)) {
+    std::fprintf(stderr, "contention_sweep: --procs must be even and >= 2\n");
+    return 1;
   }
   const std::string trace_out = trace_out_from_args(argc, argv);
 
-  const std::uint32_t nprocs = smoke ? 4 : 8;
-  const std::uint32_t items = smoke ? 4 : 12;
+  const std::uint32_t nprocs = procs != 0 ? procs : (smoke ? 4u : 8u);
+  const std::uint32_t items = smoke ? 4 : (nprocs > 8 ? 6u : 12u);
   const Workload w = make_producer_consumer(nprocs, items);
   const std::vector<ConsistencyModel> models =
       smoke ? std::vector<ConsistencyModel>{ConsistencyModel::kSC,

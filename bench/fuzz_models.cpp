@@ -55,6 +55,9 @@ void usage() {
       "                   (default crossbar; ring/mesh add link contention\n"
       "                   as a timing adversary for the same checkers)\n"
       "  --link-bw=N      ring/mesh per-link bandwidth (default 1)\n"
+      "  --dir-scheme=S   directory sharer encoding for every cell:\n"
+      "                   fullmap|limptr|coarse (default fullmap)\n"
+      "  --dir-banks=N    directory banks for every cell (default 1)\n"
       "  --sc-states=N    SC enumeration state budget (default 2000000)\n"
       "  --repro-dir=DIR  write shrunk reproducers here (default .)\n"
       "  --no-shrink      keep failing programs unshrunk\n"
@@ -131,6 +134,21 @@ int main(int argc, char** argv) {
     }
     if (parse_u64(a, "--link-bw", &u)) {
       cfg.link_bw = static_cast<std::uint32_t>(u);
+      continue;
+    }
+    if (parse_u64(a, "--dir-banks", &u)) {
+      cfg.dir_banks = static_cast<std::uint32_t>(u);
+      continue;
+    }
+    std::string scheme;
+    if (parse_str(a, "--dir-scheme", &scheme)) {
+      if (scheme == "fullmap") cfg.dir_scheme = DirScheme::kFullMap;
+      else if (scheme == "limptr") cfg.dir_scheme = DirScheme::kLimitedPtr;
+      else if (scheme == "coarse") cfg.dir_scheme = DirScheme::kCoarseVector;
+      else {
+        std::fprintf(stderr, "unknown --dir-scheme=%s\n", scheme.c_str());
+        return 2;
+      }
       continue;
     }
     std::string topo;

@@ -18,7 +18,7 @@ void BM_CacheHitProbe(benchmark::State& state) {
   CacheConfig cfg;
   MemConfig mem_cfg;
   Network net(2, mem_cfg.net_latency);
-  CoherentCache cache(0, cfg, CoherenceKind::kInvalidation, net, 1);
+  CoherentCache cache(0, cfg, mem_cfg, net, 1);
   std::vector<Word> line(cfg.line_bytes / kWordBytes, 42);
   cache.preload_line(0x1000, LineState::kExclusive, line);
   Cycle now = 0;

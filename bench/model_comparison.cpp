@@ -8,7 +8,10 @@
 // in parallel across worker threads (MCSIM_JOBS or all cores), results
 // are collected in submission order, and the whole study is emitted as
 // machine-readable BENCH_models.json for perf-trajectory tracking.
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -81,15 +84,40 @@ void print_table(const Workload& w, const std::vector<CellResult>& results,
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::uint32_t procs = 4;
+  MemConfig mem;  // --dir-scheme/--dir-banks/... applied to every cell
+  std::string flag_err;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--procs=", 0) == 0) {
+      procs = static_cast<std::uint32_t>(std::strtoul(argv[i] + 8, nullptr, 0));
+      if (procs < 2 || procs % 2 != 0) {
+        std::fprintf(stderr,
+                     "model_comparison: --procs must be even and >= 2 "
+                     "(producer/consumer pairs)\n");
+        return 1;
+      }
+    } else if (parse_dir_flag(arg, mem, flag_err)) {
+      if (!flag_err.empty()) {
+        std::fprintf(stderr, "model_comparison: %s\n", flag_err.c_str());
+        return 1;
+      }
+    }
+  }
+
   std::printf("Model comparison study (paper §5: \"extensive simulation experiments\")\n");
   std::printf("cycles to completion; miss latency 100, hit 1; realistic 4-wide cores\n");
 
+  // Per-processor work shrinks as the machine grows so the P=64..256
+  // campaign cells stay bounded; at the historical default (P=4) the
+  // parameters are the original study's.
+  const bool big = procs > 8;
   const std::vector<Workload> workloads = {
-      make_producer_consumer(4, 8),
-      make_critical_sections(4, 6, 2),
-      make_barrier_phases(4, 3, 4),
-      make_random_mix(4, 40, 12345),
-      make_dependent_chain(2, 4, 3),
+      make_producer_consumer(procs, big ? 4 : 8),
+      make_critical_sections(procs, big ? 3 : 6, 2),
+      make_barrier_phases(procs, big ? 2 : 3, 4),
+      make_random_mix(procs, big ? 20 : 40, 12345),
+      make_dependent_chain(std::min<std::uint32_t>(procs, 2), 4, 3),
   };
 
   ExperimentGrid grid("models");
@@ -98,7 +126,12 @@ int main(int argc, char** argv) {
     first_cell.push_back(grid.size());
     for (const TechCombo& t : kCombos) {
       for (ConsistencyModel m : kModels) {
-        grid.add(w, tech_config(m, t.prefetch, t.spec), t.name);
+        SystemConfig cfg = tech_config(m, t.prefetch, t.spec);
+        cfg.mem.dir_scheme = mem.dir_scheme;
+        cfg.mem.dir_pointers = mem.dir_pointers;
+        cfg.mem.dir_cluster = mem.dir_cluster;
+        cfg.mem.dir_banks = mem.dir_banks;
+        grid.add(w, std::move(cfg), t.name);
       }
     }
   }

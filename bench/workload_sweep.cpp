@@ -2,17 +2,27 @@
 // model grid — the §5 "extensive simulation experiments" driver, fed by
 // the trace frontend instead of hand-written litmus programs.
 //
-//   workload_sweep [--smoke | --million] [--seed=N] [--workers=N]
+//   workload_sweep [--smoke | --million | --scale] [--seed=N] [--workers=N]
+//                  [--procs=N] [--profile]
+//                  [--dir-scheme=fullmap|limptr|coarse] [--dir-banks=N]
+//                  [--dir-ptrs=N] [--dir-cluster=N]
+//                  [--topology=crossbar|ring|mesh2d] [--link-bw=N]
 //                  [--trace=FILE]... [--trace-dir=DIR] [--out=PATH]
 //
 // Default: every generator kind x every model x {baseline, +both} at
 // ~2*10^4 ops per trace. --smoke shrinks that to CI scale (~2*10^3 ops,
 // +both only); --million is the acceptance campaign: a 10^6-op
 // producer/consumer trace on 8 processors across all four models with
-// fast-forward on. --trace / --trace-dir run external trace files
-// instead of the generated suite (a malformed file fails its cell, not
-// the sweep). JSON report: BENCH_workload_sweep.json (mcsim-bench-v6,
-// per-cell "trace" provenance).
+// fast-forward on. --scale is the beyond-the-64-processor-wall
+// campaign: producer/consumer and zipfian traces at P=64/128/256 under
+// all four models (+both), op counts scaled with P. --procs overrides
+// the suite/smoke processor count; the directory and interconnect
+// flags apply to every cell. --trace / --trace-dir run external trace
+// files instead of the generated suite (a malformed file fails its
+// cell, not the sweep). JSON report: BENCH_workload_sweep.json
+// (mcsim-bench-v7, per-cell "trace" provenance; --profile adds the
+// per-cell technique-efficacy and per-bank directory breakdowns).
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -32,8 +42,20 @@ const ConsistencyModel kModels[] = {ConsistencyModel::kSC, ConsistencyModel::kPC
 
 unsigned long long ull(std::uint64_t v) { return static_cast<unsigned long long>(v); }
 
+// Directory / interconnect knobs and profiling shared by every cell
+// (set from the command line in main).
+MemConfig g_mem;
+bool g_profile = false;
+
 SystemConfig cell_config(ConsistencyModel m, bool both, std::uint64_t total_ops) {
   SystemConfig cfg = tech_config(m, both, both);
+  cfg.mem.topology = g_mem.topology;
+  cfg.mem.link_bw = g_mem.link_bw;
+  cfg.mem.dir_scheme = g_mem.dir_scheme;
+  cfg.mem.dir_pointers = g_mem.dir_pointers;
+  cfg.mem.dir_cluster = g_mem.dir_cluster;
+  cfg.mem.dir_banks = g_mem.dir_banks;
+  cfg.profile = g_profile;
   // Large traces outgrow the 10M-cycle deadlock watchdog: give every
   // cell generous headroom scaled to its op count (fast-forward makes
   // the quiescent spans free, so this only guards real deadlock).
@@ -45,26 +67,50 @@ SystemConfig cell_config(ConsistencyModel m, bool both, std::uint64_t total_ops)
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool smoke = false, million = false;
+  bool smoke = false, million = false, scale = false;
   std::uint64_t seed = 1;
   unsigned workers = 0;
+  std::uint32_t procs = 0;  // 0 = mode default
   std::string out_path = "BENCH_workload_sweep.json";
   std::vector<std::string> trace_in;
   std::string trace_dir;
+  std::string flag_err;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--smoke") smoke = true;
     else if (arg == "--million") million = true;
+    else if (arg == "--scale") scale = true;
+    else if (arg == "--profile") g_profile = true;
     else if (arg.rfind("--seed=", 0) == 0) seed = std::strtoull(argv[i] + 7, nullptr, 0);
     else if (arg.rfind("--workers=", 0) == 0)
       workers = static_cast<unsigned>(std::strtoul(argv[i] + 10, nullptr, 0));
+    else if (arg.rfind("--procs=", 0) == 0)
+      procs = static_cast<std::uint32_t>(std::strtoul(argv[i] + 8, nullptr, 0));
     else if (arg.rfind("--out=", 0) == 0) out_path = arg.substr(6);
     else if (arg.rfind("--trace=", 0) == 0) trace_in.push_back(arg.substr(8));
     else if (arg.rfind("--trace-dir=", 0) == 0) trace_dir = arg.substr(12);
-    else {
+    else if (arg.rfind("--topology=", 0) == 0) {
+      const std::string v = arg.substr(11);
+      if (v == "crossbar") g_mem.topology = Topology::kCrossbar;
+      else if (v == "ring") g_mem.topology = Topology::kRing;
+      else if (v == "mesh2d") g_mem.topology = Topology::kMesh2D;
+      else flag_err = "unknown topology: " + v;
+    } else if (arg.rfind("--link-bw=", 0) == 0) {
+      g_mem.link_bw = static_cast<std::uint32_t>(std::strtoul(argv[i] + 10, nullptr, 0));
+    } else if (parse_dir_flag(arg, g_mem, flag_err)) {
+      // handled (flag_err set on a malformed value)
+    } else {
       std::fprintf(stderr,
-                   "usage: workload_sweep [--smoke|--million] [--seed=N] "
-                   "[--workers=N] [--trace=FILE]... [--trace-dir=DIR] [--out=PATH]\n");
+                   "usage: workload_sweep [--smoke|--million|--scale] [--seed=N] "
+                   "[--workers=N] [--procs=N] [--profile]\n"
+                   "       [--dir-scheme=fullmap|limptr|coarse] [--dir-banks=N] "
+                   "[--dir-ptrs=N] [--dir-cluster=N]\n"
+                   "       [--topology=crossbar|ring|mesh2d] [--link-bw=N]\n"
+                   "       [--trace=FILE]... [--trace-dir=DIR] [--out=PATH]\n");
+      return 1;
+    }
+    if (!flag_err.empty()) {
+      std::fprintf(stderr, "workload_sweep: %s\n", flag_err.c_str());
       return 1;
     }
   }
@@ -107,16 +153,44 @@ int main(int argc, char** argv) {
       grid.add(std::move(w), cell_config(m, true, t.total_ops()), "+both",
                {{"table", "million"}});
     }
+  } else if (scale) {
+    // The P=64/128/256 scaling campaign: op counts grow with P so every
+    // processor has real work, and all four models must complete with
+    // fast-forward on (the default).
+    for (std::uint32_t P : {64u, 128u, 256u}) {
+      for (WorkloadKind kind :
+           {WorkloadKind::kProducerConsumer, WorkloadKind::kZipfian}) {
+        WorkloadGenSpec spec;
+        spec.kind = kind;
+        spec.nprocs = procs != 0 ? procs : P;
+        spec.ops = 32ull * spec.nprocs;
+        spec.seed = seed;
+        const TraceFile t = generate_trace(spec);
+        Workload w = trace_to_workload(t);
+        w.name += "/P" + std::to_string(spec.nprocs);
+        for (ConsistencyModel m : kModels) {
+          grid.add(w, cell_config(m, true, t.total_ops()), "+both",
+                   {{"table", "scale"}, {"procs", std::to_string(spec.nprocs)}});
+        }
+      }
+      if (procs != 0) break;  // explicit --procs: one size, not the ladder
+    }
   } else {
     const std::uint64_t ops = smoke ? 2000 : 20000;
-    const std::uint32_t nprocs = smoke ? 4 : 8;
+    const std::uint32_t nprocs = procs != 0 ? procs : (smoke ? 4u : 8u);
     for (WorkloadKind kind : all_workload_kinds()) {
       WorkloadGenSpec spec;
       spec.kind = kind;
       spec.nprocs = nprocs;
-      spec.ops = ops;
+      spec.ops = std::max<std::uint64_t>(ops, 4ull * nprocs);
       spec.seed = seed;
-      const TraceFile t = generate_trace(spec);
+      TraceFile t;
+      try {
+        t = generate_trace(spec);
+      } catch (const TraceError& e) {
+        std::fprintf(stderr, "workload_sweep: %s\n", e.what());
+        return 1;
+      }
       const Workload w = trace_to_workload(t);
       for (ConsistencyModel m : kModels) {
         if (!smoke)

@@ -92,13 +92,14 @@ const TraceEventSink::NameId pf_pending = TraceEventSink::name_id("pf-pending");
 }  // namespace ev
 }  // namespace
 
-CoherentCache::CoherentCache(ProcId id, const CacheConfig& cfg, CoherenceKind protocol,
+CoherentCache::CoherentCache(ProcId id, const CacheConfig& cfg, const MemConfig& mem_cfg,
                              Network& net, std::uint32_t num_procs)
     : id_(id),
       cfg_(cfg),
-      protocol_(protocol),
+      protocol_(mem_cfg.coherence),
       net_(net),
-      dir_(Network::directory_endpoint(num_procs)),
+      num_procs_(num_procs),
+      dir_banks_(mem_cfg.dir_banks),
       sets_(cfg.num_sets),
       mshrs_(cfg.mshrs),
       stats_("cache" + std::to_string(id)) {
@@ -323,7 +324,7 @@ ProbeResult CoherentCache::probe(const CacheRequest& req, Cycle now) {
       stats_.add(stat::load_miss);
       m->waiters.push_back(
           Waiter{req.token, CacheOp::kLoad, req.addr, 0, RmwOp::kTestAndSet, 0, 0});
-      net_.send(make_request(MsgType::kReadReq, id_, dir_, line), now);
+      net_.send(make_request(MsgType::kReadReq, id_, dir_for(line), line), now);
       return ProbeResult::kMiss;
     }
 
@@ -341,7 +342,7 @@ ProbeResult CoherentCache::probe(const CacheRequest& req, Cycle now) {
         word_ops_[req.token] =
             WordOp{req.token, false, RmwOp::kTestAndSet, 0, 0, req.addr};
         busy_inc();
-        Message msg = make_request(MsgType::kUpdateReq, id_, dir_, line);
+        Message msg = make_request(MsgType::kUpdateReq, id_, dir_for(line), line);
         msg.word_addr = req.addr;
         msg.word_value = req.store_value;
         msg.txn = req.token;
@@ -380,7 +381,7 @@ ProbeResult CoherentCache::probe(const CacheRequest& req, Cycle now) {
       m->want_ex = true;
       m->waiters.push_back(Waiter{req.token, CacheOp::kStore, req.addr, req.store_value,
                                   RmwOp::kTestAndSet, 0, 0});
-      net_.send(make_request(MsgType::kReadExReq, id_, dir_, line), now);
+      net_.send(make_request(MsgType::kReadExReq, id_, dir_for(line), line), now);
       return ProbeResult::kMiss;
     }
 
@@ -413,7 +414,7 @@ ProbeResult CoherentCache::probe(const CacheRequest& req, Cycle now) {
       m->want_ex = true;
       m->waiters.push_back(Waiter{req.token, CacheOp::kLoadEx, req.addr, 0,
                                   RmwOp::kTestAndSet, 0, 0});
-      net_.send(make_request(MsgType::kReadExReq, id_, dir_, line), now);
+      net_.send(make_request(MsgType::kReadExReq, id_, dir_for(line), line), now);
       return ProbeResult::kMiss;
     }
 
@@ -424,7 +425,7 @@ ProbeResult CoherentCache::probe(const CacheRequest& req, Cycle now) {
         word_ops_[req.token] =
             WordOp{req.token, true, req.rmw_op, req.rmw_cmp, req.rmw_src, req.addr};
         busy_inc();
-        Message msg = make_request(MsgType::kRmwReq, id_, dir_, line);
+        Message msg = make_request(MsgType::kRmwReq, id_, dir_for(line), line);
         msg.word_addr = req.addr;
         msg.rmw_op = static_cast<std::uint8_t>(req.rmw_op);
         msg.rmw_cmp = req.rmw_cmp;
@@ -466,7 +467,7 @@ ProbeResult CoherentCache::probe(const CacheRequest& req, Cycle now) {
       m->want_ex = true;
       m->waiters.push_back(Waiter{req.token, CacheOp::kRmw, req.addr, 0, req.rmw_op,
                                   req.rmw_cmp, req.rmw_src});
-      net_.send(make_request(MsgType::kReadExReq, id_, dir_, line), now);
+      net_.send(make_request(MsgType::kReadExReq, id_, dir_for(line), line), now);
       return ProbeResult::kMiss;
     }
 
@@ -485,7 +486,7 @@ ProbeResult CoherentCache::probe(const CacheRequest& req, Cycle now) {
       stats_.add(stat::prefetch_read_issued);
       if (profile_) pf_issue(line, false, now);
       m->prefetch_initiated = true;
-      net_.send(make_request(MsgType::kReadReq, id_, dir_, line), now);
+      net_.send(make_request(MsgType::kReadReq, id_, dir_for(line), line), now);
       return ProbeResult::kMiss;
     }
 
@@ -515,7 +516,7 @@ ProbeResult CoherentCache::probe(const CacheRequest& req, Cycle now) {
       if (profile_) pf_issue(line, true, now);
       m->prefetch_initiated = true;
       m->want_ex = true;
-      net_.send(make_request(MsgType::kReadExReq, id_, dir_, line), now);
+      net_.send(make_request(MsgType::kReadExReq, id_, dir_for(line), line), now);
       return ProbeResult::kMiss;
     }
   }
@@ -551,12 +552,12 @@ bool CoherentCache::merge_into_mshr(const CacheRequest& req) {
 
 void CoherentCache::evict(Way& way, Cycle now) {
   if (way.state == LineState::kExclusive) {
-    Message msg = make_request(MsgType::kWriteback, id_, dir_, way.line);
+    Message msg = make_request(MsgType::kWriteback, id_, dir_for(way.line), way.line);
     msg.data = way.data;
     net_.send(std::move(msg), now);
     stats_.add(stat::writeback);
   } else {
-    net_.send(make_request(MsgType::kReplaceNotify, id_, dir_, way.line), now);
+    net_.send(make_request(MsgType::kReplaceNotify, id_, dir_for(way.line), way.line), now);
     stats_.add(stat::replace_clean);
   }
   if (profile_) pf_evict(way.line, now);
@@ -633,7 +634,7 @@ void CoherentCache::handle_message(const Message& msg, Cycle now) {
       if (m->upgrade_after_fill || !m->waiters.empty()) {
         m->upgrade_after_fill = false;
         m->want_ex = true;
-        net_.send(make_request(MsgType::kReadExReq, id_, dir_, msg.line_addr), now);
+        net_.send(make_request(MsgType::kReadExReq, id_, dir_for(msg.line_addr), msg.line_addr), now);
       } else {
         if (m->prefetch_initiated) way->prefetched = true;
         close_mshr(*m, now);
@@ -689,7 +690,7 @@ void CoherentCache::handle_message(const Message& msg, Cycle now) {
       // Notify even when the line is already gone: a speculative-load
       // entry may still reference this address (conservative, §4.2).
       notify(LineEventKind::kInvalidate, msg.line_addr, now);
-      net_.send(make_request(MsgType::kInvAck, id_, dir_, msg.line_addr), now);
+      net_.send(make_request(MsgType::kInvAck, id_, dir_for(msg.line_addr), msg.line_addr), now);
       break;
     }
 
@@ -700,7 +701,7 @@ void CoherentCache::handle_message(const Message& msg, Cycle now) {
         // in-flight writeback as the recall acknowledgment.
         break;
       }
-      Message ack = make_request(MsgType::kRecallAck, id_, dir_, msg.line_addr);
+      Message ack = make_request(MsgType::kRecallAck, id_, dir_for(msg.line_addr), msg.line_addr);
       ack.data = way->data;
       net_.send(std::move(ack), now);
       if (msg.recall_exclusive) {
@@ -719,7 +720,7 @@ void CoherentCache::handle_message(const Message& msg, Cycle now) {
       if (way != nullptr) write_word(*way, msg.word_addr, msg.word_value);
       if (profile_) pf_kill(msg.line_addr, /*update=*/true, now);
       notify(LineEventKind::kUpdate, msg.line_addr, now);
-      net_.send(make_request(MsgType::kUpdateAck, id_, dir_, msg.line_addr), now);
+      net_.send(make_request(MsgType::kUpdateAck, id_, dir_for(msg.line_addr), msg.line_addr), now);
       break;
     }
 

@@ -31,7 +31,7 @@ namespace mcsim {
 
 class CoherentCache {
  public:
-  CoherentCache(ProcId id, const CacheConfig& cfg, CoherenceKind protocol,
+  CoherentCache(ProcId id, const CacheConfig& cfg, const MemConfig& mem_cfg,
                 Network& net, std::uint32_t num_procs);
 
   ProcId id() const { return id_; }
@@ -219,11 +219,19 @@ class CoherentCache {
   void pf_evict(Addr line, Cycle now);
   void pf_counter_event(Cycle now);
 
+  /// Home directory bank for `line` (same hash as
+  /// DirectoryGroup::home_bank — see home_bank_of_line).
+  EndpointId dir_for(Addr line) const {
+    return static_cast<EndpointId>(
+        num_procs_ + home_bank_of_line(line / cfg_.line_bytes, dir_banks_));
+  }
+
   ProcId id_;
   CacheConfig cfg_;
   CoherenceKind protocol_;
   Network& net_;
-  EndpointId dir_;
+  std::uint32_t num_procs_;
+  std::uint32_t dir_banks_;
   LineEventObserver* observer_ = nullptr;
   TraceEventSink* events_ = nullptr;
   std::uint16_t track_ = 0;

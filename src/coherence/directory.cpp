@@ -1,6 +1,5 @@
 #include "coherence/directory.hpp"
 
-#include <bit>
 #include <cassert>
 
 #include "isa/instruction.hpp"  // apply_rmw
@@ -46,20 +45,38 @@ namespace ev {
 const TraceEventSink::NameId inv_fanout = TraceEventSink::name_id("inv-fanout");
 const TraceEventSink::NameId upd_fanout = TraceEventSink::name_id("upd-fanout");
 }  // namespace ev
+
+std::string bank_stat_prefix(std::uint32_t bank, std::uint32_t num_banks) {
+  // The single-bank machine keeps the historical "dir" prefix so stats
+  // reports (and the FF-audit fingerprint) stay byte-identical.
+  return num_banks == 1 ? std::string("dir") : "dir" + std::to_string(bank);
+}
 }  // namespace
 
-Directory::Directory(std::uint32_t num_procs, const CacheConfig& cache_cfg,
-                     const MemConfig& mem_cfg, Network& net)
+Directory::Directory(std::uint32_t num_procs, std::uint32_t bank,
+                     std::uint32_t num_banks, const CacheConfig& cache_cfg,
+                     const MemConfig& mem_cfg, Network& net, FlatMemory& mem,
+                     SharingLedger& ledger)
     : num_procs_(num_procs),
+      bank_(bank),
+      num_banks_(num_banks),
       line_bytes_(cache_cfg.line_bytes),
       service_delay_(mem_cfg.dir_latency),
-      self_(Network::directory_endpoint(num_procs)),
+      sharer_params_(SharerSetParams::from(mem_cfg, num_procs)),
+      self_(Network::directory_endpoint(num_procs, bank)),
       net_(net),
-      mem_(mem_cfg.mem_bytes),
-      stats_("dir") {
-  assert(num_procs <= 64 && "full-bit-vector directory holds 64 sharers");
+      mem_(mem),
+      ledger_(ledger),
+      stats_(bank_stat_prefix(bank, num_banks)) {
+  assert(bank < num_banks);
   entries_.reserve(1024);
   busy_.reserve(64);
+}
+
+Directory::Entry& Directory::entry(Addr line) {
+  auto [it, inserted] = entries_.try_emplace(align(line));
+  if (inserted) it->second.sharers = SharerSet(sharer_params_);
+  return it->second;
 }
 
 std::vector<Word> Directory::read_line(Addr line) const {
@@ -75,14 +92,13 @@ void Directory::write_line(Addr line, const std::vector<Word>& data) {
 void Directory::preload(Addr line, State st, ProcId proc) {
   Entry& e = entry(align(line));
   e.state = st;
+  e.sharers.clear();
   if (st == State::kShared) {
-    e.sharers |= (1ull << proc);
+    e.sharers.add(proc);
     e.owner = kNoProc;
   } else if (st == State::kDirty) {
-    e.sharers = 0;
     e.owner = proc;
   } else {
-    e.sharers = 0;
     e.owner = kNoProc;
   }
 }
@@ -94,7 +110,7 @@ Directory::State Directory::line_state(Addr line) const {
 
 std::uint64_t Directory::sharers(Addr line) const {
   auto it = entries_.find(align(line));
-  return it == entries_.end() ? 0 : it->second.sharers;
+  return it == entries_.end() ? 0 : it->second.sharers.low_mask();
 }
 
 ProcId Directory::owner(Addr line) const {
@@ -117,11 +133,10 @@ void Directory::reply_read(const Message& req, Cycle now) {
   reply.data = read_line(req.line_addr);
   send(std::move(reply), now);
   e.state = State::kShared;
-  e.sharers |= (1ull << req.src);
+  e.sharers.add(static_cast<ProcId>(req.src));
   e.owner = kNoProc;
   if (profile_) {
-    const std::uint32_t degree =
-        static_cast<std::uint32_t>(std::popcount(e.sharers));
+    const std::uint32_t degree = e.sharers.count();
     ledger_.on_read_share(req.line_addr, degree);
     stats_.sample(prof::sh_read_share, degree);
   }
@@ -137,7 +152,7 @@ void Directory::reply_read_ex(const Message& req, Cycle now) {
   reply.data = read_line(req.line_addr);
   send(std::move(reply), now);
   e.state = State::kDirty;
-  e.sharers = 0;
+  e.sharers.clear();
   e.owner = req.src;
   if (profile_) ledger_.on_exclusive_grant(req.line_addr, static_cast<ProcId>(req.src));
 }
@@ -176,7 +191,7 @@ void Directory::handle(const Message& msg, Cycle now) {
         }
         return;
       case MsgType::kReplaceNotify:
-        entry(line).sharers &= ~(1ull << msg.src);
+        entry(line).sharers.remove(static_cast<ProcId>(msg.src));
         return;
       default:
         // New request for a busy line: defer in arrival order.
@@ -224,8 +239,8 @@ void Directory::handle_request(const Message& msg, Cycle now) {
           reply_read_ex(msg, now);
           break;
         case State::kShared: {
-          std::uint64_t others = e.sharers & ~(1ull << msg.src);
-          if (others == 0) {
+          const ProcId requester = static_cast<ProcId>(msg.src);
+          if (e.sharers.count_other(requester) == 0) {
             reply_read_ex(msg, now);
             break;
           }
@@ -233,17 +248,15 @@ void Directory::handle_request(const Message& msg, Cycle now) {
           txn.kind = Txn::Kind::kGatherInvAcks;
           txn.request = msg;
           txn.started_at = now;
-          for (ProcId p = 0; p < num_procs_; ++p) {
-            if ((others >> p) & 1ull) {
-              ++txn.acks_left;
-              Message inv;
-              inv.type = MsgType::kInvalidate;
-              inv.src = self_;
-              inv.dst = p;
-              inv.line_addr = line;
-              send(std::move(inv), now);
-            }
-          }
+          e.sharers.for_each_other(requester, [&](ProcId p) {
+            ++txn.acks_left;
+            Message inv;
+            inv.type = MsgType::kInvalidate;
+            inv.src = self_;
+            inv.dst = p;
+            inv.line_addr = line;
+            send(std::move(inv), now);
+          });
           if (profile_) {
             ledger_.on_invalidation_round(line, txn.acks_left);
             stats_.sample(prof::sh_inv_fanout, txn.acks_left);
@@ -291,7 +304,7 @@ void Directory::handle_request(const Message& msg, Cycle now) {
         write_line(line, msg.data);
         e.state = State::kUncached;
         e.owner = kNoProc;
-        e.sharers = 0;
+        e.sharers.clear();
       }
       // Otherwise stale (already recalled); data is older than memory.
       break;
@@ -299,8 +312,8 @@ void Directory::handle_request(const Message& msg, Cycle now) {
 
     case MsgType::kReplaceNotify: {
       if (e.state == State::kShared) {
-        e.sharers &= ~(1ull << msg.src);
-        if (e.sharers == 0) e.state = State::kUncached;
+        e.sharers.remove(static_cast<ProcId>(msg.src));
+        if (e.sharers.empty()) e.state = State::kUncached;
       }
       break;
     }
@@ -315,9 +328,10 @@ void Directory::handle_request(const Message& msg, Cycle now) {
       // Update protocol: write memory, push the word to all other
       // sharers, confirm to the writer once every ack is back.
       mem_.write(msg.word_addr, msg.word_value);
-      std::uint64_t others =
-          (e.state == State::kShared ? e.sharers : 0) & ~(1ull << msg.src);
-      if (others == 0) {
+      const ProcId requester = static_cast<ProcId>(msg.src);
+      const bool fan_out =
+          e.state == State::kShared && e.sharers.count_other(requester) != 0;
+      if (!fan_out) {
         Message done;
         done.type = MsgType::kUpdateDone;
         done.src = self_;
@@ -331,19 +345,17 @@ void Directory::handle_request(const Message& msg, Cycle now) {
       txn.kind = Txn::Kind::kGatherUpdateAcks;
       txn.request = msg;
       txn.started_at = now;
-      for (ProcId p = 0; p < num_procs_; ++p) {
-        if ((others >> p) & 1ull) {
-          ++txn.acks_left;
-          Message upd;
-          upd.type = MsgType::kUpdate;
-          upd.src = self_;
-          upd.dst = p;
-          upd.line_addr = line;
-          upd.word_addr = msg.word_addr;
-          upd.word_value = msg.word_value;
-          send(std::move(upd), now);
-        }
-      }
+      e.sharers.for_each_other(requester, [&](ProcId p) {
+        ++txn.acks_left;
+        Message upd;
+        upd.type = MsgType::kUpdate;
+        upd.src = self_;
+        upd.dst = p;
+        upd.line_addr = line;
+        upd.word_addr = msg.word_addr;
+        upd.word_value = msg.word_value;
+        send(std::move(upd), now);
+      });
       if (profile_) {
         ledger_.on_update_round(line, txn.acks_left);
         stats_.sample(prof::sh_upd_fanout, txn.acks_left);
@@ -359,8 +371,9 @@ void Directory::handle_request(const Message& msg, Cycle now) {
       Word old = mem_.read(msg.word_addr);
       Word newval = apply_rmw(static_cast<RmwOp>(msg.rmw_op), old, msg.rmw_cmp, msg.rmw_src);
       mem_.write(msg.word_addr, newval);
-      std::uint64_t others =
-          (e.state == State::kShared ? e.sharers : 0) & ~(1ull << msg.src);
+      const ProcId requester = static_cast<ProcId>(msg.src);
+      const bool fan_out =
+          e.state == State::kShared && e.sharers.count_other(requester) != 0;
       Message reply;
       reply.type = MsgType::kRmwReply;
       reply.src = self_;
@@ -369,7 +382,7 @@ void Directory::handle_request(const Message& msg, Cycle now) {
       reply.word_addr = msg.word_addr;
       reply.word_value = old;
       reply.txn = msg.txn;
-      if (others == 0) {
+      if (!fan_out) {
         send(std::move(reply), now);
         break;
       }
@@ -378,19 +391,17 @@ void Directory::handle_request(const Message& msg, Cycle now) {
       txn.request = msg;
       txn.started_at = now;
       txn.request.word_value = old;  // remembered for the final reply
-      for (ProcId p = 0; p < num_procs_; ++p) {
-        if ((others >> p) & 1ull) {
-          ++txn.acks_left;
-          Message upd;
-          upd.type = MsgType::kUpdate;
-          upd.src = self_;
-          upd.dst = p;
-          upd.line_addr = line;
-          upd.word_addr = msg.word_addr;
-          upd.word_value = newval;
-          send(std::move(upd), now);
-        }
-      }
+      e.sharers.for_each_other(requester, [&](ProcId p) {
+        ++txn.acks_left;
+        Message upd;
+        upd.type = MsgType::kUpdate;
+        upd.src = self_;
+        upd.dst = p;
+        upd.line_addr = line;
+        upd.word_addr = msg.word_addr;
+        upd.word_value = newval;
+        send(std::move(upd), now);
+      });
       if (profile_) {
         ledger_.on_update_round(line, txn.acks_left);
         stats_.sample(prof::sh_upd_fanout, txn.acks_left);
@@ -421,18 +432,19 @@ void Directory::finish_txn(Addr line, Cycle now) {
   Entry& e = entry(line);
   switch (txn.kind) {
     case Txn::Kind::kGatherInvAcks:
-      e.sharers = 0;
+      e.sharers.clear();
       reply_read_ex(txn.request, now);
       break;
     case Txn::Kind::kRecallForRead:
       e.state = State::kShared;
-      e.sharers = (1ull << e.owner);
+      e.sharers.clear();
+      e.sharers.add(e.owner);
       e.owner = kNoProc;
       reply_read(txn.request, now);
       break;
     case Txn::Kind::kRecallForEx:
       e.state = State::kUncached;
-      e.sharers = 0;
+      e.sharers.clear();
       e.owner = kNoProc;
       reply_read_ex(txn.request, now);
       break;
@@ -475,8 +487,41 @@ Json Directory::snapshot_json() const {
     j.set("acks_left", Json::number(static_cast<std::uint64_t>(txn.acks_left)));
     j.set("started_at", Json::number(static_cast<std::uint64_t>(txn.started_at)));
     j.set("deferred", Json::number(static_cast<std::uint64_t>(txn.deferred.size())));
+    if (num_banks_ > 1) j.set("bank", Json::number(static_cast<std::uint64_t>(bank_)));
     out.push_back(std::move(j));
   }
+  return out;
+}
+
+// --- DirectoryGroup --------------------------------------------------
+
+DirectoryGroup::DirectoryGroup(std::uint32_t num_procs, const CacheConfig& cache_cfg,
+                               const MemConfig& mem_cfg, Network& net)
+    : line_bytes_(cache_cfg.line_bytes), mem_(mem_cfg.mem_bytes) {
+  banks_.reserve(mem_cfg.dir_banks);
+  for (std::uint32_t b = 0; b < mem_cfg.dir_banks; ++b)
+    banks_.push_back(std::make_unique<Directory>(num_procs, b, mem_cfg.dir_banks,
+                                                 cache_cfg, mem_cfg, net, mem_,
+                                                 ledger_));
+}
+
+Json DirectoryGroup::contended_lines_json(std::size_t n) const {
+  // The ledger's table, with each line's home bank attached.
+  Json arr = ledger_.top_json(n);
+  Json out = Json::array();
+  for (const Json& row : arr.items()) {
+    Json j = row;
+    j.set("home_bank",
+          Json::number(static_cast<std::uint64_t>(home_bank(row["line"].as_uint()))));
+    out.push_back(std::move(j));
+  }
+  return out;
+}
+
+Json DirectoryGroup::snapshot_json() const {
+  Json out = Json::array();
+  for (const auto& b : banks_)
+    for (const Json& row : b->snapshot_json().items()) out.push_back(row);
   return out;
 }
 

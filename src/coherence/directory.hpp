@@ -1,12 +1,20 @@
-// Directory controller + memory module (one centralized module, as in
-// the paper's DASH-style substrate).
+// Directory controller + memory module, banked (DASH-style substrate).
 //
-// Full-bit-vector directory; stable states Uncached / Shared(sharers) /
-// Dirty(owner). Multi-step transactions (recalls, invalidation
-// gathers, update fan-outs) hold a per-line transient entry; requests
-// that arrive for a busy line are deferred in FIFO order and replayed
-// when the transaction completes, so the protocol is free of NACK
-// retries and deterministic.
+// Sharer tracking is a SharerSet (full-map / limited-pointer /
+// coarse-vector per MemConfig::dir_scheme); stable states Uncached /
+// Shared(sharers) / Dirty(owner). Multi-step transactions (recalls,
+// invalidation gathers, update fan-outs) hold a per-line transient
+// entry; requests that arrive for a busy line are deferred in FIFO
+// order and replayed when the transaction completes, so the protocol is
+// free of NACK retries and deterministic.
+//
+// DirectoryGroup shards lines across `dir_banks` Directory banks by a
+// splitmix64 hash of the line number (home_bank_of_line — a plain
+// modulo would home every 0x40-strided hot line to bank 0); bank b is
+// network endpoint num_procs + b,
+// so on a ring/mesh every bank is a distinct home node. One bank plus
+// the full-map scheme is cycle-identical to the historical centralized
+// uint64_t-bit-vector directory.
 //
 // For writes the directory collects every invalidation acknowledgment
 // BEFORE answering the requester, which makes a store "performed with
@@ -16,6 +24,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -26,20 +35,23 @@
 #include "common/stats.hpp"
 #include "common/trace_event.hpp"
 #include "common/types.hpp"
+#include "coherence/sharer_set.hpp"
+#include "coherence/types.hpp"
 #include "interconnect/network.hpp"
 
 namespace mcsim {
 
+/// One directory bank: the coherence controller for every line whose
+/// home is this bank. Owned by DirectoryGroup; standalone construction
+/// is for unit tests only.
 class Directory {
  public:
-  Directory(std::uint32_t num_procs, const CacheConfig& cache_cfg, const MemConfig& mem_cfg,
-            Network& net);
+  Directory(std::uint32_t num_procs, std::uint32_t bank, std::uint32_t num_banks,
+            const CacheConfig& cache_cfg, const MemConfig& mem_cfg, Network& net,
+            FlatMemory& mem, SharingLedger& ledger);
 
   /// Service every message that arrived this cycle.
   void tick(Cycle now);
-
-  FlatMemory& memory() { return mem_; }
-  const FlatMemory& memory() const { return mem_; }
 
   bool idle() const { return busy_.empty(); }
 
@@ -63,12 +75,8 @@ class Directory {
   StatSet& stats() { return stats_; }
 
   // --- technique-efficacy profiling (--profile) ----------------------
-  /// Per-line sharing ledger: invalidation/update fan-outs, ping-pong
-  /// ownership transfers, and read-sharing degree per line, feeding the
-  /// contended-lines table (see common/profile.hpp).
   void set_profiling(bool on) { profile_ = on; }
   bool profiling() const { return profile_; }
-  const SharingLedger& ledger() const { return ledger_; }
 
   enum class State : std::uint8_t { kUncached, kShared, kDirty };
 
@@ -78,14 +86,17 @@ class Directory {
 
   // --- introspection for protocol tests ------------------------------
   State line_state(Addr line) const;
+  /// Candidate-sharer bits for processors 0..63 (historical mask API;
+  /// exact under full-map with P <= 64).
   std::uint64_t sharers(Addr line) const;
   ProcId owner(Addr line) const;
   bool line_busy(Addr line) const { return busy_.count(align(line)) != 0; }
+  std::uint32_t bank() const { return bank_; }
 
  private:
   struct Entry {
     State state = State::kUncached;
-    std::uint64_t sharers = 0;  ///< bit per processor
+    SharerSet sharers;  ///< conservative candidate-sharer set
     ProcId owner = kNoProc;
   };
 
@@ -105,7 +116,7 @@ class Directory {
   };
 
   Addr align(Addr a) const { return a & ~static_cast<Addr>(line_bytes_ - 1); }
-  Entry& entry(Addr line) { return entries_[line]; }
+  Entry& entry(Addr line);
 
   std::vector<Word> read_line(Addr line) const;
   void write_line(Addr line, const std::vector<Word>& data);
@@ -118,11 +129,15 @@ class Directory {
   void send(Message msg, Cycle now) { net_.send(std::move(msg), now, service_delay_); }
 
   std::uint32_t num_procs_;
+  std::uint32_t bank_;
+  std::uint32_t num_banks_;
   std::uint32_t line_bytes_;
   std::uint32_t service_delay_;
+  SharerSetParams sharer_params_;
   EndpointId self_;
   Network& net_;
-  FlatMemory mem_;
+  FlatMemory& mem_;
+  SharingLedger& ledger_;
   // Hash maps (never iterated, so unordered lookup is safe and cheap);
   // reserved up front so the per-message hot path does not rehash.
   std::unordered_map<Addr, Entry> entries_;
@@ -130,8 +145,86 @@ class Directory {
   TraceEventSink* events_ = nullptr;
   std::uint16_t track_ = 0;
   bool profile_ = false;
-  SharingLedger ledger_;
   StatSet stats_;
+};
+
+/// The machine's directory/memory system: the flat backing store plus
+/// mem_cfg.dir_banks Directory banks, lines hashed across banks
+/// (home = home_bank_of_line). All of Machine's directory
+/// interaction goes through this; per-line queries route to the home
+/// bank. The sharing ledger is shared by every bank (one machine-wide
+/// contended-lines table and one MCSIM_FF_AUDIT fingerprint); per-bank
+/// attribution comes from each bank's own StatSet ("dir" at one bank,
+/// "dir<b>" otherwise) and from the home-bank column the group adds to
+/// ledger emissions.
+class DirectoryGroup {
+ public:
+  DirectoryGroup(std::uint32_t num_procs, const CacheConfig& cache_cfg,
+                 const MemConfig& mem_cfg, Network& net);
+
+  void tick(Cycle now) {
+    for (auto& b : banks_) b->tick(now);
+  }
+
+  FlatMemory& memory() { return mem_; }
+  const FlatMemory& memory() const { return mem_; }
+
+  bool idle() const {
+    for (const auto& b : banks_)
+      if (!b->idle()) return false;
+    return true;
+  }
+
+  /// Purely reactive, like every bank (see Directory::next_event).
+  Cycle next_event(Cycle /*now*/) const { return kCycleNever; }
+
+  std::uint32_t num_banks() const { return static_cast<std::uint32_t>(banks_.size()); }
+  Directory& bank(std::uint32_t b) { return *banks_.at(b); }
+  const Directory& bank(std::uint32_t b) const { return *banks_.at(b); }
+
+  /// Home bank of the line containing `a` (see home_bank_of_line for
+  /// why this is a splitmix64 hash, not a plain modulo).
+  std::uint32_t home_bank(Addr a) const {
+    return home_bank_of_line(a / line_bytes_,
+                             static_cast<std::uint32_t>(banks_.size()));
+  }
+
+  /// Per-bank timeline tracks: bank b renders on `first_track` + b.
+  void set_event_sink(TraceEventSink* sink, std::uint16_t first_track) {
+    for (std::uint32_t b = 0; b < num_banks(); ++b)
+      banks_[b]->set_event_sink(sink, static_cast<std::uint16_t>(first_track + b));
+  }
+
+  void set_profiling(bool on) {
+    for (auto& b : banks_) b->set_profiling(on);
+  }
+
+  const SharingLedger& ledger() const { return ledger_; }
+
+  /// The ledger's contended-lines table with each line's home bank
+  /// attached (post-mortems, bench reports).
+  Json contended_lines_json(std::size_t n) const;
+
+  /// In-flight transactions across all banks (each row carries its
+  /// bank), for deadlock post-mortems.
+  Json snapshot_json() const;
+
+  void preload(Addr line, Directory::State st, ProcId proc) {
+    home(line).preload(line, st, proc);
+  }
+  Directory::State line_state(Addr line) const { return home(line).line_state(line); }
+  std::uint64_t sharers(Addr line) const { return home(line).sharers(line); }
+  ProcId owner(Addr line) const { return home(line).owner(line); }
+  bool line_busy(Addr line) const { return home(line).line_busy(line); }
+
+ private:
+  Directory& home(Addr a) { return *banks_[home_bank(a)]; }
+  const Directory& home(Addr a) const { return *banks_[home_bank(a)]; }
+
+  std::uint32_t line_bytes_;
+  FlatMemory mem_;
+  SharingLedger ledger_;
+  std::vector<std::unique_ptr<Directory>> banks_;
 };
 
 }  // namespace mcsim

@@ -10,6 +10,26 @@
 
 namespace mcsim {
 
+/// Home directory bank of a line number, shared by the cache's request
+/// routing and DirectoryGroup's dispatch (they MUST agree). The line
+/// number goes through a full splitmix64 finalizer before the modulo:
+/// plain `line % banks` resonates with the power-of-two strides the
+/// workloads use (0x40-byte spacing with 16-byte lines makes every hot
+/// line ≡ 0 mod 4, homing ALL traffic to bank 0), and a single
+/// multiplicative hash still starves banks on those strides. Pure
+/// function of the line — deterministic, a fixed partition of the
+/// line space.
+inline std::uint32_t home_bank_of_line(std::uint64_t line,
+                                       std::uint32_t banks) {
+  std::uint64_t h = line;
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ull;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebull;
+  h ^= h >> 31;
+  return static_cast<std::uint32_t>(h % banks);
+}
+
 /// Stable cache-line state (transients live in the MSHRs).
 enum class LineState : std::uint8_t {
   kInvalid,

@@ -49,6 +49,15 @@ const char* to_string(Topology t) {
   return "?";
 }
 
+const char* to_string(DirScheme s) {
+  switch (s) {
+    case DirScheme::kFullMap: return "fullmap";
+    case DirScheme::kLimitedPtr: return "limptr";
+    case DirScheme::kCoarseVector: return "coarse";
+  }
+  return "?";
+}
+
 SystemConfig& SystemConfig::with_clean_miss_latency(std::uint32_t cycles) {
   // probe(0) + net + dir + net = cycles, with dir picked to absorb parity.
   mem.dir_latency = 2 + (cycles % 2);
@@ -81,6 +90,16 @@ bool is_pow2(std::uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
 std::string SystemConfig::validate() const {
   std::ostringstream err;
   if (num_procs == 0) err << "num_procs must be >= 1; ";
+  if (num_procs > kMaxProcs)
+    err << "num_procs must be <= " << kMaxProcs
+        << " (trace formats and endpoint ids cap the machine size); ";
+  if (mem.dir_banks == 0) err << "mem.dir_banks must be >= 1; ";
+  if (mem.dir_banks > kMaxProcs)
+    err << "mem.dir_banks must be <= " << kMaxProcs << "; ";
+  if (mem.dir_scheme == DirScheme::kLimitedPtr && mem.dir_pointers == 0)
+    err << "limited-pointer directory needs mem.dir_pointers >= 1; ";
+  if (mem.dir_scheme == DirScheme::kCoarseVector && mem.dir_cluster == 0)
+    err << "coarse-vector directory needs mem.dir_cluster >= 1; ";
   if (!is_pow2(cache.line_bytes) || cache.line_bytes < kWordBytes)
     err << "cache.line_bytes must be a power of two >= word size; ";
   if (!is_pow2(cache.num_sets)) err << "cache.num_sets must be a power of two; ";

@@ -48,10 +48,28 @@ enum class Topology : std::uint8_t {
   kMesh2D,    ///< 2D mesh, deterministic XY routing
 };
 
+/// Directory sharer-set encoding (DASH lineage). Every scheme tracks a
+/// CONSERVATIVE SUPERSET of the true sharers — spurious invalidations
+/// and updates are protocol-safe because caches acknowledge them for
+/// non-resident lines — so correctness is scheme-independent and only
+/// fan-out traffic changes.
+enum class DirScheme : std::uint8_t {
+  kFullMap,      ///< one bit per processor (exact; arbitrary P via word array)
+  kLimitedPtr,   ///< Dir_i_B: i pointers, broadcast to all on overflow
+  kCoarseVector, ///< one bit per cluster of `dir_cluster` processors
+};
+
 const char* to_string(ConsistencyModel m);
 const char* to_string(CoherenceKind k);
 const char* to_string(PrefetchMode m);
 const char* to_string(Topology t);
+const char* to_string(DirScheme s);
+
+/// Hard machine-size ceiling: trace formats, endpoint ids, and trace
+/// tracks all assume processor counts below this (the binary trace
+/// reader rejects nprocs > 4096 as implausible). validate() turns any
+/// larger --procs into a clear error instead of silent wraparound.
+constexpr std::uint32_t kMaxProcs = 4096;
 
 /// Per-core microarchitecture parameters (paper Figures 3 and 4).
 struct CoreConfig {
@@ -107,6 +125,22 @@ struct MemConfig {
   std::uint32_t link_queue = 8;
   CoherenceKind coherence = CoherenceKind::kInvalidation;
   std::uint64_t mem_bytes = 1u << 20;  ///< simulated physical memory size
+  /// Sharer-set encoding in every directory bank (--dir-scheme).
+  /// Full-map is exact and, at <= 64 processors with one bank, is
+  /// cycle-identical to the historical uint64_t bit-vector.
+  DirScheme dir_scheme = DirScheme::kFullMap;
+  /// Limited-pointer scheme: pointers per entry before the entry
+  /// degrades to broadcast (Dir_i_B's "i"; --dir-ptrs).
+  std::uint32_t dir_pointers = 4;
+  /// Coarse-vector scheme: processors per sharer bit (--dir-cluster).
+  std::uint32_t dir_cluster = 4;
+  /// Directory banks (--dir-banks). Lines spread across banks by a
+  /// hash of the line number (home_bank_of_line — a plain modulo would
+  /// resonate with strided layouts); bank b is network endpoint
+  /// num_procs + b, so on a
+  /// ring/mesh each bank is a distinct home NODE and home distance is
+  /// real. 1 bank = the historical centralized directory.
+  std::uint32_t dir_banks = 1;
 };
 
 struct SystemConfig {

@@ -149,8 +149,20 @@ class SharingLedger {
   std::unordered_map<Addr, LineSharing> lines_;
 };
 
+/// One directory bank's share of the fan-out/sharing histograms
+/// (schema v7: bench JSON "profile.dir_banks"). The per-bank counts
+/// sum to the aggregate histograms exactly — each fan-out round is
+/// recorded at exactly one home bank — which validate_bench_json
+/// checks as a conservation law.
+struct DirBankProfile {
+  std::uint32_t bank = 0;
+  LogHistogram inv_fanout;
+  LogHistogram upd_fanout;
+  LogHistogram read_share;
+};
+
 /// Everything the profiler measured in one cell, aggregated across
-/// processors by ExperimentRunner::run_cell (schema mcsim-bench-v6).
+/// processors by ExperimentRunner::run_cell (schema mcsim-bench-v7).
 struct ProfileStats {
   bool enabled = false;
   PrefetchOutcomes prefetch;
@@ -162,7 +174,11 @@ struct ProfileStats {
   LogHistogram inv_fanout;
   LogHistogram upd_fanout;
   LogHistogram read_share;
+  /// v7: the same three histograms attributed per home bank.
+  std::vector<DirBankProfile> dir_banks;
   std::vector<SharingLedger::TopEntry> top_lines;
+  /// v7: home bank of top_lines[i] (parallel array).
+  std::vector<std::uint32_t> top_line_banks;
 };
 
 }  // namespace mcsim

@@ -38,7 +38,7 @@ namespace mcsim {
 
 class Network {
  public:
-  /// `endpoints` = number of processors + 1 (the directory).
+  /// `endpoints` = number of processors + number of directory banks.
   /// `deliver_bw` caps messages delivered per endpoint per cycle
   /// (0 = unlimited, the paper's assumption). `link_bw`/`link_queue`
   /// only apply to the ring/mesh topologies (see MemConfig).
@@ -46,7 +46,11 @@ class Network {
           Topology topology = Topology::kCrossbar, std::uint32_t link_bw = 1,
           std::uint32_t link_queue = 8);
 
-  static EndpointId directory_endpoint(std::uint32_t num_procs) { return num_procs; }
+  /// Endpoint id of directory bank `bank` (banks follow the processors,
+  /// so on a ring/mesh each bank is its own home node).
+  static EndpointId directory_endpoint(std::uint32_t num_procs, std::uint32_t bank = 0) {
+    return num_procs + bank;
+  }
 
   std::uint32_t latency() const { return latency_; }
   Topology topology() const { return topology_; }

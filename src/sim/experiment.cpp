@@ -140,11 +140,23 @@ CellResult run_cell(const ExperimentCell& cell) {
         merge_id(ps.rb_wasted, lsu, prof::rb_wasted);
         merge_id(ps.squash_depth, m.core(p).stats(), prof::rb_squash_depth);
       }
-      const StatSet& ds = m.directory().stats();
-      merge_id(ps.inv_fanout, ds, prof::sh_inv_fanout);
-      merge_id(ps.upd_fanout, ds, prof::sh_upd_fanout);
-      merge_id(ps.read_share, ds, prof::sh_read_share);
-      ps.top_lines = m.directory().ledger().top(cfg.profile_top_lines);
+      const DirectoryGroup& group = m.directory();
+      for (std::uint32_t b = 0; b < group.num_banks(); ++b) {
+        const StatSet& ds = group.bank(b).stats();
+        merge_id(ps.inv_fanout, ds, prof::sh_inv_fanout);
+        merge_id(ps.upd_fanout, ds, prof::sh_upd_fanout);
+        merge_id(ps.read_share, ds, prof::sh_read_share);
+        DirBankProfile bp;
+        bp.bank = b;
+        merge_id(bp.inv_fanout, ds, prof::sh_inv_fanout);
+        merge_id(bp.upd_fanout, ds, prof::sh_upd_fanout);
+        merge_id(bp.read_share, ds, prof::sh_read_share);
+        ps.dir_banks.push_back(std::move(bp));
+      }
+      ps.top_lines = group.ledger().top(cfg.profile_top_lines);
+      ps.top_line_banks.reserve(ps.top_lines.size());
+      for (const SharingLedger::TopEntry& e : ps.top_lines)
+        ps.top_line_banks.push_back(group.home_bank(e.line));
     }
 
     if (cell.record_accesses) {
@@ -288,8 +300,22 @@ Json profile_to_json(const ProfileStats& ps) {
   j.set("inv_fanout", histogram_to_json(ps.inv_fanout));
   j.set("upd_fanout", histogram_to_json(ps.upd_fanout));
   j.set("read_share", histogram_to_json(ps.read_share));
+  // v7: per-home-bank attribution of the three sharing histograms.
+  // Every fan-out round lands at exactly one bank, so per-bank counts
+  // sum to the aggregates above (validated as a conservation law).
+  Json banks = Json::array();
+  for (const DirBankProfile& bp : ps.dir_banks) {
+    Json b = Json::object();
+    b.set("bank", Json::number(static_cast<std::uint64_t>(bp.bank)));
+    b.set("inv_fanout", histogram_to_json(bp.inv_fanout));
+    b.set("upd_fanout", histogram_to_json(bp.upd_fanout));
+    b.set("read_share", histogram_to_json(bp.read_share));
+    banks.push_back(std::move(b));
+  }
+  j.set("dir_banks", std::move(banks));
   Json top = Json::array();
-  for (const SharingLedger::TopEntry& e : ps.top_lines) {
+  for (std::size_t i = 0; i < ps.top_lines.size(); ++i) {
+    const SharingLedger::TopEntry& e = ps.top_lines[i];
     Json t = Json::object();
     t.set("line", Json::number(static_cast<std::uint64_t>(e.line)));
     t.set("score", Json::number(e.s.contention_score()));
@@ -300,6 +326,9 @@ Json profile_to_json(const ProfileStats& ps) {
     t.set("ping_pong", Json::number(e.s.ping_pong));
     t.set("reads", Json::number(e.s.reads));
     t.set("max_sharers", Json::number(static_cast<std::uint64_t>(e.s.max_sharers)));
+    if (i < ps.top_line_banks.size())
+      t.set("home_bank",
+            Json::number(static_cast<std::uint64_t>(ps.top_line_banks[i])));
     top.push_back(std::move(t));
   }
   j.set("top_lines", std::move(top));
@@ -311,7 +340,7 @@ Json profile_to_json(const ProfileStats& ps) {
 Json results_to_json(const ExperimentGrid& grid, const std::vector<CellResult>& results,
                      const SweepInfo& sweep) {
   Json root = Json::object();
-  root.set("schema", Json::string("mcsim-bench-v6"));
+  root.set("schema", Json::string("mcsim-bench-v7"));
   root.set("bench", Json::string(grid.name()));
   root.set("workers", Json::number(static_cast<std::uint64_t>(sweep.workers)));
   root.set("wall_ms", Json::number(sweep.wall_ms));
@@ -457,8 +486,8 @@ std::string validate_bench_json(const Json& report) {
         "aggregate", "cells"}) {
     if (!report.contains(key)) return std::string("missing root key '") + key + "'";
   }
-  if (report["schema"].as_string() != "mcsim-bench-v6")
-    return "schema is '" + report["schema"].as_string() + "', expected 'mcsim-bench-v6'";
+  if (report["schema"].as_string() != "mcsim-bench-v7")
+    return "schema is '" + report["schema"].as_string() + "', expected 'mcsim-bench-v7'";
   const Json& agg = report["aggregate"];
   for (const char* key : {"load_latency", "store_latency", "net_latency"}) {
     const Json* h = agg.find(key);
@@ -538,6 +567,34 @@ std::string validate_bench_json(const Json& report) {
         return where + ".profile.rollbacks: total != sum of causes";
       if (prof->find("top_lines") == nullptr || !(*prof)["top_lines"].is_array())
         return where + ".profile: missing 'top_lines' array";
+
+      // v7: per-bank fan-out attribution, conserved against the
+      // aggregate histograms (each round has exactly one home bank).
+      const Json* banks = prof->find("dir_banks");
+      if (banks == nullptr || !banks->is_array() || banks->size() == 0)
+        return where + ".profile: missing non-empty 'dir_banks' array";
+      for (const char* key : {"inv_fanout", "upd_fanout", "read_share"}) {
+        const Json* aggh = prof->find(key);
+        if (aggh == nullptr) return where + ".profile: missing '" + key + "'";
+        std::uint64_t bank_sum = 0;
+        for (std::size_t b = 0; b < banks->size(); ++b) {
+          const Json& bank = (*banks)[b];
+          if (bank.find("bank") == nullptr)
+            return where + ".profile.dir_banks: missing 'bank' id";
+          const Json* h = bank.find(key);
+          if (h == nullptr)
+            return where + ".profile.dir_banks[" + std::to_string(b) +
+                   "]: missing '" + key + "'";
+          std::string err = check_histogram(
+              *h, where + ".profile.dir_banks[" + std::to_string(b) + "]." + key);
+          if (!err.empty()) return err;
+          bank_sum += (*h)["count"].as_uint();
+        }
+        if (bank_sum != (*aggh)["count"].as_uint())
+          return where + ".profile." + key + ": per-bank counts sum to " +
+                 std::to_string(bank_sum) + " but aggregate count is " +
+                 std::to_string((*aggh)["count"].as_uint());
+      }
     }
   }
   return "";

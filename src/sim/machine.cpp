@@ -1,5 +1,6 @@
 #include "sim/machine.hpp"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
 
@@ -13,8 +14,9 @@ namespace mcsim {
 Machine::Machine(const SystemConfig& cfg, std::vector<Program> programs)
     : cfg_(cfg),
       programs_(std::move(programs)),
-      net_(cfg.num_procs + 1, cfg.mem.net_latency, cfg.mem.deliver_bw,
-           cfg.mem.topology, cfg.mem.link_bw, cfg.mem.link_queue),
+      net_(cfg.num_procs + std::max<std::uint32_t>(cfg.mem.dir_banks, 1),
+           cfg.mem.net_latency, cfg.mem.deliver_bw, cfg.mem.topology,
+           cfg.mem.link_bw, cfg.mem.link_queue),
       dir_(cfg.num_procs, cfg.cache, cfg.mem, net_),
       drain_cycle_(cfg.num_procs, 0),
       drained_(cfg.num_procs, false),
@@ -30,8 +32,8 @@ Machine::Machine(const SystemConfig& cfg, std::vector<Program> programs)
   caches_.reserve(cfg_.num_procs);
   cores_.reserve(cfg_.num_procs);
   for (ProcId p = 0; p < cfg_.num_procs; ++p) {
-    caches_.push_back(std::make_unique<CoherentCache>(p, cfg_.cache, cfg_.mem.coherence,
-                                                      net_, cfg_.num_procs));
+    caches_.push_back(
+        std::make_unique<CoherentCache>(p, cfg_.cache, cfg_.mem, net_, cfg_.num_procs));
     caches_.back()->set_quiescence_counter(&busy_caches_);
   }
   for (ProcId p = 0; p < cfg_.num_procs; ++p) {
@@ -43,7 +45,9 @@ Machine::Machine(const SystemConfig& cfg, std::vector<Program> programs)
     dir_.set_profiling(true);
   }
 
-  // Trace-event tracks: tid 0..P-1 cores, P..2P-1 caches, 2P directory.
+  // Trace-event tracks: tid 0..P-1 cores, P..2P-1 caches, then one
+  // track per directory bank at 2P..2P+B-1 (the single-bank machine
+  // keeps the historical "directory" name).
   const std::uint16_t procs = static_cast<std::uint16_t>(cfg_.num_procs);
   for (std::uint16_t p = 0; p < procs; ++p) {
     events_.set_track(p, "core" + std::to_string(p));
@@ -51,11 +55,16 @@ Machine::Machine(const SystemConfig& cfg, std::vector<Program> programs)
                       "cache" + std::to_string(p));
     caches_[p]->set_event_sink(&events_, static_cast<std::uint16_t>(procs + p));
   }
-  events_.set_track(static_cast<std::uint16_t>(2 * procs), "directory");
+  const std::uint32_t banks = dir_.num_banks();
+  for (std::uint32_t b = 0; b < banks; ++b) {
+    events_.set_track(static_cast<std::uint16_t>(2 * procs + b),
+                      banks == 1 ? std::string("directory") : "dir" + std::to_string(b));
+  }
   dir_.set_event_sink(&events_, static_cast<std::uint16_t>(2 * procs));
-  // Ring/mesh link tracks follow the directory (2P+1 ..); the crossbar
-  // has no links, so this only registers tracks for routed topologies.
-  net_.set_event_sink(&events_, static_cast<std::uint16_t>(2 * procs + 1));
+  // Ring/mesh link tracks follow the directory banks (2P+B ..); the
+  // crossbar has no links, so this only registers tracks for routed
+  // topologies.
+  net_.set_event_sink(&events_, static_cast<std::uint16_t>(2 * procs + banks));
 
   // Stall attribution: the LSU can tell an outstanding miss apart from
   // everything else, but only the directory knows whether the line is
@@ -107,10 +116,19 @@ Cycle Machine::next_event_cycle() const {
   if (ne <= cycle_) return ne;
   Cycle t = dir_.next_event(cycle_);
   if (t < ne) ne = t;
-  for (const auto& c : caches_) {
-    t = c->next_event(cycle_);
-    if (t < ne) ne = t;
-    if (ne <= cycle_) return ne;
+  // Hierarchical probe: a cache with no MSHRs, pending responses, or
+  // deferred fills answers kCycleNever exactly, so when the O(1) busy
+  // counter says every cache is idle the whole sweep is skipped — at
+  // P=256 the common quiescent probe drops the O(P) cache scan for a
+  // counter check. (Cores cannot be skipped the same way: a core that
+  // just drained still reports its final tick as progress, and the
+  // quiescence proof in tick_quiescent must see that.)
+  if (busy_caches_ != 0) {
+    for (const auto& c : caches_) {
+      t = c->next_event(cycle_);
+      if (t < ne) ne = t;
+      if (ne <= cycle_) return ne;
+    }
   }
   for (const auto& c : cores_) {
     t = c->next_event(cycle_);
@@ -270,7 +288,8 @@ std::string Machine::stats_report() const {
     os << cores_[p]->lsu().stats().report();
     os << caches_[p]->stats().report();
   }
-  os << dir_.stats().report();
+  for (std::uint32_t b = 0; b < dir_.num_banks(); ++b)
+    os << dir_.bank(b).stats().report();
   os << net_.stats().report();
   return os.str();
 }
@@ -287,7 +306,7 @@ Json Machine::post_mortem() const {
   out.set("network", net_.snapshot_json());
   out.set("directory", dir_.snapshot_json());
   if (cfg_.profile)
-    out.set("contended_lines", dir_.ledger().top_json(cfg_.profile_top_lines));
+    out.set("contended_lines", dir_.contended_lines_json(cfg_.profile_top_lines));
   return out;
 }
 

@@ -73,7 +73,8 @@ class Machine {
   const Core& core(ProcId p) const { return *cores_.at(p); }
   CoherentCache& cache(ProcId p) { return *caches_.at(p); }
   const CoherentCache& cache(ProcId p) const { return *caches_.at(p); }
-  Directory& directory() { return dir_; }
+  DirectoryGroup& directory() { return dir_; }
+  const DirectoryGroup& directory() const { return dir_; }
   Network& network() { return net_; }
   Trace& trace() { return trace_; }
   /// Chrome trace-event timeline; call .enable() before run() to record.
@@ -127,7 +128,7 @@ class Machine {
   TraceEventSink events_;
   std::vector<Program> programs_;
   Network net_;
-  Directory dir_;
+  DirectoryGroup dir_;
   std::vector<std::unique_ptr<CoherentCache>> caches_;
   std::vector<std::unique_ptr<Core>> cores_;
   std::vector<Cycle> drain_cycle_;

@@ -81,6 +81,21 @@ OptionsResult parse_options(int argc, const char* const* argv) {
     } else if (starts_with(arg, "--link-queue=")) {
       if (!parse_u32(arg.substr(13), r.config.mem.link_queue))
         return fail("bad --link-queue");
+    } else if (starts_with(arg, "--dir-scheme=")) {
+      std::string v = arg.substr(13);
+      if (v == "fullmap") r.config.mem.dir_scheme = DirScheme::kFullMap;
+      else if (v == "limptr") r.config.mem.dir_scheme = DirScheme::kLimitedPtr;
+      else if (v == "coarse") r.config.mem.dir_scheme = DirScheme::kCoarseVector;
+      else return fail("unknown dir scheme: " + v + " (fullmap|limptr|coarse)");
+    } else if (starts_with(arg, "--dir-ptrs=")) {
+      if (!parse_u32(arg.substr(11), r.config.mem.dir_pointers))
+        return fail("bad --dir-ptrs");
+    } else if (starts_with(arg, "--dir-cluster=")) {
+      if (!parse_u32(arg.substr(14), r.config.mem.dir_cluster))
+        return fail("bad --dir-cluster");
+    } else if (starts_with(arg, "--dir-banks=")) {
+      if (!parse_u32(arg.substr(12), r.config.mem.dir_banks))
+        return fail("bad --dir-banks");
     } else if (starts_with(arg, "--protocol=")) {
       std::string v = arg.substr(11);
       if (v == "inv") r.config.mem.coherence = CoherenceKind::kInvalidation;
@@ -146,6 +161,15 @@ std::string options_help() {
       "  --link-bw=N              ring/mesh: messages per link per cycle\n"
       "                           (default 1, 0 = unlimited)\n"
       "  --link-queue=N           ring/mesh: per-link FIFO depth (default 8)\n"
+      "  --dir-scheme=fullmap|limptr|coarse  directory sharer encoding\n"
+      "                           (default fullmap: exact bit per processor;\n"
+      "                           limptr: Dir_i_B pointers, broadcast on\n"
+      "                           overflow; coarse: one bit per cluster)\n"
+      "  --dir-ptrs=N             limptr: pointers per entry (default 4)\n"
+      "  --dir-cluster=N          coarse: processors per bit (default 4)\n"
+      "  --dir-banks=N            directory banks; lines hash across banks,\n"
+      "                           each bank is its own home node on\n"
+      "                           ring/mesh (default 1)\n"
       "  --ideal / --realistic    front-end model (default realistic)\n"
       "  --no-fastforward         tick every cycle instead of skipping\n"
       "                           quiescent spans (debugging; results are\n"

@@ -22,6 +22,29 @@ constexpr Addr kPrivateBase = 0x80000;
 constexpr Addr kChainBase = 0x90000;
 constexpr Addr kResultBase = 0xf0000;
 
+// Per-processor overflow region: the fixed [kBufferBase, kResultBase)
+// map above only has room for ~16 processors' worth of 0x1000-sized
+// private blocks before neighbouring regions collide (producer pair 16's
+// buffer would land exactly on kFlagBase; random_mix processor 16's
+// private block on kChainBase). Processors >= 16 take their blocks here,
+// above the default 1MB memory, and the workload raises min_mem_bytes —
+// processors < 16 keep the historical addresses, so small-machine golden
+// timings are untouched.
+constexpr Addr kOverflowBase = 0x100000;
+constexpr std::uint32_t kLowBlocks = 16;
+
+Addr block_addr(Addr low_base, std::uint32_t i) {
+  return i < kLowBlocks ? low_base + i * 0x1000
+                        : kOverflowBase + (i - kLowBlocks) * 0x1000;
+}
+
+/// min_mem_bytes for a workload whose blocks run through block_addr.
+std::uint64_t block_mem_bytes(std::uint32_t blocks) {
+  return blocks <= kLowBlocks
+             ? 0
+             : kOverflowBase + static_cast<std::uint64_t>(blocks - kLowBlocks) * 0x1000;
+}
+
 Addr lock_addr(std::uint32_t i) { return kLockBase + 0x40 * i; }
 Addr counter_addr(std::uint32_t i) { return kCounterBase + 0x40 * i; }
 Addr result_addr(std::uint32_t p) { return kResultBase + 0x40 * p; }
@@ -32,8 +55,9 @@ Workload make_producer_consumer(std::uint32_t nprocs, std::uint32_t items) {
   assert(nprocs % 2 == 0);
   Workload w;
   w.name = "producer_consumer";
+  w.min_mem_bytes = block_mem_bytes(nprocs / 2);
   for (std::uint32_t pair = 0; pair < nprocs / 2; ++pair) {
-    const Addr buf = kBufferBase + pair * 0x1000;
+    const Addr buf = block_addr(kBufferBase, pair);
     const Addr flag = kFlagBase + pair * 0x40;
     Word sum = 0;
 
@@ -156,6 +180,7 @@ Workload make_barrier_phases(std::uint32_t nprocs, std::uint32_t phases,
 Workload make_random_mix(std::uint32_t nprocs, std::uint32_t length, std::uint64_t seed) {
   Workload w;
   w.name = "random_mix";
+  w.min_mem_bytes = block_mem_bytes(nprocs);
   constexpr std::uint32_t kPoolWords = 64;
   constexpr std::uint32_t kLocks = 2;
   std::vector<Word> lock_totals(kLocks, 0);
@@ -166,8 +191,14 @@ Workload make_random_mix(std::uint32_t nprocs, std::uint32_t length, std::uint64
       for (std::uint32_t i = 0; i < kPoolWords; ++i)
         b.data(kSharedPool + 4 * i, i * 3 + 1);
     }
-    const Addr priv = kPrivateBase + p * 0x1000;
-    const Addr my_words = kSharedPool + 0x1000 + p * 0x100;  // disjoint shared writes
+    // Processors >= 16 take the whole block: private words in the lower
+    // half, their disjoint shared-write words in the upper half (the
+    // low-map my_words strip only has room for ~240 processors before
+    // it would wrap onto processor 0's private region).
+    const Addr block = block_addr(kPrivateBase, p);
+    const Addr priv = block;
+    const Addr my_words =
+        p < kLowBlocks ? kSharedPool + 0x1000 + p * 0x100 : block + 0x800;
     for (std::uint32_t i = 0; i < length; ++i) {
       switch (rng.next_below(8)) {
         case 0:

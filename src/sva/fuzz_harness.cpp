@@ -23,6 +23,9 @@ std::string TechniqueKnobs::label() const {
 std::string FuzzCell::label() const {
   std::string l = std::string(to_string(model)) + "/" + tech.label();
   if (topology != Topology::kCrossbar) l += std::string("@") + to_string(topology);
+  if (dir_scheme != DirScheme::kFullMap || dir_banks > 1) {
+    l += std::string("#") + to_string(dir_scheme) + "x" + std::to_string(dir_banks);
+  }
   return l;
 }
 
@@ -54,6 +57,10 @@ SystemConfig config_for(const LitmusProgram& lp, const FuzzCell& cell) {
   cfg.core.speculative_loads = cell.tech.speculative_loads;
   cfg.mem.topology = cell.topology;
   cfg.mem.link_bw = cell.link_bw;
+  cfg.mem.dir_scheme = cell.dir_scheme;
+  cfg.mem.dir_banks = cell.dir_banks;
+  cfg.mem.dir_pointers = cell.dir_pointers;
+  cfg.mem.dir_cluster = cell.dir_cluster;
   // Litmus programs finish in a few thousand cycles; a tight watchdog
   // turns a deadlock bug into a fast cell failure instead of a hang.
   cfg.max_cycles = 1'000'000;
@@ -243,7 +250,7 @@ FuzzReport run_fuzz(const FuzzConfig& cfg) {
   std::vector<FuzzCell> cells;
   for (ConsistencyModel m : cfg.models) {
     for (const TechniqueKnobs& t : cfg.techniques)
-      cells.push_back({m, t, cfg.topology, cfg.link_bw});
+      cells.push_back({m, t, cfg.topology, cfg.link_bw, cfg.dir_scheme, cfg.dir_banks});
   }
 
   for (std::uint64_t i = 0; i < cfg.programs; ++i) {
@@ -324,6 +331,10 @@ FuzzReport run_fuzz(const FuzzConfig& cfg) {
       if (v.cell.topology != Topology::kCrossbar) {
         v.repro.note += " [topology=" + std::string(to_string(v.cell.topology)) +
                         " link_bw=" + std::to_string(v.cell.link_bw) + "]";
+      }
+      if (v.cell.dir_scheme != DirScheme::kFullMap || v.cell.dir_banks > 1) {
+        v.repro.note += " [dir_scheme=" + std::string(to_string(v.cell.dir_scheme)) +
+                        " dir_banks=" + std::to_string(v.cell.dir_banks) + "]";
       }
       v.shrunk_insts = count_insts(v.repro.litmus);
       if (!cfg.repro_dir.empty()) {

@@ -51,7 +51,15 @@ struct FuzzCell {
   TechniqueKnobs tech;
   Topology topology = Topology::kCrossbar;
   std::uint32_t link_bw = 1;  ///< ring/mesh per-link bandwidth
-  std::string label() const;  ///< "SC/base", "RC/both@mesh2d", ...
+  /// Directory organisation. The litmus checkers are oblivious to the
+  /// sharer encoding and banking — a conservative-superset directory
+  /// must preserve every consistency axiom — so banked/inexact cells
+  /// reuse the same oracles as the centralized full-map baseline.
+  DirScheme dir_scheme = DirScheme::kFullMap;
+  std::uint32_t dir_banks = 1;
+  std::uint32_t dir_pointers = 4;  ///< limptr: Dir_i_B's "i"
+  std::uint32_t dir_cluster = 4;   ///< coarse: processors per bit
+  std::string label() const;  ///< "SC/base", "RC/both@mesh2d", "SC/pf#coarsex2", ...
 };
 
 enum class FuzzFailureKind : std::uint8_t {
@@ -97,6 +105,9 @@ struct FuzzConfig {
   /// new adversary for the same checkers, not a different oracle.
   Topology topology = Topology::kCrossbar;
   std::uint32_t link_bw = 1;  ///< ring/mesh per-link bandwidth
+  /// Directory organisation every cell runs under (see FuzzCell).
+  DirScheme dir_scheme = DirScheme::kFullMap;
+  std::uint32_t dir_banks = 1;
 };
 
 struct FuzzReport {

@@ -229,7 +229,11 @@ TraceFile gen_lock_convoy(const WorkloadGenSpec& spec) {
 // processor writes its slice and reads its neighbour's.
 TraceFile gen_barrier_tree(const WorkloadGenSpec& spec) {
   if (spec.nprocs < 2) bad_spec("barrier_tree needs at least two processors");
-  if (spec.nprocs > 512) bad_spec("barrier_tree supports at most 512 processors");
+  // Slice p starts at kRegionBase + p*0x2000, so processor 480's slice
+  // would land exactly on kArriveBase and corrupt the arrive flags.
+  if (spec.nprocs > 480)
+    bad_spec("barrier_tree supports at most 480 processors (slice region would "
+             "overlap the arrive flags)");
   const std::uint32_t words = clamp_or_default(spec.sharing, 4, 1, 64);
   const std::uint64_t per_round = 2ull * words + 4;
   const std::uint64_t rounds =

@@ -23,9 +23,9 @@ class MemorySystem {
     mem_cfg_.coherence = proto;
     mem_cfg_.mem_bytes = 1 << 16;
     net_ = std::make_unique<Network>(nprocs + 1, mem_cfg_.net_latency);
-    dir_ = std::make_unique<Directory>(nprocs, cfg_, mem_cfg_, *net_);
+    dir_ = std::make_unique<DirectoryGroup>(nprocs, cfg_, mem_cfg_, *net_);
     for (ProcId p = 0; p < nprocs; ++p)
-      caches_.push_back(std::make_unique<CoherentCache>(p, cfg_, proto, *net_, nprocs));
+      caches_.push_back(std::make_unique<CoherentCache>(p, cfg_, mem_cfg_, *net_, nprocs));
   }
 
   void tick() {
@@ -49,7 +49,7 @@ class MemorySystem {
   }
 
   CoherentCache& cache(ProcId p) { return *caches_[p]; }
-  Directory& dir() { return *dir_; }
+  DirectoryGroup& dir() { return *dir_; }
   Cycle now() const { return cycle_; }
 
   ProbeResult load(ProcId p, Addr a, std::uint64_t token) {
@@ -73,7 +73,7 @@ class MemorySystem {
 
  private:
   std::unique_ptr<Network> net_;
-  std::unique_ptr<Directory> dir_;
+  std::unique_ptr<DirectoryGroup> dir_;
   std::vector<std::unique_ptr<CoherentCache>> caches_;
   Cycle cycle_ = 0;
 };

@@ -21,9 +21,8 @@ struct Rig {
     mem_cfg.dir_latency = 2;
     mem_cfg.mem_bytes = 1 << 16;
     net = std::make_unique<Network>(2, mem_cfg.net_latency);
-    dir = std::make_unique<Directory>(1, cache_cfg, mem_cfg, *net);
-    cache = std::make_unique<CoherentCache>(0, cache_cfg, CoherenceKind::kInvalidation,
-                                            *net, 1);
+    dir = std::make_unique<DirectoryGroup>(1, cache_cfg, mem_cfg, *net);
+    cache = std::make_unique<CoherentCache>(0, cache_cfg, mem_cfg, *net, 1);
   }
   void settle(int n = 30) {
     for (int i = 0; i < n; ++i) {
@@ -45,7 +44,7 @@ struct Rig {
   CacheConfig cache_cfg;
   MemConfig mem_cfg;
   std::unique_ptr<Network> net;
-  std::unique_ptr<Directory> dir;
+  std::unique_ptr<DirectoryGroup> dir;
   std::unique_ptr<CoherentCache> cache;
   Cycle cycle = 0;
   std::uint64_t token = 0;

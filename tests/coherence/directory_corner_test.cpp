@@ -22,10 +22,10 @@ class Harness {
     mem_cfg_.dir_latency = 2;
     mem_cfg_.mem_bytes = 1 << 16;
     net_ = std::make_unique<Network>(nprocs + 1, mem_cfg_.net_latency);
-    dir_ = std::make_unique<Directory>(nprocs, cfg_, mem_cfg_, *net_);
+    dir_ = std::make_unique<DirectoryGroup>(nprocs, cfg_, mem_cfg_, *net_);
     for (ProcId p = 0; p < nprocs; ++p)
-      caches_.push_back(std::make_unique<CoherentCache>(
-          p, cfg_, CoherenceKind::kInvalidation, *net_, nprocs));
+      caches_.push_back(
+          std::make_unique<CoherentCache>(p, cfg_, mem_cfg_, *net_, nprocs));
   }
 
   void tick() {
@@ -71,7 +71,7 @@ class Harness {
   CacheConfig cfg_;
   MemConfig mem_cfg_;
   std::unique_ptr<Network> net_;
-  std::unique_ptr<Directory> dir_;
+  std::unique_ptr<DirectoryGroup> dir_;
   std::vector<std::unique_ptr<CoherentCache>> caches_;
   Cycle cycle_ = 0;
 };

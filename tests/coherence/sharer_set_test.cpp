@@ -1,0 +1,179 @@
+// SharerSet: the three directory encodings (full-map, limited-pointer,
+// coarse-vector) against the conservative-superset contract —
+// add/remove/iterate, overflow-to-broadcast, and full-map equivalence
+// below the pointer limit.
+#include "coherence/sharer_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mcsim {
+namespace {
+
+SharerSet make(DirScheme scheme, std::uint32_t procs, std::uint32_t ptrs = 4,
+               std::uint32_t cluster = 4) {
+  SharerSetParams p;
+  p.scheme = scheme;
+  p.num_procs = procs;
+  p.pointers = ptrs;
+  p.cluster = cluster;
+  return SharerSet(p);
+}
+
+std::vector<ProcId> collect(const SharerSet& s) {
+  std::vector<ProcId> out;
+  s.for_each([&](ProcId p) { out.push_back(p); });
+  return out;
+}
+
+std::vector<ProcId> collect_other(const SharerSet& s, ProcId skip) {
+  std::vector<ProcId> out;
+  s.for_each_other(skip, [&](ProcId p) { out.push_back(p); });
+  return out;
+}
+
+TEST(SharerSetFullMap, AddRemoveIterateAcrossWordBoundaries) {
+  SharerSet s = make(DirScheme::kFullMap, 256);
+  EXPECT_TRUE(s.empty());
+  for (ProcId p : {0u, 63u, 64u, 127u, 128u, 255u}) s.add(p);
+  EXPECT_EQ(s.count(), 6u);
+  EXPECT_TRUE(s.test(64));
+  EXPECT_FALSE(s.test(65));
+  EXPECT_EQ(collect(s), (std::vector<ProcId>{0, 63, 64, 127, 128, 255}));
+  s.remove(64);
+  EXPECT_FALSE(s.test(64));
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_EQ(collect_other(s, 255), (std::vector<ProcId>{0, 63, 127, 128}));
+  EXPECT_EQ(s.count_other(255), 4u);
+  EXPECT_EQ(s.count_other(64), 5u) << "skip of a non-member removes nothing";
+  s.clear();
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(SharerSetFullMap, LowMaskMatchesHistoricalBitVector) {
+  SharerSet s = make(DirScheme::kFullMap, 128);
+  s.add(0);
+  s.add(3);
+  s.add(63);
+  s.add(100);  // above bit 63: not representable in the mask
+  EXPECT_EQ(s.low_mask(), (1ull << 0) | (1ull << 3) | (1ull << 63));
+}
+
+TEST(SharerSetLimitedPtr, ExactWhileUnderThePointerLimit) {
+  SharerSet s = make(DirScheme::kLimitedPtr, 128, /*ptrs=*/3);
+  s.add(90);
+  s.add(5);
+  s.add(40);
+  s.add(5);  // duplicate: no effect, no overflow
+  EXPECT_FALSE(s.broadcasting());
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_TRUE(s.test(40));
+  EXPECT_FALSE(s.test(41));
+  EXPECT_EQ(collect(s), (std::vector<ProcId>{5, 40, 90})) << "ascending order";
+  s.remove(40);
+  EXPECT_EQ(collect(s), (std::vector<ProcId>{5, 90}));
+}
+
+TEST(SharerSetLimitedPtr, OverflowDegradesToBroadcast) {
+  SharerSet s = make(DirScheme::kLimitedPtr, 8, /*ptrs=*/2);
+  s.add(1);
+  s.add(4);
+  EXPECT_FALSE(s.broadcasting());
+  s.add(6);  // third distinct sharer: Dir_2_B broadcasts
+  EXPECT_TRUE(s.broadcasting());
+  EXPECT_EQ(s.count(), 8u) << "broadcast = every processor is a candidate";
+  for (ProcId p = 0; p < 8; ++p) EXPECT_TRUE(s.test(p));
+  EXPECT_EQ(collect(s), (std::vector<ProcId>{0, 1, 2, 3, 4, 5, 6, 7}));
+  EXPECT_EQ(collect_other(s, 3), (std::vector<ProcId>{0, 1, 2, 4, 5, 6, 7}));
+  // remove() must stay conservative while broadcasting: candidates keep.
+  s.remove(1);
+  EXPECT_TRUE(s.test(1));
+  // Only clear() resets the broadcast state.
+  s.clear();
+  EXPECT_FALSE(s.broadcasting());
+  EXPECT_TRUE(s.empty());
+  s.add(2);
+  EXPECT_EQ(s.count(), 1u) << "pointer tracking resumes after clear";
+}
+
+TEST(SharerSetCoarse, ClusterBitsCoverWholeClusters) {
+  SharerSet s = make(DirScheme::kCoarseVector, 16, 4, /*cluster=*/4);
+  s.add(5);  // cluster 1 = procs 4..7
+  EXPECT_TRUE(s.test(5));
+  EXPECT_TRUE(s.test(4)) << "cluster bit covers neighbours (superset)";
+  EXPECT_TRUE(s.test(7));
+  EXPECT_FALSE(s.test(8));
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_EQ(collect(s), (std::vector<ProcId>{4, 5, 6, 7}));
+  // remove is a conservative no-op: the bit may still cover a true
+  // sharer elsewhere in the cluster.
+  s.remove(5);
+  EXPECT_TRUE(s.test(5));
+  EXPECT_FALSE(s.empty());
+  s.clear();
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(SharerSetCoarse, TailClusterIsClampedToMachineSize) {
+  SharerSet s = make(DirScheme::kCoarseVector, 10, 4, /*cluster=*/4);
+  s.add(9);  // cluster 2 = procs 8..9 only (P=10)
+  EXPECT_EQ(s.count(), 2u) << "tail cluster must not count ghost processors";
+  EXPECT_EQ(collect(s), (std::vector<ProcId>{8, 9}));
+  EXPECT_EQ(s.count_other(8), 1u);
+}
+
+TEST(SharerSetEquivalence, LimitedPtrMatchesFullMapBelowTheLimit) {
+  // With fewer distinct sharers than pointers, Dir_i_B is exact: every
+  // observable (membership, counts, iteration order) must match the
+  // full map. This is what pins single-bank fullmap == historical
+  // behaviour for limptr-capable workloads too.
+  const std::uint32_t procs = 96;
+  SharerSet fm = make(DirScheme::kFullMap, procs);
+  SharerSet lp = make(DirScheme::kLimitedPtr, procs, /*ptrs=*/8);
+  const std::vector<ProcId> adds = {17, 2, 80, 44, 2, 63};
+  for (ProcId p : adds) {
+    fm.add(p);
+    lp.add(p);
+  }
+  fm.remove(44);
+  lp.remove(44);
+  EXPECT_FALSE(lp.broadcasting());
+  EXPECT_EQ(collect(fm), collect(lp));
+  EXPECT_EQ(fm.count(), lp.count());
+  EXPECT_EQ(fm.low_mask(), lp.low_mask());
+  for (ProcId p = 0; p < procs; ++p) EXPECT_EQ(fm.test(p), lp.test(p)) << p;
+  for (ProcId skip : {2u, 17u, 90u})
+    EXPECT_EQ(collect_other(fm, skip), collect_other(lp, skip));
+}
+
+TEST(SharerSetInvariant, EverySchemeIsAConservativeSuperset) {
+  // Random-ish add/remove script; the candidate set of every scheme
+  // must contain the exact (full-map) set at every step.
+  const std::uint32_t procs = 70;
+  SharerSet fm = make(DirScheme::kFullMap, procs);
+  SharerSet lp = make(DirScheme::kLimitedPtr, procs, /*ptrs=*/2);
+  SharerSet cv = make(DirScheme::kCoarseVector, procs, 2, /*cluster=*/8);
+  std::uint32_t x = 12345;
+  for (int step = 0; step < 200; ++step) {
+    x = x * 1664525 + 1013904223;
+    const ProcId p = x % procs;
+    if ((x >> 16) % 3 == 0) {
+      fm.remove(p);
+      lp.remove(p);
+      cv.remove(p);
+    } else {
+      fm.add(p);
+      lp.add(p);
+      cv.add(p);
+    }
+    fm.for_each([&](ProcId q) {
+      ASSERT_TRUE(lp.test(q)) << "limptr lost true sharer " << q;
+      ASSERT_TRUE(cv.test(q)) << "coarse lost true sharer " << q;
+    });
+  }
+}
+
+}  // namespace
+}  // namespace mcsim

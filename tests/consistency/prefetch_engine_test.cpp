@@ -7,10 +7,10 @@ namespace {
 
 class PrefetchEngineTest : public ::testing::Test {
  protected:
-  PrefetchEngineTest()
-      : net_(2, 5), cache_(0, cache_cfg_, CoherenceKind::kInvalidation, net_, 1) {}
+  PrefetchEngineTest() : net_(2, 5), cache_(0, cache_cfg_, mem_cfg_, net_, 1) {}
 
   CacheConfig cache_cfg_;
+  MemConfig mem_cfg_;
   Network net_;
   CoherentCache cache_;
   StatSet stats_{"t"};

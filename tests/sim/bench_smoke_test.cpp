@@ -53,7 +53,7 @@ TEST(BenchSmoke, OneCellSweepEmitsValidJson) {
         "aggregate", "cells"}) {
     EXPECT_TRUE(report.contains(key)) << "missing root key: " << key;
   }
-  EXPECT_EQ(report["schema"].as_string(), "mcsim-bench-v6");
+  EXPECT_EQ(report["schema"].as_string(), "mcsim-bench-v7");
   EXPECT_EQ(report["bench"].as_string(), "smoke");
   EXPECT_GE(report["workers"].as_int(), 1);
   ASSERT_EQ(report["cells"].size(), 1u);

@@ -72,7 +72,7 @@ TEST(NextEventCache, HitResponseMaturesOneCycleLater) {
   CacheConfig cfg;
   MemConfig mem_cfg;
   Network net(2, mem_cfg.net_latency);
-  CoherentCache cache(0, cfg, CoherenceKind::kInvalidation, net, 1);
+  CoherentCache cache(0, cfg, mem_cfg, net, 1);
   EXPECT_EQ(cache.next_event(0), kCycleNever) << "idle cache";
   std::vector<Word> line(cfg.line_bytes / kWordBytes, 7);
   cache.preload_line(0x1000, LineState::kExclusive, line);
@@ -96,7 +96,7 @@ TEST(NextEventCache, MissIsReactiveUntilTheFillArrives) {
   CacheConfig cfg;
   MemConfig mem_cfg;
   Network net(2, mem_cfg.net_latency);
-  CoherentCache cache(0, cfg, CoherenceKind::kInvalidation, net, 1);
+  CoherentCache cache(0, cfg, mem_cfg, net, 1);
   CacheRequest req;
   req.op = CacheOp::kLoad;
   req.addr = 0x2000;
@@ -114,7 +114,7 @@ TEST(NextEventDirectory, PurelyReactive) {
   CacheConfig ccfg;
   MemConfig mcfg;
   Network net(2, mcfg.net_latency);
-  Directory dir(1, ccfg, mcfg, net);
+  DirectoryGroup dir(1, ccfg, mcfg, net);
   EXPECT_EQ(dir.next_event(0), kCycleNever);
   EXPECT_EQ(dir.next_event(12345), kCycleNever);
 }

@@ -119,5 +119,45 @@ TEST(Options, HelpDocumentsTraceAndEnvironment) {
   EXPECT_NE(help.find("MCSIM_JOBS"), std::string::npos);
 }
 
+TEST(Options, DirectorySchemeAndBankingFlags) {
+  OptionsResult r = parse({"--dir-scheme=coarse", "--dir-cluster=8", "--dir-banks=4"});
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.config.mem.dir_scheme, DirScheme::kCoarseVector);
+  EXPECT_EQ(r.config.mem.dir_cluster, 8u);
+  EXPECT_EQ(r.config.mem.dir_banks, 4u);
+  r = parse({"--dir-scheme=limptr", "--dir-ptrs=2"});
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.config.mem.dir_scheme, DirScheme::kLimitedPtr);
+  EXPECT_EQ(r.config.mem.dir_pointers, 2u);
+  EXPECT_EQ(parse({}).config.mem.dir_scheme, DirScheme::kFullMap);
+  EXPECT_EQ(parse({}).config.mem.dir_banks, 1u);
+  // Bad values are named in the error, and validate() guards the
+  // scheme-specific knobs.
+  OptionsResult bad = parse({"--dir-scheme=hierarchical"});
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.error.find("fullmap|limptr|coarse"), std::string::npos);
+  EXPECT_FALSE(parse({"--dir-scheme=limptr", "--dir-ptrs=0"}).ok());
+  EXPECT_FALSE(parse({"--dir-scheme=coarse", "--dir-cluster=0"}).ok());
+  EXPECT_FALSE(parse({"--dir-banks=0"}).ok());
+  EXPECT_NE(options_help().find("--dir-scheme"), std::string::npos);
+  EXPECT_NE(options_help().find("--dir-banks"), std::string::npos);
+}
+
+TEST(Options, ProcessorCountsBeyondSixtyFourAreAccepted) {
+  // The historical uint64_t sharer mask capped machines at 64
+  // processors; the SharerSet directory lifts that to kMaxProcs.
+  for (std::uint32_t procs : {64u, 128u, 256u}) {
+    const std::string flag = "--procs=" + std::to_string(procs);
+    OptionsResult r = parse({flag.c_str()});
+    ASSERT_TRUE(r.ok()) << procs << ": " << r.error;
+    EXPECT_EQ(r.config.num_procs, procs);
+  }
+  // ...but not past the trace-format ceiling, with a message that says
+  // where the wall is.
+  OptionsResult huge = parse({"--procs=5000"});
+  ASSERT_FALSE(huge.ok());
+  EXPECT_NE(huge.error.find("4096"), std::string::npos) << huge.error;
+}
+
 }  // namespace
 }  // namespace mcsim

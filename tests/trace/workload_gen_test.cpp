@@ -158,6 +158,38 @@ TEST(WorkloadGen, ZipfianSkewMatchesTheDistribution) {
       << "uniform (s=0) pool access counts too lopsided";
 }
 
+TEST(WorkloadGen, EveryKindScalesToTheCampaignProcessorCounts) {
+  // The P=64/128/256 scaling campaign feeds on these generators: every
+  // kind must produce a structurally valid trace (validate() runs in
+  // finish()) with one non-empty stream per processor and expected
+  // finals to check, at every campaign size.
+  for (WorkloadKind kind : all_workload_kinds()) {
+    for (std::uint32_t procs : {64u, 128u, 256u}) {
+      WorkloadGenSpec spec;
+      spec.kind = kind;
+      spec.nprocs = procs;
+      spec.ops = 4 * procs;  // a few ops per processor keeps this fast
+      spec.seed = 7;
+      const TraceFile t = generate_trace(spec);
+      ASSERT_EQ(t.ops.size(), procs) << to_string(kind) << " P=" << procs;
+      for (std::uint32_t p = 0; p < procs; ++p)
+        EXPECT_FALSE(t.ops[p].empty())
+            << to_string(kind) << " P=" << procs << ": processor " << p << " idle";
+      EXPECT_FALSE(t.expect.empty()) << to_string(kind) << " P=" << procs;
+      EXPECT_EQ(t.params.at("procs"), std::to_string(procs));
+    }
+  }
+  // The barrier tree's address layout runs out at 480 processors: the
+  // slice region would overlap the arrive flags, so the generator must
+  // refuse rather than emit a silently-corrupt trace.
+  WorkloadGenSpec big;
+  big.kind = WorkloadKind::kBarrierTree;
+  big.nprocs = 512;
+  EXPECT_THROW(generate_trace(big), TraceError);
+  big.nprocs = 480;
+  EXPECT_NO_THROW(generate_trace(big));
+}
+
 TEST(WorkloadGen, EveryKindValidatesEndToEndOnTheRealMachine) {
   // The generators' replayed expected finals must hold on an actual
   // simulation, under both the strictest and the most relaxed model
