@@ -3,12 +3,16 @@
 // library cares about when scaling experiments up.
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 #include "coherence/cache.hpp"
 #include "coherence/directory.hpp"
+#include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "isa/builder.hpp"
 #include "isa/interp.hpp"
 #include "sim/machine.hpp"
+#include "sim/sched.hpp"
 #include "sim/workloads.hpp"
 
 namespace mcsim {
@@ -217,6 +221,103 @@ void BM_MachineNextEventProbe(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_MachineNextEventProbe);
+
+// The same probe at P processors — the O(P) sweep the active-set
+// scheduler replaces. Pair with BM_MachineActiveSetIdleProbe below for
+// the before/after ns-per-probe numbers in DESIGN.md.
+void BM_MachineNextEventSweep(benchmark::State& state) {
+  const auto procs = static_cast<std::uint32_t>(state.range(0));
+  std::vector<Program> programs;
+  for (std::uint32_t p = 0; p < procs; ++p) {
+    ProgramBuilder b;
+    b.halt();
+    programs.push_back(b.build());
+  }
+  SystemConfig cfg = SystemConfig::realistic(procs, ConsistencyModel::kSC);
+  cfg.mem.dir_scheme = DirScheme::kCoarseVector;
+  cfg.mem.dir_cluster = 8;
+  cfg.mem.dir_banks = 4;
+  Machine m(cfg, std::move(programs));
+  m.run();
+  m.step();  // leave run(): settle progress flags, sched goes dormant
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.next_event_cycle());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("O(P) sweep (naive/ground-truth path)");
+}
+BENCHMARK(BM_MachineNextEventSweep)->Arg(64)->Arg(256);
+
+// The active-set replacement: run()'s per-jump probe is the scheduler
+// heap top, O(1) no matter how many components exist or are armed.
+// Measured on a fully-armed heap sized to the machine's component
+// universe (network + 4 banks + P caches + P cores) — the worst case,
+// since an idle machine arms far fewer.
+void BM_MachineActiveSetIdleProbe(benchmark::State& state) {
+  const auto procs = static_cast<std::uint32_t>(state.range(0));
+  const std::uint32_t universe = 1 + 4 + 2 * procs;
+  Scheduler s(universe);
+  Pcg32 rng(procs);
+  for (Scheduler::CompId c = 0; c < universe; ++c) {
+    s.arm(c, 1 + rng.next_below(4096));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.next_cycle());
+    benchmark::DoNotOptimize(s.top());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("O(1) heap-top probe (active-set path)");
+}
+BENCHMARK(BM_MachineActiveSetIdleProbe)->Arg(64)->Arg(256);
+
+// ISSUE 10's target shape end to end: P processors, 4 of which do real
+// work (a contended RMW line plus private strides) while P-4 halt
+// immediately. Items = simulated guest cycles, so items/s is
+// sim-cycles/s; before the active-set scheduler every live cycle paid
+// O(P) ticks and every jump paid O(P) replays regardless of activity.
+void BM_MachineSparseActivity(benchmark::State& state) {
+  const auto procs = static_cast<std::uint32_t>(state.range(0));
+  constexpr Addr kCounter = 0x10000;
+  constexpr Addr kDataBase = 0x40000;
+  std::uint64_t guest_cycles = 0;
+  for (auto _ : state) {
+    // Construction and teardown of a 256-core machine cost more than
+    // simulating this whole cell; time ONLY the run loop under test.
+    state.PauseTiming();
+    std::vector<Program> programs;
+    programs.reserve(procs);
+    for (std::uint32_t p = 0; p < procs; ++p) {
+      ProgramBuilder b;
+      if (p < 4) {
+        b.li(1, 16);
+        b.li(2, 1);
+        b.label("loop");
+        b.fetch_add(3, ProgramBuilder::abs(kCounter), 2);
+        b.store(3, ProgramBuilder::indexed(kDataBase + p * 0x1000, 1));
+        b.load(4, ProgramBuilder::indexed(kDataBase + p * 0x1000, 1));
+        b.sub(1, 1, 2);
+        b.bne(1, 0, "loop", BranchHint::kTaken);
+      }
+      b.halt();
+      programs.push_back(b.build());
+    }
+    SystemConfig cfg = SystemConfig::realistic(procs, ConsistencyModel::kSC);
+    cfg.mem.dir_scheme = DirScheme::kCoarseVector;
+    cfg.mem.dir_cluster = 8;
+    cfg.mem.dir_banks = 4;
+    auto m = std::make_unique<Machine>(cfg, std::move(programs));
+    state.ResumeTiming();
+    RunResult r = m->run();
+    guest_cycles += r.ticks;
+    benchmark::DoNotOptimize(r.cycles);
+    state.PauseTiming();
+    m.reset();
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(guest_cycles));
+  state.SetLabel("items = simulated guest cycles (4 active cores)");
+}
+BENCHMARK(BM_MachineSparseActivity)->Arg(64)->Arg(256);
 
 void BM_SpecLoadBufferScan(benchmark::State& state) {
   SpecLoadBuffer buf(16);

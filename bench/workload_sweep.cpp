@@ -69,6 +69,7 @@ SystemConfig cell_config(ConsistencyModel m, bool both, std::uint64_t total_ops)
 int main(int argc, char** argv) {
   bool smoke = false, million = false, scale = false;
   std::uint64_t seed = 1;
+  std::uint64_t budget_ms = 0;  // 0 = no wall-clock budget
   unsigned workers = 0;
   std::uint32_t procs = 0;  // 0 = mode default
   std::string out_path = "BENCH_workload_sweep.json";
@@ -87,6 +88,8 @@ int main(int argc, char** argv) {
     else if (arg.rfind("--procs=", 0) == 0)
       procs = static_cast<std::uint32_t>(std::strtoul(argv[i] + 8, nullptr, 0));
     else if (arg.rfind("--out=", 0) == 0) out_path = arg.substr(6);
+    else if (arg.rfind("--budget-ms=", 0) == 0)
+      budget_ms = std::strtoull(argv[i] + 12, nullptr, 0);
     else if (arg.rfind("--trace=", 0) == 0) trace_in.push_back(arg.substr(8));
     else if (arg.rfind("--trace-dir=", 0) == 0) trace_dir = arg.substr(12);
     else if (arg.rfind("--topology=", 0) == 0) {
@@ -102,7 +105,7 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: workload_sweep [--smoke|--million|--scale] [--seed=N] "
-                   "[--workers=N] [--procs=N] [--profile]\n"
+                   "[--workers=N] [--procs=N] [--profile] [--budget-ms=N]\n"
                    "       [--dir-scheme=fullmap|limptr|coarse] [--dir-banks=N] "
                    "[--dir-ptrs=N] [--dir-cluster=N]\n"
                    "       [--topology=crossbar|ring|mesh2d] [--link-bw=N]\n"
@@ -220,5 +223,21 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("\nwrote %s (%zu cells)\n", out_path.c_str(), results.size());
+
+  // CI regression tripwire (--budget-ms): the whole sweep's simulation
+  // wall clock must fit the budget, so an O(P) slip in the active-set
+  // scheduler (ISSUE 10) fails the job instead of silently returning.
+  if (budget_ms != 0) {
+    double total_ms = 0.0;
+    for (const CellResult& r : results) total_ms += r.wall_ms;
+    if (total_ms > static_cast<double>(budget_ms)) {
+      std::fprintf(stderr,
+                   "workload_sweep: wall-clock budget exceeded: %.1f ms simulated "
+                   "> %llu ms budget\n",
+                   total_ms, ull(budget_ms));
+      return 1;
+    }
+    std::printf("wall-clock budget: %.1f ms of %llu ms\n", total_ms, ull(budget_ms));
+  }
   return report_failures(results) == 0 ? 0 : 1;
 }

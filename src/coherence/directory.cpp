@@ -219,6 +219,7 @@ void Directory::handle_request(const Message& msg, Cycle now) {
           txn.kind = Txn::Kind::kRecallForRead;
           txn.request = msg;
           txn.started_at = now;
+          note_busy_flip(line);
           busy_.emplace(line, std::move(txn));
           Message recall;
           recall.type = MsgType::kRecall;
@@ -263,6 +264,7 @@ void Directory::handle_request(const Message& msg, Cycle now) {
             if (events_ != nullptr && events_->enabled())
               events_->counter(ev::inv_fanout, track_, now, txn.acks_left);
           }
+          note_busy_flip(line);
           busy_.emplace(line, std::move(txn));
           break;
         }
@@ -285,6 +287,7 @@ void Directory::handle_request(const Message& msg, Cycle now) {
             if (events_ != nullptr && events_->enabled())
               events_->counter(ev::inv_fanout, track_, now, 1);
           }
+          note_busy_flip(line);
           busy_.emplace(line, std::move(txn));
           Message recall;
           recall.type = MsgType::kRecall;
@@ -362,6 +365,7 @@ void Directory::handle_request(const Message& msg, Cycle now) {
         if (events_ != nullptr && events_->enabled())
           events_->counter(ev::upd_fanout, track_, now, txn.acks_left);
       }
+      note_busy_flip(line);
       busy_.emplace(line, std::move(txn));
       break;
     }
@@ -408,6 +412,7 @@ void Directory::handle_request(const Message& msg, Cycle now) {
         if (events_ != nullptr && events_->enabled())
           events_->counter(ev::upd_fanout, track_, now, txn.acks_left);
       }
+      note_busy_flip(line);
       busy_.emplace(line, std::move(txn));
       break;
     }
@@ -422,6 +427,7 @@ void Directory::finish_txn(Addr line, Cycle now) {
   auto it = busy_.find(line);
   assert(it != busy_.end());
   Txn txn = std::move(it->second);
+  note_busy_flip(line);
   busy_.erase(it);
 
   if (events_ != nullptr && events_->enabled()) {
@@ -520,8 +526,12 @@ Json DirectoryGroup::contended_lines_json(std::size_t n) const {
 
 Json DirectoryGroup::snapshot_json() const {
   Json out = Json::array();
-  for (const auto& b : banks_)
-    for (const Json& row : b->snapshot_json().items()) out.push_back(row);
+  for (const auto& b : banks_) {
+    // Bind the snapshot: items() is a reference into it, and iterating
+    // a temporary's items() is a use-after-scope.
+    const Json bank_rows = b->snapshot_json();
+    for (const Json& row : bank_rows.items()) out.push_back(row);
+  }
   return out;
 }
 

@@ -152,6 +152,18 @@ void Core::tick_quiescent(Cycle now, std::uint64_t span) {
          "fast-forward quiescence proof violated: a skipped tick made progress");
 }
 
+void Core::charge_idle_span(Cycle now, std::uint64_t span) {
+  assert(idle_quiescent());
+  assert(classify_stall() == StallCause::kIdle);
+  stall_[static_cast<std::size_t>(StallCause::kIdle)] += span;
+  if (events_ != nullptr && events_->enabled() &&
+      episode_cause_ != StallCause::kIdle) {
+    flush_stall_episode(now);
+    episode_cause_ = StallCause::kIdle;
+    episode_start_ = now;
+  }
+}
+
 void Core::flush_stall_episode(Cycle now) {
   if (events_ == nullptr || !events_->enabled()) return;
   // Busy and idle stretches are the baseline, not anomalies; emitting

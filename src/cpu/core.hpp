@@ -59,6 +59,23 @@ class Core : public LsuHost, public LineEventObserver {
   /// Asserts that the tick indeed made no progress.
   void tick_quiescent(Cycle now, std::uint64_t span);
 
+  /// A tick of this core is provably `stall_[kIdle] += 1` and nothing
+  /// else: drained (halted, ROB and LSU empty), no queued prefetches
+  /// left to drain, and no pending store-to-load forwarding result.
+  /// Such spans are folded in O(1) by charge_idle_span() instead of
+  /// replaying a tick.
+  bool idle_quiescent() const {
+    return drained() && lsu_.prefetch_engine().empty() &&
+           lsu_.next_local_completion() == kCycleNever;
+  }
+
+  /// Fold `span` idle_quiescent() ticks starting at `now`: the kIdle
+  /// stall charge plus the same episode transition account_cycle()
+  /// would have made on the first of them. No stat deltas — a fully
+  /// drained tick produces none (asserted via tick_quiescent under
+  /// MCSIM_FF_AUDIT by the machine's audit path).
+  void charge_idle_span(Cycle now, std::uint64_t span);
+
   bool halted() const { return halted_; }
   /// Halted and every buffered access has performed.
   bool drained() const { return halted_ && rob_.empty() && lsu_.empty(); }

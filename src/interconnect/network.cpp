@@ -193,9 +193,11 @@ void Network::deliver(Cycle now) {
 
 void Network::deliver_to_inbox(Cycle now, Cycle sent_at, Message&& msg) {
   stats_.sample(stat::msg_latency, now - sent_at);
-  ++delivered_[msg.dst];
-  inboxes_[msg.dst].push_back(std::move(msg));
+  const EndpointId dst = msg.dst;
+  ++delivered_[dst];
+  inboxes_[dst].push_back(std::move(msg));
   stats_.add(stat::messages_delivered);
+  if (delivery_hook_) delivery_hook_(dst);
 }
 
 void Network::deliver_crossbar(Cycle now) {
@@ -363,6 +365,25 @@ Cycle Network::next_event(Cycle now) const {
     if (!q.empty() && q.front().ready_at < ne) ne = q.front().ready_at;
   }
   return ne;
+}
+
+Cycle Network::deliver_next_event(Cycle now) const {
+  if (topology_ == Topology::kCrossbar) {
+    if (stalled_total_ != 0) return now;
+    if (in_flight_.empty()) return kCycleNever;
+    const Cycle at = in_flight_.top().deliver_at;
+    return at > now ? at : now;
+  }
+  // Routed fabric: same structure as next_event() without the inboxed
+  // term. The inject-queue scan runs only while messages are pending
+  // injection with every link empty — a short transient.
+  if (in_fabric_ == 0) return kCycleNever;
+  if (in_links_ != 0) return now;
+  Cycle ne = kCycleNever;
+  for (const auto& q : inject_) {
+    if (!q.empty() && q.front().ready_at < ne) ne = q.front().ready_at;
+  }
+  return ne > now ? ne : now;
 }
 
 Json Network::snapshot_json() const {

@@ -24,6 +24,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <queue>
 #include <vector>
 
@@ -73,6 +74,26 @@ class Network {
 
   /// Drain one delivered message for `ep`; returns false when empty.
   bool recv(EndpointId ep, Message& out);
+
+  /// Undrained messages sitting in `ep`'s inbox (active-set scheduler
+  /// start-up: an endpoint with inboxed traffic must tick immediately).
+  bool inbox_empty(EndpointId ep) const { return inboxes_.at(ep).empty(); }
+
+  /// Active-set scheduler: called with the destination endpoint every
+  /// time deliver() lands a message in an inbox, so the machine can
+  /// arm the receiving cache/bank for the current cycle. Unset (the
+  /// default) costs one branch per delivery.
+  void set_delivery_hook(std::function<void(EndpointId)> fn) {
+    delivery_hook_ = std::move(fn);
+  }
+
+  /// Earliest future cycle at which deliver() itself can move a
+  /// message — next_event() minus the inboxed-message term (inboxed
+  /// traffic is the *receiving endpoint's* business; the delivery hook
+  /// armed it when the message landed). Never less than `now`:
+  /// bandwidth-deferred and on-link messages answer `now` because they
+  /// move on the very next deliver() call. O(1) for the crossbar.
+  Cycle deliver_next_event(Cycle now) const;
 
   /// O(1): no messages in flight or undelivered (counter updated in
   /// send/deliver/recv; audited against the scanned truth in debug
@@ -191,6 +212,7 @@ class Network {
 
   std::vector<std::uint32_t> delivered_;        ///< per-endpoint scratch
   std::vector<std::deque<Message>> inboxes_;
+  std::function<void(EndpointId)> delivery_hook_;
   TraceEventSink* events_ = nullptr;
   StatSet stats_;
 };

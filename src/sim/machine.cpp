@@ -1,11 +1,11 @@
 #include "sim/machine.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <sstream>
 #include <stdexcept>
 
 #ifdef MCSIM_FF_AUDIT
-#include <cassert>
 #include <iostream>
 #endif
 
@@ -20,7 +20,11 @@ Machine::Machine(const SystemConfig& cfg, std::vector<Program> programs)
       dir_(cfg.num_procs, cfg.cache, cfg.mem, net_),
       drain_cycle_(cfg.num_procs, 0),
       drained_(cfg.num_procs, false),
-      undrained_cores_(cfg.num_procs) {
+      undrained_cores_(cfg.num_procs),
+      charged_until_(cfg.num_procs, 0),
+      watch_line_(cfg.num_procs, kNoWatch),
+      classifier_addr_(cfg.num_procs, 0),
+      classifier_probe_valid_(cfg.num_procs, false) {
   std::string err = cfg_.validate();
   if (!err.empty()) throw std::invalid_argument("invalid SystemConfig: " + err);
   if (programs_.size() != cfg_.num_procs)
@@ -68,12 +72,23 @@ Machine::Machine(const SystemConfig& cfg, std::vector<Program> programs)
 
   // Stall attribution: the LSU can tell an outstanding miss apart from
   // everything else, but only the directory knows whether the line is
-  // additionally held up by a pending coherence transaction.
+  // additionally held up by a pending coherence transaction. The probe
+  // address is recorded so the active-set scheduler knows which line a
+  // sleeping core's classification depends on (set_core_watch).
   for (ProcId p = 0; p < cfg_.num_procs; ++p) {
-    cores_[p]->lsu().set_mem_classifier([this](Addr a) {
+    cores_[p]->lsu().set_mem_classifier([this, p](Addr a) {
+      classifier_addr_[p] = a;
+      classifier_probe_valid_[p] = true;
       return dir_.line_busy(a) ? StallCause::kDirPending : StallCause::kCacheMiss;
     });
   }
+
+  // Active-set scheduler hooks; both no-op until init_scheduler()
+  // marks the scheduler live (so the naive loop, manual step() use,
+  // and the MCSIM_FF_AUDIT shadow machine never pay more than the
+  // is-live branch).
+  net_.set_delivery_hook([this](EndpointId ep) { on_delivery(ep); });
+  dir_.set_busy_hook([this](Addr line) { on_dir_busy_flip(line); });
 }
 
 void Machine::step() {
@@ -95,7 +110,12 @@ bool Machine::done() const {
   const bool fast =
       undrained_cores_ == 0 && busy_caches_ == 0 && net_.idle() && dir_.idle();
 #ifdef MCSIM_FF_AUDIT
-  assert(fast == done_scan() && "O(1) done() diverged from the full scan");
+  // Sampled: the full scan is O(P), and done() is called once per live
+  // cycle — auditing every call made Debug P=256 runs quadratic-ish.
+  // Every 1024th call keeps the counters honest; run() adds one
+  // unconditional scan at the end of every run.
+  if ((done_calls_++ & 1023u) == 0)
+    assert(fast == done_scan() && "O(1) done() diverged from the full scan");
 #endif
   return fast;
 }
@@ -112,6 +132,12 @@ bool Machine::done_scan() const {
 }
 
 Cycle Machine::next_event_cycle() const {
+  // O(1) while the active-set loop is live: the heap top bounds the
+  // sweep minimum from below (components may be armed EARLIER than
+  // their true next event — over-arming only costs a live tick), so
+  // returning it preserves the "a larger value proves every earlier
+  // tick is a no-op" contract without touching any component.
+  if (sched_live_) return sched_.next_cycle();
   Cycle ne = net_.next_event(cycle_);
   if (ne <= cycle_) return ne;
   Cycle t = dir_.next_event(cycle_);
@@ -138,22 +164,168 @@ Cycle Machine::next_event_cycle() const {
   return ne;
 }
 
-void Machine::skip_to(Cycle target) {
-  const std::uint64_t span = static_cast<std::uint64_t>(target - cycle_);
-  // Network, directory, and cache ticks across the span are proven
-  // no-ops (nothing inboxed, no matured response, no deferred fill)
-  // and are elided outright. Each core replays one quiescent tick on
-  // behalf of all `span` skipped ones: its own, its LSU's, and its
-  // cache's stat deltas (probe-rejection counters and the like) plus
-  // the stall-cause charge are scaled by the span, so per-core
-  // cycles-by-cause still sums to ticks and every counter matches the
-  // naive loop exactly.
+void Machine::init_scheduler() {
+  const std::uint32_t banks = dir_.num_banks();
+  sched_.reset(1 + banks + 2ull * cfg_.num_procs);
+  sched_live_ = true;
+  watchers_.clear();
+  // Arm for whatever state the machine is in (fresh, or mid-flight
+  // after manual step() calls): the network from its own earliest
+  // deliverable, endpoints with inboxed traffic immediately, caches
+  // from their next_event, every core live (its progress flag starts
+  // armed, and a core that just ticked under step() must be re-proven
+  // quiescent by one live tick before it may sleep).
+  sched_.arm(net_comp(), net_.deliver_next_event(cycle_));
+  for (std::uint32_t b = 0; b < banks; ++b) {
+    if (!net_.inbox_empty(static_cast<EndpointId>(cfg_.num_procs + b)))
+      sched_.arm(bank_comp(b), cycle_);
+  }
   for (ProcId p = 0; p < cfg_.num_procs; ++p) {
+    Cycle cache_at = caches_[p]->next_event(cycle_);
+    if (!net_.inbox_empty(p) || cache_at < cycle_) cache_at = cycle_;
+    sched_.arm(cache_comp(p), cache_at);
+    sched_.arm(core_comp(p), cycle_);
+    charged_until_[p] = cycle_;
+    watch_line_[p] = kNoWatch;
+  }
+}
+
+void Machine::step_active() {
+  const Cycle c = cycle_;
+  const std::uint32_t banks = dir_.num_banks();
+  // Pop order within a cycle is (cycle, id), and ids are assigned in
+  // stage order, so the components that do tick run in exactly the
+  // naive loop's sequence; everything unarmed is a proven no-op.
+  while (!sched_.empty() && sched_.next_cycle() <= c) {
+    assert(sched_.next_cycle() == c && "a scheduled wakeup was missed");
+    const Scheduler::CompId id = sched_.pop();
+    if (id == net_comp()) {
+      net_.deliver(c);  // the delivery hook arms receiving banks/caches at c
+    } else if (id <= banks) {
+      dir_.bank(id - 1).tick(c);  // busy-flip hook flushes watching cores
+    } else if (id <= banks + cfg_.num_procs) {
+      const ProcId p = static_cast<ProcId>(id - 1 - banks);
+      // Flush the deferred span BEFORE the cache mutates state the
+      // scaled replay's classification reads, and before observer
+      // callbacks (invalidation squashes) mutate the core.
+      flush_core_charges(p);
+      caches_[p]->tick(c);
+      // A cache that acted means its core must tick live this cycle
+      // (fills queue responses, invalidations squash — the naive loop
+      // ticked it too); tick_core_live then re-arms the cache.
+      sched_.arm(core_comp(p), c);
+    } else {
+      tick_core_live(static_cast<ProcId>(id - 1 - banks - cfg_.num_procs));
+    }
+  }
+  // Every message sent this cycle (by any ticked component) is inside
+  // the network now, so one re-arm at the end of the cycle covers all
+  // of them.
+  sched_.arm(net_comp(), net_.deliver_next_event(c + 1));
+  ++cycle_;
+}
+
+void Machine::tick_core_live(ProcId p) {
+  const Cycle c = cycle_;
+  flush_core_charges(p);
+  classifier_probe_valid_[p] = false;  // only this tick's probe counts
+  cores_[p]->tick(c);
+  charged_until_[p] = c + 1;
+  if (!drained_[p] && cores_[p]->drained()) {
+    drained_[p] = true;
+    drain_cycle_[p] = c;
+    --undrained_cores_;
+  }
+  const Cycle ne = cores_[p]->next_event(c);
+  if (ne <= c) {
+    // Progress: the pipeline is live, tick again next cycle.
+    sched_.arm(core_comp(p), c + 1);
+    set_core_watch(p, kNoWatch);
+  } else {
+    // Frozen. Timed local events (store-to-load forwarding) arm the
+    // core directly; external wake-ups arrive via this cache's or a
+    // bank's tick, which re-arm it. If the frozen stall classification
+    // read the directory's busy bit, watch that line so the deferred
+    // charge is segmented at every flip (kCacheMiss <-> kDirPending).
+    sched_.arm(core_comp(p), ne);  // kCycleNever leaves it unarmed
+    set_core_watch(p, classifier_probe_valid_[p]
+                          ? caches_[p]->line_of(classifier_addr_[p])
+                          : kNoWatch);
+  }
+  // Re-arm the cache after the core tick: a hit probe just queued a
+  // response maturing next cycle, and the core's issue may have left a
+  // deferred fill to retry. Arming from full component state makes the
+  // overwrite-arm always safe.
+  Cycle cache_at = caches_[p]->next_event(c + 1);
+  if (cache_at < c + 1) cache_at = c + 1;
+  sched_.arm(cache_comp(p), cache_at);
+}
+
+void Machine::flush_core_charges(ProcId p) {
+  if (!sched_live_) return;
+  const Cycle upto = cycle_;
+  const Cycle from = charged_until_[p];
+  if (from >= upto) return;
+  const std::uint64_t span = static_cast<std::uint64_t>(upto - from);
+  if (cores_[p]->idle_quiescent()) {
+    // A fully drained core's tick is exactly `stall_[kIdle] += 1`:
+    // fold the whole span in O(1) instead of replaying a tick.
+    cores_[p]->charge_idle_span(from, span);
+  } else {
+    // One scaled quiescent replay for the whole span — identical to
+    // what the naive loop charged across [from, upto). Replayed at
+    // `from` (the first uncharged cycle), so replay side-timestamps
+    // (e.g. the cache-port stamp of a rejected probe) stay strictly
+    // earlier than the live tick that follows at `upto`.
     caches_[p]->stats().set_charge_scale(span);
-    cores_[p]->tick_quiescent(cycle_, span);
+    cores_[p]->tick_quiescent(from, span);
     caches_[p]->stats().set_charge_scale(1);
   }
-  cycle_ = target;
+  charged_until_[p] = upto;
+}
+
+void Machine::flush_all_core_charges() {
+  for (ProcId p = 0; p < cfg_.num_procs; ++p) flush_core_charges(p);
+}
+
+void Machine::on_delivery(EndpointId ep) {
+  if (!sched_live_) return;
+  if (ep < cfg_.num_procs) {
+    sched_.arm(cache_comp(static_cast<ProcId>(ep)), cycle_);
+  } else {
+    sched_.arm(bank_comp(ep - cfg_.num_procs), cycle_);
+  }
+}
+
+void Machine::on_dir_busy_flip(Addr line) {
+  if (!sched_live_) return;
+  const auto it = watchers_.find(line);
+  if (it == watchers_.end()) return;
+  // The hook fires BEFORE the flip, so the flushed span is classified
+  // with the pre-flip busy bit — the same state every naive core tick
+  // in that span saw (banks tick before cores; the flip cycle itself
+  // is charged later, with post-flip state, by the next flush).
+  for (ProcId p : it->second) flush_core_charges(p);
+}
+
+void Machine::set_core_watch(ProcId p, Addr line) {
+  Addr& cur = watch_line_[p];
+  if (cur == line) return;
+  if (cur != kNoWatch) {
+    const auto it = watchers_.find(cur);
+    assert(it != watchers_.end());
+    auto& v = it->second;
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      if (v[i] == p) {
+        v[i] = v.back();
+        v.pop_back();
+        break;
+      }
+    }
+    if (v.empty()) watchers_.erase(it);
+  }
+  cur = line;
+  if (line != kNoWatch) watchers_[line].push_back(p);
 }
 
 #ifdef MCSIM_FF_AUDIT
@@ -213,22 +385,32 @@ RunResult Machine::run() {
   };
 #endif
   if (cfg_.fastforward) {
+    // Active-set loop: the heap top is the O(1) answer to "earliest
+    // cycle anything can act" — a jump past quiescent cycles costs
+    // nothing at all (sleeping cores' charges stay deferred until
+    // their wake or the end of the run), and a live cycle ticks only
+    // the armed components.
+    init_scheduler();
     while (!done() && cycle_ < cfg_.max_cycles) {
-      const Cycle ne = next_event_cycle();
+      const Cycle ne = sched_.next_cycle();
       if (ne > cycle_) {
-        skip_to(ne < cfg_.max_cycles ? ne : cfg_.max_cycles);
+        cycle_ = ne < cfg_.max_cycles ? ne : cfg_.max_cycles;
 #ifdef MCSIM_FF_AUDIT
+        flush_all_core_charges();
         audit_check();
 #endif
       } else {
-        step();
+        step_active();
       }
     }
+    flush_all_core_charges();
+    sched_live_ = false;
   } else {
     while (!done() && cycle_ < cfg_.max_cycles) step();
   }
 #ifdef MCSIM_FF_AUDIT
   audit_check();
+  assert(done() == done_scan() && "O(1) done() diverged at end of run");
 #endif
   RunResult r;
   r.deadlocked = !done();

@@ -13,6 +13,7 @@
 
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/config.hpp"
@@ -25,6 +26,7 @@
 #include "cpu/core.hpp"
 #include "interconnect/network.hpp"
 #include "isa/program.hpp"
+#include "sim/sched.hpp"
 
 namespace mcsim {
 
@@ -60,7 +62,10 @@ class Machine {
   /// of every component's next_event(). A value <= now() means the
   /// next tick must run live; a larger value proves every tick before
   /// it is a no-op; kCycleNever means the machine is permanently
-  /// quiescent (done, or deadlocked until max_cycles).
+  /// quiescent (done, or deadlocked until max_cycles). O(1) while
+  /// run()'s active-set loop is live (the scheduler heap top, see
+  /// sim/sched.hpp); otherwise the O(P) sweep that is the ground truth
+  /// behind the heap's arming contract.
   Cycle next_event_cycle() const;
 
   Cycle now() const { return cycle_; }
@@ -112,11 +117,44 @@ class Machine {
     Addr addr = 0;
   };
 
-  /// Jump the clock to `target` (> cycle_): every skipped network/
-  /// directory/cache tick is a proven no-op and is elided; each core
-  /// replays one quiescent tick with all stat and stall charges scaled
-  /// by the span, so accounting is identical to ticking naively.
-  void skip_to(Cycle target);
+  // --- active-set scheduling (see docs/INTERNALS.md §2) --------------
+  //
+  // Component-id scheme, chosen so the heap's (cycle, id) pop order IS
+  // the naive loop's stage order within a cycle:
+  //   0                    network (deliver)
+  //   1 .. B               directory banks
+  //   B+1 .. B+P           caches
+  //   B+P+1 .. B+2P        cores
+  Scheduler::CompId net_comp() const { return 0; }
+  Scheduler::CompId bank_comp(std::uint32_t b) const { return 1 + b; }
+  Scheduler::CompId cache_comp(ProcId p) const { return 1 + dir_.num_banks() + p; }
+  Scheduler::CompId core_comp(ProcId p) const {
+    return 1 + dir_.num_banks() + cfg_.num_procs + p;
+  }
+
+  /// Arm every component for the current machine state and mark the
+  /// scheduler live (run()'s fast-forward loop entry).
+  void init_scheduler();
+  /// Run every component armed at cycle_ in stage order, then advance
+  /// the clock. The active-set replacement for step(): per-cycle cost
+  /// is proportional to the number of armed components, not P.
+  void step_active();
+  /// Core p's live tick plus its drain bookkeeping and the re-arming
+  /// of itself and its cache (the only arm sites for either).
+  void tick_core_live(ProcId p);
+  /// Charge core p's lazily-deferred stall span [charged_until_[p],
+  /// cycle_): one scaled quiescent replay (or the O(1) idle fold for a
+  /// drained core), exactly what skip_to() charged eagerly before.
+  void flush_core_charges(ProcId p);
+  void flush_all_core_charges();
+  /// Network delivery hook: arm the receiving cache/bank for this cycle.
+  void on_delivery(EndpointId ep);
+  /// Directory busy-bit pre-flip hook: flush stall charges for every
+  /// sleeping core whose classification watches `line`.
+  void on_dir_busy_flip(Addr line);
+  /// Maintain the line -> sleeping-watchers map (kNoWatch clears).
+  void set_core_watch(ProcId p, Addr line);
+
   /// Ground truth behind done()'s counters (audit + cold paths).
   bool done_scan() const;
 #ifdef MCSIM_FF_AUDIT
@@ -137,6 +175,30 @@ class Machine {
   std::uint64_t undrained_cores_ = 0;  ///< cores with drained_[p] false
   std::uint64_t busy_caches_ = 0;      ///< caches with pending work
   Cycle cycle_ = 0;
+
+  // --- active-set scheduler state (live only inside run()'s ff loop) -
+  static constexpr Addr kNoWatch = ~static_cast<Addr>(0);
+  Scheduler sched_;
+  bool sched_live_ = false;
+  /// First cycle whose stall/stat charges core p has NOT yet received;
+  /// the naive loop charges every tick eagerly, the active-set loop
+  /// defers a sleeping core's identical per-cycle charges and flushes
+  /// them in one scaled replay (flush_core_charges).
+  std::vector<Cycle> charged_until_;
+  /// Line whose directory busy bit core p's sleeping stall
+  /// classification depends on (kDirPending vs kCacheMiss), kNoWatch
+  /// when none; watchers_ is the inverse map.
+  std::vector<Addr> watch_line_;
+  std::unordered_map<Addr, std::vector<ProcId>> watchers_;
+  /// Last address the mem classifier probed for core p, valid only for
+  /// classifications made since the flag was cleared (the live tick
+  /// clears it, so a stale probe from a flush replay is never reused).
+  std::vector<Addr> classifier_addr_;
+  std::vector<bool> classifier_probe_valid_;
+  /// done()-audit sampling counter. Unconditional on purpose: the
+  /// MCSIM_FF_AUDIT macro is private to the sim target, so a member
+  /// behind it would give this header two different layouts.
+  mutable std::uint64_t done_calls_ = 0;
 };
 
 }  // namespace mcsim

@@ -1,0 +1,25 @@
+#include "sim/sched.hpp"
+
+namespace mcsim {
+
+bool Scheduler::validate() const {
+  // Heap property under the (cycle, id) order.
+  for (std::uint32_t i = 1; i < heap_.size(); ++i) {
+    if (before(heap_[i], heap_[(i - 1) / 2])) return false;
+  }
+  // Every heap slot is indexed, and only armed components are indexed.
+  std::size_t armed = 0;
+  for (CompId c = 0; c < pos_.size(); ++c) {
+    if (when_[c] == kCycleNever) {
+      if (pos_[c] != kNotArmed) return false;
+      continue;
+    }
+    ++armed;
+    if (pos_[c] == kNotArmed || pos_[c] >= heap_.size()) return false;
+    const Slot& s = heap_[pos_[c]];
+    if (s.comp != c || s.at != when_[c]) return false;
+  }
+  return armed == heap_.size();
+}
+
+}  // namespace mcsim

@@ -1,0 +1,161 @@
+// Active-set scheduler: an indexed binary min-heap over a dense,
+// fixed universe of component ids, keyed by (cycle, id).
+//
+// Every machine component (network, directory bank, cache, core)
+// holds AT MOST ONE armed wakeup at a time; arm() overwrites any
+// previous arming for the same component, and arming at kCycleNever
+// cancels it. The (cycle, id) key order makes pop order within one
+// cycle reproduce the naive loop's fixed stage order exactly, as long
+// as ids are assigned in stage order (network < directory banks <
+// caches < cores — see Machine's id scheme).
+//
+// Complexity: arm/pop are O(log armed), next_cycle()/top() are O(1),
+// and `armed` is the number of currently-armed components — bounded
+// by the universe but in sparse-activity runs proportional to the
+// active set, which is the whole point (ISSUE 10): per-cycle cost no
+// longer scales with P when 4 of 256 cores are doing anything.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace mcsim {
+
+class Scheduler {
+ public:
+  using CompId = std::uint32_t;
+
+  explicit Scheduler(std::size_t universe = 0) { reset(universe); }
+
+  /// Drop every arming and resize the component universe.
+  void reset(std::size_t universe) {
+    heap_.clear();
+    heap_.reserve(universe);
+    pos_.assign(universe, kNotArmed);
+    when_.assign(universe, kCycleNever);
+  }
+
+  std::size_t universe() const { return pos_.size(); }
+  std::size_t armed_count() const { return heap_.size(); }
+  bool empty() const { return heap_.empty(); }
+
+  /// Set component `c`'s single wakeup to `at`, replacing any previous
+  /// one; `at == kCycleNever` cancels the arming. Re-arming to the
+  /// value already held is a no-op.
+  void arm(CompId c, Cycle at) {
+    assert(c < pos_.size());
+    const Cycle prev = when_[c];
+    if (prev == at) return;
+    when_[c] = at;
+    if (prev == kCycleNever) {  // fresh arm
+      pos_[c] = static_cast<std::uint32_t>(heap_.size());
+      heap_.push_back(Slot{at, c});
+      sift_up(pos_[c]);
+      return;
+    }
+    if (at == kCycleNever) {  // cancel
+      remove_at(pos_[c]);
+      pos_[c] = kNotArmed;
+      return;
+    }
+    const std::uint32_t i = pos_[c];  // reschedule in place
+    heap_[i].at = at;
+    if (at < prev) sift_up(i);
+    else sift_down(i);
+  }
+
+  void cancel(CompId c) { arm(c, kCycleNever); }
+
+  /// The cycle `c` is armed for; kCycleNever when unarmed.
+  Cycle armed_at(CompId c) const {
+    assert(c < when_.size());
+    return when_[c];
+  }
+
+  /// Earliest armed cycle across all components (the heap top);
+  /// kCycleNever when nothing is armed. O(1).
+  Cycle next_cycle() const { return heap_.empty() ? kCycleNever : heap_.front().at; }
+
+  /// The component holding the earliest wakeup — ties broken by lowest
+  /// id, which is the machine's stage order. Heap must be non-empty.
+  CompId top() const {
+    assert(!heap_.empty());
+    return heap_.front().comp;
+  }
+
+  /// Structural self-check for tests: the heap property holds and the
+  /// pos_/when_ indexes agree with the heap array. O(universe).
+  bool validate() const;
+
+  /// Pop the top component; it becomes unarmed. Heap must be non-empty.
+  CompId pop() {
+    assert(!heap_.empty());
+    const CompId c = heap_.front().comp;
+    when_[c] = kCycleNever;
+    pos_[c] = kNotArmed;
+    remove_at(0);
+    return c;
+  }
+
+ private:
+  struct Slot {
+    Cycle at;
+    CompId comp;
+  };
+  static constexpr std::uint32_t kNotArmed = 0xffffffffu;
+
+  static bool before(const Slot& a, const Slot& b) {
+    return a.at != b.at ? a.at < b.at : a.comp < b.comp;
+  }
+
+  void place(std::uint32_t i, Slot s) {
+    pos_[s.comp] = i;
+    heap_[i] = s;
+  }
+
+  void sift_up(std::uint32_t i) {
+    Slot s = heap_[i];
+    while (i != 0) {
+      const std::uint32_t parent = (i - 1) / 2;
+      if (!before(s, heap_[parent])) break;
+      place(i, heap_[parent]);
+      i = parent;
+    }
+    place(i, s);
+  }
+
+  void sift_down(std::uint32_t i) {
+    Slot s = heap_[i];
+    const std::uint32_t n = static_cast<std::uint32_t>(heap_.size());
+    for (;;) {
+      std::uint32_t kid = 2 * i + 1;
+      if (kid >= n) break;
+      if (kid + 1 < n && before(heap_[kid + 1], heap_[kid])) ++kid;
+      if (!before(heap_[kid], s)) break;
+      place(i, heap_[kid]);
+      i = kid;
+    }
+    place(i, s);
+  }
+
+  /// Remove the slot at heap index `i` (caller fixes the victim's
+  /// pos_/when_ beforehand).
+  void remove_at(std::uint32_t i) {
+    const Slot last = heap_.back();
+    heap_.pop_back();
+    if (i == heap_.size()) return;  // removed the tail itself
+    place(i, last);
+    // The swapped-in slot may need to move either direction.
+    if (i != 0 && before(heap_[i], heap_[(i - 1) / 2])) sift_up(i);
+    else sift_down(i);
+  }
+
+  std::vector<Slot> heap_;
+  std::vector<std::uint32_t> pos_;   ///< comp -> heap index, kNotArmed
+  std::vector<Cycle> when_;          ///< comp -> armed cycle, kCycleNever
+};
+
+}  // namespace mcsim

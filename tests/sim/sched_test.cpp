@@ -1,0 +1,279 @@
+// Unit tests for the active-set Scheduler (sim/sched.hpp) plus a
+// machine-level identity check: the indexed min-heap's arm/re-arm/
+// cancel/pop semantics, the (cycle, id) tie-break that reproduces the
+// naive loop's stage order, never-under-reporting against a stepwise
+// ground truth, a randomized soak against a reference priority map,
+// and a P=256 sparse-activity run where the active-set fast-forward
+// path must fingerprint-match the naive per-cycle loop exactly.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "isa/builder.hpp"
+#include "sim/machine.hpp"
+#include "sim/sched.hpp"
+
+namespace mcsim {
+namespace {
+
+TEST(Scheduler, StartsEmptyAndUnarmed) {
+  Scheduler s(8);
+  EXPECT_EQ(s.universe(), 8u);
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.armed_count(), 0u);
+  EXPECT_EQ(s.next_cycle(), kCycleNever);
+  for (Scheduler::CompId c = 0; c < 8; ++c) EXPECT_EQ(s.armed_at(c), kCycleNever);
+  EXPECT_TRUE(s.validate());
+}
+
+TEST(Scheduler, ArmPopRoundTrip) {
+  Scheduler s(4);
+  s.arm(2, 10);
+  EXPECT_EQ(s.armed_count(), 1u);
+  EXPECT_EQ(s.armed_at(2), 10u);
+  EXPECT_EQ(s.next_cycle(), 10u);
+  EXPECT_EQ(s.top(), 2u);
+  EXPECT_EQ(s.pop(), 2u);
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.armed_at(2), kCycleNever) << "pop() disarms";
+  EXPECT_TRUE(s.validate());
+}
+
+TEST(Scheduler, RearmOverwritesTheSingleWakeup) {
+  Scheduler s(4);
+  s.arm(1, 100);
+  s.arm(1, 7);  // earlier: must replace, not add
+  EXPECT_EQ(s.armed_count(), 1u);
+  EXPECT_EQ(s.next_cycle(), 7u);
+  s.arm(1, 50);  // later: still a replace
+  EXPECT_EQ(s.armed_count(), 1u);
+  EXPECT_EQ(s.next_cycle(), 50u);
+  EXPECT_EQ(s.armed_at(1), 50u);
+  s.arm(1, 50);  // same value: no-op
+  EXPECT_EQ(s.armed_count(), 1u);
+  EXPECT_TRUE(s.validate());
+  EXPECT_EQ(s.pop(), 1u);
+  EXPECT_TRUE(s.empty()) << "the overwritten armings must not linger";
+}
+
+TEST(Scheduler, CancelRemovesAndIsIdempotent) {
+  Scheduler s(4);
+  s.arm(0, 5);
+  s.arm(3, 2);
+  s.cancel(0);
+  EXPECT_EQ(s.armed_at(0), kCycleNever);
+  EXPECT_EQ(s.armed_count(), 1u);
+  EXPECT_EQ(s.next_cycle(), 2u);
+  s.cancel(0);  // cancelling an unarmed component is a no-op
+  s.arm(3, kCycleNever);  // arming at kCycleNever IS a cancel
+  EXPECT_TRUE(s.empty());
+  EXPECT_TRUE(s.validate());
+}
+
+TEST(Scheduler, SameCyclePopsInComponentIdOrder) {
+  // Ties on cycle break by lowest id — this is what makes the heap's
+  // pop order within a cycle equal the naive loop's stage order
+  // (network < banks < caches < cores in Machine's id scheme).
+  Scheduler s(16);
+  const Scheduler::CompId arm_order[] = {9, 0, 13, 4, 2, 7};
+  for (Scheduler::CompId c : arm_order) s.arm(c, 42);
+  std::vector<Scheduler::CompId> popped;
+  while (!s.empty()) {
+    EXPECT_EQ(s.next_cycle(), 42u);
+    popped.push_back(s.pop());
+  }
+  EXPECT_EQ(popped, (std::vector<Scheduler::CompId>{0, 2, 4, 7, 9, 13}));
+}
+
+TEST(Scheduler, DrainYieldsNonDecreasingCycles) {
+  Scheduler s(64);
+  Pcg32 rng(0xBEEF);
+  for (Scheduler::CompId c = 0; c < 64; ++c) s.arm(c, rng.next_below(1000));
+  Cycle prev = 0;
+  while (!s.empty()) {
+    const Cycle at = s.next_cycle();
+    EXPECT_GE(at, prev) << "heap top went backwards";
+    prev = at;
+    s.pop();
+  }
+}
+
+TEST(Scheduler, NeverUnderReportsAgainstStepwiseGroundTruth) {
+  // Walk time forward one cycle at a time; at every step the heap top
+  // must equal the true minimum of the armed set (an under-report
+  // would make the machine run a provably-dead tick live; an
+  // over-report would skip real work).
+  Scheduler s(32);
+  std::map<Scheduler::CompId, Cycle> truth;
+  Pcg32 rng(1234);
+  for (Scheduler::CompId c = 0; c < 32; ++c) {
+    const Cycle at = 1 + rng.next_below(200);
+    s.arm(c, at);
+    truth[c] = at;
+  }
+  for (Cycle now = 0; now <= 200; ++now) {
+    Cycle want = kCycleNever;
+    for (const auto& [c, at] : truth) want = std::min(want, at);
+    ASSERT_EQ(s.next_cycle(), want) << "at cycle " << now;
+    // Retire everything due now, occasionally re-arming later (a core
+    // making progress re-arms at now+1..now+k).
+    while (!s.empty() && s.next_cycle() == now) {
+      const Scheduler::CompId c = s.pop();
+      truth.erase(c);
+      if (rng.chance(1, 3)) {
+        const Cycle again = now + 1 + rng.next_below(40);
+        s.arm(c, again);
+        truth[c] = again;
+      }
+    }
+  }
+}
+
+TEST(Scheduler, RandomizedSoakAgainstReferenceMap) {
+  // 20k random arm/re-arm/cancel/pop operations, cross-checked against
+  // a std::map reference and the structural validate() invariant.
+  constexpr std::uint32_t kUniverse = 97;  // odd size: exercise sift paths
+  Scheduler s(kUniverse);
+  std::map<Scheduler::CompId, Cycle> ref;  // comp -> armed cycle
+  Pcg32 rng(0xC0FFEE);
+  auto ref_min = [&ref]() {
+    Cycle at = kCycleNever;
+    Scheduler::CompId comp = 0;
+    for (const auto& [c, when] : ref) {
+      if (when < at || (when == at && c < comp)) {
+        at = when;
+        comp = c;
+      }
+    }
+    return std::pair<Cycle, Scheduler::CompId>{at, comp};
+  };
+  for (int op = 0; op < 20000; ++op) {
+    const std::uint32_t kind = rng.next_below(10);
+    if (kind < 6) {  // arm / re-arm
+      const Scheduler::CompId c = rng.next_below(kUniverse);
+      const Cycle at = rng.next_below(512);  // dense: plenty of ties
+      s.arm(c, at);
+      ref[c] = at;
+    } else if (kind < 8) {  // cancel
+      const Scheduler::CompId c = rng.next_below(kUniverse);
+      s.cancel(c);
+      ref.erase(c);
+    } else if (!ref.empty()) {  // pop
+      const auto [at, comp] = ref_min();
+      ASSERT_EQ(s.next_cycle(), at) << "op " << op;
+      ASSERT_EQ(s.top(), comp) << "op " << op;
+      ASSERT_EQ(s.pop(), comp) << "op " << op;
+      ref.erase(comp);
+    }
+    ASSERT_EQ(s.armed_count(), ref.size()) << "op " << op;
+    if ((op & 255) == 0) {
+      ASSERT_TRUE(s.validate()) << "op " << op;
+    }
+  }
+  // Drain: pop order must be the reference sorted by (cycle, id).
+  while (!ref.empty()) {
+    const auto [at, comp] = ref_min();
+    ASSERT_EQ(s.next_cycle(), at);
+    ASSERT_EQ(s.pop(), comp);
+    ref.erase(comp);
+  }
+  EXPECT_TRUE(s.empty());
+  EXPECT_TRUE(s.validate());
+}
+
+// ---------------------------------------------------------------------
+// Machine-level identity: active-set fast-forward vs naive loop on a
+// sparse-activity P=256 machine (4 busy cores, 252 that halt at once),
+// with the coarse-vector/4-bank directory the scaling campaign uses.
+// This is exactly the shape ISSUE 10 optimizes for, so it must stay
+// cycle-identical, stat-identical, and stall-breakdown-identical.
+// ---------------------------------------------------------------------
+
+struct Fingerprint {
+  RunResult result;
+  std::string stats;
+  std::vector<Word> regs;
+  std::vector<Word> mem;
+};
+
+Fingerprint run_sparse(bool fastforward) {
+  constexpr std::uint32_t kProcs = 256;
+  constexpr Addr kCounter = 0x10000;   // contended RMW line
+  constexpr Addr kFlagBase = 0x20000;  // per-worker flag words
+  constexpr Addr kDataBase = 0x40000;  // per-worker private strides
+  SystemConfig cfg = SystemConfig::paper_default(kProcs, ConsistencyModel::kSC);
+  cfg.fastforward = fastforward;
+  cfg.mem.dir_scheme = DirScheme::kCoarseVector;
+  cfg.mem.dir_cluster = 8;
+  cfg.mem.dir_banks = 4;
+
+  std::vector<Program> programs;
+  programs.reserve(kProcs);
+  for (std::uint32_t p = 0; p < kProcs; ++p) {
+    ProgramBuilder b;
+    if (p < 4) {
+      // Busy worker: bump the shared counter, walk a private stride,
+      // publish a flag, and (worker 0) wait for everyone else — long
+      // quiescent stretches on 252 cores while these four run.
+      b.li(1, 8);  // loop count
+      b.li(2, 1);
+      b.label("loop");
+      b.fetch_add(3, ProgramBuilder::abs(kCounter), 2);
+      b.store(3, ProgramBuilder::indexed(kDataBase + p * 0x1000, 1));
+      b.load(4, ProgramBuilder::indexed(kDataBase + p * 0x1000, 1));
+      b.sub(1, 1, 2);
+      b.bne(1, 0, "loop", BranchHint::kTaken);
+      b.store_rel(2, ProgramBuilder::abs(kFlagBase + p * kWordBytes));
+      if (p == 0) {
+        for (std::uint32_t q = 1; q < 4; ++q) {
+          b.spin_until_eq(kFlagBase + q * kWordBytes, 1);
+        }
+      }
+    }
+    b.halt();
+    programs.push_back(b.build());
+  }
+
+  Machine m(cfg, std::move(programs));
+  Fingerprint fp;
+  fp.result = m.run();
+  fp.stats = m.stats_report();
+  for (ProcId p = 0; p < cfg.num_procs; ++p) {
+    for (RegId r = 0; r < kNumArchRegs; ++r) fp.regs.push_back(m.core(p).reg(r));
+  }
+  fp.mem.push_back(m.read_word(kCounter));
+  for (std::uint32_t q = 0; q < 4; ++q) {
+    fp.mem.push_back(m.read_word(kFlagBase + q * kWordBytes));
+  }
+  return fp;
+}
+
+TEST(ActiveSetMachine, SparseP256FingerprintMatchesNaiveLoop) {
+  const Fingerprint ff = run_sparse(/*fastforward=*/true);
+  const Fingerprint naive = run_sparse(/*fastforward=*/false);
+  ASSERT_FALSE(naive.result.deadlocked);
+  EXPECT_EQ(ff.result.cycles, naive.result.cycles);
+  EXPECT_EQ(ff.result.ticks, naive.result.ticks);
+  EXPECT_EQ(ff.result.deadlocked, naive.result.deadlocked);
+  EXPECT_EQ(ff.result.retired, naive.result.retired);
+  EXPECT_EQ(ff.result.drain_cycle, naive.result.drain_cycle);
+  EXPECT_EQ(ff.result.stall, naive.result.stall)
+      << "lazy charge flushing diverged from the naive eager charges";
+  EXPECT_EQ(ff.regs, naive.regs);
+  EXPECT_EQ(ff.mem, naive.mem);
+  EXPECT_EQ(ff.stats, naive.stats) << "stats report diverged";
+  // The accounting identity the lazy-flush design must preserve: every
+  // core's cycles-by-cause sums to ticks exactly.
+  for (std::size_t p = 0; p < ff.result.stall.size(); ++p) {
+    std::uint64_t total = 0;
+    for (std::uint64_t v : ff.result.stall[p]) total += v;
+    EXPECT_EQ(total, ff.result.ticks) << "core " << p;
+  }
+}
+
+}  // namespace
+}  // namespace mcsim
